@@ -1,0 +1,15 @@
+"""Figure 10: triplet classification with thresholds re-tuned per dataset."""
+
+from repro.experiments import fig3_kge
+
+
+def test_fig10_kge_per_dataset_thresholds(benchmark):
+    config = fig3_kge.KGEExperimentConfig(
+        dimensions=(4, 16), precisions=(1, 32), epochs=30, per_dataset_thresholds=True
+    )
+    result = benchmark.pedantic(lambda: fig3_kge.run(config), rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    print("summary:", result.summary)
+    assert len(result.rows) == 4
+    assert all(0.0 <= r["triplet_disagreement_pct"] <= 100.0 for r in result.rows)

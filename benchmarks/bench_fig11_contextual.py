@@ -1,0 +1,16 @@
+"""Figure 11: contextual (BERT-style) embedding instability vs output dimension/precision."""
+
+from repro.experiments import fig11_contextual
+
+
+def test_fig11_contextual(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: fig11_contextual.run(pipeline, output_dims=(16, 32), precisions=(1, 32)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table())
+    print("summary:", result.summary)
+    assert len(result.rows) == 4
+    assert all(0.0 <= r["disagreement_pct"] <= 100.0 for r in result.rows)

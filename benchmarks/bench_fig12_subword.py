@@ -1,0 +1,18 @@
+"""Figure 12: stability-memory tradeoff with subword (fastText-style) embeddings."""
+
+from repro.experiments import fig12_subword
+
+
+def test_fig12_subword(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: fig12_subword.run(
+            pipeline, tasks=("sst2",), dimensions=(8, 32), precisions=(1, 32)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table())
+    print("summary:", result.summary)
+    assert len(result.rows) == 4
+    assert all(0.0 <= r["disagreement_pct"] <= 100.0 for r in result.rows)

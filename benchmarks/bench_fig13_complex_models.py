@@ -1,0 +1,18 @@
+"""Figure 13: CNN sentence classifier and BiLSTM-CRF tagger downstream models."""
+
+from repro.experiments import fig13_complex_models
+
+
+def test_fig13_complex_models(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: fig13_complex_models.run(
+            pipeline, dimensions=(8, 32), precisions=(1, 32), include_crf=True
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table())
+    print("summary:", result.summary)
+    assert len(result.rows) == 8
+    assert all(0.0 <= r["disagreement_pct"] <= 100.0 for r in result.rows)

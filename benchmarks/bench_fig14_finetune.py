@@ -1,0 +1,18 @@
+"""Figure 14b: fine-tuning the embeddings during downstream training."""
+
+from repro.experiments import fig14_finetune
+
+
+def test_fig14_finetune(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: fig14_finetune.run(
+            pipeline, algorithms=("mc",), dimensions=(8, 32), precisions=(1, 32)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table())
+    print("summary:", result.summary)
+    assert len(result.rows) == 8
+    assert result.summary["mean_disagreement_fixed"] >= 0

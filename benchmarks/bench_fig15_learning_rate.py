@@ -1,0 +1,18 @@
+"""Figure 15: the effect of the downstream learning rate on instability."""
+
+from repro.experiments import fig15_learning_rate
+
+
+def test_fig15_learning_rate(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: fig15_learning_rate.run(
+            pipeline, learning_rates=(1e-4, 1e-2, 2e-1), dimensions=(32,)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table())
+    print("summary:", result.summary)
+    assert len(result.rows) == 3
+    assert all(0.0 <= r["disagreement_pct"] <= 100.0 for r in result.rows)

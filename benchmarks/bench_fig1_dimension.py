@@ -1,0 +1,17 @@
+"""Figure 1 (top): % disagreement vs embedding dimension at full precision."""
+
+from repro.experiments import fig1_dimension
+
+
+def test_fig1_dimension(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: fig1_dimension.run(pipeline), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    print("summary:", result.summary)
+    assert len(result.rows) > 0
+    # Paper shape: in most series the smallest dimension is the least stable.
+    assert result.summary["series_where_smallest_dim_is_least_stable"] >= (
+        result.summary["series_total"] / 2
+    )

@@ -1,0 +1,17 @@
+"""Figure 1 (bottom): % disagreement vs quantization precision at a fixed dimension."""
+
+from repro.experiments import fig1_precision
+
+
+def test_fig1_precision(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: fig1_precision.run(pipeline), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    print("summary:", result.summary)
+    assert len(result.rows) > 0
+    # Paper shape: 1-bit is the least stable end of most series.
+    assert result.summary["series_where_1bit_is_least_stable"] >= (
+        result.summary["series_total"] / 2
+    )

@@ -1,0 +1,15 @@
+"""Figure 2: % disagreement vs memory (bits/word) across the dimension-precision grid."""
+
+from repro.experiments import fig2_memory
+
+
+def test_fig2_memory(benchmark, grid_records):
+    result = benchmark.pedantic(
+        lambda: fig2_memory.summarize(grid_records), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    print("summary:", result.summary)
+    assert len(result.rows) > 0
+    # Paper shape: instability decreases as memory grows (positive fitted slope).
+    assert result.summary["memory_slope_pct_per_doubling"] > 0

@@ -1,0 +1,14 @@
+"""Figure 3: TransE knowledge-graph embedding stability vs memory."""
+
+from repro.experiments import fig3_kge
+
+
+def test_fig3_kge(benchmark):
+    config = fig3_kge.KGEExperimentConfig(dimensions=(4, 8, 16), precisions=(1, 4, 32), epochs=30)
+    result = benchmark.pedantic(lambda: fig3_kge.run(config), rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    print("summary:", result.summary)
+    assert len(result.rows) == 9
+    # Paper shape: KGE instability decreases as the memory per vector grows.
+    assert result.summary["instability_decreases_with_memory"]

@@ -1,0 +1,14 @@
+"""Figures 4-6: the stability-memory tradeoff on the remaining sentiment tasks."""
+
+from repro.experiments import fig4_6_sentiment
+
+
+def test_fig4_6_sentiment(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: fig4_6_sentiment.run(pipeline, tasks=("mr", "mpqa")), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    print("summary:", result.summary)
+    assert len(result.rows) > 0
+    assert result.summary["memory_slope_pct_per_doubling"] > 0

@@ -1,0 +1,13 @@
+"""Figures 7-8: quality-memory and quality-stability tradeoffs."""
+
+from repro.experiments import fig7_8_quality
+
+
+def test_fig7_8_quality(benchmark, pipeline):
+    result = benchmark.pedantic(lambda: fig7_8_quality.run(pipeline), rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    print("summary:", result.summary)
+    assert len(result.rows) > 0
+    # Paper shape: quality does not get worse as memory grows.
+    assert result.summary["quality_vs_memory_spearman"] >= -0.2

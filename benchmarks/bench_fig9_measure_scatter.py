@@ -1,0 +1,27 @@
+"""Figure 9: downstream disagreement vs each embedding distance measure (NER)."""
+
+from repro.analysis.correlation import measure_correlations
+
+
+def test_fig9_measure_scatter(benchmark, grid_records):
+    ner_records = [r for r in grid_records if r.task == "conll"]
+
+    def build():
+        rows = [
+            {
+                "algorithm": r.algorithm,
+                "dim": r.dim,
+                "precision": r.precision,
+                "disagreement_pct": r.disagreement,
+                **{f"measure_{k}": v for k, v in r.measures.items()},
+            }
+            for r in ner_records
+        ]
+        return rows, measure_correlations(ner_records)
+
+    rows, correlations = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    for (task, algorithm, measure), rho in sorted(correlations.items()):
+        print(f"  {task} {algorithm} {measure}: rho={rho:.3f}")
+    assert len(rows) == len(ner_records)
+    assert correlations, "expected at least one correlation series"

@@ -1,0 +1,14 @@
+"""Proposition 1: Monte-Carlo verification of the eigenspace instability theory."""
+
+from repro.experiments import proposition1
+
+
+def test_proposition1(benchmark):
+    result = benchmark.pedantic(
+        lambda: proposition1.run(n_samples=1000), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    print("summary:", result.summary)
+    assert result.summary["exact_vs_efficient_abs_diff"] < 1e-8
+    assert result.summary["proposition_holds_within_5pct"]

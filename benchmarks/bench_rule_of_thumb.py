@@ -1,0 +1,16 @@
+"""Section 3.3 rule of thumb: linear-log fits for memory, dimension and precision."""
+
+from repro.experiments import fig2_memory
+
+
+def test_rule_of_thumb(benchmark, grid_records):
+    summary = benchmark.pedantic(
+        lambda: fig2_memory.rule_of_thumb(grid_records), rounds=1, iterations=1
+    )
+    print()
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+    # Both individual trends should also have positive slopes (more memory,
+    # whether via dimension or precision, means more stability).
+    assert summary["memory_slope_pct_per_doubling"] > 0
+    assert summary["n_observations"] == len(grid_records)

@@ -1,0 +1,19 @@
+"""Tables 10-11: worst-case selection errors (pairwise and under memory budgets)."""
+
+from repro.experiments import table2_selection, table3_budget
+
+
+def test_table10_11_worstcase(benchmark, grid_records):
+    def build():
+        pairwise = table2_selection.summarize(grid_records)
+        budget = table3_budget.summarize(grid_records)
+        return pairwise, budget
+
+    pairwise, budget = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(pairwise.to_table(headers=["measure", "task", "algorithm", "worst_case_error_pct"]))
+    print()
+    print(budget.to_table(headers=["criterion", "task", "algorithm", "worst_case_distance_pct"]))
+    worst_pairwise = [r["worst_case_error_pct"] for r in pairwise.rows]
+    worst_budget = [r["worst_case_distance_pct"] for r in budget.rows]
+    assert all(w >= 0 for w in worst_pairwise + worst_budget)

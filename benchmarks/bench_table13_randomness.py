@@ -1,0 +1,14 @@
+"""Table 13 / Figure 14a: init-seed and sampling-order randomness vs embedding-data change."""
+
+from repro.experiments import table13_randomness
+
+
+def test_table13_randomness(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: table13_randomness.run(pipeline, tasks=("sst2",)), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    print("summary:", result.summary)
+    assert len(result.rows) == 4
+    assert all(0.0 <= r["disagreement_pct"] <= 100.0 for r in result.rows)

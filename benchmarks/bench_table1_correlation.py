@@ -1,0 +1,17 @@
+"""Table 1: Spearman correlation of each embedding distance measure with disagreement."""
+
+from repro.experiments import table1_correlation
+
+
+def test_table1_correlation(benchmark, grid_records):
+    result = benchmark.pedantic(
+        lambda: table1_correlation.summarize(grid_records), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    print("summary:", result.summary)
+    assert len(result.rows) > 0
+    mean_rho = result.summary["mean_rho_by_measure"]
+    # Paper shape: EIS and 1-kNN correlate more strongly than PIP loss on average.
+    assert mean_rho["eis"] >= mean_rho["pip"]
+    assert mean_rho["1-knn"] >= mean_rho["pip"]

@@ -1,0 +1,17 @@
+"""Table 2: pairwise dimension-precision selection error per measure."""
+
+from repro.experiments import table2_selection
+
+
+def test_table2_selection(benchmark, grid_records):
+    result = benchmark.pedantic(
+        lambda: table2_selection.summarize(grid_records), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    print("summary:", result.summary)
+    assert len(result.rows) > 0
+    errors = result.summary["mean_selection_error_by_measure"]
+    # All error rates are probabilities; the top measures beat coin flipping.
+    assert all(0.0 <= e <= 1.0 for e in errors.values())
+    assert min(errors["eis"], errors["1-knn"]) <= 0.5

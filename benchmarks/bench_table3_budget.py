@@ -1,0 +1,19 @@
+"""Table 3: dimension-precision selection under fixed memory budgets."""
+
+from repro.experiments import table3_budget
+
+
+def test_table3_budget(benchmark, grid_records):
+    result = benchmark.pedantic(
+        lambda: table3_budget.summarize(grid_records), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    print("summary:", result.summary)
+    assert len(result.rows) > 0
+    distances = result.summary["mean_distance_by_criterion"]
+    # Distances to the oracle are non-negative and the measure-based criteria
+    # are no worse than the worst naive baseline on average.
+    assert all(d >= 0 for d in distances.values())
+    worst_naive = max(distances["high-precision"], distances["low-precision"])
+    assert min(distances["eis"], distances["1-knn"]) <= worst_naive + 1e-9

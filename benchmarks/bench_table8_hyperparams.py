@@ -1,0 +1,18 @@
+"""Table 8: hyperparameter sweeps for the EIS alpha and the k-NN k."""
+
+from repro.experiments import table8_hyperparams
+
+
+def test_table8_hyperparams(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: table8_hyperparams.run(
+            pipeline, alphas=(0.0, 1.0, 3.0), ks=(1, 5, 50), tasks=("sst2", "conll")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table())
+    print("summary:", result.summary)
+    assert len(result.rows) == 6
+    assert all(-1.0 <= r["mean_spearman_rho"] <= 1.0 for r in result.rows)

@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures on a
+scaled-down grid.  The expensive artifacts (the corpus pair, the embedding
+pairs, and the fully-evaluated grid records) are built once per session in
+fixtures; the individual benchmarks time the per-figure analysis and print the
+table the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.synthetic import SyntheticCorpusConfig
+from repro.instability.grid import GridRunner
+from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+
+
+def benchmark_pipeline_config() -> PipelineConfig:
+    """The dimension-precision grid used across the benchmark suite.
+
+    Dimensions and precisions are chosen so that several combinations collide
+    on the same memory budget (needed by the Table 3 selection task), while
+    keeping the grid small enough to evaluate in a couple of minutes.
+    """
+    return PipelineConfig(
+        corpus=SyntheticCorpusConfig(vocab_size=300, n_documents=250, doc_length_mean=70, seed=0),
+        algorithms=("cbow", "mc"),
+        dimensions=(8, 16, 32),
+        precisions=(1, 2, 4, 8, 32),
+        seeds=(0,),
+        tasks=("sst2", "subj", "conll"),
+        embedding_epochs=8,
+        downstream_epochs=12,
+        ner_epochs=10,
+    )
+
+
+@pytest.fixture(scope="session")
+def pipeline() -> InstabilityPipeline:
+    """Session-wide pipeline; embedding pairs are trained lazily and cached."""
+    return InstabilityPipeline(benchmark_pipeline_config())
+
+
+@pytest.fixture(scope="session")
+def grid_records(pipeline):
+    """The fully evaluated dimension-precision grid (with distance measures)."""
+    return GridRunner(pipeline).run(with_measures=True)

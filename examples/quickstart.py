@@ -1,0 +1,71 @@
+"""Quickstart: measure the downstream instability of one embedding pair.
+
+Walks the full path of the paper once:
+
+1. generate a Corpus'17/Corpus'18 pair (the synthetic stand-in for the two
+   Wikipedia dumps);
+2. train a CBOW embedding on each corpus and align them;
+3. compress both embeddings with uniform quantization;
+4. train a sentiment classifier on each embedding and measure how many test
+   predictions disagree (Definition 1);
+5. compute the eigenspace instability measure and the k-NN measure between
+   the embeddings, which predict that disagreement without training anything.
+
+Run with: ``python examples/quickstart.py``
+"""
+
+from repro.compression import compress_pair
+from repro.corpus import SyntheticCorpusConfig, SyntheticCorpusGenerator
+from repro.embeddings import CBOWModel, align_pair
+from repro.instability.downstream import classification_disagreement
+from repro.measures import EigenspaceInstability, KNNDistance
+from repro.models import BowClassifier, TrainingConfig
+from repro.tasks import build_task_lexicons, generate_sentiment_dataset, train_val_test_split
+from repro.utils.logging import configure_logging
+
+
+def main() -> None:
+    configure_logging()
+
+    # 1. Two corpus snapshots a "year" apart.
+    generator = SyntheticCorpusGenerator(
+        SyntheticCorpusConfig(vocab_size=300, n_documents=300, doc_length_mean=80, seed=0)
+    )
+    pair = generator.generate_pair(seed=0)
+    vocab = pair.shared_vocabulary(min_count=2)
+    print(f"corpora: {pair.base.num_tokens} / {pair.drifted.num_tokens} tokens, "
+          f"{len(vocab)}-word shared vocabulary")
+
+    # 2. One embedding per corpus (same algorithm, dimension and seed).
+    dim = 32
+    emb_17 = CBOWModel(dim=dim, epochs=10, seed=0).fit(pair.base, vocab=vocab)
+    emb_18 = CBOWModel(dim=dim, epochs=10, seed=0).fit(pair.drifted, vocab=vocab)
+    emb_18 = align_pair(emb_17, emb_18)          # orthogonal Procrustes alignment
+
+    # 3. Compress to 4 bits per entry, sharing the clipping threshold.
+    emb_17_q, emb_18_q = compress_pair(emb_17, emb_18, bits=4)
+
+    # 4. Train a downstream sentiment model on each embedding.
+    lexicons = build_task_lexicons(generator, vocab)
+    dataset = generate_sentiment_dataset("sst2", lexicons, seed=0)
+    splits = train_val_test_split(dataset, val_fraction=0.15, test_fraction=0.25, seed=0)
+    config = TrainingConfig(learning_rate=0.05, epochs=15, optimizer="adam").with_seed(0)
+
+    model_17 = BowClassifier(emb_17_q, config=config)
+    model_17.fit(splits.train, splits.val)
+    model_18 = BowClassifier(emb_18_q, config=config)
+    model_18.fit(splits.train, splits.val)
+
+    disagreement = classification_disagreement(model_17, model_18, splits.test)
+    print(f"downstream: accuracy {model_17.accuracy(splits.test):.3f} / "
+          f"{model_18.accuracy(splits.test):.3f}, prediction disagreement {disagreement:.2f}%")
+
+    # 5. Embedding distance measures predict this without training models.
+    eis = EigenspaceInstability(emb_17, emb_18, alpha=3.0)
+    knn = KNNDistance(k=5, num_queries=300)
+    print(f"eigenspace instability measure: {eis.compute_embeddings(emb_17_q, emb_18_q).value:.4f}")
+    print(f"1 - kNN overlap:                {knn.compute_embeddings(emb_17_q, emb_18_q).value:.4f}")
+
+
+if __name__ == "__main__":
+    main()

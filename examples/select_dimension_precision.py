@@ -1,0 +1,56 @@
+"""Use the eigenspace instability measure to pick dimension-precision settings.
+
+Reproduces the paper's practical application (Sections 4.2 and 5.2): given a
+memory budget, choose the dimension-precision combination expected to be most
+stable downstream *without training any downstream model*, and compare the
+choice against the oracle and against the other embedding distance measures.
+
+Run with: ``python examples/select_dimension_precision.py``
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments import quick_pipeline_config, table2_selection, table3_budget
+from repro.instability.grid import GridRunner
+from repro.instability.pipeline import InstabilityPipeline
+from repro.selection.budget import group_by_budget
+from repro.selection.criteria import ORACLE, measure_criterion
+from repro.utils.logging import configure_logging
+
+
+def main() -> None:
+    configure_logging()
+    config = quick_pipeline_config(
+        algorithms=("mc",),
+        dimensions=(8, 16, 32),
+        precisions=(1, 2, 4, 8, 32),
+        tasks=("sst2",),
+    )
+    pipeline = InstabilityPipeline(config)
+    records = GridRunner(pipeline).run(with_measures=True)
+
+    # What would the EIS measure pick for each memory budget, and what would
+    # the oracle (which trains every downstream model) have picked?
+    eis = measure_criterion("eis")
+    picks = []
+    for memory, candidates in group_by_budget(records).items():
+        chosen = eis.select(candidates)
+        oracle = ORACLE.select(candidates)
+        picks.append(
+            {
+                "memory_bits_per_word": memory,
+                "eis_pick": f"d={chosen.dim},b={chosen.precision}",
+                "eis_pick_disagreement_pct": chosen.disagreement,
+                "oracle_pick": f"d={oracle.dim},b={oracle.precision}",
+                "oracle_disagreement_pct": oracle.disagreement,
+            }
+        )
+    print(format_table(picks, title="EIS picks vs oracle per memory budget"))
+    print()
+
+    print(table2_selection.summarize(records).to_table())
+    print()
+    print(table3_budget.summarize(records).to_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Reproduce the stability-memory tradeoff (Figures 1-2) on a small grid.
+
+Sweeps dimension and precision for two embedding algorithms, prints %
+disagreement as a function of memory (bits/word), and fits the paper's
+linear-log rule of thumb (Section 3.3).
+
+Run with: ``python examples/stability_memory_tradeoff.py``
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments import fig2_memory, quick_pipeline_config
+from repro.instability.pipeline import InstabilityPipeline
+from repro.utils.logging import configure_logging
+
+
+def main() -> None:
+    configure_logging()
+    config = quick_pipeline_config(
+        algorithms=("cbow", "mc"),
+        dimensions=(8, 16, 32),
+        precisions=(1, 2, 4, 32),
+        tasks=("sst2", "conll"),
+    )
+    pipeline = InstabilityPipeline(config)
+
+    result = fig2_memory.run(pipeline)
+    print(result.to_table())
+    print()
+
+    summary = result.summary
+    print("rule of thumb (linear-log fits):")
+    print(f"  doubling the memory reduces disagreement by "
+          f"~{summary['memory_slope_pct_per_doubling']:.2f}% (absolute)")
+    print(f"  doubling the dimension: ~{summary['dimension_slope_pct_per_doubling']:.2f}%")
+    print(f"  doubling the precision: ~{summary['precision_slope_pct_per_doubling']:.2f}%")
+    print(f"  relative reduction range: "
+          f"{100 * summary['relative_reduction_low']:.0f}% - "
+          f"{100 * summary['relative_reduction_high']:.0f}%")
+
+    # The same records, viewed per memory budget (the Figure 2 series).
+    budget_rows = {}
+    for row in result.rows:
+        budget_rows.setdefault(row["memory_bits_per_word"], []).append(row["disagreement_pct"])
+    series = [
+        {"memory_bits_per_word": m, "mean_disagreement_pct": sum(v) / len(v)}
+        for m, v in sorted(budget_rows.items())
+    ]
+    print()
+    print(format_table(series, title="mean disagreement per memory budget"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` uses PEP 660 editable wheels, which require ``wheel``;
+fully offline environments that lack it can fall back to
+``python setup.py develop`` (or add ``src/`` to ``PYTHONPATH``).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""repro: reproduction of "Understanding the Downstream Instability of Word Embeddings".
+
+The public API re-exports the pieces a downstream user typically needs:
+corpus generation, embedding training, compression, the embedding distance
+measures (including the paper's eigenspace instability measure), the
+end-to-end instability pipeline, and the selection/analysis utilities.
+See ``README.md`` for a quickstart and ``DESIGN.md`` for the full system map.
+"""
+
+from repro.compression import compress_embedding, compress_pair, uniform_quantize
+from repro.corpus import (
+    Corpus,
+    CorpusPair,
+    SyntheticCorpusConfig,
+    SyntheticCorpusGenerator,
+    Vocabulary,
+)
+from repro.embeddings import (
+    CBOWModel,
+    Embedding,
+    GloVeModel,
+    MatrixCompletionModel,
+    PPMISVDModel,
+    align_pair,
+)
+from repro.instability import (
+    GridRecord,
+    GridRunner,
+    InstabilityPipeline,
+    PipelineConfig,
+    prediction_disagreement,
+)
+from repro.measures import (
+    EigenspaceInstability,
+    EigenspaceOverlapDistance,
+    KNNDistance,
+    PIPLoss,
+    SemanticDisplacement,
+    eigenspace_instability,
+)
+from repro.analysis import fit_linear_log, measure_correlations, spearman_correlation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CBOWModel",
+    "Corpus",
+    "CorpusPair",
+    "Embedding",
+    "EigenspaceInstability",
+    "EigenspaceOverlapDistance",
+    "GloVeModel",
+    "GridRecord",
+    "GridRunner",
+    "InstabilityPipeline",
+    "KNNDistance",
+    "MatrixCompletionModel",
+    "PIPLoss",
+    "PPMISVDModel",
+    "PipelineConfig",
+    "SemanticDisplacement",
+    "SyntheticCorpusConfig",
+    "SyntheticCorpusGenerator",
+    "Vocabulary",
+    "align_pair",
+    "compress_embedding",
+    "compress_pair",
+    "eigenspace_instability",
+    "fit_linear_log",
+    "measure_correlations",
+    "prediction_disagreement",
+    "spearman_correlation",
+    "uniform_quantize",
+    "__version__",
+]

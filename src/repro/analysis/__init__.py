@@ -1,0 +1,16 @@
+"""Analysis utilities: rank correlation, linear-log trend fits, reporting."""
+
+from repro.analysis.correlation import measure_correlations, spearman_correlation
+from repro.analysis.linear_log import LinearLogFit, fit_linear_log, relative_reduction_range
+from repro.analysis.reporting import format_table, records_to_csv, rows_to_csv
+
+__all__ = [
+    "LinearLogFit",
+    "fit_linear_log",
+    "format_table",
+    "measure_correlations",
+    "records_to_csv",
+    "relative_reduction_range",
+    "rows_to_csv",
+    "spearman_correlation",
+]

@@ -1,0 +1,62 @@
+"""Spearman rank correlation between distance measures and downstream instability.
+
+Table 1 of the paper reports, per (task, algorithm), the Spearman correlation
+between each embedding distance measure and the downstream prediction
+disagreement across all dimension-precision pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.instability.grid import GridRecord
+
+__all__ = ["spearman_correlation", "measure_correlations"]
+
+
+def spearman_correlation(x, y) -> float:
+    """Spearman's rho between two equal-length sequences.
+
+    Returns 0.0 when either input is constant (no meaningful ranking), which
+    keeps downstream tables well-defined on degenerate toy inputs.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("inputs must have equal shape")
+    if x.size < 2:
+        raise ValueError("need at least two observations")
+    if np.allclose(x, x[0]) or np.allclose(y, y[0]):
+        return 0.0
+    rho = stats.spearmanr(x, y).statistic
+    return float(rho) if np.isfinite(rho) else 0.0
+
+
+def measure_correlations(
+    records: list[GridRecord],
+    *,
+    measures: tuple[str, ...] | None = None,
+) -> dict[tuple[str, str, str], float]:
+    """Per (task, algorithm, measure) Spearman correlation with disagreement.
+
+    Records for different seeds of the same setting are treated as separate
+    observations, matching the paper's protocol of evaluating measure-vs-
+    disagreement pairs per seed.
+    """
+    grouped: dict[tuple[str, str], list[GridRecord]] = {}
+    for rec in records:
+        if not rec.measures:
+            continue
+        grouped.setdefault((rec.task, rec.algorithm), []).append(rec)
+
+    correlations: dict[tuple[str, str, str], float] = {}
+    for (task, algorithm), group in sorted(grouped.items()):
+        names = measures or tuple(sorted(group[0].measures))
+        disagreements = [g.disagreement for g in group]
+        for name in names:
+            values = [g.measures.get(name, np.nan) for g in group]
+            if any(np.isnan(values)):
+                continue
+            correlations[(task, algorithm, name)] = spearman_correlation(values, disagreements)
+    return correlations

@@ -1,0 +1,134 @@
+"""Linear-log trend fits: the paper's stability-memory rule of thumb.
+
+Section 3.3 / Appendix C.4: fit ``DI_T ~ C_T - slope * log2(M)`` jointly over
+tasks (one intercept per task, one shared slope) with least squares, where
+``M`` is the memory in bits/word.  On the paper's data the shared slope is
+about 1.3% of absolute disagreement per doubling of memory.  The same
+machinery fits per-dimension and per-precision trends (Section 3.3's "which
+matters more" comparison) by swapping the regressor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.instability.grid import GridRecord
+
+__all__ = ["LinearLogFit", "fit_linear_log", "relative_reduction_range"]
+
+
+@dataclass(frozen=True)
+class LinearLogFit:
+    """Result of the joint linear-log fit.
+
+    Attributes
+    ----------
+    slope:
+        Shared decrease in % disagreement per doubling of the regressor
+        (positive value = instability decreases as the regressor grows).
+    intercepts:
+        Per-group intercept ``C_T`` keyed by group label.
+    regressor:
+        Which quantity was on the log axis ("memory", "dim" or "precision").
+    n_observations:
+        Number of grid records used.
+    r_squared:
+        Coefficient of determination of the joint fit.
+    """
+
+    slope: float
+    intercepts: dict[str, float]
+    regressor: str
+    n_observations: int
+    r_squared: float
+
+    def predict(self, group: str, value: float) -> float:
+        """Predicted % disagreement for ``group`` at regressor ``value``."""
+        if group not in self.intercepts:
+            raise KeyError(f"unknown group {group!r}")
+        return self.intercepts[group] - self.slope * np.log2(value)
+
+
+def _group_label(record: GridRecord, regressor: str) -> str:
+    """Grouping used for the intercepts.
+
+    The memory fit groups by (task, algorithm); the dimension fit additionally
+    separates precisions (and vice versa), following Appendix C.4.
+    """
+    base = f"{record.task}/{record.algorithm}"
+    if regressor == "dim":
+        return f"{base}/b={record.precision}"
+    if regressor == "precision":
+        return f"{base}/d={record.dim}"
+    return base
+
+
+def fit_linear_log(
+    records: list[GridRecord],
+    *,
+    regressor: str = "memory",
+    max_memory: float | None = None,
+) -> LinearLogFit:
+    """Fit the shared-slope linear-log model to grid records.
+
+    Parameters
+    ----------
+    records:
+        Evaluated grid points.
+    regressor:
+        ``"memory"`` (bits/word), ``"dim"`` or ``"precision"``.
+    max_memory:
+        Ignore records with more than this many bits/word (the paper fits the
+        rule of thumb only below 1000 bits/word, where the trend is linear).
+    """
+    if regressor not in ("memory", "dim", "precision"):
+        raise ValueError("regressor must be 'memory', 'dim' or 'precision'")
+    usable = [
+        r for r in records if max_memory is None or r.memory <= max_memory
+    ]
+    if len(usable) < 2:
+        raise ValueError("need at least two records to fit a trend")
+
+    groups = sorted({_group_label(r, regressor) for r in usable})
+    group_index = {g: i for i, g in enumerate(groups)}
+
+    X = np.zeros((len(usable), 1 + len(groups)))
+    y = np.zeros(len(usable))
+    for row, rec in enumerate(usable):
+        value = {"memory": rec.memory, "dim": rec.dim, "precision": rec.precision}[regressor]
+        X[row, 0] = np.log2(value)
+        X[row, 1 + group_index[_group_label(rec, regressor)]] = 1.0
+        y[row] = rec.disagreement
+
+    beta, *_ = np.linalg.lstsq(X, y, rcond=None)
+    predictions = X @ beta
+    residual = float(np.sum((y - predictions) ** 2))
+    total = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+
+    return LinearLogFit(
+        slope=float(-beta[0]),
+        intercepts={g: float(beta[1 + i]) for g, i in group_index.items()},
+        regressor=regressor,
+        n_observations=len(usable),
+        r_squared=r_squared,
+    )
+
+
+def relative_reduction_range(
+    fit: LinearLogFit, records: list[GridRecord]
+) -> tuple[float, float]:
+    """Relative instability reduction implied by one memory doubling.
+
+    The paper turns the absolute 1.3% rule of thumb into a 5%-37% relative
+    range by dividing the slope by the largest and smallest observed
+    disagreements; this reproduces that computation on the given records.
+    """
+    disagreements = np.asarray([r.disagreement for r in records if r.disagreement > 0])
+    if disagreements.size == 0 or fit.slope <= 0:
+        return (0.0, 0.0)
+    low = fit.slope / float(disagreements.max())
+    high = fit.slope / float(max(disagreements.min(), fit.slope))
+    return (float(min(low, 1.0)), float(min(high, 1.0)))

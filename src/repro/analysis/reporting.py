@@ -1,0 +1,69 @@
+"""Plain-text tables and CSV export for experiment results.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; this module centralises the formatting so every experiment
+produces consistently shaped output.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from collections.abc import Mapping, Sequence
+
+from repro.instability.grid import GridRecord, records_to_rows
+from repro.utils.io import ensure_dir
+
+__all__ = ["format_table", "rows_to_csv", "records_to_csv"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    headers: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows of dictionaries as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    headers = list(headers) if headers is not None else list(rows[0].keys())
+    table = [[_format_value(row.get(h, "")) for h in headers] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(line[i]) for line in table)) for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for line in table:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]], path: str | Path) -> Path:
+    """Write rows of dictionaries to a CSV file (union of keys as header)."""
+    path = Path(path)
+    ensure_dir(path.parent)
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k, "") for k in fieldnames})
+    return path
+
+
+def records_to_csv(records: list[GridRecord], path: str | Path) -> Path:
+    """Write grid records to CSV (mirrors the artifact's results CSVs)."""
+    return rows_to_csv(records_to_rows(records), path)

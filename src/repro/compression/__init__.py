@@ -1,0 +1,27 @@
+"""Embedding compression: uniform quantization and memory accounting."""
+
+from repro.compression.memory import (
+    bits_per_word,
+    dimension_precision_grid,
+    memory_of,
+    pairs_for_budget,
+)
+from repro.compression.uniform_quantization import (
+    UniformQuantizer,
+    compress_embedding,
+    compress_pair,
+    optimal_clip_threshold,
+    uniform_quantize,
+)
+
+__all__ = [
+    "UniformQuantizer",
+    "bits_per_word",
+    "compress_embedding",
+    "compress_pair",
+    "dimension_precision_grid",
+    "memory_of",
+    "optimal_clip_threshold",
+    "pairs_for_budget",
+    "uniform_quantize",
+]

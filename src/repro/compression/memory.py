@@ -1,0 +1,81 @@
+"""Memory accounting for dimension-precision combinations.
+
+The paper's central axis is the embedding *memory*, measured in bits per word:
+``memory = dimension * precision``.  This module provides the bookkeeping used
+by the stability-memory tradeoff study (Figure 2) and by the memory-budget
+selection task (Table 3): enumerating dimension-precision grids and grouping
+the combinations that share a memory budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.embeddings.base import Embedding
+
+__all__ = [
+    "bits_per_word",
+    "memory_of",
+    "DimensionPrecision",
+    "dimension_precision_grid",
+    "pairs_for_budget",
+]
+
+#: Default sweeps from the paper (Section 3), scaled values are chosen by callers.
+PAPER_DIMENSIONS = (25, 50, 100, 200, 400, 800)
+PAPER_PRECISIONS = (1, 2, 4, 8, 16, 32)
+
+
+def bits_per_word(dim: int, precision: int) -> int:
+    """Memory of one embedding row in bits: ``dim * precision``."""
+    if dim <= 0 or precision <= 0:
+        raise ValueError("dim and precision must be positive")
+    return int(dim) * int(precision)
+
+
+def memory_of(embedding: Embedding) -> int:
+    """Bits/word of an embedding based on its metadata (default precision 32)."""
+    precision = int(embedding.metadata.get("precision", 32))
+    return bits_per_word(embedding.dim, precision)
+
+
+@dataclass(frozen=True, order=True)
+class DimensionPrecision:
+    """A (dimension, precision) combination and its memory footprint."""
+
+    dim: int
+    precision: int
+
+    @property
+    def memory(self) -> int:
+        return bits_per_word(self.dim, self.precision)
+
+    def __str__(self) -> str:
+        return f"d={self.dim},b={self.precision}"
+
+
+def dimension_precision_grid(
+    dimensions=PAPER_DIMENSIONS, precisions=PAPER_PRECISIONS
+) -> list[DimensionPrecision]:
+    """The full cross product of dimensions and precisions, sorted by memory."""
+    grid = [DimensionPrecision(int(d), int(b)) for d in dimensions for b in precisions]
+    return sorted(grid, key=lambda dp: (dp.memory, dp.dim))
+
+
+def pairs_for_budget(
+    grid: list[DimensionPrecision] | None = None,
+    *,
+    dimensions=PAPER_DIMENSIONS,
+    precisions=PAPER_PRECISIONS,
+) -> dict[int, list[DimensionPrecision]]:
+    """Group dimension-precision combinations by their shared memory budget.
+
+    Only budgets with at least two distinct combinations are returned, because
+    the Table 3 selection task needs a choice to make.
+    """
+    if grid is None:
+        grid = dimension_precision_grid(dimensions, precisions)
+    budgets: dict[int, list[DimensionPrecision]] = {}
+    for dp in grid:
+        budgets.setdefault(dp.memory, []).append(dp)
+    return {m: sorted(v) for m, v in sorted(budgets.items()) if len(v) >= 2}

@@ -1,0 +1,212 @@
+"""Uniform quantization of embedding matrices.
+
+Section 2.3 / Appendix C.2 of the paper: every entry is deterministically
+rounded to one of ``2**b`` equally-spaced values inside ``[-clip, clip]``,
+where the clipping threshold is chosen to minimise the expected squared
+reconstruction error of the entry distribution (the "optimal clipping
+threshold" of May et al., 2019).  To avoid adding instability, the paper uses
+*deterministic* rounding and applies the threshold computed on the Wiki'17
+embedding to both members of a pair; both behaviours are reproduced (and
+exposed as flags so the ablations can flip them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embeddings.base import Embedding
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_array
+
+__all__ = [
+    "optimal_clip_threshold",
+    "uniform_quantize",
+    "UniformQuantizer",
+    "compress_embedding",
+    "compress_pair",
+]
+
+FULL_PRECISION_BITS = 32
+
+
+def optimal_clip_threshold(
+    values: np.ndarray, bits: int, *, grid_size: int = 40
+) -> float:
+    """Clipping threshold minimising expected squared quantization error.
+
+    Searches a grid of candidate thresholds between the RMS and the max of
+    ``|values|`` and returns the one whose combination of clipping error
+    (entries beyond the threshold) and rounding error (quantization step noise
+    ``delta^2 / 12`` for entries inside) is smallest.
+
+    Parameters
+    ----------
+    values:
+        Entries to be quantized (any shape).
+    bits:
+        Precision in bits (``b``); the grid has ``2**b`` levels.
+    grid_size:
+        Number of candidate thresholds evaluated.
+    """
+    flat = np.abs(np.asarray(values, dtype=np.float64)).ravel()
+    if flat.size == 0:
+        return 1.0
+    max_abs = float(flat.max())
+    if max_abs == 0.0:
+        return 1.0
+    if bits >= FULL_PRECISION_BITS:
+        return max_abs
+    rms = float(np.sqrt(np.mean(flat**2)))
+    lo = max(rms, 1e-12)
+    hi = max(max_abs, lo * (1 + 1e-9))
+    candidates = np.linspace(lo, hi, grid_size)
+    n_levels = 2**bits
+
+    best_thr, best_err = hi, np.inf
+    for thr in candidates:
+        delta = 2.0 * thr / max(n_levels - 1, 1)
+        clipped = np.clip(flat, None, thr)
+        clip_err = np.mean((flat - clipped) ** 2)
+        round_err = (delta**2) / 12.0 * np.mean(flat <= thr)
+        err = clip_err + round_err
+        if err < best_err:
+            best_err, best_thr = err, float(thr)
+    return best_thr
+
+
+def uniform_quantize(
+    X: np.ndarray,
+    bits: int,
+    *,
+    clip: float | None = None,
+    stochastic: bool = False,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Quantize ``X`` to ``2**bits`` evenly spaced values in ``[-clip, clip]``.
+
+    Parameters
+    ----------
+    X:
+        Matrix to quantize.
+    bits:
+        Precision ``b``; ``b >= 32`` returns ``X`` unchanged (full precision).
+    clip:
+        Clipping threshold; computed with :func:`optimal_clip_threshold` when
+        omitted.
+    stochastic:
+        Use stochastic instead of deterministic rounding (the paper uses
+        deterministic rounding to avoid adding instability; the flag exists
+        for the ablation).
+    seed:
+        RNG seed for stochastic rounding.
+
+    Returns
+    -------
+    ndarray with the same shape as ``X`` whose entries take at most
+    ``2**bits`` distinct values.
+    """
+    X = check_array(X, name="X", allow_empty=True)
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    if bits >= FULL_PRECISION_BITS:
+        return X.copy()
+    if clip is None:
+        clip = optimal_clip_threshold(X, bits)
+    if clip <= 0:
+        raise ValueError(f"clip threshold must be positive, got {clip}")
+
+    n_levels = 2**bits
+    delta = 2.0 * clip / (n_levels - 1) if n_levels > 1 else 2.0 * clip
+    clipped = np.clip(X, -clip, clip)
+    scaled = (clipped + clip) / delta
+    if stochastic:
+        rng = check_random_state(seed)
+        floor = np.floor(scaled)
+        frac = scaled - floor
+        levels = floor + (rng.random(scaled.shape) < frac)
+    else:
+        levels = np.rint(scaled)
+    levels = np.clip(levels, 0, n_levels - 1)
+    return levels * delta - clip
+
+
+@dataclass
+class UniformQuantizer:
+    """Reusable quantizer that remembers its clipping threshold.
+
+    Fitting on one matrix (the paper's Wiki'17 embedding) and applying to
+    another (the Wiki'18 embedding) reproduces the shared-threshold behaviour
+    of Appendix C.2.
+    """
+
+    bits: int
+    stochastic: bool = False
+    seed: int | None = None
+    clip_: float | None = None
+
+    def fit(self, X: np.ndarray) -> "UniformQuantizer":
+        if self.bits >= FULL_PRECISION_BITS:
+            self.clip_ = float(np.abs(np.asarray(X)).max() or 1.0)
+        else:
+            self.clip_ = optimal_clip_threshold(X, self.bits)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.clip_ is None:
+            raise RuntimeError("UniformQuantizer must be fit before transform")
+        return uniform_quantize(
+            X, self.bits, clip=self.clip_, stochastic=self.stochastic, seed=self.seed
+        )
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def compress_embedding(
+    embedding: Embedding,
+    bits: int,
+    *,
+    clip: float | None = None,
+    stochastic: bool = False,
+    seed: int | None = None,
+) -> Embedding:
+    """Return a copy of ``embedding`` quantized to ``bits`` bits per entry."""
+    quantized = uniform_quantize(
+        embedding.vectors, bits, clip=clip, stochastic=stochastic, seed=seed
+    )
+    return embedding.with_vectors(quantized, precision=int(bits))
+
+
+def compress_pair(
+    reference: Embedding,
+    other: Embedding,
+    bits: int,
+    *,
+    share_threshold: bool = True,
+    stochastic: bool = False,
+    seed: int | None = None,
+) -> tuple[Embedding, Embedding]:
+    """Quantize an embedding pair, sharing the clipping threshold by default.
+
+    Parameters
+    ----------
+    reference, other:
+        The Wiki'17-style and Wiki'18-style embeddings.
+    bits:
+        Precision.
+    share_threshold:
+        Compute the clip threshold on ``reference`` and reuse it for ``other``
+        (paper behaviour).  When ``False`` each embedding gets its own
+        threshold (the ablation).
+    """
+    quantizer = UniformQuantizer(bits=bits, stochastic=stochastic, seed=seed).fit(
+        reference.vectors
+    )
+    ref_q = reference.with_vectors(quantizer.transform(reference.vectors), precision=int(bits))
+    if share_threshold:
+        other_q = other.with_vectors(quantizer.transform(other.vectors), precision=int(bits))
+    else:
+        other_q = compress_embedding(other, bits, stochastic=stochastic, seed=seed)
+    return ref_q, other_q

@@ -1,0 +1,55 @@
+"""Tokenisation of raw text into word tokens.
+
+The paper pre-processes Wikipedia with a Facebook script (keeping letter
+cases).  Our synthetic corpora are generated directly as token sequences, but
+the examples and tests also exercise the path from raw strings, so we provide
+a small regex tokenizer compatible with that preprocessing style.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+__all__ = ["SimpleTokenizer"]
+
+
+class SimpleTokenizer:
+    """Regex word tokenizer.
+
+    Parameters
+    ----------
+    lowercase:
+        Whether to lowercase tokens.  The paper keeps cases (important for NER
+        entities), so the default is ``False``.
+    keep_numbers:
+        Whether numeric tokens are kept or replaced with the ``<num>`` symbol.
+    """
+
+    _TOKEN_RE = re.compile(r"[A-Za-z]+|[0-9]+|[^\sA-Za-z0-9]")
+    NUM_TOKEN = "<num>"
+
+    def __init__(self, *, lowercase: bool = False, keep_numbers: bool = True) -> None:
+        self.lowercase = bool(lowercase)
+        self.keep_numbers = bool(keep_numbers)
+
+    def tokenize(self, text: str) -> list[str]:
+        """Split a string into word/number/punctuation tokens."""
+        if not isinstance(text, str):
+            raise TypeError(f"text must be a string, got {type(text).__name__}")
+        tokens = self._TOKEN_RE.findall(text)
+        out: list[str] = []
+        for tok in tokens:
+            if tok.isdigit() and not self.keep_numbers:
+                tok = self.NUM_TOKEN
+            if self.lowercase:
+                tok = tok.lower()
+            out.append(tok)
+        return out
+
+    def tokenize_documents(self, texts: Iterable[str]) -> list[list[str]]:
+        """Tokenize an iterable of documents."""
+        return [self.tokenize(t) for t in texts]
+
+    def __call__(self, text: str) -> list[str]:
+        return self.tokenize(text)

@@ -1,0 +1,148 @@
+"""Vocabulary: mapping between word strings and integer ids with counts.
+
+The paper restricts embedding training to the top-400k most frequent words and
+restricts the embedding-distance measures to the top-10k; :class:`Vocabulary`
+supports both via :meth:`most_common` and :meth:`truncate`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Vocabulary"]
+
+UNK_TOKEN = "<unk>"
+
+
+class Vocabulary:
+    """Word <-> id mapping ordered by descending frequency.
+
+    Ids are assigned in frequency order (id 0 = most frequent word), which
+    matches how the paper's measures take "the top 10k most frequent words":
+    they simply slice the first 10k rows of the embedding matrix.
+    """
+
+    def __init__(self, counts: dict[str, int] | Counter | None = None, *, min_count: int = 1):
+        self._counts: Counter = Counter()
+        self._words: list[str] = []
+        self._index: dict[str, int] = {}
+        self.min_count = int(min_count)
+        if counts:
+            self._counts.update(counts)
+            self._rebuild()
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_documents(
+        cls, documents: Iterable[Sequence[str]], *, min_count: int = 1, max_size: int | None = None
+    ) -> "Vocabulary":
+        """Build a vocabulary from an iterable of tokenised documents."""
+        counts: Counter = Counter()
+        for doc in documents:
+            counts.update(doc)
+        vocab = cls(counts, min_count=min_count)
+        if max_size is not None:
+            vocab = vocab.truncate(max_size)
+        return vocab
+
+    def _rebuild(self) -> None:
+        items = [(w, c) for w, c in self._counts.items() if c >= self.min_count]
+        # Sort by count descending, then lexicographically for determinism.
+        items.sort(key=lambda wc: (-wc[1], wc[0]))
+        self._words = [w for w, _ in items]
+        self._index = {w: i for i, w in enumerate(self._words)}
+
+    def update(self, tokens: Iterable[str]) -> None:
+        """Add token counts and re-derive the id ordering."""
+        self._counts.update(tokens)
+        self._rebuild()
+
+    def truncate(self, max_size: int) -> "Vocabulary":
+        """Return a new vocabulary restricted to the ``max_size`` most frequent words."""
+        if max_size <= 0:
+            raise ValueError(f"max_size must be positive, got {max_size}")
+        kept = self._words[:max_size]
+        return Vocabulary({w: self._counts[w] for w in kept}, min_count=self.min_count)
+
+    # -- lookups -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._words)
+
+    def __getitem__(self, word: str) -> int:
+        return self._index[word]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vocabulary):
+            return NotImplemented
+        return self._words == other._words
+
+    def word_to_id(self, word: str, default: int | None = None) -> int | None:
+        """Return the id of ``word`` (or ``default`` when unknown)."""
+        return self._index.get(word, default)
+
+    def id_to_word(self, idx: int) -> str:
+        return self._words[idx]
+
+    @property
+    def words(self) -> list[str]:
+        """Words in id order (most frequent first)."""
+        return list(self._words)
+
+    def count(self, word: str) -> int:
+        return self._counts.get(word, 0)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Counts aligned with ids, as an int64 array."""
+        return np.array([self._counts[w] for w in self._words], dtype=np.int64)
+
+    @property
+    def total_count(self) -> int:
+        return int(self.counts.sum()) if self._words else 0
+
+    def most_common(self, n: int | None = None) -> list[tuple[str, int]]:
+        words = self._words if n is None else self._words[:n]
+        return [(w, self._counts[w]) for w in words]
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode(self, tokens: Sequence[str], *, drop_unknown: bool = True) -> np.ndarray:
+        """Map tokens to ids.
+
+        Unknown words are dropped by default (the paper's pipelines ignore
+        out-of-vocabulary words when the embedding is fixed); with
+        ``drop_unknown=False`` they are mapped to ``-1`` so the caller can
+        handle them (e.g. the subword model hashes them).
+        """
+        if drop_unknown:
+            ids = [self._index[t] for t in tokens if t in self._index]
+        else:
+            ids = [self._index.get(t, -1) for t in tokens]
+        return np.asarray(ids, dtype=np.int64)
+
+    def decode(self, ids: Sequence[int]) -> list[str]:
+        return [self._words[i] for i in ids]
+
+    # -- intersection --------------------------------------------------------
+
+    def intersect(self, other: "Vocabulary") -> list[str]:
+        """Words present in both vocabularies, in this vocabulary's frequency order.
+
+        The paper compares Wiki'17 and Wiki'18 embeddings row-by-row, which
+        requires restricting both matrices to the common vocabulary.
+        """
+        return [w for w in self._words if w in other]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Vocabulary(size={len(self)}, total_count={self.total_count})"

@@ -1,0 +1,31 @@
+"""Word embedding algorithms, containers, and alignment.
+
+Implements from scratch (NumPy) the three embedding algorithms the paper
+studies -- word2vec CBOW, GloVe, and online matrix completion on the PPMI
+matrix -- plus the PPMI-SVD baseline, a subword (fastText-style) variant
+(Appendix E.1) and a small contextual transformer encoder (Section 6.2).
+"""
+
+from repro.embeddings.alignment import align_pair, orthogonal_procrustes
+from repro.embeddings.base import Embedding, EmbeddingAlgorithm, EMBEDDING_ALGORITHMS
+from repro.embeddings.contextual import MiniBertConfig, MiniBertEncoder
+from repro.embeddings.fasttext import SubwordEmbeddingModel
+from repro.embeddings.glove import GloVeModel
+from repro.embeddings.matrix_completion import MatrixCompletionModel
+from repro.embeddings.svd import PPMISVDModel
+from repro.embeddings.word2vec import CBOWModel
+
+__all__ = [
+    "CBOWModel",
+    "EMBEDDING_ALGORITHMS",
+    "Embedding",
+    "EmbeddingAlgorithm",
+    "GloVeModel",
+    "MatrixCompletionModel",
+    "MiniBertConfig",
+    "MiniBertEncoder",
+    "PPMISVDModel",
+    "SubwordEmbeddingModel",
+    "align_pair",
+    "orthogonal_procrustes",
+]

@@ -1,0 +1,85 @@
+"""Shared experiment scaffolding: the result container and quick configs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import format_table, rows_to_csv
+from repro.corpus.synthetic import SyntheticCorpusConfig
+from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+
+__all__ = ["ExperimentResult", "quick_pipeline_config", "resolve_pipeline"]
+
+
+@dataclass
+class ExperimentResult:
+    """Result of one experiment: named rows mirroring a paper table/figure.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier ("figure-1-dimension", "table-1", ...).
+    rows:
+        List of dictionaries; one per row/series point of the paper artifact.
+    summary:
+        Free-form key findings (e.g. fitted slopes, best measure) recorded for
+        EXPERIMENTS.md.
+    """
+
+    name: str
+    rows: list[dict]
+    summary: dict = field(default_factory=dict)
+
+    def to_table(self, *, headers: list[str] | None = None) -> str:
+        """Plain-text rendering of the rows (what the benchmarks print)."""
+        return format_table(self.rows, headers=headers, title=self.name)
+
+    def to_csv(self, path) -> None:
+        rows_to_csv(self.rows, path)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def quick_pipeline_config(
+    *,
+    algorithms: tuple[str, ...] = ("cbow", "mc"),
+    dimensions: tuple[int, ...] = (8, 16, 32),
+    precisions: tuple[int, ...] = (1, 4, 32),
+    seeds: tuple[int, ...] = (0,),
+    tasks: tuple[str, ...] = ("sst2", "conll"),
+    **overrides,
+) -> PipelineConfig:
+    """A scaled-down pipeline configuration used by benchmarks and examples.
+
+    The full :class:`PipelineConfig` defaults reproduce the complete grid the
+    way the paper sweeps it (three algorithms, four dimensions, five
+    precisions, three seeds); this helper trims the axes so each benchmark
+    finishes in seconds while still exercising the full code path.
+    """
+    defaults = dict(
+        corpus=SyntheticCorpusConfig(
+            vocab_size=300, n_documents=250, doc_length_mean=70, seed=0
+        ),
+        algorithms=algorithms,
+        dimensions=dimensions,
+        precisions=precisions,
+        seeds=seeds,
+        tasks=tasks,
+        embedding_epochs=8,
+        downstream_epochs=12,
+        ner_epochs=10,
+    )
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+def resolve_pipeline(
+    pipeline: InstabilityPipeline | PipelineConfig | None,
+) -> InstabilityPipeline:
+    """Accept a pipeline, a config, or ``None`` (quick defaults) and return a pipeline."""
+    if isinstance(pipeline, InstabilityPipeline):
+        return pipeline
+    if isinstance(pipeline, PipelineConfig):
+        return InstabilityPipeline(pipeline)
+    return InstabilityPipeline(quick_pipeline_config())

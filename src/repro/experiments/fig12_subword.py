@@ -1,0 +1,57 @@
+"""Figure 12 (Appendix E.1): stability-memory tradeoff for subword embeddings.
+
+The paper repeats the memory sweep with fastText skipgram embeddings and finds
+the same overall trend (instability falls as memory grows), albeit noisier.
+Here the subword algorithm is :class:`~repro.embeddings.fasttext.SubwordEmbeddingModel`.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, resolve_pipeline
+from repro.instability.grid import GridRunner, average_over_seeds
+from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+
+__all__ = ["run"]
+
+
+def run(
+    pipeline: InstabilityPipeline | PipelineConfig | None = None,
+    *,
+    tasks: tuple[str, ...] = ("sst2", "conll"),
+    dimensions: tuple[int, ...] | None = None,
+    precisions: tuple[int, ...] | None = None,
+) -> ExperimentResult:
+    """Reproduce the subword-embedding sweep (Figure 12)."""
+    pipe = resolve_pipeline(pipeline)
+    records = GridRunner(pipe).run(
+        algorithms=("fasttext",),
+        tasks=tasks,
+        dimensions=dimensions,
+        precisions=precisions,
+        with_measures=False,
+    )
+    averaged = average_over_seeds(records)
+    rows = [
+        {
+            "task": r.task,
+            "algorithm": r.algorithm,
+            "dimension": r.dim,
+            "precision": r.precision,
+            "memory_bits_per_word": r.memory,
+            "disagreement_pct": r.disagreement,
+        }
+        for r in sorted(averaged, key=lambda r: (r.task, r.memory))
+    ]
+    ordered = sorted(rows, key=lambda r: r["memory_bits_per_word"])
+    summary = {}
+    if len(ordered) >= 2:
+        summary = {
+            "low_vs_high_memory_disagreement": (
+                ordered[0]["disagreement_pct"],
+                ordered[-1]["disagreement_pct"],
+            ),
+            "instability_decreases_with_memory": bool(
+                ordered[0]["disagreement_pct"] >= ordered[-1]["disagreement_pct"]
+            ),
+        }
+    return ExperimentResult(name="figure-12-subword", rows=rows, summary=summary)

@@ -1,0 +1,53 @@
+"""Figure 15 (Appendix E.5): the effect of the downstream learning rate.
+
+The paper sweeps the downstream model's learning rate (holding the embeddings
+fixed) and finds that very small and very large learning rates are the most
+unstable, which is why the main study holds the learning rate fixed across
+dimensions and precisions.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, resolve_pipeline
+from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+
+__all__ = ["run"]
+
+
+def run(
+    pipeline: InstabilityPipeline | PipelineConfig | None = None,
+    *,
+    task: str = "sst2",
+    algorithm: str = "mc",
+    dimensions: tuple[int, ...] | None = None,
+    learning_rates: tuple[float, ...] = (1e-4, 1e-3, 1e-2, 5e-2, 2e-1),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Sweep the downstream learning rate at two embedding dimensions."""
+    pipe = resolve_pipeline(pipeline)
+    if dimensions is None:
+        dims = sorted(pipe.config.dimensions)
+        dimensions = (dims[len(dims) // 2], dims[-1])
+
+    rows = []
+    for dim in dimensions:
+        emb_a, emb_b = pipe.embedding_pair(algorithm, dim, seed)
+        for lr in learning_rates:
+            result = pipe.downstream_result(task, emb_a, emb_b, seed, learning_rate=lr)
+            rows.append(
+                {
+                    "task": task,
+                    "algorithm": algorithm,
+                    "dimension": dim,
+                    "learning_rate": lr,
+                    "disagreement_pct": result.disagreement,
+                    "quality": result.mean_accuracy,
+                }
+            )
+
+    by_lr: dict[float, list[float]] = {}
+    for row in rows:
+        by_lr.setdefault(row["learning_rate"], []).append(row["disagreement_pct"])
+    means = {lr: sum(v) / len(v) for lr, v in by_lr.items()}
+    summary = {"mean_disagreement_by_learning_rate": means}
+    return ExperimentResult(name="figure-15-learning-rate", rows=rows, summary=summary)

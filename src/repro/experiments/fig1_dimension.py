@@ -1,0 +1,58 @@
+"""Figure 1 (top): downstream instability vs embedding dimension.
+
+For each embedding algorithm and downstream task, train full-precision
+embedding pairs across a sweep of dimensions and report the % prediction
+disagreement.  The paper's finding: disagreement generally *decreases* as the
+dimension increases, plateauing at large dimensions.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, resolve_pipeline
+from repro.instability.grid import GridRunner, average_over_seeds
+from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+
+__all__ = ["run"]
+
+
+def run(
+    pipeline: InstabilityPipeline | PipelineConfig | None = None,
+    *,
+    precision: int = 32,
+    dimensions: tuple[int, ...] | None = None,
+) -> ExperimentResult:
+    """Reproduce Figure 1 (top) at a fixed precision (default: full precision)."""
+    pipe = resolve_pipeline(pipeline)
+    records = GridRunner(pipe).run(
+        precisions=(precision,), dimensions=dimensions, with_measures=False
+    )
+    averaged = average_over_seeds(records)
+    rows = [
+        {
+            "task": r.task,
+            "algorithm": r.algorithm,
+            "dimension": r.dim,
+            "precision": r.precision,
+            "disagreement_pct": r.disagreement,
+        }
+        for r in sorted(averaged, key=lambda r: (r.task, r.algorithm, r.dim))
+    ]
+
+    # Shape check the paper reports: the smallest dimension should be at least
+    # as unstable as the largest one for most (task, algorithm) series.
+    increases = 0
+    total = 0
+    by_series: dict[tuple[str, str], list] = {}
+    for r in averaged:
+        by_series.setdefault((r.task, r.algorithm), []).append(r)
+    for series in by_series.values():
+        series = sorted(series, key=lambda r: r.dim)
+        if len(series) >= 2:
+            total += 1
+            if series[0].disagreement >= series[-1].disagreement:
+                increases += 1
+    summary = {
+        "series_where_smallest_dim_is_least_stable": increases,
+        "series_total": total,
+    }
+    return ExperimentResult(name="figure-1-dimension", rows=rows, summary=summary)

@@ -1,0 +1,67 @@
+"""Figure 1 (bottom): downstream instability vs precision at a fixed dimension.
+
+The paper compresses 100-dimensional embeddings to b in {1, 2, 4, 8, 16, 32}
+bits and finds that instability decreases as precision increases, with little
+effect beyond 4 bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult, resolve_pipeline
+from repro.instability.grid import GridRunner, average_over_seeds
+from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+
+__all__ = ["run"]
+
+
+def run(
+    pipeline: InstabilityPipeline | PipelineConfig | None = None,
+    *,
+    dim: int | None = None,
+    precisions: tuple[int, ...] | None = None,
+) -> ExperimentResult:
+    """Reproduce Figure 1 (bottom) at one dimension (default: the median of the sweep)."""
+    pipe = resolve_pipeline(pipeline)
+    dims = pipe.config.dimensions
+    if dim is None:
+        dim = int(sorted(dims)[len(dims) // 2])
+    records = GridRunner(pipe).run(
+        dimensions=(dim,), precisions=precisions, with_measures=False
+    )
+    averaged = average_over_seeds(records)
+    rows = [
+        {
+            "task": r.task,
+            "algorithm": r.algorithm,
+            "dimension": r.dim,
+            "precision": r.precision,
+            "disagreement_pct": r.disagreement,
+        }
+        for r in sorted(averaged, key=lambda r: (r.task, r.algorithm, r.precision))
+    ]
+
+    # Shape checks: 1-bit should be at least as unstable as full precision, and
+    # the gap between 4-bit and 32-bit should be small ("minimal impact above
+    # 4 bits" in the paper).
+    low_worse = 0
+    plateau_gaps = []
+    series: dict[tuple[str, str], dict[int, float]] = {}
+    for r in averaged:
+        series.setdefault((r.task, r.algorithm), {})[r.precision] = r.disagreement
+    total = 0
+    for values in series.values():
+        b_min, b_max = min(values), max(values)
+        if b_min != b_max:
+            total += 1
+            if values[b_min] >= values[b_max]:
+                low_worse += 1
+        if 4 in values and 32 in values:
+            plateau_gaps.append(abs(values[4] - values[32]))
+    summary = {
+        "series_where_1bit_is_least_stable": low_worse,
+        "series_total": total,
+        "mean_abs_gap_4bit_vs_32bit": float(np.mean(plateau_gaps)) if plateau_gaps else 0.0,
+    }
+    return ExperimentResult(name="figure-1-precision", rows=rows, summary=summary)

@@ -1,0 +1,68 @@
+"""Figure 2 and the Section 3.3 rule of thumb: instability vs memory.
+
+Sweeps every dimension-precision combination, reports % disagreement as a
+function of memory (bits/word), and fits the paper's linear-log rule of thumb
+``DI ~ C_T - slope * log2(memory)``.  The paper finds a shared slope of about
+1.3% per memory doubling and that precision has a slightly larger effect than
+dimension.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.linear_log import fit_linear_log, relative_reduction_range
+from repro.experiments.base import ExperimentResult, resolve_pipeline
+from repro.instability.grid import GridRecord, GridRunner, average_over_seeds
+from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+
+__all__ = ["run", "rule_of_thumb"]
+
+
+def run(
+    pipeline: InstabilityPipeline | PipelineConfig | None = None,
+    *,
+    with_measures: bool = False,
+    max_memory_for_fit: float | None = None,
+) -> ExperimentResult:
+    """Reproduce Figure 2 (memory vs instability) and the rule-of-thumb fits."""
+    pipe = resolve_pipeline(pipeline)
+    records = GridRunner(pipe).run(with_measures=with_measures)
+    return summarize(records, max_memory_for_fit=max_memory_for_fit)
+
+
+def summarize(
+    records: list[GridRecord], *, max_memory_for_fit: float | None = None
+) -> ExperimentResult:
+    """Build the Figure 2 rows and rule-of-thumb summary from grid records."""
+    averaged = average_over_seeds(records)
+    rows = [
+        {
+            "task": r.task,
+            "algorithm": r.algorithm,
+            "dimension": r.dim,
+            "precision": r.precision,
+            "memory_bits_per_word": r.memory,
+            "disagreement_pct": r.disagreement,
+        }
+        for r in sorted(averaged, key=lambda r: (r.task, r.algorithm, r.memory, r.dim))
+    ]
+    summary = rule_of_thumb(records, max_memory_for_fit=max_memory_for_fit)
+    return ExperimentResult(name="figure-2-memory", rows=rows, summary=summary)
+
+
+def rule_of_thumb(
+    records: list[GridRecord], *, max_memory_for_fit: float | None = None
+) -> dict:
+    """Fit the joint memory trend plus the separate dimension/precision trends."""
+    memory_fit = fit_linear_log(records, regressor="memory", max_memory=max_memory_for_fit)
+    dim_fit = fit_linear_log(records, regressor="dim", max_memory=max_memory_for_fit)
+    precision_fit = fit_linear_log(records, regressor="precision", max_memory=max_memory_for_fit)
+    rel_low, rel_high = relative_reduction_range(memory_fit, records)
+    return {
+        "memory_slope_pct_per_doubling": memory_fit.slope,
+        "memory_fit_r_squared": memory_fit.r_squared,
+        "dimension_slope_pct_per_doubling": dim_fit.slope,
+        "precision_slope_pct_per_doubling": precision_fit.slope,
+        "relative_reduction_low": rel_low,
+        "relative_reduction_high": rel_high,
+        "n_observations": memory_fit.n_observations,
+    }

@@ -1,0 +1,39 @@
+"""Figures 4-6 (Appendix D.1): the stability-memory tradeoff on all sentiment tasks.
+
+Repeats the dimension, precision and joint sweeps on the remaining sentiment
+datasets (MR, Subj, MPQA analogues), confirming the trends of Figures 1-2
+hold beyond SST-2.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, resolve_pipeline
+from repro.experiments.fig2_memory import rule_of_thumb
+from repro.instability.grid import GridRunner, average_over_seeds
+from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+
+__all__ = ["run"]
+
+
+def run(
+    pipeline: InstabilityPipeline | PipelineConfig | None = None,
+    *,
+    tasks: tuple[str, ...] = ("mr", "subj", "mpqa"),
+) -> ExperimentResult:
+    """Reproduce the appendix sentiment sweeps (Figures 4-6)."""
+    pipe = resolve_pipeline(pipeline)
+    records = GridRunner(pipe).run(tasks=tasks, with_measures=False)
+    averaged = average_over_seeds(records)
+    rows = [
+        {
+            "task": r.task,
+            "algorithm": r.algorithm,
+            "dimension": r.dim,
+            "precision": r.precision,
+            "memory_bits_per_word": r.memory,
+            "disagreement_pct": r.disagreement,
+        }
+        for r in sorted(averaged, key=lambda r: (r.task, r.algorithm, r.memory))
+    ]
+    summary = rule_of_thumb(records)
+    return ExperimentResult(name="figures-4-6-sentiment-appendix", rows=rows, summary=summary)

@@ -1,0 +1,57 @@
+"""Figures 7-8 (Appendix D.2): quality-memory and quality-stability tradeoffs.
+
+Besides instability, the paper tracks downstream *quality* (test accuracy /
+F1) across the same dimension-precision grid, finding that quality rises with
+memory (driven mostly by dimension) and that, for NER, lower stability
+co-occurs with lower quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.correlation import spearman_correlation
+from repro.experiments.base import ExperimentResult, resolve_pipeline
+from repro.instability.grid import GridRunner, average_over_seeds
+from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+
+__all__ = ["run"]
+
+
+def run(
+    pipeline: InstabilityPipeline | PipelineConfig | None = None,
+    *,
+    tasks: tuple[str, ...] | None = None,
+) -> ExperimentResult:
+    """Reproduce the quality-tradeoff panels (Figures 7-8)."""
+    pipe = resolve_pipeline(pipeline)
+    records = GridRunner(pipe).run(tasks=tasks, with_measures=False)
+    averaged = average_over_seeds(records)
+    rows = [
+        {
+            "task": r.task,
+            "algorithm": r.algorithm,
+            "dimension": r.dim,
+            "precision": r.precision,
+            "memory_bits_per_word": r.memory,
+            "disagreement_pct": r.disagreement,
+            "quality": r.mean_accuracy,
+        }
+        for r in sorted(averaged, key=lambda r: (r.task, r.algorithm, r.memory))
+    ]
+
+    # Summary correlations: quality vs memory (expected positive) and quality
+    # vs disagreement (expected negative, clearest for NER in the paper).
+    memories = [row["memory_bits_per_word"] for row in rows]
+    qualities = [row["quality"] for row in rows]
+    disagreements = [row["disagreement_pct"] for row in rows]
+    summary = {
+        "quality_vs_memory_spearman": spearman_correlation(memories, qualities)
+        if len(rows) >= 2
+        else 0.0,
+        "quality_vs_disagreement_spearman": spearman_correlation(disagreements, qualities)
+        if len(rows) >= 2
+        else 0.0,
+        "mean_quality": float(np.mean(qualities)) if qualities else 0.0,
+    }
+    return ExperimentResult(name="figures-7-8-quality-tradeoffs", rows=rows, summary=summary)

@@ -1,0 +1,99 @@
+"""Experiment registry and a small command-line runner.
+
+``python -m repro.experiments.runner figure-2-memory`` runs one experiment
+with quick settings and prints its table; ``--all`` runs the full suite and
+writes one CSV per experiment under ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments import (
+    fig1_dimension,
+    fig1_precision,
+    fig2_memory,
+    fig3_kge,
+    fig4_6_sentiment,
+    fig7_8_quality,
+    fig11_contextual,
+    fig12_subword,
+    fig13_complex_models,
+    fig14_finetune,
+    fig15_learning_rate,
+    proposition1,
+    table1_correlation,
+    table2_selection,
+    table3_budget,
+    table8_hyperparams,
+    table13_randomness,
+)
+from repro.experiments.base import ExperimentResult
+from repro.utils.io import save_json
+from repro.utils.logging import configure_logging
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+#: Registry: experiment name -> zero/one-argument callable returning an ExperimentResult.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "figure-1-dimension": fig1_dimension.run,
+    "figure-1-precision": fig1_precision.run,
+    "figure-2-memory": fig2_memory.run,
+    "figure-3-kge": fig3_kge.run,
+    "figures-4-6-sentiment": fig4_6_sentiment.run,
+    "figures-7-8-quality": fig7_8_quality.run,
+    "figure-11-contextual": fig11_contextual.run,
+    "figure-12-subword": fig12_subword.run,
+    "figure-13-complex-models": fig13_complex_models.run,
+    "figure-14b-finetune": fig14_finetune.run,
+    "figure-15-learning-rate": fig15_learning_rate.run,
+    "table-1-correlation": table1_correlation.run,
+    "table-2-selection": table2_selection.run,
+    "table-3-budget": table3_budget.run,
+    "table-8-hyperparameters": table8_hyperparams.run,
+    "table-13-randomness": table13_randomness.run,
+    "proposition-1": proposition1.run,
+}
+
+
+def run_experiment(name: str, *args, **kwargs) -> ExperimentResult:
+    """Run a registered experiment by name."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[name](*args, **kwargs)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Run reproduction experiments")
+    parser.add_argument("experiment", nargs="?", help="experiment name (see --list)")
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--output-dir", default="results", help="directory for CSV/JSON output")
+    args = parser.parse_args(argv)
+
+    configure_logging()
+    if args.list:
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.all else ([args.experiment] if args.experiment else [])
+    if not names:
+        parser.print_help()
+        return 1
+
+    out_dir = Path(args.output_dir)
+    for name in names:
+        result = run_experiment(name)
+        print(result.to_table())
+        print()
+        result.to_csv(out_dir / f"{name}.csv")
+        save_json(result.summary, out_dir / f"{name}.summary.json")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    sys.exit(main())

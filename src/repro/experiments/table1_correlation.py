@@ -1,0 +1,62 @@
+"""Table 1 (and Figure 9, Table 9a): measure vs downstream-instability correlation.
+
+For every (task, algorithm), compute the Spearman correlation between each of
+the five embedding distance measures and the downstream prediction
+disagreement across all dimension-precision pairs.  The paper's finding: the
+eigenspace instability measure and the k-NN measure are the two strongest
+measures, well ahead of semantic displacement, PIP loss and the eigenspace
+overlap score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.correlation import measure_correlations
+from repro.experiments.base import ExperimentResult, resolve_pipeline
+from repro.instability.grid import GridRecord, GridRunner
+from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+
+__all__ = ["run", "summarize", "MEASURE_ORDER"]
+
+#: Row order used by the paper's tables.
+MEASURE_ORDER = ("eis", "1-knn", "semantic-displacement", "pip", "1-eigenspace-overlap")
+
+
+def run(
+    pipeline: InstabilityPipeline | PipelineConfig | None = None,
+    *,
+    tasks: tuple[str, ...] | None = None,
+) -> ExperimentResult:
+    """Reproduce Table 1 on the pipeline's grid."""
+    pipe = resolve_pipeline(pipeline)
+    records = GridRunner(pipe).run(tasks=tasks, with_measures=True)
+    return summarize(records)
+
+
+def summarize(records: list[GridRecord]) -> ExperimentResult:
+    """Build the Table 1 rows (one per task/algorithm/measure) from records."""
+    correlations = measure_correlations(records)
+    rows = []
+    for (task, algorithm, measure), rho in sorted(correlations.items()):
+        rows.append(
+            {
+                "task": task,
+                "algorithm": algorithm,
+                "measure": measure,
+                "spearman_rho": rho,
+            }
+        )
+
+    # Shape check: are EIS and 1-kNN the top-2 measures on average, as in the paper?
+    per_measure: dict[str, list[float]] = {}
+    for row in rows:
+        per_measure.setdefault(row["measure"], []).append(row["spearman_rho"])
+    mean_rho = {m: float(np.mean(v)) for m, v in per_measure.items()}
+    ranked = sorted(mean_rho, key=lambda m: -mean_rho[m])
+    summary = {
+        "mean_rho_by_measure": mean_rho,
+        "top_two_measures": ranked[:2],
+        "eis_and_knn_are_top_two": set(ranked[:2]) == {"eis", "1-knn"} if len(ranked) >= 2 else False,
+    }
+    return ExperimentResult(name="table-1-spearman-correlation", rows=rows, summary=summary)

@@ -1,0 +1,62 @@
+"""Table 2 (and Table 10): pairwise dimension-precision selection error.
+
+Each embedding distance measure is used to pick the more stable of two
+candidate dimension-precision settings; the table reports the selection error
+rate per (task, algorithm), plus the worst-case disagreement increase
+(Table 10).  The paper's finding: EIS and the k-NN measure have the lowest
+error rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult, resolve_pipeline
+from repro.experiments.table1_correlation import MEASURE_ORDER
+from repro.instability.grid import GridRecord, GridRunner
+from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+from repro.selection.criteria import measure_criterion
+from repro.selection.pairwise import pairwise_selection_error
+
+__all__ = ["run", "summarize"]
+
+
+def run(
+    pipeline: InstabilityPipeline | PipelineConfig | None = None,
+    *,
+    tasks: tuple[str, ...] | None = None,
+) -> ExperimentResult:
+    """Reproduce Table 2 on the pipeline's grid."""
+    pipe = resolve_pipeline(pipeline)
+    records = GridRunner(pipe).run(tasks=tasks, with_measures=True)
+    return summarize(records)
+
+
+def summarize(records: list[GridRecord]) -> ExperimentResult:
+    """Build the Table 2 / Table 10 rows from evaluated grid records."""
+    rows = []
+    for measure in MEASURE_ORDER:
+        criterion = measure_criterion(measure)
+        for result in pairwise_selection_error(records, criterion):
+            rows.append(
+                {
+                    "measure": measure,
+                    "task": result.task,
+                    "algorithm": result.algorithm,
+                    "selection_error": result.error_rate,
+                    "worst_case_error_pct": result.worst_case_error,
+                    "n_groupings": result.n_groupings,
+                }
+            )
+
+    per_measure: dict[str, list[float]] = {}
+    for row in rows:
+        per_measure.setdefault(row["measure"], []).append(row["selection_error"])
+    mean_error = {m: float(np.mean(v)) for m, v in per_measure.items()}
+    ranked = sorted(mean_error, key=lambda m: mean_error[m])
+    summary = {
+        "mean_selection_error_by_measure": mean_error,
+        "best_two_measures": ranked[:2],
+        "eis_or_knn_is_best": bool(ranked and ranked[0] in ("eis", "1-knn")),
+    }
+    return ExperimentResult(name="table-2-selection-error", rows=rows, summary=summary)

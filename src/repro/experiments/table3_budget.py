@@ -1,0 +1,64 @@
+"""Table 3 (and Table 11): selection under a fixed memory budget.
+
+For every memory budget admitting several dimension-precision combinations,
+each criterion (the five measures plus the naive high-precision/low-precision
+rules) picks one combination; the table reports the average absolute
+difference in downstream disagreement between the pick and the most stable
+("oracle") combination, plus the worst case (Table 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult, resolve_pipeline
+from repro.experiments.table1_correlation import MEASURE_ORDER
+from repro.instability.grid import GridRecord, GridRunner
+from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+from repro.selection.budget import budget_selection_error
+from repro.selection.criteria import HIGH_PRECISION, LOW_PRECISION, measure_criterion
+
+__all__ = ["run", "summarize"]
+
+
+def run(
+    pipeline: InstabilityPipeline | PipelineConfig | None = None,
+    *,
+    tasks: tuple[str, ...] | None = None,
+) -> ExperimentResult:
+    """Reproduce Table 3 on the pipeline's grid."""
+    pipe = resolve_pipeline(pipeline)
+    records = GridRunner(pipe).run(tasks=tasks, with_measures=True)
+    return summarize(records)
+
+
+def summarize(records: list[GridRecord]) -> ExperimentResult:
+    """Build the Table 3 / Table 11 rows from evaluated grid records."""
+    criteria = [measure_criterion(m) for m in MEASURE_ORDER] + [HIGH_PRECISION, LOW_PRECISION]
+    rows = []
+    for criterion in criteria:
+        for result in budget_selection_error(records, criterion):
+            rows.append(
+                {
+                    "criterion": criterion.name,
+                    "task": result.task,
+                    "algorithm": result.algorithm,
+                    "mean_distance_to_oracle_pct": result.mean_distance_to_oracle,
+                    "worst_case_distance_pct": result.worst_case_distance,
+                    "n_budgets": result.n_budgets,
+                }
+            )
+
+    per_criterion: dict[str, list[float]] = {}
+    for row in rows:
+        per_criterion.setdefault(row["criterion"], []).append(
+            row["mean_distance_to_oracle_pct"]
+        )
+    mean_distance = {c: float(np.mean(v)) for c, v in per_criterion.items()}
+    ranked = sorted(mean_distance, key=lambda c: mean_distance[c])
+    summary = {
+        "mean_distance_by_criterion": mean_distance,
+        "best_two_criteria": ranked[:2],
+        "eis_or_knn_among_best_two": bool(set(ranked[:2]) & {"eis", "1-knn"}),
+    }
+    return ExperimentResult(name="table-3-budget-selection", rows=rows, summary=summary)

@@ -1,0 +1,125 @@
+"""Downstream instability metrics (Definition 1 of the paper).
+
+For two embeddings ``X`` and ``X~`` and downstream models ``f_X`` and
+``f_X~`` trained on them, the downstream instability with respect to a task is
+
+    DI_T(X, X~) = (1/N) sum_i L(f_X(z_i), f_X~(z_i))
+
+over a held-out set ``{z_i}``.  With the zero-one loss this is the fraction of
+held-out predictions on which the two models disagree -- the "% disagreement"
+reported throughout the paper.  For the knowledge-graph link prediction task
+the paper uses *unstable-rank@10* instead (fraction of test triplets whose
+predicted rank changes by more than 10).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "downstream_instability",
+    "prediction_disagreement",
+    "classification_disagreement",
+    "tagging_disagreement",
+    "unstable_rank_at_k",
+]
+
+
+def downstream_instability(
+    predictions_a: np.ndarray,
+    predictions_b: np.ndarray,
+    *,
+    loss: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+) -> float:
+    """Definition 1 with an arbitrary elementwise loss (default: zero-one)."""
+    a = np.asarray(predictions_a)
+    b = np.asarray(predictions_b)
+    if a.shape != b.shape:
+        raise ValueError(f"prediction arrays must have equal shape: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("prediction arrays must not be empty")
+    if loss is None:
+        values = (a != b).astype(np.float64)
+    else:
+        values = np.asarray(loss(a, b), dtype=np.float64)
+    return float(np.mean(values))
+
+
+def prediction_disagreement(
+    predictions_a: np.ndarray,
+    predictions_b: np.ndarray,
+    *,
+    mask: np.ndarray | None = None,
+    as_percentage: bool = True,
+) -> float:
+    """Fraction (or percentage) of predictions that differ between two models.
+
+    Parameters
+    ----------
+    predictions_a, predictions_b:
+        Aligned prediction arrays.
+    mask:
+        Optional boolean mask restricting which positions count (the paper's
+        NER instability only counts gold-entity tokens).
+    as_percentage:
+        Return the value in [0, 100] (paper convention) instead of [0, 1].
+    """
+    a = np.asarray(predictions_a)
+    b = np.asarray(predictions_b)
+    if a.shape != b.shape:
+        raise ValueError(f"prediction arrays must have equal shape: {a.shape} vs {b.shape}")
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != a.shape:
+            raise ValueError("mask must have the same shape as the predictions")
+        a, b = a[mask], b[mask]
+    if a.size == 0:
+        raise ValueError("no predictions left to compare (empty selection)")
+    value = float(np.mean(a != b))
+    return 100.0 * value if as_percentage else value
+
+
+def classification_disagreement(model_a, model_b, dataset, *, as_percentage: bool = True) -> float:
+    """% disagreement between two classifiers' predictions on ``dataset``."""
+    return prediction_disagreement(
+        model_a.predict(dataset), model_b.predict(dataset), as_percentage=as_percentage
+    )
+
+
+def tagging_disagreement(
+    tagger_a,
+    tagger_b,
+    dataset,
+    *,
+    entity_only: bool = True,
+    as_percentage: bool = True,
+) -> float:
+    """% disagreement between two taggers, optionally restricted to entity tokens."""
+    preds_a = np.concatenate(tagger_a.predict(dataset))
+    preds_b = np.concatenate(tagger_b.predict(dataset))
+    mask = None
+    if entity_only:
+        mask = np.concatenate(dataset.entity_token_mask())
+    return prediction_disagreement(preds_a, preds_b, mask=mask, as_percentage=as_percentage)
+
+
+def unstable_rank_at_k(
+    ranks_a: Sequence[float] | np.ndarray,
+    ranks_b: Sequence[float] | np.ndarray,
+    *,
+    k: int = 10,
+    as_percentage: bool = True,
+) -> float:
+    """Fraction of items whose rank changed by more than ``k`` (Section 6.1)."""
+    a = np.asarray(ranks_a, dtype=np.float64)
+    b = np.asarray(ranks_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("rank arrays must have equal shape")
+    if a.size == 0:
+        raise ValueError("rank arrays must not be empty")
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    value = float(np.mean(np.abs(a - b) > k))
+    return 100.0 * value if as_percentage else value

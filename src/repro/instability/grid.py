@@ -1,0 +1,153 @@
+"""Dimension-precision grid runner: the data behind Figures 1-2 and Tables 1-3.
+
+A :class:`GridRecord` is one fully-evaluated grid point: an (algorithm, task,
+dimension, precision, seed) combination with its downstream disagreement, the
+downstream quality of both models, and (optionally) the values of every
+embedding distance measure on the same embedding pair.  The analysis, selection
+and reporting modules all consume lists of these records.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression.memory import bits_per_word
+from repro.instability.pipeline import InstabilityPipeline
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = ["GridRecord", "GridRunner", "records_to_rows", "average_over_seeds"]
+
+
+@dataclass(frozen=True)
+class GridRecord:
+    """One evaluated (algorithm, task, dimension, precision, seed) grid point."""
+
+    algorithm: str
+    task: str
+    dim: int
+    precision: int
+    seed: int
+    disagreement: float
+    accuracy_a: float
+    accuracy_b: float
+    measures: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def memory(self) -> int:
+        """Bits per word of the compressed embedding."""
+        return bits_per_word(self.dim, self.precision)
+
+    @property
+    def mean_accuracy(self) -> float:
+        return 0.5 * (self.accuracy_a + self.accuracy_b)
+
+    def to_row(self) -> dict:
+        row = {
+            "algorithm": self.algorithm,
+            "task": self.task,
+            "dim": self.dim,
+            "precision": self.precision,
+            "seed": self.seed,
+            "memory": self.memory,
+            "disagreement": self.disagreement,
+            "accuracy_a": self.accuracy_a,
+            "accuracy_b": self.accuracy_b,
+        }
+        row.update({f"measure_{k}": v for k, v in self.measures.items()})
+        return row
+
+
+def records_to_rows(records: list[GridRecord]) -> list[dict]:
+    """Flatten records into plain dictionaries (for CSV/JSON export)."""
+    return [r.to_row() for r in records]
+
+
+def average_over_seeds(records: list[GridRecord]) -> list[GridRecord]:
+    """Average disagreement/accuracy/measures over seeds for identical settings."""
+    keyed: dict[tuple, list[GridRecord]] = {}
+    for rec in records:
+        keyed.setdefault((rec.algorithm, rec.task, rec.dim, rec.precision), []).append(rec)
+    averaged = []
+    for (algorithm, task, dim, precision), group in sorted(keyed.items()):
+        measures: dict[str, float] = {}
+        for name in group[0].measures:
+            measures[name] = float(np.mean([g.measures.get(name, np.nan) for g in group]))
+        averaged.append(
+            GridRecord(
+                algorithm=algorithm,
+                task=task,
+                dim=dim,
+                precision=precision,
+                seed=-1,
+                disagreement=float(np.mean([g.disagreement for g in group])),
+                accuracy_a=float(np.mean([g.accuracy_a for g in group])),
+                accuracy_b=float(np.mean([g.accuracy_b for g in group])),
+                measures=measures,
+            )
+        )
+    return averaged
+
+
+class GridRunner:
+    """Sweep the dimension-precision grid of an :class:`InstabilityPipeline`."""
+
+    def __init__(self, pipeline: InstabilityPipeline) -> None:
+        self.pipeline = pipeline
+
+    def run(
+        self,
+        *,
+        algorithms: tuple[str, ...] | None = None,
+        tasks: tuple[str, ...] | None = None,
+        dimensions: tuple[int, ...] | None = None,
+        precisions: tuple[int, ...] | None = None,
+        seeds: tuple[int, ...] | None = None,
+        with_measures: bool = False,
+        model_type: str = "bow",
+    ) -> list[GridRecord]:
+        """Evaluate every combination and return the grid records.
+
+        Any axis left as ``None`` defaults to the pipeline configuration.
+        """
+        cfg = self.pipeline.config
+        algorithms = algorithms or cfg.algorithms
+        tasks = tasks or cfg.tasks
+        dimensions = dimensions or cfg.dimensions
+        precisions = precisions or cfg.precisions
+        seeds = seeds or cfg.seeds
+
+        records: list[GridRecord] = []
+        combos = list(itertools.product(algorithms, dimensions, precisions, seeds))
+        for index, (algorithm, dim, precision, seed) in enumerate(combos):
+            measures = (
+                self.pipeline.compute_measures(algorithm, dim, precision, seed)
+                if with_measures
+                else {}
+            )
+            for task in tasks:
+                result = self.pipeline.evaluate(
+                    task, algorithm, dim, precision, seed, model_type=model_type
+                )
+                records.append(
+                    GridRecord(
+                        algorithm=algorithm,
+                        task=task,
+                        dim=dim,
+                        precision=precision,
+                        seed=seed,
+                        disagreement=result.disagreement,
+                        accuracy_a=result.accuracy_a,
+                        accuracy_b=result.accuracy_b,
+                        measures=measures,
+                    )
+                )
+            logger.info(
+                "grid %d/%d: %s d=%d b=%d seed=%d done",
+                index + 1, len(combos), algorithm, dim, precision, seed,
+            )
+        return records

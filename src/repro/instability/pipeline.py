@@ -1,0 +1,401 @@
+"""End-to-end instability pipeline.
+
+Reproduces the paper's experimental pipeline (Appendix A.5):
+
+1. generate the Corpus'17 / Corpus'18 pair;
+2. train an embedding pair per (algorithm, dimension, seed), aligning the
+   drifted embedding to the base one with orthogonal Procrustes;
+3. uniformly quantize the pair to a precision (sharing the clipping
+   threshold);
+4. train downstream models on each embedding with tied seeds and measure the
+   prediction disagreement on the task's test split;
+5. compute the embedding distance measures between the pair.
+
+Everything is cached aggressively because the grid study reuses the same
+full-precision embeddings across many precisions and tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression.memory import bits_per_word
+from repro.compression.uniform_quantization import FULL_PRECISION_BITS, compress_pair
+from repro.corpus.synthetic import CorpusPair, SyntheticCorpusConfig, SyntheticCorpusGenerator
+from repro.corpus.vocabulary import Vocabulary
+from repro.embeddings.alignment import align_pair
+from repro.embeddings.base import EMBEDDING_ALGORITHMS, Embedding
+from repro.instability.downstream import classification_disagreement, tagging_disagreement
+from repro.measures.eigenspace_instability import EigenspaceInstability
+from repro.measures.eigenspace_overlap import EigenspaceOverlapDistance
+from repro.measures.knn import KNNDistance
+from repro.measures.pip_loss import PIPLoss
+from repro.measures.semantic_displacement import SemanticDisplacement
+from repro.models.bilstm_tagger import BiLSTMTagger
+from repro.models.bow_classifier import BowClassifier
+from repro.models.cnn_classifier import CNNClassifier
+from repro.models.trainer import TrainingConfig
+from repro.tasks.datasets import DatasetSplits, train_val_test_split
+from repro.tasks.lexicons import build_task_lexicons
+from repro.tasks.ner import NERTaskConfig, generate_ner_dataset
+from repro.tasks.sentiment import SENTIMENT_TASKS, generate_sentiment_dataset
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = ["PipelineConfig", "InstabilityPipeline", "DownstreamResult"]
+
+#: Task names understood by the pipeline; "conll" is the NER task.
+SENTIMENT_TASK_NAMES = tuple(SENTIMENT_TASKS)
+NER_TASK_NAME = "conll"
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Configuration of the end-to-end instability pipeline.
+
+    The defaults are scaled down from the paper (whose corpora have 4.5B
+    tokens and dimensions up to 800) so that a full grid runs on a laptop in
+    minutes; every knob the paper sweeps is still exposed.
+    """
+
+    # Corpus.
+    corpus: SyntheticCorpusConfig = field(default_factory=lambda: SyntheticCorpusConfig(
+        vocab_size=300, n_documents=300, doc_length_mean=80, seed=0,
+    ))
+    vocab_min_count: int = 2
+    #: The paper computes measures over the top-10k words; kept as a knob.
+    measure_top_k: int = 10_000
+
+    # Embeddings.
+    algorithms: tuple[str, ...] = ("cbow", "glove", "mc")
+    dimensions: tuple[int, ...] = (8, 16, 32, 64)
+    precisions: tuple[int, ...] = (1, 2, 4, 8, 32)
+    seeds: tuple[int, ...] = (0, 1, 2)
+    anchor_dim: int | None = None            # defaults to max(dimensions)
+    align: bool = True
+    share_clip_threshold: bool = True
+    embedding_epochs: int = 10
+    embedding_window: int = 5
+
+    # Downstream tasks.
+    tasks: tuple[str, ...] = ("sst2", "subj", NER_TASK_NAME)
+    task_seed: int = 0
+    val_fraction: float = 0.15
+    test_fraction: float = 0.25
+    ner_config: NERTaskConfig = field(default_factory=lambda: NERTaskConfig(
+        n_sentences=260, sentence_length=14, entity_density=0.35,
+    ))
+    downstream_epochs: int = 15
+    #: The paper trains its NER BiLSTM with plain SGD; at the scale of the
+    #: synthetic substitute Adam converges reliably within the small epoch
+    #: budget, so it is the default here (the optimizer remains configurable).
+    ner_optimizer: str = "adam"
+    ner_epochs: int = 12
+    ner_hidden_dim: int = 16
+    sentiment_learning_rate: float = 0.05
+    ner_learning_rate: float = 0.02
+    fine_tune_embeddings: bool = False
+
+    # Measures.
+    eis_alpha: float = 3.0
+    knn_k: int = 5
+    knn_num_queries: int = 300
+
+    def __post_init__(self) -> None:
+        for algo in self.algorithms:
+            if algo not in EMBEDDING_ALGORITHMS:
+                raise KeyError(
+                    f"unknown embedding algorithm {algo!r}; known: {EMBEDDING_ALGORITHMS.names()}"
+                )
+        for task in self.tasks:
+            if task not in SENTIMENT_TASK_NAMES and task != NER_TASK_NAME:
+                raise KeyError(f"unknown task {task!r}")
+        if not self.dimensions or not self.precisions or not self.seeds:
+            raise ValueError("dimensions, precisions and seeds must be non-empty")
+
+    @property
+    def resolved_anchor_dim(self) -> int:
+        return self.anchor_dim if self.anchor_dim is not None else max(self.dimensions)
+
+
+@dataclass(frozen=True)
+class DownstreamResult:
+    """Result of training a downstream model pair on one embedding pair."""
+
+    task: str
+    disagreement: float
+    accuracy_a: float
+    accuracy_b: float
+
+    @property
+    def mean_accuracy(self) -> float:
+        return 0.5 * (self.accuracy_a + self.accuracy_b)
+
+
+class InstabilityPipeline:
+    """Caches and orchestrates embeddings, compression, tasks and models."""
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        *,
+        corpus_pair: CorpusPair | None = None,
+        generator: SyntheticCorpusGenerator | None = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.generator = generator or SyntheticCorpusGenerator(self.config.corpus)
+        self.corpus_pair = corpus_pair or self.generator.generate_pair(seed=self.config.corpus.seed)
+        self.vocab: Vocabulary = self.corpus_pair.shared_vocabulary(
+            min_count=self.config.vocab_min_count
+        )
+        self.lexicons = build_task_lexicons(self.generator, self.vocab)
+        self._datasets: dict[str, DatasetSplits] = {}
+        self._embedding_cache: dict[tuple[str, int, int], tuple[Embedding, Embedding]] = {}
+        self._downstream_cache: dict[tuple, DownstreamResult] = {}
+        logger.info(
+            "pipeline ready: %d-word vocabulary, %d/%d tokens",
+            len(self.vocab),
+            self.corpus_pair.base.num_tokens,
+            self.corpus_pair.drifted.num_tokens,
+        )
+
+    # -- datasets --------------------------------------------------------------
+
+    def dataset(self, task: str) -> DatasetSplits:
+        """Train/val/test splits of a downstream task (built lazily, cached)."""
+        if task not in self._datasets:
+            if task == NER_TASK_NAME:
+                full = generate_ner_dataset(
+                    self.config.ner_config, self.lexicons, seed=self.config.task_seed,
+                    vocab=self.vocab,
+                )
+            else:
+                full = generate_sentiment_dataset(
+                    task, self.lexicons, seed=self.config.task_seed, vocab=self.vocab
+                )
+            self._datasets[task] = train_val_test_split(
+                full,
+                val_fraction=self.config.val_fraction,
+                test_fraction=self.config.test_fraction,
+                seed=self.config.task_seed,
+            )
+        return self._datasets[task]
+
+    # -- embeddings -------------------------------------------------------------
+
+    def _make_algorithm(self, name: str, dim: int, seed: int):
+        cls = EMBEDDING_ALGORITHMS.get(name)
+        kwargs = {
+            "dim": dim,
+            "seed": seed,
+            "window_size": self.config.embedding_window,
+        }
+        if name != "svd":
+            kwargs["epochs"] = self.config.embedding_epochs
+        return cls(**kwargs)
+
+    def embedding_pair(self, algorithm: str, dim: int, seed: int) -> tuple[Embedding, Embedding]:
+        """Full-precision (base, drifted) embedding pair, Procrustes-aligned."""
+        key = (algorithm, int(dim), int(seed))
+        if key not in self._embedding_cache:
+            model_a = self._make_algorithm(algorithm, dim, seed)
+            model_b = self._make_algorithm(algorithm, dim, seed)
+            emb_a = model_a.fit(self.corpus_pair.base, vocab=self.vocab)
+            emb_b = model_b.fit(self.corpus_pair.drifted, vocab=self.vocab)
+            if self.config.align:
+                emb_b = align_pair(emb_a, emb_b)
+            self._embedding_cache[key] = (emb_a, emb_b)
+            logger.debug("trained %s pair dim=%d seed=%d", algorithm, dim, seed)
+        return self._embedding_cache[key]
+
+    def compressed_pair(
+        self, algorithm: str, dim: int, precision: int, seed: int
+    ) -> tuple[Embedding, Embedding]:
+        """Embedding pair quantized to ``precision`` bits (threshold shared)."""
+        emb_a, emb_b = self.embedding_pair(algorithm, dim, seed)
+        if precision >= FULL_PRECISION_BITS:
+            return emb_a, emb_b
+        return compress_pair(
+            emb_a, emb_b, precision, share_threshold=self.config.share_clip_threshold
+        )
+
+    def anchors(self, algorithm: str, seed: int) -> tuple[Embedding, Embedding]:
+        """Anchor embeddings for the EIS measure: highest-dim, full precision."""
+        return self.embedding_pair(algorithm, self.config.resolved_anchor_dim, seed)
+
+    # -- measures ----------------------------------------------------------------
+
+    def measure_suite(self, algorithm: str, seed: int) -> dict[str, object]:
+        """The five embedding distance measures, with anchors resolved."""
+        anchor_a, anchor_b = self.anchors(algorithm, seed)
+        return {
+            "eis": EigenspaceInstability(anchor_a, anchor_b, alpha=self.config.eis_alpha),
+            "1-knn": KNNDistance(
+                k=self.config.knn_k, num_queries=self.config.knn_num_queries, seed=0
+            ),
+            "semantic-displacement": SemanticDisplacement(),
+            "pip": PIPLoss(),
+            "1-eigenspace-overlap": EigenspaceOverlapDistance(),
+        }
+
+    def compute_measures(
+        self, algorithm: str, dim: int, precision: int, seed: int,
+        *, measures: tuple[str, ...] | None = None,
+    ) -> dict[str, float]:
+        """Evaluate embedding distance measures on a compressed pair."""
+        emb_a, emb_b = self.compressed_pair(algorithm, dim, precision, seed)
+        suite = self.measure_suite(algorithm, seed)
+        top_k = self.config.measure_top_k
+        out: dict[str, float] = {}
+        for name, measure in suite.items():
+            if measures is not None and name not in measures:
+                continue
+            out[name] = measure.compute_embeddings(emb_a, emb_b, top_k=top_k).value
+        return out
+
+    # -- downstream models ----------------------------------------------------------
+
+    def _sentiment_config(self, seed: int, *, learning_rate: float | None = None) -> TrainingConfig:
+        return TrainingConfig(
+            learning_rate=learning_rate or self.config.sentiment_learning_rate,
+            epochs=self.config.downstream_epochs,
+            optimizer="adam",
+            patience=4,
+            fine_tune_embeddings=self.config.fine_tune_embeddings,
+        ).with_seed(seed)
+
+    def _ner_config(self, seed: int, *, learning_rate: float | None = None) -> TrainingConfig:
+        return TrainingConfig(
+            learning_rate=learning_rate or self.config.ner_learning_rate,
+            epochs=self.config.ner_epochs,
+            optimizer=self.config.ner_optimizer,
+            patience=None,
+            anneal_factor=0.5,
+            fine_tune_embeddings=self.config.fine_tune_embeddings,
+        ).with_seed(seed)
+
+    def _train_classifier(
+        self, embedding: Embedding, task: str, seed: int,
+        *, model_type: str = "bow", learning_rate: float | None = None,
+        init_seed: int | None = None, sampling_seed: int | None = None,
+    ):
+        splits = self.dataset(task)
+        cfg = self._sentiment_config(seed, learning_rate=learning_rate)
+        if init_seed is not None or sampling_seed is not None:
+            from dataclasses import replace
+
+            cfg = replace(
+                cfg,
+                init_seed=init_seed if init_seed is not None else cfg.init_seed,
+                sampling_seed=sampling_seed if sampling_seed is not None else cfg.sampling_seed,
+            )
+        if model_type == "bow":
+            model = BowClassifier(embedding, num_classes=2, config=cfg)
+        elif model_type == "cnn":
+            model = CNNClassifier(embedding, num_classes=2, config=cfg)
+        else:
+            raise ValueError(f"unknown classifier type {model_type!r}")
+        model.fit(splits.train, splits.val)
+        return model
+
+    def _train_tagger(
+        self, embedding: Embedding, seed: int,
+        *, use_crf: bool = False, learning_rate: float | None = None,
+        init_seed: int | None = None, sampling_seed: int | None = None,
+    ) -> BiLSTMTagger:
+        splits = self.dataset(NER_TASK_NAME)
+        cfg = self._ner_config(seed, learning_rate=learning_rate)
+        if init_seed is not None or sampling_seed is not None:
+            from dataclasses import replace
+
+            cfg = replace(
+                cfg,
+                init_seed=init_seed if init_seed is not None else cfg.init_seed,
+                sampling_seed=sampling_seed if sampling_seed is not None else cfg.sampling_seed,
+            )
+        tagger = BiLSTMTagger(
+            embedding,
+            num_tags=splits.train.num_tags,
+            hidden_dim=self.config.ner_hidden_dim,
+            use_crf=use_crf,
+            config=cfg,
+        )
+        tagger.fit(splits.train, splits.val)
+        return tagger
+
+    def downstream_result(
+        self,
+        task: str,
+        emb_a: Embedding,
+        emb_b: Embedding,
+        seed: int,
+        *,
+        model_type: str = "bow",
+        use_crf: bool = False,
+        learning_rate: float | None = None,
+        init_seed_b: int | None = None,
+        sampling_seed_b: int | None = None,
+    ) -> DownstreamResult:
+        """Train the downstream model pair and measure prediction disagreement.
+
+        ``init_seed_b`` / ``sampling_seed_b`` override the seeds of the second
+        model only, reproducing the "relaxed seed constraint" study of
+        Appendix E.3 / Figure 14a.
+        """
+        splits = self.dataset(task)
+        if task == NER_TASK_NAME:
+            tagger_a = self._train_tagger(emb_a, seed, use_crf=use_crf, learning_rate=learning_rate)
+            tagger_b = self._train_tagger(
+                emb_b, seed, use_crf=use_crf, learning_rate=learning_rate,
+                init_seed=init_seed_b, sampling_seed=sampling_seed_b,
+            )
+            disagreement = tagging_disagreement(tagger_a, tagger_b, splits.test, entity_only=True)
+            return DownstreamResult(
+                task=task,
+                disagreement=disagreement,
+                accuracy_a=tagger_a.entity_f1(splits.test),
+                accuracy_b=tagger_b.entity_f1(splits.test),
+            )
+        model_a = self._train_classifier(
+            emb_a, task, seed, model_type=model_type, learning_rate=learning_rate
+        )
+        model_b = self._train_classifier(
+            emb_b, task, seed, model_type=model_type, learning_rate=learning_rate,
+            init_seed=init_seed_b, sampling_seed=sampling_seed_b,
+        )
+        disagreement = classification_disagreement(model_a, model_b, splits.test)
+        return DownstreamResult(
+            task=task,
+            disagreement=disagreement,
+            accuracy_a=model_a.accuracy(splits.test),
+            accuracy_b=model_b.accuracy(splits.test),
+        )
+
+    def evaluate(
+        self,
+        task: str,
+        algorithm: str,
+        dim: int,
+        precision: int,
+        seed: int,
+        *,
+        model_type: str = "bow",
+        use_crf: bool = False,
+    ) -> DownstreamResult:
+        """Cached end-to-end evaluation of one grid point."""
+        key = (task, algorithm, int(dim), int(precision), int(seed), model_type, use_crf)
+        if key not in self._downstream_cache:
+            emb_a, emb_b = self.compressed_pair(algorithm, dim, precision, seed)
+            self._downstream_cache[key] = self.downstream_result(
+                task, emb_a, emb_b, seed, model_type=model_type, use_crf=use_crf
+            )
+        return self._downstream_cache[key]
+
+    # -- bookkeeping ------------------------------------------------------------------
+
+    @staticmethod
+    def memory(dim: int, precision: int) -> int:
+        return bits_per_word(dim, precision)

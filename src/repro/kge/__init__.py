@@ -1,0 +1,23 @@
+"""Knowledge graph embeddings (Section 6.1): synthetic graph, TransE, evaluation."""
+
+from repro.kge.graph import KnowledgeGraph, SyntheticKGConfig, generate_knowledge_graph
+from repro.kge.transe import KGEmbedding, TransEModel, quantize_kg_embedding
+from repro.kge.evaluation import (
+    LinkPredictionResult,
+    TripletClassificationResult,
+    link_prediction_ranks,
+    triplet_classification,
+)
+
+__all__ = [
+    "KGEmbedding",
+    "KnowledgeGraph",
+    "LinkPredictionResult",
+    "SyntheticKGConfig",
+    "TransEModel",
+    "TripletClassificationResult",
+    "generate_knowledge_graph",
+    "link_prediction_ranks",
+    "quantize_kg_embedding",
+    "triplet_classification",
+]

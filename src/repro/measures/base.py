@@ -1,0 +1,68 @@
+"""Common interface of the embedding distance measures."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embeddings.base import Embedding
+from repro.utils.registry import Registry
+from repro.utils.validation import check_embedding_pair
+
+__all__ = ["MEASURES", "EmbeddingDistanceMeasure", "MeasureResult"]
+
+#: Registry of distance measures keyed by the names used in the paper's tables.
+MEASURES: Registry = Registry("embedding distance measure")
+
+#: The paper computes every measure over the top-10k most frequent words only
+#: (Section 2.4); our vocabularies are smaller so the slice is usually a no-op,
+#: but the mechanism is preserved.
+DEFAULT_TOP_K = 10_000
+
+
+@dataclass(frozen=True)
+class MeasureResult:
+    """A measure evaluation: the value plus identifying metadata."""
+
+    measure: str
+    value: float
+    n_words: int
+    details: dict | None = None
+
+
+class EmbeddingDistanceMeasure(abc.ABC):
+    """A dissimilarity between two embeddings of the same vocabulary.
+
+    Subclasses implement :meth:`compute` on row-aligned matrices; the
+    :meth:`compute_embeddings` wrapper handles restricting a pair of
+    :class:`~repro.embeddings.base.Embedding` objects to their common
+    (top-``k``) vocabulary first.
+    """
+
+    #: Name used in the paper's tables (e.g. ``"eis"``, ``"1-knn"``).
+    name: str = "measure"
+    #: Whether the same embedding dimension is required for both inputs.
+    requires_same_dim: bool = False
+
+    @abc.abstractmethod
+    def compute(self, X: np.ndarray, X_tilde: np.ndarray) -> float:
+        """Dissimilarity between row-aligned embedding matrices."""
+
+    def _validate(self, X: np.ndarray, X_tilde: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return check_embedding_pair(X, X_tilde, same_dim=self.requires_same_dim)
+
+    def compute_embeddings(
+        self, a: Embedding, b: Embedding, *, top_k: int | None = DEFAULT_TOP_K
+    ) -> MeasureResult:
+        """Evaluate the measure on the common (top-``k``) vocabulary of ``a`` and ``b``."""
+        ra, rb = Embedding.aligned_pair(a, b, top_k=top_k)
+        value = self.compute(ra.vectors, rb.vectors)
+        return MeasureResult(measure=self.name, value=float(value), n_words=ra.n_words)
+
+    def __call__(self, X: np.ndarray, X_tilde: np.ndarray) -> float:
+        return self.compute(X, X_tilde)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}()"

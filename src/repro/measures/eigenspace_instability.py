@@ -1,0 +1,214 @@
+"""The eigenspace instability measure (Section 4, the paper's core contribution).
+
+For embeddings ``X = U S V^T`` and ``X~ = U~ S~ V~^T`` and a positive
+semidefinite matrix ``Sigma``, the eigenspace instability (EI) measure is
+
+    EI_Sigma(X, X~) = tr((U U^T + U~ U~^T - 2 U~ U~^T U U^T) Sigma) / tr(Sigma).
+
+Proposition 1 shows that with ``Sigma = E[y y^T]`` this equals the expected
+normalised disagreement between the linear-regression models trained on ``X``
+and ``X~`` with random label vector ``y``.  In practice the paper instantiates
+``Sigma = (E E^T)^alpha + (E~ E~^T)^alpha`` where ``E`` and ``E~`` are
+high-dimensional full-precision "anchor" embeddings and ``alpha`` (default 3)
+controls how much the high-eigenvalue directions dominate.
+
+Two implementations are provided:
+
+* :func:`eigenspace_instability` -- the efficient ``O(n d^2)`` formulation of
+  Appendix B.1 that never materialises an ``n x n`` Gram matrix;
+* :func:`eigenspace_instability_exact` -- the direct definition (builds
+  ``U U^T``), used in tests to validate the efficient path and in the
+  Proposition 1 Monte-Carlo check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.base import Embedding
+from repro.measures.base import DEFAULT_TOP_K, MEASURES, EmbeddingDistanceMeasure, MeasureResult
+from repro.utils.validation import check_array, check_embedding_pair
+
+__all__ = [
+    "EigenspaceInstability",
+    "eigenspace_instability",
+    "eigenspace_instability_exact",
+    "sigma_from_anchors",
+]
+
+
+def _left_singular_vectors(X: np.ndarray) -> np.ndarray:
+    """Left singular vectors of ``X`` restricted to its numerical rank."""
+    U, S, _ = np.linalg.svd(X, full_matrices=False)
+    if S.size:
+        tol = S.max() * max(X.shape) * np.finfo(np.float64).eps
+        rank = int(np.sum(S > tol))
+        U = U[:, : max(rank, 1)]
+    return U
+
+
+def sigma_from_anchors(E: np.ndarray, E_tilde: np.ndarray, alpha: float = 3.0) -> np.ndarray:
+    """Materialise ``Sigma = (E E^T)^alpha + (E~ E~^T)^alpha`` (test-scale only).
+
+    Exponentiation is in the spectral sense: ``(E E^T)^alpha = P R^{2 alpha} P^T``
+    for ``E = P R W^T``.  Only used by the exact/test path -- the efficient path
+    never forms this ``n x n`` matrix.
+    """
+    def gram_power(M: np.ndarray) -> np.ndarray:
+        P, R, _ = np.linalg.svd(M, full_matrices=False)
+        return (P * (R ** (2.0 * alpha))) @ P.T
+
+    E = check_array(E, name="E", ndim=2)
+    E_tilde = check_array(E_tilde, name="E_tilde", ndim=2)
+    if E.shape[0] != E_tilde.shape[0]:
+        raise ValueError("anchor embeddings must share a vocabulary")
+    return gram_power(E) + gram_power(E_tilde)
+
+
+def eigenspace_instability_exact(
+    X: np.ndarray, X_tilde: np.ndarray, sigma: np.ndarray
+) -> float:
+    """Direct evaluation of Definition 2 given an explicit ``Sigma``."""
+    X, X_tilde = check_embedding_pair(X, X_tilde)
+    sigma = check_array(sigma, name="sigma", ndim=2)
+    n = X.shape[0]
+    if sigma.shape != (n, n):
+        raise ValueError(f"sigma must be ({n}, {n}), got {sigma.shape}")
+    U = _left_singular_vectors(X)
+    U_t = _left_singular_vectors(X_tilde)
+    P_u = U @ U.T
+    P_ut = U_t @ U_t.T
+    numerator = np.trace((P_u + P_ut - 2.0 * P_ut @ P_u) @ sigma)
+    denominator = np.trace(sigma)
+    if denominator <= 0:
+        raise ValueError("sigma must have positive trace")
+    return float(numerator / denominator)
+
+
+def eigenspace_instability(
+    X: np.ndarray,
+    X_tilde: np.ndarray,
+    E: np.ndarray,
+    E_tilde: np.ndarray,
+    *,
+    alpha: float = 3.0,
+) -> float:
+    """Efficient eigenspace instability with ``Sigma = (EE^T)^a + (E~E~^T)^a``.
+
+    Implements the trace expansion of Appendix B.1 in ``O(n d^2)`` time and
+    ``O(d^2)`` extra memory, where all four matrices are "tall and thin".
+
+    Parameters
+    ----------
+    X, X_tilde:
+        The embedding pair being scored (row-aligned over the same words).
+    E, E_tilde:
+        The anchor embeddings defining ``Sigma`` (the paper uses the
+        highest-dimensional full-precision Wiki'17/Wiki'18 embeddings).
+    alpha:
+        Eigenvalue weighting exponent (paper default: 3).
+    """
+    X, X_tilde = check_embedding_pair(X, X_tilde)
+    E = check_array(E, name="E", ndim=2)
+    E_tilde = check_array(E_tilde, name="E_tilde", ndim=2)
+    n = X.shape[0]
+    for name, M in (("E", E), ("E_tilde", E_tilde)):
+        if M.shape[0] != n:
+            raise ValueError(f"{name} must have {n} rows, got {M.shape[0]}")
+
+    U = _left_singular_vectors(X)
+    U_t = _left_singular_vectors(X_tilde)
+
+    def anchor_factors(M: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        P, R, _ = np.linalg.svd(M, full_matrices=False)
+        return P, R**alpha
+
+    P, Ra = anchor_factors(E)            # Sigma term 1: P diag(Ra^2) P^T
+    P_t, Ra_t = anchor_factors(E_tilde)  # Sigma term 2
+
+    UtU = U_t.T @ U                      # (d~, d)
+
+    def term(Panchor: np.ndarray, Ralpha: np.ndarray) -> float:
+        # tr(R^a P^T (UU^T + U~U~^T - 2 U~U~^T U U^T) P R^a) expanded as in B.1.
+        A = U.T @ Panchor                # (d, dE)
+        B = U_t.T @ Panchor              # (d~, dE)
+        t1 = float(np.sum((A * Ralpha[np.newaxis, :]) ** 2))
+        t2 = float(np.sum((B * Ralpha[np.newaxis, :]) ** 2))
+        M = UtU @ (A * Ralpha[np.newaxis, :])     # (d~, dE)
+        t3 = float(np.sum((B * Ralpha[np.newaxis, :]) * M))
+        return t1 + t2 - 2.0 * t3
+
+    numerator = term(P, Ra) + term(P_t, Ra_t)
+    denominator = float(np.sum(Ra**2) + np.sum(Ra_t**2))
+    if denominator <= 0:
+        raise ValueError("anchor embeddings produce a zero-trace Sigma")
+    # Numerical round-off can push the value a hair outside [0, ~2]; clip at 0.
+    return float(max(numerator / denominator, 0.0))
+
+
+@MEASURES.register("eis")
+class EigenspaceInstability(EmbeddingDistanceMeasure):
+    """Eigenspace instability measure with anchor-defined ``Sigma``.
+
+    Parameters
+    ----------
+    anchor_a, anchor_b:
+        Anchor embeddings ``E`` and ``E~`` (either :class:`Embedding` objects
+        or raw matrices).  In the paper these are the 800-dimensional
+        full-precision Wiki'17/Wiki'18 embeddings of the same algorithm.
+    alpha:
+        Eigenvalue weighting exponent.
+    """
+
+    name = "eis"
+
+    def __init__(
+        self,
+        anchor_a: Embedding | np.ndarray,
+        anchor_b: Embedding | np.ndarray,
+        *,
+        alpha: float = 3.0,
+    ) -> None:
+        self.anchor_a = anchor_a
+        self.anchor_b = anchor_b
+        self.alpha = float(alpha)
+
+    def _anchor_matrices(self, n_words: int) -> tuple[np.ndarray, np.ndarray]:
+        def resolve(anchor) -> np.ndarray:
+            mat = anchor.vectors if isinstance(anchor, Embedding) else np.asarray(anchor)
+            if mat.shape[0] < n_words:
+                raise ValueError(
+                    f"anchor embedding has {mat.shape[0]} rows but {n_words} are required"
+                )
+            return mat[:n_words]
+
+        return resolve(self.anchor_a), resolve(self.anchor_b)
+
+    def compute(self, X: np.ndarray, X_tilde: np.ndarray) -> float:
+        X = np.asarray(X)
+        E, E_t = self._anchor_matrices(X.shape[0])
+        return eigenspace_instability(X, X_tilde, E, E_t, alpha=self.alpha)
+
+    def compute_embeddings(
+        self, a: Embedding, b: Embedding, *, top_k: int | None = DEFAULT_TOP_K
+    ) -> MeasureResult:
+        """Evaluate over the common vocabulary, slicing the anchors to match.
+
+        When the anchors are :class:`Embedding` objects their rows are matched
+        by word; raw-matrix anchors are assumed to be row-aligned with ``a``.
+        """
+        ra, rb = Embedding.aligned_pair(a, b, top_k=top_k)
+        words = ra.vocab.words
+        anchors = []
+        for anchor in (self.anchor_a, self.anchor_b):
+            if isinstance(anchor, Embedding):
+                ids = [anchor.vocab.word_to_id(w) for w in words]
+                if any(i is None for i in ids):
+                    raise ValueError("anchor embedding is missing words from the pair")
+                anchors.append(anchor.vectors[np.asarray(ids, dtype=np.int64)])
+            else:
+                anchors.append(np.asarray(anchor)[: len(words)])
+        value = eigenspace_instability(
+            ra.vectors, rb.vectors, anchors[0], anchors[1], alpha=self.alpha
+        )
+        return MeasureResult(measure=self.name, value=float(value), n_words=ra.n_words)

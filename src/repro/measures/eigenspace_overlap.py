@@ -1,0 +1,48 @@
+"""The eigenspace overlap score (May et al., 2019).
+
+``EO(X, X~) = (1/d) ||U^T U~||_F^2`` where ``U`` and ``U~`` are the left
+singular vectors of the two embeddings and ``d`` is the larger of the two
+ranks.  The score lies in [0, 1]; we expose the ``1 - EO`` distance form so
+larger values mean more instability, matching the "1 - Eigenspace Overlap"
+rows in the paper's tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.measures.base import MEASURES, EmbeddingDistanceMeasure
+from repro.utils.validation import check_embedding_pair
+
+__all__ = ["eigenspace_overlap", "EigenspaceOverlapDistance"]
+
+
+def eigenspace_overlap(X: np.ndarray, X_tilde: np.ndarray) -> float:
+    """Eigenspace overlap score in [0, 1] (1 = identical column spaces)."""
+    X, X_tilde = check_embedding_pair(X, X_tilde)
+    U, S, _ = np.linalg.svd(X, full_matrices=False)
+    U_t, S_t, _ = np.linalg.svd(X_tilde, full_matrices=False)
+
+    def rank_restrict(U: np.ndarray, S: np.ndarray) -> np.ndarray:
+        if S.size == 0:
+            return U
+        tol = S.max() * max(X.shape) * np.finfo(np.float64).eps
+        rank = max(int(np.sum(S > tol)), 1)
+        return U[:, :rank]
+
+    U = rank_restrict(U, S)
+    U_t = rank_restrict(U_t, S_t)
+    d = max(U.shape[1], U_t.shape[1])
+    overlap = float(np.sum((U.T @ U_t) ** 2) / d)
+    # Guard against round-off pushing the score outside [0, 1].
+    return float(np.clip(overlap, 0.0, 1.0))
+
+
+@MEASURES.register("1-eigenspace-overlap")
+class EigenspaceOverlapDistance(EmbeddingDistanceMeasure):
+    """``1 - eigenspace overlap score``."""
+
+    name = "1-eigenspace-overlap"
+
+    def compute(self, X: np.ndarray, X_tilde: np.ndarray) -> float:
+        return 1.0 - eigenspace_overlap(X, X_tilde)

@@ -1,0 +1,101 @@
+"""The k-nearest-neighbour embedding distance measure.
+
+Used in prior intrinsic-stability work (Hellrich & Hahn, 2016; Antoniak &
+Mimno, 2018; Wendlandt et al., 2018): sample ``Q`` query words, compare the
+sets of ``k`` most-cosine-similar words in the two embeddings, and average the
+overlap fraction.  We expose the *distance* form ``1 - overlap`` so that
+larger values mean more instability, as in the "1 - k-NN" rows of the paper's
+tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.measures.base import MEASURES, EmbeddingDistanceMeasure
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_embedding_pair
+
+__all__ = ["knn_overlap", "KNNDistance"]
+
+
+def _normalize_rows(X: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(X, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return X / norms
+
+
+def _top_k_neighbors(X: np.ndarray, queries: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` nearest rows (cosine) to each query row, excluding itself."""
+    normed = _normalize_rows(X)
+    sims = normed[queries] @ normed.T                     # (Q, n)
+    sims[np.arange(len(queries)), queries] = -np.inf
+    # argpartition gives the k largest in O(n); exact ordering inside the top-k
+    # does not matter because the measure only uses set overlap.
+    k = min(k, X.shape[0] - 1)
+    top = np.argpartition(-sims, kth=k - 1, axis=1)[:, :k]
+    return top
+
+
+def knn_overlap(
+    X: np.ndarray,
+    X_tilde: np.ndarray,
+    *,
+    k: int = 5,
+    num_queries: int = 1000,
+    seed: int = 0,
+) -> float:
+    """Average fraction of shared ``k``-nearest neighbours over sampled queries.
+
+    Parameters
+    ----------
+    X, X_tilde:
+        Row-aligned embedding matrices (dimensions may differ).
+    k:
+        Neighbourhood size (the paper selects ``k = 5`` by validation).
+    num_queries:
+        Number of randomly sampled query words ``Q`` (paper: 1000); capped at
+        the vocabulary size.
+    seed:
+        Seed of the query sample.
+
+    Returns
+    -------
+    float in [0, 1]; 1 means identical neighbourhoods.
+    """
+    X, X_tilde = check_embedding_pair(X, X_tilde)
+    n = X.shape[0]
+    if n < 2:
+        raise ValueError("need at least two words to compute k-NN overlap")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rng = check_random_state(seed)
+    q = min(int(num_queries), n)
+    queries = rng.choice(n, size=q, replace=False)
+
+    top_a = _top_k_neighbors(X, queries, k)
+    top_b = _top_k_neighbors(X_tilde, queries, k)
+    k_eff = top_a.shape[1]
+
+    overlaps = np.empty(q, dtype=np.float64)
+    for row in range(q):
+        overlaps[row] = len(np.intersect1d(top_a[row], top_b[row], assume_unique=False))
+    return float(np.mean(overlaps) / k_eff)
+
+
+@MEASURES.register("1-knn")
+class KNNDistance(EmbeddingDistanceMeasure):
+    """``1 - (k-NN overlap)``: larger means less stable neighbourhoods."""
+
+    name = "1-knn"
+
+    def __init__(self, *, k: int = 5, num_queries: int = 1000, seed: int = 0) -> None:
+        self.k = int(k)
+        self.num_queries = int(num_queries)
+        self.seed = int(seed)
+
+    def compute(self, X: np.ndarray, X_tilde: np.ndarray) -> float:
+        overlap = knn_overlap(
+            X, X_tilde, k=self.k, num_queries=self.num_queries, seed=self.seed
+        )
+        return 1.0 - overlap

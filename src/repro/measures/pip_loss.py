@@ -1,0 +1,40 @@
+"""The Pairwise Inner Product (PIP) loss (Yin & Shen, 2018).
+
+``PIP(X, X~) = || X X^T - X~ X~^T ||_F`` -- the Frobenius distance between the
+two Gram matrices.  Computed without materialising the ``n x n`` Gram matrices
+via the identity
+
+    ||X X^T - Y Y^T||_F^2 = ||X^T X||_F^2 + ||Y^T Y||_F^2 - 2 ||X^T Y||_F^2,
+
+which only needs ``d x d`` products for tall-and-thin embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.measures.base import MEASURES, EmbeddingDistanceMeasure
+from repro.utils.validation import check_embedding_pair
+
+__all__ = ["pip_loss", "PIPLoss"]
+
+
+def pip_loss(X: np.ndarray, X_tilde: np.ndarray) -> float:
+    """Frobenius norm of the Gram-matrix difference ``X X^T - X~ X~^T``."""
+    X, X_tilde = check_embedding_pair(X, X_tilde)
+    xtx = X.T @ X
+    yty = X_tilde.T @ X_tilde
+    xty = X.T @ X_tilde
+    sq = float(np.sum(xtx**2) + np.sum(yty**2) - 2.0 * np.sum(xty**2))
+    # Round-off can produce a tiny negative value when the matrices are equal.
+    return float(np.sqrt(max(sq, 0.0)))
+
+
+@MEASURES.register("pip")
+class PIPLoss(EmbeddingDistanceMeasure):
+    """Pairwise inner product loss between two embeddings."""
+
+    name = "pip"
+
+    def compute(self, X: np.ndarray, X_tilde: np.ndarray) -> float:
+        return pip_loss(X, X_tilde)

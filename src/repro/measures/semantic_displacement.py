@@ -1,0 +1,44 @@
+"""Semantic displacement (Hamilton et al., 2016).
+
+Average cosine distance between a word's vector in one embedding and its
+vector in the other after the second embedding is rotated onto the first with
+orthogonal Procrustes.  Requires both embeddings to have the same dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.alignment import orthogonal_procrustes
+from repro.measures.base import MEASURES, EmbeddingDistanceMeasure
+from repro.utils.validation import check_embedding_pair
+
+__all__ = ["semantic_displacement", "SemanticDisplacement"]
+
+
+def semantic_displacement(X: np.ndarray, X_tilde: np.ndarray) -> float:
+    """Mean cosine distance after Procrustes alignment of ``X_tilde`` onto ``X``."""
+    X, X_tilde = check_embedding_pair(X, X_tilde, same_dim=True)
+    R = orthogonal_procrustes(X, X_tilde)
+    aligned = X_tilde @ R
+
+    norm_x = np.linalg.norm(X, axis=1)
+    norm_y = np.linalg.norm(aligned, axis=1)
+    denom = norm_x * norm_y
+    # Zero rows contribute the maximum distance of 1 (undefined direction).
+    safe = denom > 0
+    cos_sim = np.zeros(X.shape[0])
+    cos_sim[safe] = np.einsum("nd,nd->n", X[safe], aligned[safe]) / denom[safe]
+    cos_dist = 1.0 - cos_sim
+    return float(np.mean(cos_dist))
+
+
+@MEASURES.register("semantic-displacement")
+class SemanticDisplacement(EmbeddingDistanceMeasure):
+    """Mean per-word cosine shift after optimal rotation."""
+
+    name = "semantic-displacement"
+    requires_same_dim = True
+
+    def compute(self, X: np.ndarray, X_tilde: np.ndarray) -> float:
+        return semantic_displacement(X, X_tilde)

@@ -1,0 +1,14 @@
+"""Downstream models trained on top of (fixed) embeddings.
+
+The paper's downstream models are a linear bag-of-words sentiment classifier,
+a Kim-style CNN sentence classifier (Appendix E.2), and a single-layer BiLSTM
+NER tagger with an optional CRF decoding layer.  All are reproduced here over
+the :mod:`repro.nn` autograd substrate.
+"""
+
+from repro.models.bow_classifier import BowClassifier
+from repro.models.cnn_classifier import CNNClassifier
+from repro.models.bilstm_tagger import BiLSTMTagger
+from repro.models.trainer import TrainingConfig
+
+__all__ = ["BiLSTMTagger", "BowClassifier", "CNNClassifier", "TrainingConfig"]

@@ -1,0 +1,185 @@
+"""Single-layer BiLSTM tagger for NER, with an optional CRF decoding layer.
+
+The paper's NER model (Akbik et al., 2018): fixed word embeddings, a one-layer
+BiLSTM, and a per-token linear projection to tag scores.  The CRF is disabled
+in the main experiments for computational efficiency and re-enabled in
+Appendix E.2; both modes are supported via ``use_crf``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.base import Embedding as WordEmbedding
+from repro.models.trainer import EarlyStopper, TrainingConfig
+from repro.nn import functional as F
+from repro.nn.crf import LinearChainCRF
+from repro.nn.data import BatchIterator
+from repro.nn.layers import Embedding as EmbeddingLayer, Linear, Module
+from repro.nn.optim import SGD, Adam
+from repro.nn.recurrent import BiLSTM
+from repro.nn.tensor import Tensor, no_grad
+from repro.tasks.datasets import SequenceTaggingDataset
+
+__all__ = ["BiLSTMTagger"]
+
+
+class BiLSTMTagger(Module):
+    """BiLSTM (+ optional CRF) sequence tagger over fixed embeddings.
+
+    Parameters
+    ----------
+    embedding:
+        Trained embedding (or raw matrix) indexed by the dataset's word ids.
+    num_tags:
+        Number of output tags.
+    hidden_dim:
+        Total BiLSTM hidden size (split between directions; paper: 256).
+    use_crf:
+        Train/decode with a linear-chain CRF instead of per-token softmax.
+    config:
+        Training configuration (the paper uses plain SGD with annealing).
+    """
+
+    def __init__(
+        self,
+        embedding: WordEmbedding | np.ndarray,
+        num_tags: int,
+        *,
+        hidden_dim: int = 32,
+        use_crf: bool = False,
+        config: TrainingConfig | None = None,
+    ) -> None:
+        super().__init__()
+        self.config = config or TrainingConfig(optimizer="sgd", learning_rate=0.1)
+        matrix = embedding.vectors if isinstance(embedding, WordEmbedding) else np.asarray(embedding)
+        self.embedding = EmbeddingLayer(matrix, trainable=self.config.fine_tune_embeddings)
+        seed = self.config.init_seed
+        self.encoder = BiLSTM(self.embedding.dim, hidden_dim, seed=seed)
+        self.projection = Linear(hidden_dim, num_tags, seed=seed + 7)
+        self.use_crf = bool(use_crf)
+        self.crf = LinearChainCRF(num_tags, seed=seed + 13) if use_crf else None
+        self.num_tags = int(num_tags)
+
+    # -- forward -------------------------------------------------------------------
+
+    def emissions(self, sentences: np.ndarray) -> Tensor:
+        """Tag scores for a batch of equal-length sentences.
+
+        Parameters
+        ----------
+        sentences:
+            ``(batch, seq_len)`` int64 matrix of word ids.
+
+        Returns
+        -------
+        Tensor of shape ``(batch, seq_len, num_tags)``.
+        """
+        sentences = np.asarray(sentences, dtype=np.int64)
+        tokens = self.embedding(sentences)                  # (batch, seq_len, dim)
+        inputs = tokens.transpose(1, 0, 2)                  # (seq_len, batch, dim)
+        hidden = self.encoder(inputs)                       # (seq_len, batch, hidden)
+        scores = self.projection(hidden)                    # (seq_len, batch, tags)
+        return scores.transpose(1, 0, 2)
+
+    # -- training ---------------------------------------------------------------------
+
+    def _batch_loss(self, sentences: np.ndarray, tags: np.ndarray) -> Tensor:
+        emissions = self.emissions(sentences)
+        if self.use_crf:
+            losses = [
+                self.crf.neg_log_likelihood(emissions[i], tags[i])
+                for i in range(len(sentences))
+            ]
+            total = losses[0]
+            for loss in losses[1:]:
+                total = total + loss
+            return total / len(losses)
+        batch, seq_len = tags.shape
+        flat_logits = emissions.reshape(batch * seq_len, self.num_tags)
+        return F.cross_entropy(flat_logits, tags.reshape(-1))
+
+    def fit(
+        self,
+        train: SequenceTaggingDataset,
+        val: SequenceTaggingDataset | None = None,
+    ) -> dict:
+        cfg = self.config
+        params = list(self.parameters())
+        optimizer = (
+            SGD(params, lr=cfg.learning_rate)
+            if cfg.optimizer == "sgd"
+            else Adam(params, lr=cfg.learning_rate)
+        )
+        stopper = EarlyStopper(cfg.patience)
+        history: dict[str, list[float]] = {"train_loss": [], "val_accuracy": []}
+        sentences = np.stack(train.sentences)
+        tags = np.stack(train.tags)
+
+        for epoch in range(cfg.epochs):
+            self.train()
+            iterator = BatchIterator(len(train), cfg.batch_size, seed=cfg.sampling_seed + epoch)
+            epoch_loss, n_batches = 0.0, 0
+            for batch_idx in iterator:
+                loss = self._batch_loss(sentences[batch_idx], tags[batch_idx])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                n_batches += 1
+            history["train_loss"].append(epoch_loss / max(n_batches, 1))
+
+            if val is not None and len(val):
+                val_acc = self.token_accuracy(val)
+                history["val_accuracy"].append(val_acc)
+                if cfg.anneal_factor is not None and stopper.should_anneal:
+                    optimizer.set_lr(max(optimizer.lr * cfg.anneal_factor, 1e-5))
+                if stopper.update(val_acc, self.state_dict()):
+                    break
+
+        if stopper.best_state is not None:
+            self.load_state_dict(stopper.best_state)
+        return history
+
+    # -- inference -----------------------------------------------------------------------
+
+    def predict(self, dataset: SequenceTaggingDataset) -> list[np.ndarray]:
+        """Per-sentence arrays of predicted tag ids."""
+        self.eval()
+        predictions: list[np.ndarray] = []
+        sentences = np.stack(dataset.sentences)
+        with no_grad():
+            emissions = self.emissions(sentences)
+        for i in range(len(dataset)):
+            if self.use_crf:
+                predictions.append(self.crf.viterbi_decode(emissions.data[i]))
+            else:
+                predictions.append(np.argmax(emissions.data[i], axis=-1))
+        return predictions
+
+    def token_accuracy(self, dataset: SequenceTaggingDataset) -> float:
+        preds = self.predict(dataset)
+        correct = total = 0
+        for pred, gold in zip(preds, dataset.tags):
+            correct += int(np.sum(pred == gold))
+            total += len(gold)
+        return correct / total if total else 0.0
+
+    def entity_f1(self, dataset: SequenceTaggingDataset) -> float:
+        """Micro-F1 over entity tokens (token-level, which suffices at this scale)."""
+        preds = self.predict(dataset)
+        outside = dataset.outside_tag_id
+        tp = fp = fn = 0
+        for pred, gold in zip(preds, dataset.tags):
+            pred = np.asarray(pred)
+            gold = np.asarray(gold)
+            pred_ent = pred != outside
+            gold_ent = gold != outside
+            tp += int(np.sum(pred_ent & gold_ent & (pred == gold)))
+            fp += int(np.sum(pred_ent & ((~gold_ent) | (pred != gold))))
+            fn += int(np.sum(gold_ent & ((~pred_ent) | (pred != gold))))
+        precision = tp / (tp + fp) if tp + fp else 0.0
+        recall = tp / (tp + fn) if tp + fn else 0.0
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)

@@ -1,0 +1,98 @@
+"""Shared training configuration and helpers for the downstream models.
+
+Seeds are split into a *model initialisation* seed and a *sampling order*
+seed, because Appendix E.3 of the paper studies those two sources of
+randomness separately from the change in embedding training data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["TrainingConfig", "EarlyStopper"]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyperparameters of a downstream training run.
+
+    Attributes
+    ----------
+    learning_rate:
+        Optimiser step size (the paper tunes this per task/algorithm on
+        400-dimensional Wiki'17 embeddings and then holds it fixed).
+    epochs:
+        Maximum training epochs.
+    batch_size:
+        Mini-batch size (32 in the paper).
+    optimizer:
+        ``"adam"`` (sentiment models) or ``"sgd"`` (NER BiLSTM).
+    init_seed:
+        Model initialisation seed.
+    sampling_seed:
+        Mini-batch sampling-order seed.
+    patience:
+        Early-stopping patience in epochs on validation accuracy
+        (``None`` disables early stopping).
+    anneal_factor:
+        Multiply the learning rate by this factor when validation performance
+        plateaus (the paper's NER recipe); ``None`` disables annealing.
+    fine_tune_embeddings:
+        Whether the embedding table is updated during training
+        (Appendix E.4).
+    """
+
+    learning_rate: float = 1e-2
+    epochs: int = 20
+    batch_size: int = 32
+    optimizer: str = "adam"
+    init_seed: int = 0
+    sampling_seed: int = 0
+    patience: int | None = 5
+    anneal_factor: float | None = None
+    fine_tune_embeddings: bool = False
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError("optimizer must be 'adam' or 'sgd'")
+
+    def with_seed(self, seed: int) -> "TrainingConfig":
+        """Convenience: use the same seed for initialisation and sampling.
+
+        This mirrors the paper's main protocol, where the downstream model
+        seeds are tied to the embedding seed so that instability comes only
+        from the change in embedding training data.
+        """
+        return replace(self, init_seed=int(seed), sampling_seed=int(seed))
+
+
+class EarlyStopper:
+    """Track the best validation score and signal when to stop / anneal."""
+
+    def __init__(self, patience: int | None):
+        self.patience = patience
+        self.best_score = -np.inf
+        self.best_state: dict | None = None
+        self.epochs_without_improvement = 0
+
+    def update(self, score: float, state: dict) -> bool:
+        """Record an epoch result; returns True when training should stop."""
+        if score > self.best_score:
+            self.best_score = score
+            self.best_state = state
+            self.epochs_without_improvement = 0
+            return False
+        self.epochs_without_improvement += 1
+        if self.patience is None:
+            return False
+        return self.epochs_without_improvement >= self.patience
+
+    @property
+    def should_anneal(self) -> bool:
+        return self.patience is not None and self.epochs_without_improvement > 0

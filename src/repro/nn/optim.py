@@ -1,0 +1,116 @@
+"""Optimisers: plain SGD (with decay) and Adam.
+
+The paper trains the sentiment models with Adam and the NER BiLSTM with
+vanilla SGD plus learning-rate annealing on validation plateaus; both are
+provided here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimiser over a list of parameters."""
+
+    def __init__(self, parameters, lr: float) -> None:
+        self.parameters: list[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def set_lr(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and gradient clipping."""
+
+    def __init__(self, parameters, lr: float, *, momentum: float = 0.0, clip_norm: float | None = 5.0):
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+        self.clip_norm = clip_norm
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        if self.clip_norm is not None:
+            _clip_gradients(self.parameters, self.clip_norm)
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum > 0:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters,
+        lr: float = 1e-3,
+        *,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        clip_norm: float | None = None,
+    ):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = float(eps)
+        self.clip_norm = clip_norm
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        if self.clip_norm is not None:
+            _clip_gradients(self.parameters, self.clip_norm)
+        self._step += 1
+        bias1 = 1.0 - self.beta1**self._step
+        bias2 = 1.0 - self.beta2**self._step
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (p.grad**2)
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def _clip_gradients(parameters: list[Tensor], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``."""
+    total = 0.0
+    for p in parameters:
+        if p.grad is not None:
+            total += float(np.sum(p.grad**2))
+    norm = np.sqrt(total)
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for p in parameters:
+            if p.grad is not None:
+                p.grad *= scale
+    return float(norm)

@@ -1,0 +1,90 @@
+"""Recurrent layers: LSTM cell, unidirectional LSTM, and BiLSTM.
+
+The paper's NER model is a single-layer BiLSTM (Akbik et al., 2018) over
+fixed word embeddings, optionally followed by a CRF.  Sequences at our scale
+are short (tens of tokens), so an unrolled define-by-run LSTM over the
+autograd engine is fast enough.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Module, _init_weight
+from repro.nn.tensor import Tensor
+from repro.utils.rng import check_random_state
+
+__all__ = ["LSTMCell", "LSTM", "BiLSTM"]
+
+
+class LSTMCell(Module):
+    """A standard LSTM cell with coupled input/forget/cell/output gates."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, *, seed: int = 0):
+        super().__init__()
+        rng = check_random_state(seed)
+        self.input_dim = int(input_dim)
+        self.hidden_dim = int(hidden_dim)
+        # Stack the four gates into single matrices for fewer matmuls.
+        self.w_x = Tensor(_init_weight(rng, input_dim, 4 * hidden_dim), requires_grad=True)
+        self.w_h = Tensor(_init_weight(rng, hidden_dim, 4 * hidden_dim), requires_grad=True)
+        bias = np.zeros(4 * hidden_dim)
+        # Positive forget-gate bias, the usual trick for trainability.
+        bias[hidden_dim : 2 * hidden_dim] = 1.0
+        self.bias = Tensor(bias, requires_grad=True)
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        """One step: ``x`` is ``(batch, input_dim)``; returns ``(h, c)``."""
+        h_prev, c_prev = state
+        gates = x @ self.w_x + h_prev @ self.w_h + self.bias
+        H = self.hidden_dim
+        i = gates[:, 0:H].sigmoid()
+        f = gates[:, H : 2 * H].sigmoid()
+        g = gates[:, 2 * H : 3 * H].tanh()
+        o = gates[:, 3 * H : 4 * H].sigmoid()
+        c = f * c_prev + i * g
+        h = o * c.tanh()
+        return h, c
+
+    def initial_state(self, batch_size: int) -> tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch_size, self.hidden_dim))
+        return Tensor(zeros.copy()), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """Unidirectional LSTM over a ``(seq_len, batch, input_dim)`` tensor."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, *, seed: int = 0):
+        super().__init__()
+        self.cell = LSTMCell(input_dim, hidden_dim, seed=seed)
+        self.hidden_dim = hidden_dim
+
+    def forward(self, inputs: Tensor, *, reverse: bool = False) -> Tensor:
+        """Return hidden states stacked over time: ``(seq_len, batch, hidden)``."""
+        seq_len, batch = inputs.shape[0], inputs.shape[1]
+        state = self.cell.initial_state(batch)
+        order = range(seq_len - 1, -1, -1) if reverse else range(seq_len)
+        outputs: list[Tensor | None] = [None] * seq_len
+        for t in order:
+            h, c = self.cell(inputs[t], state)
+            state = (h, c)
+            outputs[t] = h
+        return Tensor.stack(outputs, axis=0)
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM: concatenation of forward and backward hidden states."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, *, seed: int = 0):
+        super().__init__()
+        if hidden_dim % 2 != 0:
+            raise ValueError("hidden_dim of a BiLSTM must be even")
+        half = hidden_dim // 2
+        self.forward_lstm = LSTM(input_dim, half, seed=seed)
+        self.backward_lstm = LSTM(input_dim, half, seed=seed + 1)
+        self.hidden_dim = hidden_dim
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        fwd = self.forward_lstm(inputs)
+        bwd = self.backward_lstm(inputs, reverse=True)
+        return Tensor.concatenate([fwd, bwd], axis=-1)

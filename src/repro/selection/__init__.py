@@ -1,0 +1,23 @@
+"""Dimension-precision selection using embedding distance measures (Section 5.2)."""
+
+from repro.selection.criteria import (
+    HIGH_PRECISION,
+    LOW_PRECISION,
+    ORACLE,
+    SelectionCriterion,
+    measure_criterion,
+)
+from repro.selection.pairwise import PairwiseSelectionResult, pairwise_selection_error
+from repro.selection.budget import BudgetSelectionResult, budget_selection_error
+
+__all__ = [
+    "BudgetSelectionResult",
+    "HIGH_PRECISION",
+    "LOW_PRECISION",
+    "ORACLE",
+    "PairwiseSelectionResult",
+    "SelectionCriterion",
+    "budget_selection_error",
+    "measure_criterion",
+    "pairwise_selection_error",
+]

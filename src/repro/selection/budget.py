@@ -1,0 +1,85 @@
+"""Dimension-precision selection under a memory budget (Tables 3 and 11).
+
+Setting: for every memory budget (bits/word) that admits at least two distinct
+dimension-precision combinations, a criterion picks one combination; the
+reported metric is the absolute difference between the downstream
+disagreement of the picked combination and that of the most stable ("oracle")
+combination, averaged over budgets and seeds (Table 3) or maximised
+(worst-case, Table 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.instability.grid import GridRecord
+from repro.selection.criteria import SelectionCriterion
+
+__all__ = ["BudgetSelectionResult", "budget_selection_error", "group_by_budget"]
+
+
+@dataclass(frozen=True)
+class BudgetSelectionResult:
+    """Distance-to-oracle statistics of one criterion on the budget task."""
+
+    criterion: str
+    algorithm: str
+    task: str
+    mean_distance_to_oracle: float
+    worst_case_distance: float
+    n_budgets: int
+
+
+def group_by_budget(records: list[GridRecord]) -> dict[int, list[GridRecord]]:
+    """Group records by memory budget, keeping only budgets with >= 2 choices."""
+    budgets: dict[int, list[GridRecord]] = {}
+    for rec in records:
+        budgets.setdefault(rec.memory, []).append(rec)
+    return {
+        m: group
+        for m, group in sorted(budgets.items())
+        if len({(r.dim, r.precision) for r in group}) >= 2
+    }
+
+
+def budget_selection_error(
+    records: list[GridRecord],
+    criterion: SelectionCriterion,
+) -> list[BudgetSelectionResult]:
+    """Evaluate a criterion on the fixed-memory-budget selection task."""
+    # Split by (algorithm, task, seed) first -- selection happens within one
+    # algorithm/seed, exactly as the paper compares pairs of the same seed.
+    grouped: dict[tuple[str, str, int], list[GridRecord]] = {}
+    for rec in records:
+        grouped.setdefault((rec.algorithm, rec.task, rec.seed), []).append(rec)
+
+    stats: dict[tuple[str, str], dict[str, list[float]]] = {}
+    for (algorithm, task, _seed), group in grouped.items():
+        budgets = group_by_budget(group)
+        if not budgets:
+            continue
+        distances: list[float] = []
+        for _memory, candidates in budgets.items():
+            chosen = criterion.select(candidates)
+            oracle_value = min(c.disagreement for c in candidates)
+            distances.append(abs(chosen.disagreement - oracle_value))
+        entry = stats.setdefault((algorithm, task), {"mean": [], "worst": [], "count": []})
+        entry["mean"].append(float(np.mean(distances)))
+        entry["worst"].append(float(np.max(distances)))
+        entry["count"].append(len(distances))
+
+    results = []
+    for (algorithm, task), entry in sorted(stats.items()):
+        results.append(
+            BudgetSelectionResult(
+                criterion=criterion.name,
+                algorithm=algorithm,
+                task=task,
+                mean_distance_to_oracle=float(np.mean(entry["mean"])),
+                worst_case_distance=float(np.max(entry["worst"])),
+                n_budgets=int(np.sum(entry["count"])),
+            )
+        )
+    return results

@@ -1,0 +1,66 @@
+"""Selection criteria for choosing dimension-precision parameters.
+
+Section 4.2 / 5.2 of the paper: given two or more candidate dimension-precision
+settings (each evaluated as an embedding pair), pick the one expected to have
+the lowest downstream instability *without training downstream models*.  A
+criterion maps a grid record to a score; the candidate with the lowest score
+is selected.  Besides the five embedding distance measures, the paper uses
+three reference criteria: the oracle (true downstream disagreement, a lower
+bound), and the naive high-precision / low-precision rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.instability.grid import GridRecord
+
+__all__ = ["SelectionCriterion", "measure_criterion", "ORACLE", "HIGH_PRECISION", "LOW_PRECISION"]
+
+
+@dataclass(frozen=True)
+class SelectionCriterion:
+    """A named scoring rule over grid records (lower score = preferred)."""
+
+    name: str
+    score: Callable[[GridRecord], float]
+    #: Whether the criterion peeks at the true downstream disagreement
+    #: (only the oracle does).
+    uses_downstream: bool = False
+
+    def select(self, candidates: list[GridRecord]) -> GridRecord:
+        """Return the candidate with the lowest score (ties break to the first)."""
+        if not candidates:
+            raise ValueError("cannot select from an empty candidate list")
+        return min(candidates, key=self.score)
+
+    def __call__(self, record: GridRecord) -> float:
+        return self.score(record)
+
+
+def measure_criterion(measure_name: str) -> SelectionCriterion:
+    """Criterion that ranks candidates by an embedding distance measure."""
+
+    def score(record: GridRecord) -> float:
+        if measure_name not in record.measures:
+            raise KeyError(
+                f"record for {record.algorithm} d={record.dim} b={record.precision} has no "
+                f"measure {measure_name!r}; run the grid with with_measures=True"
+            )
+        return float(record.measures[measure_name])
+
+    return SelectionCriterion(name=measure_name, score=score)
+
+
+#: Oracle: picks the candidate with the lowest *true* downstream disagreement.
+ORACLE = SelectionCriterion(
+    name="oracle", score=lambda r: float(r.disagreement), uses_downstream=True
+)
+
+#: Naive baseline: prefer the highest precision available (negated so that the
+#: lowest score corresponds to the highest precision).
+HIGH_PRECISION = SelectionCriterion(name="high-precision", score=lambda r: -float(r.precision))
+
+#: Naive baseline: prefer the lowest precision available.
+LOW_PRECISION = SelectionCriterion(name="low-precision", score=lambda r: float(r.precision))

@@ -1,0 +1,100 @@
+"""Pairwise dimension-precision selection (Table 2 and Table 10 of the paper).
+
+Setting: form every grouping of two embedding pairs with *different*
+dimension-precision combinations (same algorithm, same seed).  A selection
+criterion picks the combination it believes is more stable; the selection
+*error rate* is the fraction of groupings where the pick has strictly higher
+true downstream disagreement.  The worst-case variant reports the largest
+increase in disagreement a wrong pick incurs (Table 10).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.instability.grid import GridRecord
+from repro.selection.criteria import SelectionCriterion
+
+__all__ = ["PairwiseSelectionResult", "pairwise_selection_error"]
+
+
+@dataclass(frozen=True)
+class PairwiseSelectionResult:
+    """Error statistics of one criterion on the pairwise selection task."""
+
+    criterion: str
+    algorithm: str
+    task: str
+    error_rate: float
+    worst_case_error: float
+    n_groupings: int
+
+
+def _group_records(records: list[GridRecord]) -> dict[tuple[str, str, int], list[GridRecord]]:
+    """Group by (algorithm, task, seed); selection compares within a group."""
+    grouped: dict[tuple[str, str, int], list[GridRecord]] = {}
+    for rec in records:
+        grouped.setdefault((rec.algorithm, rec.task, rec.seed), []).append(rec)
+    return grouped
+
+
+def pairwise_selection_error(
+    records: list[GridRecord],
+    criterion: SelectionCriterion,
+    *,
+    tolerance: float = 1e-12,
+) -> list[PairwiseSelectionResult]:
+    """Evaluate a criterion on the two-candidate selection task.
+
+    Returns one result per (algorithm, task), with the error rate and the
+    worst-case disagreement increase averaged / maximised over seeds.
+
+    Parameters
+    ----------
+    records:
+        Grid records with measures populated (``with_measures=True``).
+    criterion:
+        The selection criterion being evaluated.
+    tolerance:
+        Ties in true disagreement within this tolerance are never counted as
+        errors (either pick is equally good).
+    """
+    grouped = _group_records(records)
+
+    # Accumulate per (algorithm, task) over seeds.
+    stats: dict[tuple[str, str], dict[str, list[float]]] = {}
+    for (algorithm, task, _seed), group in grouped.items():
+        errors: list[float] = []
+        regrets: list[float] = []
+        for rec_a, rec_b in itertools.combinations(group, 2):
+            if (rec_a.dim, rec_a.precision) == (rec_b.dim, rec_b.precision):
+                continue
+            chosen = criterion.select([rec_a, rec_b])
+            other = rec_b if chosen is rec_a else rec_a
+            regret = chosen.disagreement - other.disagreement
+            is_error = regret > tolerance
+            errors.append(1.0 if is_error else 0.0)
+            regrets.append(max(regret, 0.0))
+        if not errors:
+            continue
+        entry = stats.setdefault((algorithm, task), {"errors": [], "regrets": [], "count": []})
+        entry["errors"].append(float(np.mean(errors)))
+        entry["regrets"].append(float(np.max(regrets)))
+        entry["count"].append(len(errors))
+
+    results = []
+    for (algorithm, task), entry in sorted(stats.items()):
+        results.append(
+            PairwiseSelectionResult(
+                criterion=criterion.name,
+                algorithm=algorithm,
+                task=task,
+                error_rate=float(np.mean(entry["errors"])),
+                worst_case_error=float(np.max(entry["regrets"])),
+                n_groupings=int(np.sum(entry["count"])),
+            )
+        )
+    return results

@@ -1,0 +1,37 @@
+"""Downstream NLP tasks: synthetic sentiment analysis and NER datasets.
+
+The paper evaluates on four binary sentiment datasets (SST-2, MR, Subj, MPQA)
+and the CoNLL-2003 NER dataset.  Offline substitutes are generated from the
+same synthetic topic structure that drives the corpora, so the labels are
+predictable from embedding geometry the same way real task labels are
+predictable from distributional semantics.
+"""
+
+from repro.tasks.datasets import (
+    DatasetSplits,
+    SequenceTaggingDataset,
+    TextClassificationDataset,
+    train_val_test_split,
+)
+from repro.tasks.lexicons import TaskLexicons, build_task_lexicons
+from repro.tasks.ner import NER_TAGS, NERTaskConfig, generate_ner_dataset
+from repro.tasks.sentiment import (
+    SENTIMENT_TASKS,
+    SentimentTaskConfig,
+    generate_sentiment_dataset,
+)
+
+__all__ = [
+    "DatasetSplits",
+    "NERTaskConfig",
+    "NER_TAGS",
+    "SENTIMENT_TASKS",
+    "SentimentTaskConfig",
+    "SequenceTaggingDataset",
+    "TaskLexicons",
+    "TextClassificationDataset",
+    "build_task_lexicons",
+    "generate_ner_dataset",
+    "generate_sentiment_dataset",
+    "train_val_test_split",
+]

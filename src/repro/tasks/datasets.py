@@ -1,0 +1,169 @@
+"""Dataset containers for the downstream tasks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.corpus.vocabulary import Vocabulary
+from repro.utils.rng import check_random_state
+
+__all__ = [
+    "TextClassificationDataset",
+    "SequenceTaggingDataset",
+    "DatasetSplits",
+    "train_val_test_split",
+]
+
+
+@dataclass
+class TextClassificationDataset:
+    """A text classification dataset over a fixed vocabulary.
+
+    Attributes
+    ----------
+    documents:
+        List of int64 arrays of word ids into ``vocab`` (and therefore into the
+        rows of any embedding trained over the same vocabulary).
+    labels:
+        Integer class labels, one per document.
+    vocab:
+        The shared vocabulary.
+    name:
+        Task name ("sst2", "mr", ...).
+    num_classes:
+        Number of classes (2 for the sentiment tasks).
+    """
+
+    documents: list[np.ndarray]
+    labels: np.ndarray
+    vocab: Vocabulary
+    name: str = "classification"
+    num_classes: int = 2
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if len(self.documents) != len(self.labels):
+            raise ValueError("documents and labels must have equal length")
+        if len(self.labels) and (self.labels.min() < 0 or self.labels.max() >= self.num_classes):
+            raise ValueError("labels out of range for num_classes")
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def subset(self, indices: np.ndarray) -> "TextClassificationDataset":
+        indices = np.asarray(indices, dtype=np.int64)
+        return TextClassificationDataset(
+            documents=[self.documents[i] for i in indices],
+            labels=self.labels[indices],
+            vocab=self.vocab,
+            name=self.name,
+            num_classes=self.num_classes,
+        )
+
+    def mean_embedding_features(self, vectors: np.ndarray) -> np.ndarray:
+        """Per-document mean embedding (the linear BOW model's features)."""
+        dim = vectors.shape[1]
+        features = np.zeros((len(self.documents), dim))
+        for i, doc in enumerate(self.documents):
+            if len(doc):
+                features[i] = vectors[doc].mean(axis=0)
+        return features
+
+
+@dataclass
+class SequenceTaggingDataset:
+    """A token-level tagging dataset (NER-style).
+
+    Attributes
+    ----------
+    sentences:
+        List of int64 arrays of word ids.
+    tags:
+        List of int64 arrays of tag ids, aligned with ``sentences``.
+    tag_names:
+        Names of tags in id order; by convention the "O" (outside) tag is
+        last so entity tags occupy the low ids.
+    vocab:
+        The shared vocabulary.
+    """
+
+    sentences: list[np.ndarray]
+    tags: list[np.ndarray]
+    tag_names: list[str]
+    vocab: Vocabulary
+    name: str = "ner"
+
+    def __post_init__(self) -> None:
+        if len(self.sentences) != len(self.tags):
+            raise ValueError("sentences and tags must have equal length")
+        for s, t in zip(self.sentences, self.tags):
+            if len(s) != len(t):
+                raise ValueError("every sentence must have one tag per token")
+
+    def __len__(self) -> int:
+        return len(self.sentences)
+
+    @property
+    def num_tags(self) -> int:
+        return len(self.tag_names)
+
+    @property
+    def outside_tag_id(self) -> int:
+        return self.tag_names.index("O")
+
+    def subset(self, indices: np.ndarray) -> "SequenceTaggingDataset":
+        indices = np.asarray(indices, dtype=np.int64)
+        return SequenceTaggingDataset(
+            sentences=[self.sentences[i] for i in indices],
+            tags=[self.tags[i] for i in indices],
+            tag_names=self.tag_names,
+            vocab=self.vocab,
+            name=self.name,
+        )
+
+    def entity_token_mask(self) -> list[np.ndarray]:
+        """Boolean masks of tokens whose gold tag is an entity (not "O").
+
+        The paper measures NER instability only over tokens whose true value
+        is an entity.
+        """
+        outside = self.outside_tag_id
+        return [np.asarray(t) != outside for t in self.tags]
+
+
+@dataclass
+class DatasetSplits:
+    """Train / validation / test splits of a dataset."""
+
+    train: TextClassificationDataset | SequenceTaggingDataset
+    val: TextClassificationDataset | SequenceTaggingDataset
+    test: TextClassificationDataset | SequenceTaggingDataset
+    fractions: tuple[float, float, float] = field(default=(0.8, 0.1, 0.1))
+
+
+def train_val_test_split(
+    dataset: TextClassificationDataset | SequenceTaggingDataset,
+    *,
+    val_fraction: float = 0.1,
+    test_fraction: float = 0.1,
+    seed: int = 0,
+) -> DatasetSplits:
+    """Random split into train/val/test (the paper uses 80/10/10 for MR/Subj/MPQA)."""
+    if val_fraction < 0 or test_fraction < 0 or val_fraction + test_fraction >= 1.0:
+        raise ValueError("val_fraction + test_fraction must be < 1 and non-negative")
+    n = len(dataset)
+    rng = check_random_state(seed)
+    order = rng.permutation(n)
+    n_val = int(round(val_fraction * n))
+    n_test = int(round(test_fraction * n))
+    val_idx = order[:n_val]
+    test_idx = order[n_val : n_val + n_test]
+    train_idx = order[n_val + n_test :]
+    return DatasetSplits(
+        train=dataset.subset(train_idx),
+        val=dataset.subset(val_idx),
+        test=dataset.subset(test_idx),
+        fractions=(1.0 - val_fraction - test_fraction, val_fraction, test_fraction),
+    )

@@ -1,0 +1,116 @@
+"""Task lexicons derived from the synthetic corpus topics.
+
+The downstream tasks need label structure that is (a) learnable from the
+embedding geometry and (b) consistent between the Corpus'17 and Corpus'18
+snapshots.  Both properties follow from anchoring the lexicons to the corpus
+generator's latent topics: words boosted by the same topic co-occur and hence
+cluster in embedding space, so a classifier over frozen embeddings can learn
+"topic 0 words signal the positive class" the same way real sentiment models
+learn that distributionally-similar words carry similar sentiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.synthetic import SyntheticCorpusGenerator
+from repro.corpus.vocabulary import Vocabulary
+
+__all__ = ["TaskLexicons", "build_task_lexicons"]
+
+#: Entity types used by the NER task (CoNLL-2003 label set).
+ENTITY_TYPES = ("PER", "ORG", "LOC", "MISC")
+
+
+@dataclass
+class TaskLexicons:
+    """Word lists that define the synthetic downstream tasks.
+
+    Attributes
+    ----------
+    positive, negative:
+        Sentiment-bearing word lists (ids in the task vocabulary).
+    entities:
+        Mapping from entity type ("PER", ...) to its word list.
+    background:
+        Words not assigned to any task-specific role.
+    vocab:
+        The task vocabulary all word lists are expressed in.
+    """
+
+    positive: list[str]
+    negative: list[str]
+    entities: dict[str, list[str]]
+    background: list[str]
+    vocab: Vocabulary
+
+    def describe(self) -> dict[str, int]:
+        """Sizes of each lexicon (useful for logging / sanity checks)."""
+        out = {"positive": len(self.positive), "negative": len(self.negative),
+               "background": len(self.background)}
+        out.update({f"entity_{k}": len(v) for k, v in self.entities.items()})
+        return out
+
+
+def build_task_lexicons(
+    generator: SyntheticCorpusGenerator,
+    vocab: Vocabulary,
+    *,
+    positive_topics: tuple[int, ...] = (0,),
+    negative_topics: tuple[int, ...] = (1,),
+    entity_topics: dict[str, int] | None = None,
+    max_words_per_role: int = 120,
+) -> TaskLexicons:
+    """Derive sentiment and entity lexicons from the generator's topics.
+
+    Parameters
+    ----------
+    generator:
+        The corpus generator whose topic structure defines the lexicons.
+    vocab:
+        Task vocabulary; words outside it are dropped from the lexicons.
+    positive_topics, negative_topics:
+        Topics whose boosted words become the positive / negative lexicons.
+    entity_topics:
+        Mapping from entity type to the topic providing its surface forms;
+        defaults to topics 2..5 for PER/ORG/LOC/MISC.
+    max_words_per_role:
+        Cap on each lexicon size (keeps role words reasonably frequent).
+    """
+    n_topics = generator.config.n_topics
+    if entity_topics is None:
+        entity_topics = {
+            etype: (2 + i) % n_topics for i, etype in enumerate(ENTITY_TYPES)
+        }
+
+    used: set[str] = set()
+
+    def topic_lexicon(topics: tuple[int, ...] | int) -> list[str]:
+        if isinstance(topics, int):
+            topics = (topics,)
+        words: list[str] = []
+        for t in topics:
+            for w in generator.topic_words(t % n_topics):
+                if w in vocab and w not in used:
+                    words.append(w)
+        # Keep the most frequent ones so they actually appear in the corpus.
+        words.sort(key=lambda w: -vocab.count(w))
+        chosen = words[:max_words_per_role]
+        used.update(chosen)
+        return chosen
+
+    positive = topic_lexicon(positive_topics)
+    negative = topic_lexicon(negative_topics)
+    entities = {etype: topic_lexicon(topic) for etype, topic in entity_topics.items()}
+    background = [w for w in vocab.words if w not in used]
+    if not positive or not negative:
+        raise ValueError(
+            "sentiment lexicons are empty; increase the corpus size or topic_word_fraction"
+        )
+    return TaskLexicons(
+        positive=positive,
+        negative=negative,
+        entities=entities,
+        background=background,
+        vocab=vocab,
+    )

@@ -1,0 +1,142 @@
+"""Synthetic binary sentiment analysis datasets (SST-2 / MR / Subj / MPQA analogues).
+
+Each dataset pairs a label with a short "sentence": a mixture of
+sentiment-bearing words from the label's lexicon and background words, plus
+label noise.  The four named configurations differ in size, sentence length,
+lexicon density, and noise so they span the same easy-to-hard range the
+paper's four real datasets do (Subj is the easiest / most stable task in the
+paper, MR the noisiest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.vocabulary import Vocabulary
+from repro.tasks.datasets import TextClassificationDataset
+from repro.tasks.lexicons import TaskLexicons
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_probability
+
+__all__ = ["SentimentTaskConfig", "SENTIMENT_TASKS", "generate_sentiment_dataset"]
+
+
+@dataclass(frozen=True)
+class SentimentTaskConfig:
+    """Generation parameters of one synthetic sentiment dataset.
+
+    Attributes
+    ----------
+    name:
+        Task name (mirrors the paper's dataset names).
+    n_examples:
+        Number of labelled sentences.
+    sentence_length:
+        Tokens per sentence.
+    lexicon_fraction:
+        Fraction of tokens drawn from the label's sentiment lexicon (the rest
+        are background words); lower values make the task harder/noisier.
+    label_noise:
+        Probability of flipping the label after generating the sentence.
+    """
+
+    name: str
+    n_examples: int = 600
+    sentence_length: int = 14
+    lexicon_fraction: float = 0.5
+    label_noise: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n_examples <= 0 or self.sentence_length <= 0:
+            raise ValueError("n_examples and sentence_length must be positive")
+        check_probability(self.lexicon_fraction, name="lexicon_fraction")
+        check_probability(self.label_noise, name="label_noise")
+
+
+#: The four sentiment tasks of the paper, ordered roughly from most stable
+#: (subj) to least stable (mr) to mirror the instability spread in the paper.
+SENTIMENT_TASKS: dict[str, SentimentTaskConfig] = {
+    "sst2": SentimentTaskConfig("sst2", n_examples=700, sentence_length=14,
+                                lexicon_fraction=0.40, label_noise=0.08),
+    "subj": SentimentTaskConfig("subj", n_examples=800, sentence_length=16,
+                                lexicon_fraction=0.60, label_noise=0.02),
+    "mr": SentimentTaskConfig("mr", n_examples=600, sentence_length=12,
+                              lexicon_fraction=0.30, label_noise=0.12),
+    "mpqa": SentimentTaskConfig("mpqa", n_examples=700, sentence_length=8,
+                                lexicon_fraction=0.45, label_noise=0.06),
+}
+
+
+def generate_sentiment_dataset(
+    config: SentimentTaskConfig | str,
+    lexicons: TaskLexicons,
+    *,
+    seed: int = 0,
+    vocab: Vocabulary | None = None,
+) -> TextClassificationDataset:
+    """Generate a binary sentiment dataset from the task lexicons.
+
+    Parameters
+    ----------
+    config:
+        A :class:`SentimentTaskConfig` or the name of one of the predefined
+        tasks ("sst2", "mr", "subj", "mpqa").
+    lexicons:
+        Task lexicons built with :func:`repro.tasks.lexicons.build_task_lexicons`.
+    seed:
+        Dataset sampling seed.  The *dataset* is shared by both members of an
+        embedding pair (only the embeddings change), so callers use one seed
+        per experimental seed.
+    vocab:
+        Vocabulary for the returned dataset (defaults to ``lexicons.vocab``).
+    """
+    if isinstance(config, str):
+        if config not in SENTIMENT_TASKS:
+            raise KeyError(f"unknown sentiment task {config!r}; known: {sorted(SENTIMENT_TASKS)}")
+        config = SENTIMENT_TASKS[config]
+    vocab = vocab or lexicons.vocab
+    rng = check_random_state(seed)
+
+    pos_ids = np.asarray([vocab[w] for w in lexicons.positive if w in vocab], dtype=np.int64)
+    neg_ids = np.asarray([vocab[w] for w in lexicons.negative if w in vocab], dtype=np.int64)
+    bg_ids = np.asarray([vocab[w] for w in lexicons.background if w in vocab], dtype=np.int64)
+    if len(pos_ids) == 0 or len(neg_ids) == 0:
+        raise ValueError("sentiment lexicons do not overlap the vocabulary")
+    if len(bg_ids) == 0:
+        bg_ids = np.concatenate([pos_ids, neg_ids])
+
+    # Sample background words proportionally to corpus frequency so sentences
+    # look like the corpus the embeddings were trained on.
+    bg_counts = np.asarray([vocab.count(vocab.id_to_word(int(i))) for i in bg_ids], dtype=np.float64)
+    bg_probs = bg_counts / bg_counts.sum() if bg_counts.sum() > 0 else None
+
+    documents: list[np.ndarray] = []
+    labels = np.zeros(config.n_examples, dtype=np.int64)
+    n_lex = max(1, int(round(config.lexicon_fraction * config.sentence_length)))
+    n_bg = config.sentence_length - n_lex
+
+    for i in range(config.n_examples):
+        label = int(rng.random() < 0.5)
+        lex_pool = pos_ids if label == 1 else neg_ids
+        lex_words = rng.choice(lex_pool, size=n_lex, replace=True)
+        bg_words = (
+            rng.choice(bg_ids, size=n_bg, replace=True, p=bg_probs)
+            if n_bg > 0
+            else np.empty(0, dtype=np.int64)
+        )
+        sentence = np.concatenate([lex_words, bg_words])
+        rng.shuffle(sentence)
+        documents.append(sentence.astype(np.int64))
+        if rng.random() < config.label_noise:
+            label = 1 - label
+        labels[i] = label
+
+    return TextClassificationDataset(
+        documents=documents,
+        labels=labels,
+        vocab=vocab,
+        name=config.name,
+        num_classes=2,
+    )

@@ -1,0 +1,21 @@
+"""Shared utilities: RNG handling, I/O helpers, logging, registries, validation."""
+
+from repro.utils.rng import RngMixin, check_random_state, spawn_seeds
+from repro.utils.registry import Registry
+from repro.utils.validation import (
+    check_array,
+    check_embedding_pair,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "RngMixin",
+    "Registry",
+    "check_array",
+    "check_embedding_pair",
+    "check_positive",
+    "check_probability",
+    "check_random_state",
+    "spawn_seeds",
+]

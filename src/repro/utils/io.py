@@ -1,0 +1,68 @@
+"""Lightweight I/O helpers for saving experiment artifacts.
+
+Experiment results are written as JSON (records of scalars) and ``.npz``
+(arrays).  Keeping this in one place lets the experiment harness and the
+benchmarks share consistent file layouts under a results directory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["to_jsonable", "save_json", "load_json", "save_arrays", "load_arrays", "ensure_dir"]
+
+
+def ensure_dir(path: str | Path) -> Path:
+    """Create ``path`` (and parents) if needed and return it as a Path."""
+    p = Path(path)
+    p.mkdir(parents=True, exist_ok=True)
+    return p
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert numpy scalars/arrays and dataclasses to JSON types."""
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return to_jsonable(asdict(obj))
+    if isinstance(obj, Mapping):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    return obj
+
+
+def save_json(data: Any, path: str | Path) -> Path:
+    """Serialise ``data`` to JSON at ``path`` (creating parent directories)."""
+    p = Path(path)
+    ensure_dir(p.parent)
+    p.write_text(json.dumps(to_jsonable(data), indent=2, sort_keys=True))
+    return p
+
+
+def load_json(path: str | Path) -> Any:
+    return json.loads(Path(path).read_text())
+
+
+def save_arrays(path: str | Path, **arrays: np.ndarray) -> Path:
+    """Save named arrays to a compressed ``.npz`` file."""
+    p = Path(path)
+    ensure_dir(p.parent)
+    np.savez_compressed(p, **arrays)
+    return p if p.suffix == ".npz" else p.with_suffix(p.suffix + ".npz")
+
+
+def load_arrays(path: str | Path) -> dict[str, np.ndarray]:
+    with np.load(Path(path)) as data:
+        return {k: data[k] for k in data.files}

@@ -1,0 +1,34 @@
+"""Logging configuration for the library.
+
+Library modules call :func:`get_logger` and never configure the root logger;
+scripts (examples / experiment runner) call :func:`configure_logging` once.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "configure_logging"]
+
+_LIBRARY_ROOT = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under the library root."""
+    if name.startswith(_LIBRARY_ROOT):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LIBRARY_ROOT}.{name}")
+
+
+def configure_logging(level: int | str = logging.INFO, stream=None) -> logging.Logger:
+    """Attach a stream handler with a concise format to the library root logger."""
+    logger = logging.getLogger(_LIBRARY_ROOT)
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
+        )
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,59 @@
+"""A tiny name->factory registry.
+
+Used to register embedding algorithms, distance measures, downstream models,
+and experiments so that the benchmark harness and the examples can look them
+up by the names the paper uses ("cbow", "glove", "mc", "eis", "knn", ...).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Registry"]
+
+
+class Registry(Generic[T]):
+    """Case-insensitive mapping from names to registered objects."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, T] = {}
+
+    def register(self, name: str, obj: T | None = None) -> Callable[[T], T] | T:
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        ``registry.register("glove")`` returns a decorator, while
+        ``registry.register("glove", factory)`` registers immediately.
+        """
+        key = name.lower()
+
+        def _do_register(target: T) -> T:
+            if key in self._entries:
+                raise KeyError(f"{self.kind} '{name}' is already registered")
+            self._entries[key] = target
+            return target
+
+        if obj is None:
+            return _do_register
+        return _do_register(obj)
+
+    def get(self, name: str) -> T:
+        key = name.lower()
+        if key not in self._entries:
+            known = ", ".join(sorted(self._entries)) or "<none>"
+            raise KeyError(f"unknown {self.kind} '{name}'; known: {known}")
+        return self._entries[key]
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)

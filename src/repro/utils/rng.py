@@ -1,0 +1,71 @@
+"""Random-number-generator handling.
+
+The paper's experiments train every artifact (embedding, downstream model,
+knowledge-graph embedding) under a small number of explicit seeds and compare
+artifacts trained with the *same* seed against each other.  Everything in this
+repository therefore threads a :class:`numpy.random.Generator` explicitly; the
+helpers here normalise the many ways a caller may specify randomness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_random_state", "spawn_seeds", "RngMixin"]
+
+
+def check_random_state(seed: int | None | np.random.Generator) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for nondeterministic entropy, an ``int`` seed, or an existing
+        generator (returned unchanged).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator; got {type(seed).__name__}"
+    )
+
+
+def spawn_seeds(seed: int | None | np.random.Generator, n: int) -> list[int]:
+    """Derive ``n`` independent integer seeds from ``seed``.
+
+    Used to give each member of a sweep (e.g. each dimension in a
+    dimension-precision grid) its own reproducible stream.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    rng = check_random_state(seed)
+    return [int(s) for s in rng.integers(0, 2**31 - 1, size=n)]
+
+
+class RngMixin:
+    """Mixin giving a class a lazily-constructed ``self.rng`` generator.
+
+    Classes set ``self.seed`` in ``__init__``; the generator is constructed on
+    first use so that pickling / dataclass-style construction stays cheap.
+    """
+
+    seed: int | None | np.random.Generator = None
+
+    @property
+    def rng(self) -> np.random.Generator:
+        rng = getattr(self, "_rng", None)
+        if rng is None:
+            rng = check_random_state(self.seed)
+            self._rng = rng
+        return rng
+
+    def reseed(self, seed: int | None | np.random.Generator) -> None:
+        """Replace the generator (used when re-running with a new seed)."""
+        self.seed = seed
+        self._rng = check_random_state(seed)

@@ -1,0 +1,143 @@
+"""Tests for Spearman correlation, linear-log fits, and reporting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.correlation import measure_correlations, spearman_correlation
+from repro.analysis.linear_log import fit_linear_log, relative_reduction_range
+from repro.analysis.reporting import format_table, records_to_csv, rows_to_csv
+from repro.instability.grid import GridRecord
+
+
+def make_record(task, algo, dim, precision, disagreement, measures=None, seed=0):
+    return GridRecord(
+        algorithm=algo, task=task, dim=dim, precision=precision, seed=seed,
+        disagreement=disagreement, accuracy_a=0.8, accuracy_b=0.82, measures=measures or {},
+    )
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        assert spearman_correlation([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+        assert spearman_correlation([1, 2, 3, 4], [5, 4, 3, 2]) == pytest.approx(-1.0)
+
+    def test_nonlinear_monotone_still_one(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_correlation(x, np.exp(x)) == pytest.approx(1.0)
+
+    def test_constant_input_returns_zero(self):
+        assert spearman_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            spearman_correlation([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            spearman_correlation([1], [1])
+
+    def test_measure_correlations_grouping(self):
+        records = []
+        for i, dis in enumerate([10.0, 8.0, 6.0, 4.0]):
+            records.append(make_record("sst2", "mc", 8 * (i + 1), 32, dis,
+                                       measures={"m": dis / 100, "anti": -dis}))
+        corr = measure_correlations(records)
+        assert corr[("sst2", "mc", "m")] == pytest.approx(1.0)
+        assert corr[("sst2", "mc", "anti")] == pytest.approx(-1.0)
+
+    def test_records_without_measures_are_skipped(self):
+        records = [make_record("sst2", "mc", 8, 32, 5.0)]
+        assert measure_correlations(records) == {}
+
+
+class TestLinearLogFit:
+    def _synthetic_records(self, slope=1.3, intercept=20.0):
+        records = []
+        for task in ("sst2", "conll"):
+            offset = 0.0 if task == "sst2" else 5.0
+            for dim in (8, 16, 32, 64):
+                for precision in (1, 2, 4):
+                    memory = dim * precision
+                    dis = intercept + offset - slope * np.log2(memory)
+                    records.append(make_record(task, "mc", dim, precision, dis))
+        return records
+
+    def test_recovers_known_slope_and_intercepts(self):
+        records = self._synthetic_records(slope=1.3)
+        fit = fit_linear_log(records, regressor="memory")
+        assert fit.slope == pytest.approx(1.3, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+        assert fit.predict("sst2/mc", 64) == pytest.approx(20.0 - 1.3 * 6, rel=1e-6)
+
+    def test_max_memory_filter(self):
+        records = self._synthetic_records()
+        fit_all = fit_linear_log(records)
+        fit_low = fit_linear_log(records, max_memory=64)
+        assert fit_low.n_observations < fit_all.n_observations
+
+    def test_dim_and_precision_regressors(self):
+        records = self._synthetic_records()
+        for regressor in ("dim", "precision"):
+            fit = fit_linear_log(records, regressor=regressor)
+            assert fit.regressor == regressor
+            assert fit.slope == pytest.approx(1.3, rel=1e-6)
+
+    def test_invalid_regressor(self):
+        with pytest.raises(ValueError):
+            fit_linear_log(self._synthetic_records(), regressor="epochs")
+
+    def test_too_few_records(self):
+        with pytest.raises(ValueError):
+            fit_linear_log([make_record("sst2", "mc", 8, 1, 5.0)])
+
+    def test_unknown_group_in_predict(self):
+        fit = fit_linear_log(self._synthetic_records())
+        with pytest.raises(KeyError):
+            fit.predict("unknown", 32)
+
+    def test_relative_reduction_range(self):
+        records = self._synthetic_records()
+        fit = fit_linear_log(records)
+        low, high = relative_reduction_range(fit, records)
+        assert 0.0 <= low <= high <= 1.0
+
+
+class TestReporting:
+    def test_format_table_alignment_and_title(self):
+        rows = [{"a": 1, "b": 2.34567}, {"a": 10, "b": 0.5}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "2.346" in text
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="x")
+
+    def test_format_table_custom_headers(self):
+        text = format_table([{"a": 1, "b": 2}], headers=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_rows_to_csv_union_of_keys(self, tmp_path):
+        path = tmp_path / "out.csv"
+        rows_to_csv([{"a": 1}, {"b": 2}], path)
+        content = path.read_text().splitlines()
+        assert content[0] == "a,b"
+        assert len(content) == 3
+
+    def test_records_to_csv(self, tmp_path):
+        record = make_record("sst2", "mc", 8, 4, 5.0, measures={"eis": 0.1})
+        path = records_to_csv([record], tmp_path / "records.csv")
+        text = path.read_text()
+        assert "measure_eis" in text
+        assert "sst2" in text
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=3, max_size=20, unique=True))
+def test_property_spearman_invariant_to_monotone_transform(values):
+    x = np.asarray(values, dtype=np.float64)
+    y = 3.0 * x + 1.0
+    assert spearman_correlation(x, y) == pytest.approx(1.0)
+    assert spearman_correlation(x, -y) == pytest.approx(-1.0)
+    assert -1.0 - 1e-9 <= spearman_correlation(x, np.roll(y, 1)) <= 1.0 + 1e-9

@@ -1,0 +1,61 @@
+"""Tests for memory accounting of dimension-precision combinations."""
+
+import pytest
+
+from repro.compression.memory import (
+    DimensionPrecision,
+    bits_per_word,
+    dimension_precision_grid,
+    memory_of,
+    pairs_for_budget,
+)
+
+
+class TestBitsPerWord:
+    def test_product(self):
+        assert bits_per_word(100, 4) == 400
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bits_per_word(0, 4)
+        with pytest.raises(ValueError):
+            bits_per_word(4, -1)
+
+    def test_memory_of_embedding(self, embedding):
+        assert memory_of(embedding) == embedding.dim * 32
+        quantized = embedding.with_vectors(embedding.vectors, precision=2)
+        assert memory_of(quantized) == embedding.dim * 2
+
+
+class TestGrid:
+    def test_paper_grid_size(self):
+        grid = dimension_precision_grid()
+        assert len(grid) == 36  # 6 dims x 6 precisions
+        assert grid == sorted(grid, key=lambda dp: (dp.memory, dp.dim))
+
+    def test_custom_grid(self):
+        grid = dimension_precision_grid((8, 16), (1, 2))
+        assert DimensionPrecision(8, 1) in grid
+        assert len(grid) == 4
+
+    def test_str(self):
+        assert str(DimensionPrecision(25, 8)) == "d=25,b=8"
+
+
+class TestPairsForBudget:
+    def test_budgets_have_multiple_choices(self):
+        budgets = pairs_for_budget(dimensions=(8, 16, 32), precisions=(1, 2, 4, 8, 32))
+        assert budgets, "expected at least one shared memory budget"
+        for memory, combos in budgets.items():
+            assert len(combos) >= 2
+            assert all(c.memory == memory for c in combos)
+
+    def test_paper_example_budget(self):
+        """dim 800 x 2 bits and dim 200 x 8 bits share a 1600-bit budget."""
+        budgets = pairs_for_budget()
+        assert 1600 in budgets
+        combos = {(c.dim, c.precision) for c in budgets[1600]}
+        assert (800, 2) in combos and (200, 8) in combos
+
+    def test_no_collision_returns_empty(self):
+        assert pairs_for_budget(dimensions=(3,), precisions=(1, 5)) == {}

@@ -1,0 +1,121 @@
+"""Tests for uniform quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compression.uniform_quantization import (
+    UniformQuantizer,
+    compress_embedding,
+    compress_pair,
+    optimal_clip_threshold,
+    uniform_quantize,
+)
+
+
+class TestUniformQuantize:
+    def test_number_of_levels_bounded(self, rng):
+        X = rng.standard_normal((50, 10))
+        for bits in (1, 2, 4):
+            q = uniform_quantize(X, bits)
+            assert len(np.unique(q)) <= 2**bits
+
+    def test_full_precision_is_identity(self, rng):
+        X = rng.standard_normal((10, 4))
+        np.testing.assert_allclose(uniform_quantize(X, 32), X)
+
+    def test_values_within_clip(self, rng):
+        X = rng.standard_normal((30, 5)) * 10
+        q = uniform_quantize(X, 4, clip=1.0)
+        assert np.abs(q).max() <= 1.0 + 1e-12
+
+    def test_deterministic_by_default(self, rng):
+        X = rng.standard_normal((20, 3))
+        np.testing.assert_allclose(uniform_quantize(X, 2), uniform_quantize(X, 2))
+
+    def test_stochastic_rounding_differs_but_bounded(self, rng):
+        X = rng.standard_normal((40, 8))
+        a = uniform_quantize(X, 2, stochastic=True, seed=1)
+        b = uniform_quantize(X, 2, stochastic=True, seed=2)
+        assert not np.allclose(a, b)
+        assert len(np.unique(a)) <= 4
+
+    def test_idempotent(self, rng):
+        """Quantizing an already-quantized matrix with the same grid is a no-op."""
+        X = rng.standard_normal((20, 4))
+        clip = optimal_clip_threshold(X, 3)
+        once = uniform_quantize(X, 3, clip=clip)
+        twice = uniform_quantize(once, 3, clip=clip)
+        np.testing.assert_allclose(once, twice)
+
+    def test_error_decreases_with_precision(self, rng):
+        X = rng.standard_normal((100, 10))
+        errors = [np.linalg.norm(X - uniform_quantize(X, b)) for b in (1, 2, 4, 8)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_invalid_bits(self, rng):
+        with pytest.raises(ValueError):
+            uniform_quantize(rng.standard_normal((2, 2)), 0)
+
+    def test_invalid_clip(self, rng):
+        with pytest.raises(ValueError):
+            uniform_quantize(rng.standard_normal((2, 2)), 2, clip=-1.0)
+
+
+class TestOptimalClipThreshold:
+    def test_within_data_range(self, rng):
+        X = rng.standard_normal((200, 5))
+        thr = optimal_clip_threshold(X, 4)
+        assert 0 < thr <= np.abs(X).max() + 1e-12
+
+    def test_zero_matrix(self):
+        assert optimal_clip_threshold(np.zeros((3, 3)), 4) == 1.0
+
+    def test_high_precision_uses_max(self, rng):
+        X = rng.standard_normal((50, 4))
+        assert optimal_clip_threshold(X, 32) == pytest.approx(np.abs(X).max())
+
+    def test_lower_bits_clip_more(self, rng):
+        X = rng.standard_normal((500, 8))
+        assert optimal_clip_threshold(X, 1) <= optimal_clip_threshold(X, 8) + 1e-9
+
+
+class TestQuantizerAndPairs:
+    def test_quantizer_requires_fit(self, rng):
+        q = UniformQuantizer(bits=2)
+        with pytest.raises(RuntimeError):
+            q.transform(rng.standard_normal((2, 2)))
+
+    def test_shared_threshold_pair(self, embedding_pair):
+        emb_a, emb_b = embedding_pair
+        qa, qb = compress_pair(emb_a, emb_b, 2, share_threshold=True)
+        assert qa.metadata["precision"] == 2
+        assert qb.metadata["precision"] == 2
+        # Shared grid: the union of values has at most 2**2 distinct levels.
+        assert len(np.unique(np.concatenate([qa.vectors.ravel(), qb.vectors.ravel()]))) <= 4
+
+    def test_independent_threshold_pair(self, embedding_pair):
+        emb_a, emb_b = embedding_pair
+        qa, qb = compress_pair(emb_a, emb_b, 2, share_threshold=False)
+        assert len(np.unique(qa.vectors)) <= 4
+        assert len(np.unique(qb.vectors)) <= 4
+
+    def test_compress_embedding_preserves_vocab(self, embedding):
+        q = compress_embedding(embedding, 4)
+        assert q.vocab.words == embedding.vocab.words
+        assert q.metadata["precision"] == 4
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hnp.arrays(np.float64, (12, 4), elements=st.floats(-100, 100)),
+    st.sampled_from([1, 2, 4, 8]),
+)
+def test_property_quantization_levels_and_range(X, bits):
+    q = uniform_quantize(X, bits)
+    assert q.shape == X.shape
+    assert len(np.unique(q)) <= 2**bits
+    # Quantized values never exceed the data's max magnitude (clip <= max|X|).
+    assert np.abs(q).max() <= np.abs(X).max() + 1e-9 or np.abs(X).max() == 0

@@ -1,0 +1,80 @@
+"""Shared test fixtures: tiny corpora, vocabularies, embeddings, datasets.
+
+Expensive artifacts are session-scoped so the whole suite stays fast; tests
+that mutate state build their own copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.synthetic import SyntheticCorpusConfig, SyntheticCorpusGenerator
+from repro.embeddings.alignment import align_pair
+from repro.embeddings.svd import PPMISVDModel
+from repro.tasks.lexicons import build_task_lexicons
+from repro.tasks.ner import NERTaskConfig, generate_ner_dataset
+from repro.tasks.sentiment import generate_sentiment_dataset
+
+
+TINY_CORPUS_CONFIG = SyntheticCorpusConfig(
+    vocab_size=200,
+    n_topics=6,
+    n_documents=120,
+    doc_length_mean=50,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="session")
+def generator() -> SyntheticCorpusGenerator:
+    return SyntheticCorpusGenerator(TINY_CORPUS_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def corpus_pair(generator):
+    return generator.generate_pair(seed=7)
+
+
+@pytest.fixture(scope="session")
+def corpus(corpus_pair):
+    return corpus_pair.base
+
+
+@pytest.fixture(scope="session")
+def vocab(corpus_pair):
+    return corpus_pair.shared_vocabulary(min_count=2)
+
+
+@pytest.fixture(scope="session")
+def lexicons(generator, vocab):
+    return build_task_lexicons(generator, vocab)
+
+
+@pytest.fixture(scope="session")
+def embedding_pair(corpus_pair, vocab):
+    """A small, fast (SVD) embedding pair over the shared vocabulary, aligned."""
+    emb_a = PPMISVDModel(dim=12, seed=0).fit(corpus_pair.base, vocab=vocab)
+    emb_b = PPMISVDModel(dim=12, seed=0).fit(corpus_pair.drifted, vocab=vocab)
+    return emb_a, align_pair(emb_a, emb_b)
+
+
+@pytest.fixture(scope="session")
+def embedding(embedding_pair):
+    return embedding_pair[0]
+
+
+@pytest.fixture(scope="session")
+def sentiment_dataset(lexicons):
+    return generate_sentiment_dataset("sst2", lexicons, seed=3)
+
+
+@pytest.fixture(scope="session")
+def ner_dataset(lexicons):
+    config = NERTaskConfig(n_sentences=60, sentence_length=10, entity_density=0.35)
+    return generate_ner_dataset(config, lexicons, seed=3)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,37 @@
+"""Tests for the regex tokenizer."""
+
+import pytest
+
+from repro.corpus.tokenizer import SimpleTokenizer
+
+
+class TestSimpleTokenizer:
+    def test_basic_split(self):
+        assert SimpleTokenizer()("Hello world") == ["Hello", "world"]
+
+    def test_keeps_case_by_default(self):
+        assert SimpleTokenizer().tokenize("Barack Obama") == ["Barack", "Obama"]
+
+    def test_lowercase_option(self):
+        assert SimpleTokenizer(lowercase=True)("Hello") == ["hello"]
+
+    def test_punctuation_is_separate(self):
+        assert SimpleTokenizer()("a,b.") == ["a", ",", "b", "."]
+
+    def test_numbers_kept_by_default(self):
+        assert SimpleTokenizer()("year 2018") == ["year", "2018"]
+
+    def test_numbers_replaced_when_disabled(self):
+        tok = SimpleTokenizer(keep_numbers=False)
+        assert tok("year 2018") == ["year", SimpleTokenizer.NUM_TOKEN]
+
+    def test_empty_string(self):
+        assert SimpleTokenizer()("") == []
+
+    def test_non_string_raises(self):
+        with pytest.raises(TypeError):
+            SimpleTokenizer()(123)
+
+    def test_tokenize_documents(self):
+        docs = SimpleTokenizer().tokenize_documents(["a b", "c"])
+        assert docs == [["a", "b"], ["c"]]

@@ -1,0 +1,105 @@
+"""Tests for the Vocabulary container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.vocabulary import Vocabulary
+
+
+class TestConstruction:
+    def test_frequency_ordering(self):
+        vocab = Vocabulary({"rare": 1, "common": 10, "mid": 5})
+        assert vocab.words == ["common", "mid", "rare"]
+        assert vocab["common"] == 0
+
+    def test_ties_break_lexicographically(self):
+        vocab = Vocabulary({"b": 2, "a": 2})
+        assert vocab.words == ["a", "b"]
+
+    def test_min_count_filters(self):
+        vocab = Vocabulary({"a": 5, "b": 1}, min_count=2)
+        assert "b" not in vocab
+        assert len(vocab) == 1
+
+    def test_from_documents(self):
+        vocab = Vocabulary.from_documents([["a", "b", "a"], ["b", "c"]])
+        assert vocab.count("a") == 2
+        assert vocab.count("b") == 2
+        assert vocab.count("c") == 1
+
+    def test_from_documents_max_size(self):
+        vocab = Vocabulary.from_documents([["a", "a", "b", "c"]], max_size=2)
+        assert len(vocab) == 2
+        assert "a" in vocab
+
+
+class TestLookups:
+    def test_round_trip(self):
+        vocab = Vocabulary({"x": 3, "y": 2, "z": 1})
+        for word in vocab.words:
+            assert vocab.id_to_word(vocab[word]) == word
+
+    def test_word_to_id_default(self):
+        vocab = Vocabulary({"x": 1})
+        assert vocab.word_to_id("missing") is None
+        assert vocab.word_to_id("missing", -1) == -1
+
+    def test_counts_aligned_with_ids(self):
+        vocab = Vocabulary({"x": 3, "y": 7})
+        np.testing.assert_array_equal(vocab.counts, [7, 3])
+        assert vocab.total_count == 10
+
+    def test_most_common(self):
+        vocab = Vocabulary({"x": 3, "y": 7, "z": 1})
+        assert vocab.most_common(2) == [("y", 7), ("x", 3)]
+
+
+class TestEncode:
+    def test_encode_drops_unknown(self):
+        vocab = Vocabulary({"a": 2, "b": 1})
+        np.testing.assert_array_equal(vocab.encode(["a", "zzz", "b"]), [0, 1])
+
+    def test_encode_keep_unknown(self):
+        vocab = Vocabulary({"a": 2, "b": 1})
+        np.testing.assert_array_equal(
+            vocab.encode(["a", "zzz", "b"], drop_unknown=False), [0, -1, 1]
+        )
+
+    def test_decode(self):
+        vocab = Vocabulary({"a": 2, "b": 1})
+        assert vocab.decode([1, 0]) == ["b", "a"]
+
+
+class TestTruncateAndIntersect:
+    def test_truncate_keeps_most_frequent(self):
+        vocab = Vocabulary({"a": 5, "b": 3, "c": 1})
+        small = vocab.truncate(2)
+        assert small.words == ["a", "b"]
+
+    def test_truncate_invalid(self):
+        with pytest.raises(ValueError):
+            Vocabulary({"a": 1}).truncate(0)
+
+    def test_intersect_order_follows_self(self):
+        a = Vocabulary({"x": 5, "y": 3, "z": 1})
+        b = Vocabulary({"y": 9, "z": 2})
+        assert a.intersect(b) == ["y", "z"]
+
+    def test_equality(self):
+        assert Vocabulary({"a": 1, "b": 2}) == Vocabulary({"a": 5, "b": 9})
+        assert Vocabulary({"a": 1}) != Vocabulary({"b": 1})
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.dictionaries(st.text(alphabet="abcdefg", min_size=1, max_size=4),
+                       st.integers(min_value=1, max_value=50), min_size=1, max_size=20))
+def test_property_id_roundtrip_and_monotone_counts(counts):
+    """Ids are a bijection onto words and ordered by non-increasing count."""
+    vocab = Vocabulary(counts)
+    assert len(vocab) == len(counts)
+    for word in counts:
+        assert vocab.id_to_word(vocab[word]) == word
+    arr = vocab.counts
+    assert all(arr[i] >= arr[i + 1] for i in range(len(arr) - 1))

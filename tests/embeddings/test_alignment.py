@@ -1,0 +1,71 @@
+"""Tests for orthogonal Procrustes alignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.embeddings.alignment import align_matrices, align_pair, orthogonal_procrustes
+
+
+def random_rotation(dim: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((dim, dim)))
+    return q
+
+
+class TestOrthogonalProcrustes:
+    def test_result_is_orthogonal(self, rng):
+        X = rng.standard_normal((20, 5))
+        Y = rng.standard_normal((20, 5))
+        R = orthogonal_procrustes(X, Y)
+        np.testing.assert_allclose(R.T @ R, np.eye(5), atol=1e-10)
+
+    def test_recovers_exact_rotation(self, rng):
+        X = rng.standard_normal((30, 4))
+        R_true = random_rotation(4)
+        Y = X @ R_true.T          # Y rotated away from X
+        aligned = align_matrices(X, Y)
+        np.testing.assert_allclose(aligned, X, atol=1e-8)
+
+    def test_alignment_never_increases_distance(self, rng):
+        X = rng.standard_normal((25, 6))
+        Y = rng.standard_normal((25, 6))
+        before = np.linalg.norm(X - Y)
+        after = np.linalg.norm(X - align_matrices(X, Y))
+        assert after <= before + 1e-9
+
+    def test_dim_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            orthogonal_procrustes(rng.standard_normal((5, 2)), rng.standard_normal((5, 3)))
+
+
+class TestAlignPair:
+    def test_aligned_embedding_closer_to_reference(self, embedding_pair):
+        emb_a, emb_b = embedding_pair
+        rotated = align_pair(emb_a, emb_b)
+        assert np.linalg.norm(emb_a.vectors - rotated.vectors) <= (
+            np.linalg.norm(emb_a.vectors - emb_b.vectors) + 1e-9
+        )
+        assert "aligned_to" in rotated.metadata
+
+    def test_dimension_mismatch_raises(self, embedding_pair):
+        emb_a, emb_b = embedding_pair
+        smaller = emb_b.with_vectors(emb_b.vectors[:, :-1])
+        with pytest.raises(ValueError, match="different dimensions"):
+            align_pair(emb_a, smaller)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    hnp.arrays(np.float64, (12, 3), elements=st.floats(-5, 5)),
+)
+def test_property_procrustes_is_orthogonal_and_contractive(X):
+    if np.linalg.norm(X) == 0:
+        return
+    rng = np.random.default_rng(0)
+    Y = X @ random_rotation(3, seed=1) + 0.01 * rng.standard_normal(X.shape)
+    R = orthogonal_procrustes(X, Y)
+    np.testing.assert_allclose(R.T @ R, np.eye(3), atol=1e-8)
+    assert np.linalg.norm(X - Y @ R) <= np.linalg.norm(X - Y) + 1e-8

@@ -1,0 +1,104 @@
+"""Tests for the Embedding container."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.vocabulary import Vocabulary
+from repro.embeddings.base import Embedding
+
+
+@pytest.fixture()
+def small_embedding():
+    vocab = Vocabulary({"a": 10, "b": 5, "c": 2})
+    vectors = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+    return Embedding(vocab=vocab, vectors=vectors, metadata={"algorithm": "test"})
+
+
+class TestConstruction:
+    def test_shape_mismatch_raises(self):
+        vocab = Vocabulary({"a": 1, "b": 1})
+        with pytest.raises(ValueError, match="rows"):
+            Embedding(vocab=vocab, vectors=np.ones((3, 2)))
+
+    def test_basic_properties(self, small_embedding):
+        assert small_embedding.dim == 2
+        assert small_embedding.n_words == 3
+        assert len(small_embedding) == 3
+        assert "a" in small_embedding
+
+    def test_vector_lookup(self, small_embedding):
+        np.testing.assert_allclose(small_embedding.vector("a"), [1.0, 0.0])
+        with pytest.raises(KeyError):
+            small_embedding.vector("zzz")
+        assert small_embedding.get("zzz") is None
+
+
+class TestRestrict:
+    def test_restrict_by_words(self, small_embedding):
+        sub = small_embedding.restrict(["b", "c"])
+        assert sub.n_words == 2
+        np.testing.assert_allclose(sub.vector("b"), [0.0, 1.0])
+
+    def test_restrict_by_top_k(self, small_embedding):
+        sub = small_embedding.restrict(2)
+        assert sub.vocab.words == ["a", "b"]
+
+    def test_restrict_unknown_word_raises(self, small_embedding):
+        with pytest.raises(KeyError):
+            small_embedding.restrict(["nope"])
+
+    def test_with_vectors_updates_metadata(self, small_embedding):
+        new = small_embedding.with_vectors(np.zeros((3, 2)), precision=4)
+        assert new.metadata["precision"] == 4
+        assert new.metadata["algorithm"] == "test"
+        np.testing.assert_allclose(new.vectors, 0.0)
+
+
+class TestAlignedPair:
+    def test_rows_are_word_aligned(self):
+        vocab_a = Vocabulary({"a": 3, "b": 2, "c": 1})
+        vocab_b = Vocabulary({"c": 5, "a": 4, "d": 1})
+        emb_a = Embedding(vocab_a, np.arange(6, dtype=float).reshape(3, 2))
+        emb_b = Embedding(vocab_b, np.arange(6, dtype=float).reshape(3, 2) * 10)
+        ra, rb = Embedding.aligned_pair(emb_a, emb_b)
+        assert ra.vocab.words == rb.vocab.words
+        for word in ra.vocab.words:
+            np.testing.assert_allclose(ra.vector(word), emb_a.vector(word))
+            np.testing.assert_allclose(rb.vector(word), emb_b.vector(word))
+
+    def test_disjoint_vocabulary_raises(self):
+        emb_a = Embedding(Vocabulary({"a": 1}), np.ones((1, 2)))
+        emb_b = Embedding(Vocabulary({"b": 1}), np.ones((1, 2)))
+        with pytest.raises(ValueError, match="no vocabulary"):
+            Embedding.aligned_pair(emb_a, emb_b)
+
+    def test_top_k_restriction(self):
+        vocab = Vocabulary({"a": 3, "b": 2, "c": 1})
+        emb = Embedding(vocab, np.eye(3))
+        ra, rb = Embedding.aligned_pair(emb, emb, top_k=2)
+        assert ra.n_words == 2
+
+
+class TestNearestNeighbors:
+    def test_self_excluded_and_sorted(self, small_embedding):
+        neighbors = small_embedding.nearest_neighbors("a", k=2)
+        assert len(neighbors) == 2
+        assert all(word != "a" for word, _ in neighbors)
+        # "c" = (1,1) is closer to "a" = (1,0) than "b" = (0,1) by cosine.
+        assert neighbors[0][0] == "c"
+
+    def test_normalized_vectors_zero_row_safe(self):
+        vocab = Vocabulary({"a": 2, "b": 1})
+        emb = Embedding(vocab, np.array([[0.0, 0.0], [3.0, 4.0]]))
+        normed = emb.normalized_vectors()
+        np.testing.assert_allclose(normed[emb.vocab["b"]], [0.6, 0.8])
+        np.testing.assert_allclose(normed[emb.vocab["a"]], [0.0, 0.0])
+
+
+class TestPersistence:
+    def test_save_and_load_round_trip(self, small_embedding, tmp_path):
+        path = tmp_path / "emb.npz"
+        small_embedding.save(path)
+        loaded = Embedding.load(path)
+        assert loaded.vocab.words == small_embedding.vocab.words
+        np.testing.assert_allclose(loaded.vectors, small_embedding.vectors)

@@ -1,0 +1,80 @@
+"""Tests for the MiniBERT contextual feature extractor."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.contextual import MiniBertConfig, MiniBertEncoder
+
+
+@pytest.fixture(scope="module")
+def fitted_encoder(corpus_pair, vocab):
+    config = MiniBertConfig(hidden_dim=16, output_dim=12, n_layers=2, n_heads=2,
+                            ffn_dim=24, token_dim=8, max_len=64)
+    return MiniBertEncoder(config, cbow_epochs=1, seed=0).fit(corpus_pair.base, vocab=vocab)
+
+
+class TestConfig:
+    def test_heads_must_divide_hidden(self):
+        with pytest.raises(ValueError):
+            MiniBertConfig(hidden_dim=10, n_heads=3)
+
+    def test_positive_fields(self):
+        with pytest.raises(ValueError):
+            MiniBertConfig(n_layers=0)
+
+
+class TestEncoder:
+    def test_requires_fit(self):
+        encoder = MiniBertEncoder(MiniBertConfig(hidden_dim=8, output_dim=8, n_heads=2,
+                                                 n_layers=1, ffn_dim=8, token_dim=4))
+        assert not encoder.is_fitted
+        with pytest.raises(RuntimeError):
+            encoder.encode_tokens(np.array([0, 1]))
+
+    def test_output_shape(self, fitted_encoder):
+        features = fitted_encoder.encode_tokens(np.array([0, 1, 2, 3]))
+        assert features.shape == (4, 12)
+        assert np.all(np.isfinite(features))
+
+    def test_empty_sequence(self, fitted_encoder):
+        assert fitted_encoder.encode_tokens(np.array([], dtype=np.int64)).shape == (0, 12)
+
+    def test_unknown_ids_embed_as_zero_tokens(self, fitted_encoder):
+        out = fitted_encoder.encode_tokens(np.array([-1, -1]))
+        assert out.shape == (2, 12)
+        assert np.all(np.isfinite(out))
+
+    def test_max_len_truncation(self, fitted_encoder):
+        long_ids = np.zeros(500, dtype=np.int64)
+        out = fitted_encoder.encode_tokens(long_ids)
+        assert out.shape[0] == fitted_encoder.config.max_len
+
+    def test_contextual_features_depend_on_context(self, fitted_encoder):
+        """The same token gets different features in different contexts."""
+        a = fitted_encoder.encode_tokens(np.array([5, 1, 2]))[0]
+        b = fitted_encoder.encode_tokens(np.array([5, 7, 9]))[0]
+        assert not np.allclose(a, b)
+
+    def test_encode_document_is_mean_pooled(self, fitted_encoder):
+        ids = np.array([1, 2, 3])
+        doc = fitted_encoder.encode_document(ids)
+        np.testing.assert_allclose(doc, fitted_encoder.encode_tokens(ids).mean(axis=0))
+
+    def test_encode_documents_stacks(self, fitted_encoder):
+        out = fitted_encoder.encode_documents([np.array([0, 1]), np.array([2])])
+        assert out.shape == (2, 12)
+
+    def test_encode_words(self, fitted_encoder, vocab):
+        words = vocab.words[:3] + ["<unknown-word>"]
+        out = fitted_encoder.encode_words(words)
+        assert out.shape == (4, 12)
+
+    def test_shared_architecture_across_corpora(self, corpus_pair, vocab):
+        """Two encoders fit on different corpora share their transformer weights."""
+        config = MiniBertConfig(hidden_dim=8, output_dim=8, n_layers=1, n_heads=2,
+                                ffn_dim=8, token_dim=4)
+        enc_a = MiniBertEncoder(config, cbow_epochs=1, seed=0).fit(corpus_pair.base, vocab=vocab)
+        enc_b = MiniBertEncoder(config, cbow_epochs=1, seed=0).fit(corpus_pair.drifted, vocab=vocab)
+        np.testing.assert_allclose(enc_a._weights["proj_out"], enc_b._weights["proj_out"])
+        # But the corpus-trained token embeddings differ.
+        assert not np.allclose(enc_a.token_embedding.vectors, enc_b.token_embedding.vectors)

@@ -1,0 +1,100 @@
+"""Tests for the downstream instability metrics (Definition 1, unstable-rank@k)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.instability.downstream import (
+    downstream_instability,
+    prediction_disagreement,
+    unstable_rank_at_k,
+)
+
+
+class TestPredictionDisagreement:
+    def test_identical_predictions(self):
+        preds = np.array([0, 1, 1, 0])
+        assert prediction_disagreement(preds, preds) == 0.0
+
+    def test_complete_disagreement(self):
+        assert prediction_disagreement(np.array([0, 0]), np.array([1, 1])) == 100.0
+
+    def test_fraction_vs_percentage(self):
+        a, b = np.array([0, 1, 0, 1]), np.array([0, 1, 1, 1])
+        assert prediction_disagreement(a, b) == 25.0
+        assert prediction_disagreement(a, b, as_percentage=False) == 0.25
+
+    def test_mask_restricts_comparison(self):
+        a, b = np.array([0, 1, 2, 3]), np.array([0, 9, 9, 3])
+        mask = np.array([True, True, False, False])
+        assert prediction_disagreement(a, b, mask=mask) == 50.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            prediction_disagreement(np.array([0]), np.array([0, 1]))
+
+    def test_empty_selection_raises(self):
+        with pytest.raises(ValueError):
+            prediction_disagreement(np.array([0]), np.array([0]), mask=np.array([False]))
+
+    def test_mask_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            prediction_disagreement(np.array([0, 1]), np.array([0, 1]), mask=np.array([True]))
+
+
+class TestDownstreamInstability:
+    def test_zero_one_loss_default(self):
+        assert downstream_instability(np.array([1, 2, 3]), np.array([1, 2, 4])) == pytest.approx(1 / 3)
+
+    def test_custom_loss(self):
+        value = downstream_instability(
+            np.array([1.0, 2.0]), np.array([2.0, 4.0]), loss=lambda a, b: (a - b) ** 2
+        )
+        assert value == pytest.approx((1.0 + 4.0) / 2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            downstream_instability(np.array([]), np.array([]))
+
+
+class TestUnstableRank:
+    def test_no_changes(self):
+        ranks = np.array([1.0, 5.0, 20.0])
+        assert unstable_rank_at_k(ranks, ranks, k=10) == 0.0
+
+    def test_counts_only_large_changes(self):
+        a = np.array([1.0, 1.0, 1.0, 1.0])
+        b = np.array([2.0, 20.0, 1.0, 30.0])
+        assert unstable_rank_at_k(a, b, k=10) == 50.0
+
+    def test_boundary_is_exclusive(self):
+        assert unstable_rank_at_k(np.array([0.0]), np.array([10.0]), k=10) == 0.0
+        assert unstable_rank_at_k(np.array([0.0]), np.array([10.1]), k=10) == 100.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            unstable_rank_at_k(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            unstable_rank_at_k(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            unstable_rank_at_k(np.array([1.0]), np.array([1.0]), k=-1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hnp.arrays(np.int64, (15,), elements=st.integers(0, 3)),
+    hnp.arrays(np.int64, (15,), elements=st.integers(0, 3)),
+    hnp.arrays(np.int64, (15,), elements=st.integers(0, 3)),
+)
+def test_property_disagreement_is_a_metric_like_quantity(a, b, c):
+    """Symmetry, identity, range, and the triangle inequality for zero-one disagreement."""
+    dab = prediction_disagreement(a, b, as_percentage=False)
+    dba = prediction_disagreement(b, a, as_percentage=False)
+    assert dab == dba
+    assert prediction_disagreement(a, a, as_percentage=False) == 0.0
+    assert 0.0 <= dab <= 1.0
+    dac = prediction_disagreement(a, c, as_percentage=False)
+    dcb = prediction_disagreement(c, b, as_percentage=False)
+    assert dab <= dac + dcb + 1e-12

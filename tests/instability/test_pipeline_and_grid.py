@@ -1,0 +1,118 @@
+"""Integration-style tests for the instability pipeline and grid runner."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.synthetic import SyntheticCorpusConfig
+from repro.instability.grid import GridRunner, average_over_seeds, records_to_rows
+from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_pipeline():
+    config = PipelineConfig(
+        corpus=SyntheticCorpusConfig(vocab_size=200, n_documents=120, doc_length_mean=50, seed=7),
+        algorithms=("svd",),
+        dimensions=(6, 12),
+        precisions=(1, 32),
+        seeds=(0,),
+        tasks=("sst2", "conll"),
+        embedding_epochs=3,
+        downstream_epochs=5,
+        ner_epochs=3,
+    )
+    return InstabilityPipeline(config)
+
+
+class TestPipelineConfig:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(KeyError):
+            PipelineConfig(algorithms=("word2vec-skipgram",))
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(KeyError):
+            PipelineConfig(tasks=("imdb",))
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(dimensions=())
+
+    def test_anchor_dim_defaults_to_max(self):
+        config = PipelineConfig(dimensions=(8, 64, 16))
+        assert config.resolved_anchor_dim == 64
+        assert PipelineConfig(anchor_dim=128).resolved_anchor_dim == 128
+
+
+class TestPipeline:
+    def test_embedding_pair_cached_and_aligned(self, tiny_pipeline):
+        pair1 = tiny_pipeline.embedding_pair("svd", 6, 0)
+        pair2 = tiny_pipeline.embedding_pair("svd", 6, 0)
+        assert pair1[0] is pair2[0]
+        assert pair1[0].vocab.words == pair1[1].vocab.words
+
+    def test_compressed_pair_precision(self, tiny_pipeline):
+        qa, qb = tiny_pipeline.compressed_pair("svd", 6, 1, 0)
+        assert len(np.unique(qa.vectors)) <= 2
+        assert qa.metadata["precision"] == 1
+        # Full precision passes the original objects through.
+        fa, _ = tiny_pipeline.compressed_pair("svd", 6, 32, 0)
+        assert fa is tiny_pipeline.embedding_pair("svd", 6, 0)[0]
+
+    def test_datasets_are_cached_and_split(self, tiny_pipeline):
+        splits = tiny_pipeline.dataset("sst2")
+        assert splits is tiny_pipeline.dataset("sst2")
+        assert len(splits.train) > len(splits.test) > 0
+
+    def test_measure_computation(self, tiny_pipeline):
+        measures = tiny_pipeline.compute_measures("svd", 6, 1, 0)
+        assert set(measures) == {"eis", "1-knn", "semantic-displacement", "pip",
+                                 "1-eigenspace-overlap"}
+        assert all(np.isfinite(v) for v in measures.values())
+
+    def test_measure_subset(self, tiny_pipeline):
+        measures = tiny_pipeline.compute_measures("svd", 6, 1, 0, measures=("eis",))
+        assert set(measures) == {"eis"}
+
+    def test_evaluate_caches_results(self, tiny_pipeline):
+        a = tiny_pipeline.evaluate("sst2", "svd", 6, 1, 0)
+        b = tiny_pipeline.evaluate("sst2", "svd", 6, 1, 0)
+        assert a is b
+        assert 0.0 <= a.disagreement <= 100.0
+        assert 0.0 <= a.accuracy_a <= 1.0
+
+    def test_ner_evaluation(self, tiny_pipeline):
+        result = tiny_pipeline.evaluate("conll", "svd", 6, 32, 0)
+        assert result.task == "conll"
+        assert 0.0 <= result.disagreement <= 100.0
+
+    def test_downstream_result_seed_overrides(self, tiny_pipeline):
+        emb_a, emb_b = tiny_pipeline.embedding_pair("svd", 12, 0)
+        same_emb = tiny_pipeline.downstream_result("sst2", emb_a, emb_a, 0)
+        assert same_emb.disagreement == 0.0
+        different_init = tiny_pipeline.downstream_result(
+            "sst2", emb_a, emb_a, 0, init_seed_b=99
+        )
+        assert different_init.disagreement >= 0.0
+
+
+class TestGridRunner:
+    def test_grid_shape_and_rows(self, tiny_pipeline):
+        records = GridRunner(tiny_pipeline).run(with_measures=True)
+        # 1 algorithm x 2 dims x 2 precisions x 1 seed x 2 tasks.
+        assert len(records) == 8
+        rows = records_to_rows(records)
+        assert rows[0]["memory"] == rows[0]["dim"] * rows[0]["precision"]
+        assert any(key.startswith("measure_") for key in rows[0])
+
+    def test_average_over_seeds(self, tiny_pipeline):
+        records = GridRunner(tiny_pipeline).run(with_measures=False)
+        averaged = average_over_seeds(records)
+        assert len(averaged) == len(records)  # single seed: same count, seed=-1
+        assert all(r.seed == -1 for r in averaged)
+
+    def test_axis_overrides(self, tiny_pipeline):
+        records = GridRunner(tiny_pipeline).run(
+            dimensions=(6,), precisions=(32,), tasks=("sst2",), with_measures=False
+        )
+        assert len(records) == 1
+        assert records[0].dim == 6 and records[0].precision == 32

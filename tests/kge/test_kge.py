@@ -1,0 +1,161 @@
+"""Tests for the knowledge-graph substrate: graph generation, TransE, evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instability.downstream import unstable_rank_at_k
+from repro.kge.evaluation import (
+    generate_negative_triplets,
+    link_prediction_ranks,
+    relation_thresholds,
+    triplet_classification,
+)
+from repro.kge.graph import KnowledgeGraph, SyntheticKGConfig, generate_knowledge_graph
+from repro.kge.transe import KGEmbedding, TransEModel, quantize_kg_embedding
+
+
+@pytest.fixture(scope="module")
+def kg():
+    return generate_knowledge_graph(
+        SyntheticKGConfig(n_entities=80, n_relations=6, n_triplets=800, seed=0)
+    )
+
+
+@pytest.fixture(scope="module")
+def trained(kg):
+    return TransEModel(dim=8, epochs=25, learning_rate=0.02, seed=0).fit(kg)
+
+
+class TestGraphGeneration:
+    def test_splits_are_disjoint_and_well_formed(self, kg):
+        all_triplets = np.vstack([kg.train, kg.valid, kg.test])
+        assert all_triplets[:, 0].max() < kg.n_entities
+        assert all_triplets[:, 1].max() < kg.n_relations
+        assert all_triplets[:, 2].max() < kg.n_entities
+        as_tuples = {tuple(t) for t in all_triplets.tolist()}
+        assert len(as_tuples) == len(all_triplets)  # no duplicates anywhere
+
+    def test_no_self_loops(self, kg):
+        assert np.all(kg.train[:, 0] != kg.train[:, 2])
+
+    def test_subsample_train(self, kg):
+        sub = kg.subsample_train(0.95, seed=1)
+        assert sub.n_train == round(0.95 * kg.n_train)
+        np.testing.assert_array_equal(sub.valid, kg.valid)
+        np.testing.assert_array_equal(sub.test, kg.test)
+        train_set = {tuple(t) for t in kg.train.tolist()}
+        assert all(tuple(t) in train_set for t in sub.train.tolist())
+
+    def test_deterministic_generation(self):
+        cfg = SyntheticKGConfig(n_entities=40, n_relations=4, n_triplets=200, seed=3)
+        a = generate_knowledge_graph(cfg)
+        b = generate_knowledge_graph(cfg)
+        np.testing.assert_array_equal(a.train, b.train)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            SyntheticKGConfig(n_entities=2, n_entity_types=5)
+        with pytest.raises(ValueError):
+            SyntheticKGConfig(valid_fraction=0.6, test_fraction=0.5)
+
+    def test_bad_triplet_shape_rejected(self):
+        with pytest.raises(ValueError):
+            KnowledgeGraph(n_entities=5, n_relations=2,
+                           train=np.zeros((3, 2)), valid=np.zeros((0, 3)), test=np.zeros((0, 3)))
+
+
+class TestTransE:
+    def test_output_shapes_and_norms(self, kg, trained):
+        assert trained.entities.shape == (kg.n_entities, 8)
+        assert trained.relations.shape == (kg.n_relations, 8)
+        # Entities are renormalised into the unit ball during training.
+        assert np.linalg.norm(trained.entities, axis=1).max() <= 1.5
+
+    def test_training_beats_random_embedding_on_mean_rank(self, kg, trained):
+        random_emb = KGEmbedding(
+            entities=np.random.default_rng(1).standard_normal(trained.entities.shape),
+            relations=np.random.default_rng(2).standard_normal(trained.relations.shape),
+            metadata={},
+        )
+        trained_rank = link_prediction_ranks(trained, kg).mean_rank
+        random_rank = link_prediction_ranks(random_emb, kg).mean_rank
+        assert trained_rank < random_rank
+
+    def test_positive_triplets_score_lower_than_corrupted(self, kg, trained):
+        positives = kg.test
+        negatives = generate_negative_triplets(positives, kg, seed=0)
+        assert trained.score(positives).mean() < trained.score(negatives).mean()
+
+    def test_determinism(self, kg):
+        a = TransEModel(dim=4, epochs=3, seed=5).fit(kg)
+        b = TransEModel(dim=4, epochs=3, seed=5).fit(kg)
+        np.testing.assert_allclose(a.entities, b.entities)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            TransEModel(dim=0)
+        with pytest.raises(ValueError):
+            TransEModel(dim=4, norm=3)
+
+    def test_quantization(self, trained):
+        q = quantize_kg_embedding(trained, 2)
+        assert len(np.unique(q.entities)) <= 4
+        assert q.metadata["precision"] == 2
+        full = quantize_kg_embedding(trained, 32)
+        assert full is trained
+
+
+class TestEvaluation:
+    def test_link_prediction_rank_bounds(self, kg, trained):
+        result = link_prediction_ranks(trained, kg)
+        assert result.ranks.min() >= 1
+        assert result.ranks.max() <= kg.n_entities
+        assert 0.0 <= result.hits_at_10 <= 1.0
+
+    def test_both_sides_corruption(self, kg, trained):
+        both = link_prediction_ranks(trained, kg, corrupt="both")
+        assert both.ranks.shape == (len(kg.test),)
+        with pytest.raises(ValueError):
+            link_prediction_ranks(trained, kg, corrupt="neither")
+
+    def test_unstable_rank_between_quantized_versions(self, kg, trained):
+        coarse = quantize_kg_embedding(trained, 1)
+        ranks_full = link_prediction_ranks(trained, kg).ranks
+        ranks_coarse = link_prediction_ranks(coarse, kg).ranks
+        value = unstable_rank_at_k(ranks_full, ranks_coarse, k=10)
+        assert 0.0 <= value <= 100.0
+
+    def test_negative_triplets_avoid_known_positives(self, kg):
+        negatives = generate_negative_triplets(kg.test, kg, seed=0)
+        known = kg.all_true_triplets()
+        clash = sum(tuple(t) in known for t in negatives.tolist())
+        assert clash <= len(negatives) * 0.1
+
+    def test_relation_thresholds_shape(self, kg, trained):
+        thresholds = relation_thresholds(trained, kg, seed=0)
+        assert thresholds.shape == (kg.n_relations,)
+        assert np.all(np.isfinite(thresholds))
+
+    def test_triplet_classification_beats_chance(self, kg, trained):
+        result = triplet_classification(trained, kg, seed=0)
+        assert result.predictions.shape == result.labels.shape
+        assert result.accuracy > 0.5
+
+    def test_shared_thresholds_protocol(self, kg, trained):
+        thresholds = relation_thresholds(trained, kg, seed=0)
+        shared = triplet_classification(trained, kg, thresholds=thresholds, seed=0)
+        np.testing.assert_allclose(shared.thresholds, thresholds)
+        with pytest.raises(ValueError):
+            triplet_classification(trained, kg, thresholds=np.ones(3), seed=0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=1, max_value=50))
+def test_property_unstable_rank_threshold_monotone(k):
+    rng = np.random.default_rng(0)
+    a = rng.integers(1, 100, size=50).astype(float)
+    b = rng.integers(1, 100, size=50).astype(float)
+    # Larger k can only reduce (or keep) the fraction of unstable ranks.
+    assert unstable_rank_at_k(a, b, k=k) >= unstable_rank_at_k(a, b, k=k + 10)

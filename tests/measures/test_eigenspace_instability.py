@@ -1,0 +1,143 @@
+"""Tests for the eigenspace instability measure, including Proposition 1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.proposition1 import monte_carlo_disagreement
+from repro.measures.eigenspace_instability import (
+    EigenspaceInstability,
+    eigenspace_instability,
+    eigenspace_instability_exact,
+    sigma_from_anchors,
+)
+
+
+@pytest.fixture()
+def matrices(rng):
+    n = 40
+    X = rng.standard_normal((n, 6))
+    X_tilde = rng.standard_normal((n, 8))
+    E = rng.standard_normal((n, 10))
+    E_tilde = E + 0.2 * rng.standard_normal((n, 10))
+    return X, X_tilde, E, E_tilde
+
+
+class TestDefinition:
+    def test_identical_embeddings_are_zero(self, rng):
+        X = rng.standard_normal((30, 5))
+        E = rng.standard_normal((30, 8))
+        assert eigenspace_instability(X, X, E, E, alpha=2.0) == pytest.approx(0.0, abs=1e-10)
+
+    def test_identical_subspace_different_basis_is_zero(self, rng):
+        """EIS only depends on the span of the left singular vectors."""
+        X = rng.standard_normal((30, 5))
+        mixing = rng.standard_normal((5, 5)) + 5 * np.eye(5)
+        E = rng.standard_normal((30, 8))
+        assert eigenspace_instability(X, X @ mixing, E, E, alpha=1.0) == pytest.approx(0.0, abs=1e-8)
+
+    def test_orthogonal_subspaces_give_large_value(self):
+        """Disjoint column spans cover Sigma's energy twice -> value near 1."""
+        n = 20
+        X = np.zeros((n, 5))
+        X[:5, :5] = np.eye(5)
+        X_tilde = np.zeros((n, 5))
+        X_tilde[5:10, :5] = np.eye(5)
+        E = np.eye(n)
+        value = eigenspace_instability(X, X_tilde, E, E, alpha=0.0)
+        assert value == pytest.approx(0.5, abs=1e-8)  # 10 of 20 directions uncovered... each half
+
+    def test_value_nonnegative(self, matrices):
+        X, X_tilde, E, E_tilde = matrices
+        assert eigenspace_instability(X, X_tilde, E, E_tilde) >= 0.0
+
+    def test_symmetry_in_pair(self, matrices):
+        X, X_tilde, E, E_tilde = matrices
+        a = eigenspace_instability(X, X_tilde, E, E_tilde, alpha=2.0)
+        b = eigenspace_instability(X_tilde, X, E, E_tilde, alpha=2.0)
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_efficient_matches_exact(self, matrices):
+        X, X_tilde, E, E_tilde = matrices
+        for alpha in (0.0, 1.0, 3.0):
+            sigma = sigma_from_anchors(E, E_tilde, alpha=alpha)
+            exact = eigenspace_instability_exact(X, X_tilde, sigma)
+            efficient = eigenspace_instability(X, X_tilde, E, E_tilde, alpha=alpha)
+            assert efficient == pytest.approx(exact, rel=1e-9, abs=1e-12)
+
+    def test_row_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            eigenspace_instability(
+                rng.standard_normal((10, 3)),
+                rng.standard_normal((10, 3)),
+                rng.standard_normal((9, 3)),
+                rng.standard_normal((10, 3)),
+            )
+
+
+class TestProposition1:
+    def test_monte_carlo_matches_eis(self, rng):
+        """Prop. 1: expected linear-regression disagreement equals EIS."""
+        n = 30
+        X = rng.standard_normal((n, 5))
+        X_tilde = rng.standard_normal((n, 7))
+        E = rng.standard_normal((n, 10))
+        E_tilde = rng.standard_normal((n, 10))
+        sigma = sigma_from_anchors(E, E_tilde, alpha=1.0)
+        eis = eigenspace_instability_exact(X, X_tilde, sigma)
+        empirical = monte_carlo_disagreement(X, X_tilde, sigma, n_samples=3000, seed=1)
+        assert empirical == pytest.approx(eis, rel=0.1)
+
+    def test_identity_sigma_reduces_to_projection_distance(self, rng):
+        """With Sigma = I the EIS equals tr(P + P~ - 2 P~P) / n."""
+        n = 25
+        X = rng.standard_normal((n, 4))
+        X_tilde = rng.standard_normal((n, 6))
+        sigma = np.eye(n)
+        value = eigenspace_instability_exact(X, X_tilde, sigma)
+        U, _, _ = np.linalg.svd(X, full_matrices=False)
+        Ut, _, _ = np.linalg.svd(X_tilde, full_matrices=False)
+        P, Pt = U @ U.T, Ut @ Ut.T
+        expected = np.trace(P + Pt - 2 * Pt @ P) / n
+        assert value == pytest.approx(expected, rel=1e-9)
+
+
+class TestMeasureClass:
+    def test_compute_embeddings_uses_anchor_words(self, embedding_pair):
+        emb_a, emb_b = embedding_pair
+        measure = EigenspaceInstability(emb_a, emb_b, alpha=3.0)
+        result = measure.compute_embeddings(emb_a, emb_b)
+        assert result.measure == "eis"
+        assert result.value >= 0.0
+        assert result.n_words == emb_a.n_words
+
+    def test_anchor_too_small_raises(self, rng, embedding_pair):
+        emb_a, emb_b = embedding_pair
+        tiny_anchor = rng.standard_normal((3, 4))
+        measure = EigenspaceInstability(tiny_anchor, tiny_anchor)
+        with pytest.raises(ValueError, match="anchor"):
+            measure.compute(emb_a.vectors, emb_b.vectors)
+
+    def test_quantization_increases_or_keeps_eis(self, embedding_pair):
+        """1-bit quantization should not look *more* stable than full precision."""
+        from repro.compression.uniform_quantization import compress_pair
+
+        emb_a, emb_b = embedding_pair
+        measure = EigenspaceInstability(emb_a, emb_b, alpha=3.0)
+        full = measure.compute_embeddings(emb_a, emb_b).value
+        qa, qb = compress_pair(emb_a, emb_b, 1)
+        coarse = measure.compute_embeddings(qa, qb).value
+        assert coarse >= full - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=6), st.floats(min_value=0.0, max_value=3.0))
+def test_property_eis_bounded_and_zero_on_self(dim, alpha):
+    rng = np.random.default_rng(dim)
+    X = rng.standard_normal((20, dim))
+    E = rng.standard_normal((20, dim + 2))
+    assert eigenspace_instability(X, X, E, E, alpha=alpha) == pytest.approx(0.0, abs=1e-8)
+    Y = rng.standard_normal((20, dim))
+    value = eigenspace_instability(X, Y, E, E, alpha=alpha)
+    assert 0.0 <= value <= 2.0

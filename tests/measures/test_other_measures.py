@@ -1,0 +1,160 @@
+"""Tests for the k-NN, semantic displacement, PIP loss and eigenspace overlap measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measures.eigenspace_overlap import EigenspaceOverlapDistance, eigenspace_overlap
+from repro.measures.knn import KNNDistance, knn_overlap
+from repro.measures.pip_loss import PIPLoss, pip_loss
+from repro.measures.semantic_displacement import SemanticDisplacement, semantic_displacement
+
+
+class TestKNN:
+    def test_identical_embeddings_full_overlap(self, rng):
+        X = rng.standard_normal((50, 8))
+        assert knn_overlap(X, X, k=5, num_queries=30) == pytest.approx(1.0)
+
+    def test_range(self, rng):
+        X = rng.standard_normal((40, 6))
+        Y = rng.standard_normal((40, 6))
+        value = knn_overlap(X, Y, k=5, num_queries=40)
+        assert 0.0 <= value <= 1.0
+
+    def test_distance_form(self, rng):
+        X = rng.standard_normal((30, 4))
+        measure = KNNDistance(k=3, num_queries=20, seed=0)
+        assert measure.compute(X, X) == pytest.approx(0.0)
+
+    def test_k_larger_than_vocab_is_capped(self, rng):
+        X = rng.standard_normal((6, 3))
+        assert 0.0 <= knn_overlap(X, X, k=50, num_queries=6) <= 1.0
+
+    def test_query_sample_is_seeded(self, rng):
+        X = rng.standard_normal((60, 5))
+        Y = rng.standard_normal((60, 5))
+        a = knn_overlap(X, Y, k=5, num_queries=20, seed=3)
+        b = knn_overlap(X, Y, k=5, num_queries=20, seed=3)
+        assert a == b
+
+    def test_invalid_args(self, rng):
+        X = rng.standard_normal((5, 2))
+        with pytest.raises(ValueError):
+            knn_overlap(X, X, k=0)
+        with pytest.raises(ValueError):
+            knn_overlap(np.ones((1, 2)), np.ones((1, 2)))
+
+    def test_perturbation_monotonicity(self, rng):
+        """A larger perturbation should not look more similar."""
+        X = rng.standard_normal((80, 10))
+        small = X + 0.01 * rng.standard_normal(X.shape)
+        large = X + 1.0 * rng.standard_normal(X.shape)
+        assert knn_overlap(X, small, num_queries=80) >= knn_overlap(X, large, num_queries=80)
+
+
+class TestSemanticDisplacement:
+    def test_zero_for_rotated_copy(self, rng):
+        X = rng.standard_normal((30, 5))
+        q, _ = np.linalg.qr(rng.standard_normal((5, 5)))
+        assert semantic_displacement(X, X @ q) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_noise(self, rng):
+        X = rng.standard_normal((30, 5))
+        Y = X + rng.standard_normal(X.shape)
+        assert semantic_displacement(X, Y) > 0
+
+    def test_requires_same_dim(self, rng):
+        with pytest.raises(ValueError):
+            semantic_displacement(rng.standard_normal((10, 3)), rng.standard_normal((10, 4)))
+
+    def test_bounded_by_two(self, rng):
+        X = rng.standard_normal((20, 4))
+        Y = rng.standard_normal((20, 4))
+        assert 0.0 <= semantic_displacement(X, Y) <= 2.0
+
+    def test_measure_class_flag(self):
+        assert SemanticDisplacement.requires_same_dim is True
+
+
+class TestPIPLoss:
+    def test_zero_on_identical(self, rng):
+        X = rng.standard_normal((25, 6))
+        assert pip_loss(X, X) == pytest.approx(0.0, abs=1e-8)
+
+    def test_matches_dense_computation(self, rng):
+        X = rng.standard_normal((15, 4))
+        Y = rng.standard_normal((15, 6))
+        dense = np.linalg.norm(X @ X.T - Y @ Y.T)
+        assert pip_loss(X, Y) == pytest.approx(dense, rel=1e-9)
+
+    def test_invariant_to_rotation(self, rng):
+        X = rng.standard_normal((20, 5))
+        q, _ = np.linalg.qr(rng.standard_normal((5, 5)))
+        assert pip_loss(X, X @ q) == pytest.approx(0.0, abs=1e-7)
+
+    def test_symmetric(self, rng):
+        X = rng.standard_normal((12, 3))
+        Y = rng.standard_normal((12, 5))
+        assert pip_loss(X, Y) == pytest.approx(pip_loss(Y, X), rel=1e-12)
+
+    def test_measure_class(self, rng):
+        X = rng.standard_normal((12, 3))
+        assert PIPLoss().compute(X, X) == pytest.approx(0.0, abs=1e-8)
+
+
+class TestEigenspaceOverlap:
+    def test_identical_is_one(self, rng):
+        X = rng.standard_normal((30, 5))
+        assert eigenspace_overlap(X, X) == pytest.approx(1.0)
+
+    def test_orthogonal_subspaces_is_zero(self):
+        X = np.zeros((10, 2))
+        X[:2, :2] = np.eye(2)
+        Y = np.zeros((10, 2))
+        Y[2:4, :2] = np.eye(2)
+        assert eigenspace_overlap(X, Y) == pytest.approx(0.0, abs=1e-12)
+
+    def test_range(self, rng):
+        X = rng.standard_normal((25, 4))
+        Y = rng.standard_normal((25, 8))
+        assert 0.0 <= eigenspace_overlap(X, Y) <= 1.0
+
+    def test_distance_form(self, rng):
+        X = rng.standard_normal((25, 4))
+        assert EigenspaceOverlapDistance().compute(X, X) == pytest.approx(0.0, abs=1e-9)
+
+    def test_invariant_to_column_mixing(self, rng):
+        X = rng.standard_normal((25, 4))
+        mix = rng.standard_normal((4, 4)) + 4 * np.eye(4)
+        assert eigenspace_overlap(X, X @ mix) == pytest.approx(1.0, rel=1e-6)
+
+
+class TestMeasureInterface:
+    def test_compute_embeddings_result_fields(self, embedding_pair):
+        emb_a, emb_b = embedding_pair
+        for measure in (KNNDistance(num_queries=50), PIPLoss(), SemanticDisplacement(),
+                        EigenspaceOverlapDistance()):
+            result = measure.compute_embeddings(emb_a, emb_b)
+            assert result.measure == measure.name
+            assert result.n_words == emb_a.n_words
+            assert np.isfinite(result.value)
+
+    def test_registry_contains_all_measures(self):
+        from repro.measures.base import MEASURES
+
+        for name in ("eis", "1-knn", "semantic-displacement", "pip", "1-eigenspace-overlap"):
+            assert name in MEASURES
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=3, max_value=8))
+def test_property_measures_zero_on_self_and_nonnegative(dim):
+    rng = np.random.default_rng(dim)
+    X = rng.standard_normal((20, dim))
+    Y = rng.standard_normal((20, dim))
+    assert pip_loss(X, X) == pytest.approx(0.0, abs=1e-7)
+    assert semantic_displacement(X, X) == pytest.approx(0.0, abs=1e-9)
+    assert pip_loss(X, Y) >= 0
+    assert semantic_displacement(X, Y) >= 0
+    assert 0.0 <= eigenspace_overlap(X, Y) <= 1.0

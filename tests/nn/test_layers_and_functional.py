@@ -1,0 +1,208 @@
+"""Tests for NN layers, functional ops, optimisers and batching utilities."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.data import BatchIterator, pad_sequences
+from repro.nn.layers import Dropout, Embedding, Linear, Module, ReLU, Sequential, Tanh
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor
+
+
+class TestFunctional:
+    def test_softmax_rows_sum_to_one(self, rng):
+        logits = Tensor(rng.standard_normal((5, 4)))
+        probs = F.softmax(logits)
+        np.testing.assert_allclose(probs.data.sum(axis=-1), 1.0)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        logits = Tensor(rng.standard_normal((5, 4)))
+        np.testing.assert_allclose(
+            F.log_softmax(logits).data, np.log(F.softmax(logits).data), atol=1e-10
+        )
+
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        assert F.cross_entropy(logits, np.array([0, 1])).item() < 1e-4
+
+    def test_cross_entropy_uniform_is_log_c(self):
+        logits = Tensor(np.zeros((3, 4)))
+        assert F.cross_entropy(logits, np.array([0, 1, 2])).item() == pytest.approx(np.log(4))
+
+    def test_bce_with_logits(self):
+        logits = Tensor(np.array([100.0, -100.0]))
+        assert F.binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0])).item() < 1e-6
+
+    def test_accuracy(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0]])
+        assert F.accuracy(logits, np.array([0, 1])) == 1.0
+        assert F.accuracy(logits, np.array([1, 1])) == 0.5
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_dropout_training_vs_eval(self, rng):
+        x = Tensor(np.ones((100, 10)))
+        dropped = F.dropout(x, 0.5, training=True, rng=rng)
+        kept = F.dropout(x, 0.5, training=False, rng=rng)
+        assert (dropped.data == 0).any()
+        np.testing.assert_allclose(kept.data, 1.0)
+
+    def test_dropout_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.5, training=True, rng=rng)
+
+
+class TestLayers:
+    def test_linear_shapes_and_grads(self, rng):
+        layer = Linear(4, 3, seed=0)
+        out = layer(Tensor(rng.standard_normal((5, 4))))
+        assert out.shape == (5, 3)
+        out.sum().backward()
+        assert layer.weight.grad.shape == (4, 3)
+        assert layer.bias.grad.shape == (3,)
+
+    def test_linear_without_bias(self, rng):
+        layer = Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_embedding_frozen_vs_trainable(self, rng):
+        table = rng.standard_normal((6, 3))
+        frozen = Embedding(table, trainable=False)
+        trainable = Embedding(table, trainable=True)
+        assert len(list(frozen.parameters())) == 0
+        assert len(list(trainable.parameters())) == 1
+        np.testing.assert_allclose(frozen(np.array([1, 2])).data, table[[1, 2]])
+
+    def test_embedding_mean_of_empty_bag(self, rng):
+        emb = Embedding(rng.standard_normal((4, 3)))
+        np.testing.assert_allclose(emb.mean_of(np.array([], dtype=np.int64)).data, 0.0)
+
+    def test_sequential_and_activations(self, rng):
+        model = Sequential(Linear(4, 8, seed=0), ReLU(), Linear(8, 2, seed=1), Tanh())
+        out = model(Tensor(rng.standard_normal((3, 4))))
+        assert out.shape == (3, 2)
+        assert np.all(np.abs(out.data) <= 1.0)
+        assert len(model) == 4
+        assert isinstance(model[1], ReLU)
+
+    def test_module_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5), Linear(2, 2))
+        model.eval()
+        assert not model[0].training
+        model.train()
+        assert model[0].training
+
+    def test_state_dict_round_trip(self, rng):
+        model = Linear(3, 2, seed=0)
+        state = model.state_dict()
+        model.weight.data += 1.0
+        model.load_state_dict(state)
+        np.testing.assert_allclose(model.weight.data, state["weight"])
+
+    def test_load_state_dict_missing_key_raises(self):
+        model = Linear(3, 2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({})
+
+    def test_num_parameters(self):
+        model = Linear(3, 2)
+        assert model.num_parameters() == 3 * 2 + 2
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        target = np.array([1.0, -2.0, 3.0])
+        w = Tensor(np.zeros(3), requires_grad=True)
+
+        def loss_fn():
+            diff = w - Tensor(target)
+            return (diff * diff).sum()
+
+        return w, loss_fn, target
+
+    def test_sgd_converges(self):
+        w, loss_fn, target = self._quadratic_problem()
+        opt = SGD([w], lr=0.1)
+        for _ in range(100):
+            loss = loss_fn()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        w, loss_fn, target = self._quadratic_problem()
+        opt = SGD([w], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            loss = loss_fn()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=1e-2)
+
+    def test_adam_converges(self):
+        w, loss_fn, target = self._quadratic_problem()
+        opt = Adam([w], lr=0.1)
+        for _ in range(300):
+            loss = loss_fn()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=1e-2)
+
+    def test_clip_norm_limits_update(self):
+        w = Tensor(np.zeros(3), requires_grad=True)
+        opt = SGD([w], lr=1.0, clip_norm=0.5)
+        loss = (w * Tensor(np.array([100.0, 100.0, 100.0]))).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        assert np.linalg.norm(w.data) <= 0.5 + 1e-9
+
+    def test_invalid_args(self):
+        w = Tensor(np.zeros(2), requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([w], lr=-0.1)
+        with pytest.raises(ValueError):
+            SGD([w], lr=0.1, momentum=1.5)
+        opt = SGD([w], lr=0.1)
+        with pytest.raises(ValueError):
+            opt.set_lr(0.0)
+
+
+class TestBatching:
+    def test_pad_sequences(self):
+        padded, lengths = pad_sequences([np.array([1, 2]), np.array([3])], pad_value=-1)
+        np.testing.assert_array_equal(padded, [[1, 2], [3, -1]])
+        np.testing.assert_array_equal(lengths, [2, 1])
+
+    def test_pad_empty_list(self):
+        padded, lengths = pad_sequences([])
+        assert padded.shape == (0, 0) and lengths.shape == (0,)
+
+    def test_batch_iterator_covers_all_items_once(self):
+        iterator = BatchIterator(10, 3, seed=0)
+        seen = np.concatenate(list(iterator))
+        assert sorted(seen.tolist()) == list(range(10))
+        assert len(iterator) == 4
+
+    def test_batch_iterator_seeded_order(self):
+        a = np.concatenate(list(BatchIterator(20, 4, seed=5)))
+        b = np.concatenate(list(BatchIterator(20, 4, seed=5)))
+        np.testing.assert_array_equal(a, b)
+
+    def test_batch_iterator_no_shuffle(self):
+        batches = list(BatchIterator(5, 2, shuffle=False))
+        np.testing.assert_array_equal(np.concatenate(batches), np.arange(5))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            BatchIterator(-1, 2)
+        with pytest.raises(ValueError):
+            BatchIterator(5, 0)

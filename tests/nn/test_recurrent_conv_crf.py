@@ -1,0 +1,153 @@
+"""Tests for the LSTM/BiLSTM, Conv1d and linear-chain CRF layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.conv import Conv1d, max_over_time
+from repro.nn.crf import LinearChainCRF
+from repro.nn.recurrent import BiLSTM, LSTM, LSTMCell
+from repro.nn.tensor import Tensor
+
+
+class TestLSTM:
+    def test_cell_step_shapes(self, rng):
+        cell = LSTMCell(4, 6, seed=0)
+        h, c = cell(Tensor(rng.standard_normal((3, 4))), cell.initial_state(3))
+        assert h.shape == (3, 6) and c.shape == (3, 6)
+
+    def test_lstm_output_shape(self, rng):
+        lstm = LSTM(4, 5, seed=0)
+        out = lstm(Tensor(rng.standard_normal((7, 2, 4))))
+        assert out.shape == (7, 2, 5)
+
+    def test_reverse_changes_output(self, rng):
+        lstm = LSTM(3, 4, seed=0)
+        x = Tensor(rng.standard_normal((5, 1, 3)))
+        fwd = lstm(x).data
+        bwd = lstm(x, reverse=True).data
+        assert not np.allclose(fwd, bwd)
+
+    def test_bilstm_concatenates_directions(self, rng):
+        bilstm = BiLSTM(3, 8, seed=0)
+        out = bilstm(Tensor(rng.standard_normal((4, 2, 3))))
+        assert out.shape == (4, 2, 8)
+
+    def test_bilstm_odd_hidden_raises(self):
+        with pytest.raises(ValueError):
+            BiLSTM(3, 7)
+
+    def test_bilstm_gradients_flow_to_cells(self, rng):
+        bilstm = BiLSTM(3, 4, seed=0)
+        out = bilstm(Tensor(rng.standard_normal((4, 2, 3))))
+        out.sum().backward()
+        for param in bilstm.parameters():
+            assert param.grad is not None
+
+    def test_lstm_learns_to_separate_sequences(self, rng):
+        """A BiLSTM + linear head can separate two trivially different sequence types."""
+        from repro.nn.layers import Linear
+        from repro.nn.optim import Adam
+
+        enc = BiLSTM(2, 6, seed=0)
+        head = Linear(6, 2, seed=1)
+        params = list(enc.parameters()) + list(head.parameters())
+        opt = Adam(params, lr=0.05)
+        X = np.zeros((6, 20, 2))
+        X[:, :10, 0] = 1.0       # class 0 sequences use channel 0
+        X[:, 10:, 1] = 1.0       # class 1 sequences use channel 1
+        y = np.array([0] * 10 + [1] * 10)
+        for _ in range(40):
+            hidden = enc(Tensor(X))
+            logits = head(hidden.mean(axis=0))
+            loss = F.cross_entropy(logits, y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert F.accuracy(logits, y) == 1.0
+
+
+class TestConv:
+    def test_output_shape(self, rng):
+        conv = Conv1d(4, 6, kernel_width=3, seed=0)
+        out = conv(Tensor(rng.standard_normal((10, 4))))
+        assert out.shape == (8, 6)
+
+    def test_short_sequence_is_padded(self, rng):
+        conv = Conv1d(4, 6, kernel_width=5, seed=0)
+        out = conv(Tensor(rng.standard_normal((2, 4))))
+        assert out.shape == (1, 6)
+
+    def test_max_over_time(self, rng):
+        feats = Tensor(rng.standard_normal((7, 3)))
+        pooled = max_over_time(feats)
+        np.testing.assert_allclose(pooled.data, feats.data.max(axis=0))
+
+    def test_gradients_flow(self, rng):
+        conv = Conv1d(3, 4, kernel_width=2, seed=0)
+        out = max_over_time(conv(Tensor(rng.standard_normal((6, 3)))).relu())
+        out.sum().backward()
+        assert conv.weight.grad is not None
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError):
+            Conv1d(3, 4, kernel_width=0)
+
+
+class TestCRF:
+    def test_nll_is_positive_for_random_emissions(self, rng):
+        crf = LinearChainCRF(4, seed=0)
+        emissions = Tensor(rng.standard_normal((6, 4)))
+        tags = rng.integers(0, 4, size=6)
+        nll = crf.neg_log_likelihood(emissions, tags)
+        assert nll.item() > 0
+
+    def test_partition_exceeds_any_sequence_score(self, rng):
+        crf = LinearChainCRF(3, seed=0)
+        emissions = Tensor(rng.standard_normal((5, 3)))
+        tags = rng.integers(0, 3, size=5)
+        partition = crf._partition(emissions).item()
+        score = crf._score_sequence(emissions, tags).item()
+        assert partition >= score
+
+    def test_viterbi_prefers_high_emission_path(self, rng):
+        crf = LinearChainCRF(3, seed=0)
+        emissions = np.full((4, 3), -5.0)
+        best = [0, 2, 1, 0]
+        for t, tag in enumerate(best):
+            emissions[t, tag] = 5.0
+        decoded = crf.viterbi_decode(emissions)
+        np.testing.assert_array_equal(decoded, best)
+
+    def test_training_reduces_nll(self, rng):
+        from repro.nn.optim import SGD
+
+        crf = LinearChainCRF(3, seed=0)
+        emissions = Tensor(rng.standard_normal((8, 3)))
+        tags = rng.integers(0, 3, size=8)
+        opt = SGD(list(crf.parameters()), lr=0.1)
+        first = None
+        for step in range(20):
+            nll = crf.neg_log_likelihood(emissions, tags)
+            if step == 0:
+                first = nll.item()
+            opt.zero_grad()
+            nll.backward()
+            opt.step()
+        assert nll.item() < first
+
+    def test_length_mismatch_raises(self, rng):
+        crf = LinearChainCRF(3)
+        with pytest.raises(ValueError):
+            crf.neg_log_likelihood(Tensor(rng.standard_normal((4, 3))), np.array([0, 1]))
+
+    def test_marginal_predictions_argmax(self, rng):
+        crf = LinearChainCRF(3)
+        emissions = rng.standard_normal((5, 3))
+        np.testing.assert_array_equal(
+            crf.marginal_predictions(emissions), emissions.argmax(axis=-1)
+        )
+
+    def test_invalid_num_tags(self):
+        with pytest.raises(ValueError):
+            LinearChainCRF(0)

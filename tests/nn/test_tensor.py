@@ -1,0 +1,146 @@
+"""Tests for the autograd Tensor, including finite-difference gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.tensor import Tensor, no_grad
+
+
+def finite_difference(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = f()
+        flat[i] = orig - eps
+        minus = f()
+        flat[i] = orig
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, params: list[np.ndarray], atol=1e-5):
+    tensors = [Tensor(p, requires_grad=True) for p in params]
+    loss = build_loss(*tensors)
+    loss.backward()
+    for tensor, raw in zip(tensors, params):
+        numeric = finite_difference(lambda: build_loss(*[Tensor(q) for q in params]).item(), raw)
+        np.testing.assert_allclose(tensor.grad, numeric, atol=atol, rtol=1e-4)
+
+
+class TestBasicOps:
+    def test_add_mul_grad(self, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((3, 4))
+        check_gradient(lambda x, y: (x * y + x).sum(), [a, b])
+
+    def test_broadcast_add_grad(self, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal(4)
+        check_gradient(lambda x, y: (x + y).sum(), [a, b])
+
+    def test_div_pow_grad(self, rng):
+        a = np.abs(rng.standard_normal((3, 3))) + 1.0
+        b = np.abs(rng.standard_normal((3, 3))) + 1.0
+        check_gradient(lambda x, y: (x / y).sum() + (x**2).sum(), [a, b])
+
+    def test_matmul_grad(self, rng):
+        a, b = rng.standard_normal((4, 3)), rng.standard_normal((3, 5))
+        check_gradient(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_batched_matmul_grad(self, rng):
+        a, b = rng.standard_normal((2, 3, 4)), rng.standard_normal((4, 5))
+        check_gradient(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_nonlinearities_grad(self, rng):
+        a = rng.standard_normal((4, 4))
+        check_gradient(lambda x: (x.tanh() + x.sigmoid() + x.relu()).sum(), [a])
+        check_gradient(lambda x: (x * x).exp().sum(), [a * 0.1])
+        check_gradient(lambda x: ((x * x) + 1.0).log().sum(), [a])
+
+    def test_reductions_grad(self, rng):
+        a = rng.standard_normal((3, 5))
+        check_gradient(lambda x: x.mean(axis=0).sum() + x.sum(axis=1).sum(), [a])
+        check_gradient(lambda x: x.max(axis=1).sum(), [a])
+
+    def test_indexing_grad(self, rng):
+        a = rng.standard_normal((6, 3))
+        idx = np.array([0, 2, 2, 5])
+        check_gradient(lambda x: x[idx].sum(), [a])
+
+    def test_reshape_transpose_grad(self, rng):
+        a = rng.standard_normal((2, 6))
+        check_gradient(lambda x: (x.reshape(3, 4).T @ np.ones((3, 2))).sum(), [a])
+
+    def test_concat_stack_grad(self, rng):
+        a, b = rng.standard_normal((2, 3)), rng.standard_normal((2, 3))
+        check_gradient(lambda x, y: Tensor.concatenate([x, y], axis=0).sum(), [a, b])
+        check_gradient(lambda x, y: Tensor.stack([x, y], axis=0).sum(), [a, b])
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_over_multiple_uses(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        with pytest.raises(RuntimeError):
+            y.backward()
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(2)).backward()
+
+    def test_detach_breaks_graph(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = x.detach() * 5.0
+        assert not y.requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * 2.0).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_shapes_and_item(self):
+        x = Tensor(np.ones((2, 3)))
+        assert x.shape == (2, 3) and x.ndim == 2 and x.size == 6
+        assert Tensor(3.5).item() == 3.5
+
+    def test_scalar_exponent_only(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with pytest.raises(TypeError):
+            x ** np.ones(2)
+
+    def test_radd_rsub_rtruediv(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = (1.0 + x) - 1.0
+        z = 4.0 / x
+        (y + z).sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0 - 1.0])  # d/dx (x) + d/dx (4/x) = 1 - 4/x^2 = 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(hnp.arrays(np.float64, (3, 3), elements=st.floats(-3, 3)))
+def test_property_sum_gradient_is_ones(data):
+    x = Tensor(data, requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+
+@settings(max_examples=20, deadline=None)
+@given(hnp.arrays(np.float64, (4,), elements=st.floats(-2, 2)))
+def test_property_tanh_gradient_bounded(data):
+    x = Tensor(data, requires_grad=True)
+    x.tanh().sum().backward()
+    assert np.all(np.abs(x.grad) <= 1.0 + 1e-9)

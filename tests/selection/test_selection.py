@@ -1,0 +1,128 @@
+"""Tests for the selection criteria and the pairwise / budget selection tasks."""
+
+import pytest
+
+from repro.instability.grid import GridRecord
+from repro.selection.budget import budget_selection_error, group_by_budget
+from repro.selection.criteria import HIGH_PRECISION, LOW_PRECISION, ORACLE, measure_criterion
+from repro.selection.pairwise import pairwise_selection_error
+
+
+def make_record(dim, precision, disagreement, *, measures=None, seed=0, task="sst2", algo="mc"):
+    return GridRecord(
+        algorithm=algo,
+        task=task,
+        dim=dim,
+        precision=precision,
+        seed=seed,
+        disagreement=disagreement,
+        accuracy_a=0.8,
+        accuracy_b=0.8,
+        measures=measures or {},
+    )
+
+
+@pytest.fixture()
+def perfect_measure_records():
+    """Records where the 'good' measure exactly tracks disagreement and the
+    'bad' measure inversely tracks it."""
+    records = []
+    settings = [(8, 1, 10.0), (8, 4, 6.0), (16, 2, 5.0), (16, 4, 3.0), (32, 1, 4.0), (32, 4, 1.0)]
+    for dim, precision, dis in settings:
+        records.append(
+            make_record(dim, precision, dis,
+                        measures={"good": dis / 100.0, "bad": 1.0 - dis / 100.0})
+        )
+    return records
+
+
+class TestCriteria:
+    def test_oracle_selects_lowest_disagreement(self, perfect_measure_records):
+        chosen = ORACLE.select(perfect_measure_records)
+        assert chosen.disagreement == 1.0
+
+    def test_measure_criterion_uses_measure_value(self, perfect_measure_records):
+        chosen = measure_criterion("good").select(perfect_measure_records)
+        assert chosen.disagreement == 1.0
+        chosen_bad = measure_criterion("bad").select(perfect_measure_records)
+        assert chosen_bad.disagreement == 10.0
+
+    def test_high_and_low_precision(self, perfect_measure_records):
+        assert HIGH_PRECISION.select(perfect_measure_records).precision == 4
+        assert LOW_PRECISION.select(perfect_measure_records).precision == 1
+
+    def test_missing_measure_raises(self):
+        record = make_record(8, 1, 5.0)
+        with pytest.raises(KeyError, match="has no measure"):
+            measure_criterion("good").score(record)
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(ValueError):
+            ORACLE.select([])
+
+
+class TestPairwiseSelection:
+    def test_perfect_measure_has_zero_error(self, perfect_measure_records):
+        results = pairwise_selection_error(perfect_measure_records, measure_criterion("good"))
+        assert len(results) == 1
+        assert results[0].error_rate == 0.0
+        assert results[0].worst_case_error == 0.0
+        assert results[0].n_groupings == 15
+
+    def test_inverted_measure_has_full_error(self, perfect_measure_records):
+        results = pairwise_selection_error(perfect_measure_records, measure_criterion("bad"))
+        assert results[0].error_rate == 1.0
+        assert results[0].worst_case_error == pytest.approx(9.0)
+
+    def test_oracle_is_always_perfect(self, perfect_measure_records):
+        results = pairwise_selection_error(perfect_measure_records, ORACLE)
+        assert results[0].error_rate == 0.0
+
+    def test_identical_settings_are_skipped(self):
+        records = [make_record(8, 1, 5.0, measures={"m": 0.1}),
+                   make_record(8, 1, 7.0, measures={"m": 0.2})]
+        assert pairwise_selection_error(records, measure_criterion("m")) == []
+
+    def test_results_split_by_task_and_algorithm(self, perfect_measure_records):
+        extra = [make_record(8, 1, 3.0, measures={"good": 0.03}, task="conll"),
+                 make_record(16, 4, 1.0, measures={"good": 0.01}, task="conll")]
+        results = pairwise_selection_error(perfect_measure_records + extra,
+                                           measure_criterion("good"))
+        assert {(r.task, r.algorithm) for r in results} == {("sst2", "mc"), ("conll", "mc")}
+
+
+class TestBudgetSelection:
+    @pytest.fixture()
+    def budget_records(self):
+        """Two memory budgets, each with two candidate settings."""
+        return [
+            make_record(8, 4, 6.0, measures={"good": 0.06, "bad": 0.94}),   # 32 bits
+            make_record(32, 1, 4.0, measures={"good": 0.04, "bad": 0.96}),  # 32 bits
+            make_record(16, 4, 3.0, measures={"good": 0.03, "bad": 0.97}),  # 64 bits
+            make_record(8, 8, 5.0, measures={"good": 0.05, "bad": 0.95}),   # 64 bits
+        ]
+
+    def test_group_by_budget(self, budget_records):
+        budgets = group_by_budget(budget_records)
+        assert set(budgets) == {32, 64}
+        assert all(len(v) == 2 for v in budgets.values())
+
+    def test_budget_with_single_choice_dropped(self):
+        records = [make_record(8, 1, 5.0), make_record(16, 1, 3.0)]
+        assert group_by_budget(records) == {}
+
+    def test_perfect_measure_matches_oracle(self, budget_records):
+        results = budget_selection_error(budget_records, measure_criterion("good"))
+        assert results[0].mean_distance_to_oracle == 0.0
+        assert results[0].n_budgets == 2
+
+    def test_inverted_measure_distance(self, budget_records):
+        results = budget_selection_error(budget_records, measure_criterion("bad"))
+        assert results[0].mean_distance_to_oracle == pytest.approx((2.0 + 2.0) / 2)
+        assert results[0].worst_case_distance == pytest.approx(2.0)
+
+    def test_naive_baselines_run(self, budget_records):
+        for criterion in (HIGH_PRECISION, LOW_PRECISION, ORACLE):
+            results = budget_selection_error(budget_records, criterion)
+            assert len(results) == 1
+            assert results[0].mean_distance_to_oracle >= 0.0

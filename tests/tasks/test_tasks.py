@@ -1,0 +1,157 @@
+"""Tests for dataset containers, lexicons, and the synthetic sentiment/NER tasks."""
+
+import numpy as np
+import pytest
+
+from repro.tasks.datasets import SequenceTaggingDataset, TextClassificationDataset, train_val_test_split
+from repro.tasks.lexicons import build_task_lexicons
+from repro.tasks.ner import NER_TAGS, NERTaskConfig, generate_ner_dataset
+from repro.tasks.sentiment import SENTIMENT_TASKS, SentimentTaskConfig, generate_sentiment_dataset
+
+
+class TestLexicons:
+    def test_roles_are_disjoint(self, lexicons):
+        pos, neg = set(lexicons.positive), set(lexicons.negative)
+        assert pos and neg
+        assert not pos & neg
+        for etype, words in lexicons.entities.items():
+            assert words, f"empty lexicon for {etype}"
+            assert not set(words) & pos
+            assert not set(words) & neg
+
+    def test_all_words_in_vocab(self, lexicons, vocab):
+        for word in lexicons.positive + lexicons.negative + lexicons.background:
+            assert word in vocab
+
+    def test_describe(self, lexicons):
+        info = lexicons.describe()
+        assert info["positive"] == len(lexicons.positive)
+        assert "entity_PER" in info
+
+    def test_custom_topic_assignment(self, generator, vocab):
+        lex = build_task_lexicons(
+            generator, vocab, positive_topics=(3,), negative_topics=(4,),
+            entity_topics={"PER": 0, "ORG": 1, "LOC": 2, "MISC": 5},
+        )
+        assert lex.positive and lex.negative
+
+
+class TestSentimentDataset:
+    def test_predefined_tasks_exist(self):
+        assert set(SENTIMENT_TASKS) == {"sst2", "mr", "subj", "mpqa"}
+
+    def test_generation_shapes(self, sentiment_dataset, vocab):
+        assert len(sentiment_dataset) == SENTIMENT_TASKS["sst2"].n_examples
+        assert sentiment_dataset.labels.min() >= 0
+        assert sentiment_dataset.labels.max() <= 1
+        for doc in sentiment_dataset.documents[:20]:
+            assert doc.max() < len(vocab)
+
+    def test_roughly_balanced_labels(self, sentiment_dataset):
+        mean = sentiment_dataset.labels.mean()
+        assert 0.3 < mean < 0.7
+
+    def test_deterministic_given_seed(self, lexicons):
+        a = generate_sentiment_dataset("mr", lexicons, seed=5)
+        b = generate_sentiment_dataset("mr", lexicons, seed=5)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.documents[0], b.documents[0])
+
+    def test_unknown_name_raises(self, lexicons):
+        with pytest.raises(KeyError):
+            generate_sentiment_dataset("imdb", lexicons)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SentimentTaskConfig("x", n_examples=0)
+        with pytest.raises(ValueError):
+            SentimentTaskConfig("x", label_noise=2.0)
+
+    def test_labels_learnable_from_lexicon_counts(self, sentiment_dataset, lexicons, vocab):
+        """Counting positive vs negative lexicon words should beat chance easily."""
+        pos_ids = {vocab[w] for w in lexicons.positive}
+        neg_ids = {vocab[w] for w in lexicons.negative}
+        correct = 0
+        for doc, label in zip(sentiment_dataset.documents, sentiment_dataset.labels):
+            score = sum(1 for t in doc if t in pos_ids) - sum(1 for t in doc if t in neg_ids)
+            pred = 1 if score > 0 else 0
+            correct += int(pred == label)
+        assert correct / len(sentiment_dataset) > 0.75
+
+    def test_mean_embedding_features(self, sentiment_dataset, embedding):
+        feats = sentiment_dataset.mean_embedding_features(embedding.vectors)
+        assert feats.shape == (len(sentiment_dataset), embedding.dim)
+        assert np.all(np.isfinite(feats))
+
+
+class TestNERDataset:
+    def test_tag_names_and_shapes(self, ner_dataset):
+        assert ner_dataset.tag_names == NER_TAGS
+        assert ner_dataset.num_tags == 5
+        for sent, tags in zip(ner_dataset.sentences, ner_dataset.tags):
+            assert len(sent) == len(tags)
+            assert tags.max() < ner_dataset.num_tags
+
+    def test_entity_density_close_to_config(self, ner_dataset):
+        masks = ner_dataset.entity_token_mask()
+        density = np.concatenate(masks).mean()
+        assert 0.15 < density < 0.7
+
+    def test_entity_tokens_mostly_from_entity_lexicons(self, ner_dataset, lexicons, vocab):
+        entity_ids = {vocab[w] for words in lexicons.entities.values() for w in words}
+        tokens = np.concatenate(ner_dataset.sentences)
+        tags = np.concatenate(ner_dataset.tags)
+        entity_tokens = tokens[tags != ner_dataset.outside_tag_id]
+        fraction = np.mean([t in entity_ids for t in entity_tokens])
+        assert fraction > 0.8  # tag_noise corrupts only a small fraction
+
+    def test_deterministic(self, lexicons):
+        cfg = NERTaskConfig(n_sentences=10, sentence_length=8)
+        a = generate_ner_dataset(cfg, lexicons, seed=1)
+        b = generate_ner_dataset(cfg, lexicons, seed=1)
+        np.testing.assert_array_equal(a.sentences[0], b.sentences[0])
+        np.testing.assert_array_equal(a.tags[0], b.tags[0])
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            NERTaskConfig(n_sentences=0)
+        with pytest.raises(ValueError):
+            NERTaskConfig(entity_density=1.5)
+
+
+class TestContainersAndSplits:
+    def test_classification_validation(self, vocab):
+        with pytest.raises(ValueError):
+            TextClassificationDataset(documents=[np.array([0])], labels=np.array([0, 1]), vocab=vocab)
+        with pytest.raises(ValueError):
+            TextClassificationDataset(
+                documents=[np.array([0])], labels=np.array([5]), vocab=vocab, num_classes=2
+            )
+
+    def test_tagging_validation(self, vocab):
+        with pytest.raises(ValueError):
+            SequenceTaggingDataset(
+                sentences=[np.array([0, 1])], tags=[np.array([0])],
+                tag_names=["PER", "O"], vocab=vocab,
+            )
+
+    def test_subset(self, sentiment_dataset):
+        sub = sentiment_dataset.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.labels, sentiment_dataset.labels[[0, 2, 4]])
+
+    def test_split_sizes_and_disjointness(self, sentiment_dataset):
+        splits = train_val_test_split(sentiment_dataset, val_fraction=0.2, test_fraction=0.1, seed=0)
+        n = len(sentiment_dataset)
+        assert len(splits.val) == round(0.2 * n)
+        assert len(splits.test) == round(0.1 * n)
+        assert len(splits.train) + len(splits.val) + len(splits.test) == n
+
+    def test_split_reproducible(self, sentiment_dataset):
+        a = train_val_test_split(sentiment_dataset, seed=3)
+        b = train_val_test_split(sentiment_dataset, seed=3)
+        np.testing.assert_array_equal(a.test.labels, b.test.labels)
+
+    def test_split_invalid_fractions(self, sentiment_dataset):
+        with pytest.raises(ValueError):
+            train_val_test_split(sentiment_dataset, val_fraction=0.6, test_fraction=0.5)

@@ -1,0 +1,77 @@
+"""End-to-end integration tests: the full paper pipeline on a tiny instance."""
+
+import numpy as np
+
+from repro.compression import compress_pair
+from repro.corpus import SyntheticCorpusConfig, SyntheticCorpusGenerator
+from repro.embeddings import CBOWModel, align_pair
+from repro.instability.downstream import classification_disagreement
+from repro.measures import EigenspaceInstability, KNNDistance
+from repro.models import BowClassifier, TrainingConfig
+from repro.tasks import build_task_lexicons, generate_sentiment_dataset, train_val_test_split
+
+
+def test_full_paper_pipeline_end_to_end():
+    """Corpus pair -> embeddings -> alignment -> quantization -> downstream DI -> measures."""
+    generator = SyntheticCorpusGenerator(
+        SyntheticCorpusConfig(vocab_size=250, n_documents=220, doc_length_mean=70, seed=11)
+    )
+    pair = generator.generate_pair(seed=11)
+    vocab = pair.shared_vocabulary(min_count=2)
+
+    emb_a = CBOWModel(dim=16, epochs=10, seed=0).fit(pair.base, vocab=vocab)
+    emb_b = CBOWModel(dim=16, epochs=10, seed=0).fit(pair.drifted, vocab=vocab)
+    emb_b = align_pair(emb_a, emb_b)
+    assert emb_a.vocab.words == emb_b.vocab.words
+
+    lexicons = build_task_lexicons(generator, vocab)
+    dataset = generate_sentiment_dataset("sst2", lexicons, seed=0)
+    splits = train_val_test_split(dataset, val_fraction=0.15, test_fraction=0.25, seed=0)
+    config = TrainingConfig(learning_rate=0.05, epochs=8, patience=3).with_seed(0)
+
+    disagreements = {}
+    accuracies = {}
+    for bits in (1, 32):
+        qa, qb = compress_pair(emb_a, emb_b, bits)
+        model_a = BowClassifier(qa, config=config)
+        model_a.fit(splits.train, splits.val)
+        model_b = BowClassifier(qb, config=config)
+        model_b.fit(splits.train, splits.val)
+        disagreements[bits] = classification_disagreement(model_a, model_b, splits.test)
+        accuracies[bits] = 0.5 * (model_a.accuracy(splits.test) + model_b.accuracy(splits.test))
+
+    # The task is learnable and the disagreement is a valid percentage.
+    assert accuracies[32] > 0.6
+    assert 0.0 <= disagreements[32] <= 100.0
+    # The paper's headline shape: 1-bit compression is not *more* stable than
+    # full precision.
+    assert disagreements[1] >= disagreements[32] - 1e-9
+
+    # The embedding distance measures are finite and ordered the same way.
+    eis = EigenspaceInstability(emb_a, emb_b, alpha=3.0)
+    knn = KNNDistance(k=5, num_queries=150, seed=0)
+    qa1, qb1 = compress_pair(emb_a, emb_b, 1)
+    assert eis.compute_embeddings(qa1, qb1).value >= eis.compute_embeddings(emb_a, emb_b).value - 1e-9
+    assert knn.compute_embeddings(qa1, qb1).value >= knn.compute_embeddings(emb_a, emb_b).value - 1e-9
+
+
+def test_same_corpus_same_seed_is_perfectly_stable():
+    """Training twice on the *same* corpus with the same seed gives zero disagreement."""
+    generator = SyntheticCorpusGenerator(
+        SyntheticCorpusConfig(vocab_size=200, n_documents=100, doc_length_mean=50, seed=2)
+    )
+    corpus = generator.generate(seed=2)
+    vocab = corpus.build_vocabulary(min_count=2)
+    emb_a = CBOWModel(dim=8, epochs=2, seed=0).fit(corpus, vocab=vocab)
+    emb_b = CBOWModel(dim=8, epochs=2, seed=0).fit(corpus, vocab=vocab)
+    np.testing.assert_allclose(emb_a.vectors, emb_b.vectors)
+
+    lexicons = build_task_lexicons(generator, vocab)
+    dataset = generate_sentiment_dataset("mpqa", lexicons, seed=0)
+    splits = train_val_test_split(dataset, seed=0)
+    config = TrainingConfig(learning_rate=0.05, epochs=3, patience=None).with_seed(0)
+    model_a = BowClassifier(emb_a, config=config)
+    model_a.fit(splits.train)
+    model_b = BowClassifier(emb_b, config=config)
+    model_b.fit(splits.train)
+    assert classification_disagreement(model_a, model_b, splits.test) == 0.0

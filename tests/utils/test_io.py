@@ -1,0 +1,53 @@
+"""Tests for I/O helpers."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.io import ensure_dir, load_arrays, load_json, save_arrays, save_json, to_jsonable
+
+
+class TestToJsonable:
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable(np.float64(2.5)) == 2.5
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_arrays_become_lists(self):
+        assert to_jsonable(np.arange(3)) == [0, 1, 2]
+
+    def test_nested_structures(self):
+        data = {"a": [np.float32(1.5), {"b": np.arange(2)}]}
+        assert to_jsonable(data) == {"a": [1.5, {"b": [0, 1]}]}
+
+    def test_dataclass(self):
+        @dataclass
+        class Point:
+            x: int
+            y: float
+
+        assert to_jsonable(Point(1, 2.0)) == {"x": 1, "y": 2.0}
+
+
+class TestJsonRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "sub" / "data.json"
+        save_json({"value": np.float64(1.25), "items": [1, 2]}, path)
+        assert load_json(path) == {"items": [1, 2], "value": 1.25}
+
+
+class TestArrayRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        save_arrays(path, a=np.arange(4), b=np.eye(2))
+        loaded = load_arrays(path)
+        np.testing.assert_array_equal(loaded["a"], np.arange(4))
+        np.testing.assert_array_equal(loaded["b"], np.eye(2))
+
+
+class TestEnsureDir:
+    def test_creates_nested(self, tmp_path):
+        target = tmp_path / "x" / "y"
+        assert ensure_dir(target).is_dir()
+        # Idempotent.
+        assert ensure_dir(target).is_dir()

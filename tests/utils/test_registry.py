@@ -1,0 +1,53 @@
+"""Tests for the name->object registry."""
+
+import pytest
+
+from repro.utils.registry import Registry
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = Registry("thing")
+        reg.register("a", 1)
+        assert reg.get("a") == 1
+
+    def test_case_insensitive(self):
+        reg = Registry("thing")
+        reg.register("GloVe", "x")
+        assert reg.get("glove") == "x"
+        assert "GLOVE" in reg
+
+    def test_decorator_usage(self):
+        reg = Registry("thing")
+
+        @reg.register("fn")
+        def fn():
+            return 7
+
+        assert reg.get("fn")() == 7
+
+    def test_duplicate_raises(self):
+        reg = Registry("thing")
+        reg.register("a", 1)
+        with pytest.raises(KeyError, match="already registered"):
+            reg.register("a", 2)
+
+    def test_unknown_name_raises_with_known_names(self):
+        reg = Registry("thing")
+        reg.register("a", 1)
+        with pytest.raises(KeyError, match="unknown thing"):
+            reg.get("b")
+
+    def test_iteration_and_len(self):
+        reg = Registry("thing")
+        reg.register("b", 2)
+        reg.register("a", 1)
+        assert list(reg) == ["a", "b"]
+        assert len(reg) == 2
+        assert reg.names() == ["a", "b"]
+
+    def test_builtin_algorithm_registry_contains_paper_algorithms(self):
+        from repro.embeddings.base import EMBEDDING_ALGORITHMS
+
+        for name in ("cbow", "glove", "mc", "svd", "fasttext"):
+            assert name in EMBEDDING_ALGORITHMS

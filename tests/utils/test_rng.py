@@ -1,0 +1,65 @@
+"""Tests for RNG handling utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngMixin, check_random_state, spawn_seeds
+
+
+class TestCheckRandomState:
+    def test_int_seed_is_deterministic(self):
+        a = check_random_state(42).random(5)
+        b = check_random_state(42).random(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = check_random_state(1).random(5)
+        b = check_random_state(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_none_returns_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert check_random_state(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        gen = check_random_state(np.int64(5))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_invalid_seed_type_raises(self):
+        with pytest.raises(TypeError, match="seed must be"):
+            check_random_state("not-a-seed")
+
+
+class TestSpawnSeeds:
+    def test_length_and_determinism(self):
+        assert spawn_seeds(0, 5) == spawn_seeds(0, 5)
+        assert len(spawn_seeds(0, 5)) == 5
+
+    def test_zero_is_allowed(self):
+        assert spawn_seeds(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_seeds_are_ints(self):
+        assert all(isinstance(s, int) for s in spawn_seeds(3, 4))
+
+
+class TestRngMixin:
+    class Dummy(RngMixin):
+        def __init__(self, seed):
+            self.seed = seed
+
+    def test_rng_is_cached(self):
+        obj = self.Dummy(0)
+        assert obj.rng is obj.rng
+
+    def test_reseed_replaces_generator(self):
+        obj = self.Dummy(0)
+        first = obj.rng.random()
+        obj.reseed(0)
+        assert obj.rng.random() == pytest.approx(first)

@@ -1,0 +1,76 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array,
+    check_embedding_pair,
+    check_in_choices,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckArray:
+    def test_coerces_lists(self):
+        arr = check_array([[1, 2], [3, 4]], ndim=2)
+        assert arr.shape == (2, 2)
+        assert arr.dtype == np.float64
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_array([1, 2, 3], ndim=2)
+
+    def test_empty_raises_by_default(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_array(np.empty((0, 3)))
+
+    def test_empty_allowed_when_requested(self):
+        arr = check_array(np.empty((0, 3)), allow_empty=True)
+        assert arr.shape == (0, 3)
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array([np.nan, 1.0])
+
+    def test_inf_raises(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_array([np.inf, 1.0])
+
+
+class TestCheckEmbeddingPair:
+    def test_accepts_different_dims(self):
+        a, b = check_embedding_pair(np.ones((4, 2)), np.ones((4, 3)))
+        assert a.shape == (4, 2) and b.shape == (4, 3)
+
+    def test_row_mismatch_raises(self):
+        with pytest.raises(ValueError, match="share a vocabulary"):
+            check_embedding_pair(np.ones((4, 2)), np.ones((5, 2)))
+
+    def test_same_dim_enforced(self):
+        with pytest.raises(ValueError, match="equal dimensions"):
+            check_embedding_pair(np.ones((4, 2)), np.ones((4, 3)), same_dim=True)
+
+
+class TestScalarChecks:
+    def test_check_positive(self):
+        assert check_positive(2.5) == 2.5
+        with pytest.raises(ValueError):
+            check_positive(0)
+        assert check_positive(0, strict=False) == 0.0
+        with pytest.raises(ValueError):
+            check_positive(-1, strict=False)
+
+    def test_check_probability(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.5)
+        with pytest.raises(ValueError):
+            check_probability(-0.1)
+
+    def test_check_in_choices(self):
+        assert check_in_choices("a", {"a", "b"}) == "a"
+        with pytest.raises(ValueError, match="must be one of"):
+            check_in_choices("c", {"a", "b"})
