@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.corpus.synthetic import SyntheticCorpusConfig
-from repro.instability.grid import GridRunner
+from repro.engine.scheduler import GridEngine
 from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
 
 
@@ -38,11 +38,17 @@ def benchmark_pipeline_config() -> PipelineConfig:
 
 @pytest.fixture(scope="session")
 def pipeline() -> InstabilityPipeline:
-    """Session-wide pipeline; embedding pairs are trained lazily and cached."""
+    """Session-wide pipeline; artifacts land in its (in-memory) engine store."""
     return InstabilityPipeline(benchmark_pipeline_config())
 
 
 @pytest.fixture(scope="session")
-def grid_records(pipeline):
+def engine(pipeline) -> GridEngine:
+    """Session-wide grid-execution engine over the shared pipeline."""
+    return GridEngine(pipeline)
+
+
+@pytest.fixture(scope="session")
+def grid_records(engine):
     """The fully evaluated dimension-precision grid (with distance measures)."""
-    return GridRunner(pipeline).run(with_measures=True)
+    return engine.run(with_measures=True)

@@ -9,9 +9,8 @@ Run with: ``python examples/select_dimension_precision.py``
 """
 
 from repro.analysis.reporting import format_table
+from repro.engine import GridEngine
 from repro.experiments import quick_pipeline_config, table2_selection, table3_budget
-from repro.instability.grid import GridRunner
-from repro.instability.pipeline import InstabilityPipeline
 from repro.selection.budget import group_by_budget
 from repro.selection.criteria import ORACLE, measure_criterion
 from repro.utils.logging import configure_logging
@@ -25,8 +24,7 @@ def main() -> None:
         precisions=(1, 2, 4, 8, 32),
         tasks=("sst2",),
     )
-    pipeline = InstabilityPipeline(config)
-    records = GridRunner(pipeline).run(with_measures=True)
+    records = GridEngine(config).run(with_measures=True)
 
     # What would the EIS measure pick for each memory budget, and what would
     # the oracle (which trains every downstream model) have picked?

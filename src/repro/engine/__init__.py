@@ -1,0 +1,30 @@
+"""The grid-execution engine: artifact store, scheduler, and parallel fan-out.
+
+The engine is the execution substrate of the reproduction: a
+content-addressed :class:`~repro.engine.store.ArtifactStore` keyed by
+configuration hashes (so repeated cells, experiments and runs reuse trained
+artifacts), and a :class:`~repro.engine.scheduler.GridEngine` that orders
+grid cells by shared ancestry and fans independent cell groups out over
+processes with a bit-identical serial fallback.
+"""
+
+from repro.engine.store import (
+    ArtifactStore,
+    CacheStats,
+    config_hash,
+    configure_default_store,
+    default_store,
+)
+from repro.engine.scheduler import CellGroup, GridEngine, evaluate_group, plan_groups
+
+__all__ = [
+    "ArtifactStore",
+    "CacheStats",
+    "CellGroup",
+    "GridEngine",
+    "config_hash",
+    "configure_default_store",
+    "default_store",
+    "evaluate_group",
+    "plan_groups",
+]

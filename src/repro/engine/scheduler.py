@@ -1,0 +1,283 @@
+"""Grid scheduler: ancestry-aware ordering and parallel fan-out of grid cells.
+
+One instability-grid cell is an (algorithm, dimension, precision, seed, task)
+combination, but cells are far from independent: every precision and every
+task of the same (algorithm, dimension, seed) reuses one full-precision
+embedding pair, and every dimension of the same (algorithm, seed) shares the
+anchor pair that defines the EIS measure.  The scheduler therefore:
+
+1. collapses the grid into :class:`CellGroup`\\ s -- one per (algorithm,
+   dimension, seed) -- so all dependent work runs next to its shared ancestor;
+2. topologically orders groups so ancestors come first (the anchor-dimension
+   group of each (algorithm, seed) runs before the groups that consume its
+   embeddings as EIS anchors);
+3. fans independent groups out over ``multiprocessing`` workers, or runs them
+   serially -- the two paths are bit-identical because every artifact is a
+   deterministic function of its configuration;
+4. reassembles records in the canonical axis-product order, so callers see
+   the same ordering regardless of execution strategy.
+
+Worker processes rebuild the pipeline from its configuration, so only
+config-reconstructible pipelines can run in parallel; pipelines built around a
+custom corpus fall back to serial execution with a warning.  Handing the
+engine a disk-backed :class:`~repro.engine.store.ArtifactStore` lets workers
+share trained artifacts across processes and across runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import warnings
+from dataclasses import dataclass
+from multiprocessing import get_all_start_methods, get_context
+from typing import TYPE_CHECKING
+
+from repro.engine.store import ArtifactStore
+from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid import cycles
+    from repro.instability.grid import GridRecord
+    from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+
+logger = get_logger(__name__)
+
+__all__ = ["CellGroup", "GridEngine", "evaluate_group", "plan_groups"]
+
+
+@dataclass(frozen=True)
+class CellGroup:
+    """All grid cells sharing one full-precision embedding pair.
+
+    The (algorithm, dim, seed) triple identifies the trained pair; the group
+    carries every dependent precision and task so a single worker evaluates
+    them together, hitting the pair (and its quantizations) in cache.
+    """
+
+    algorithm: str
+    dim: int
+    seed: int
+    precisions: tuple[int, ...]
+    tasks: tuple[str, ...]
+    with_measures: bool = False
+    model_type: str = "bow"
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.precisions) * len(self.tasks)
+
+
+def plan_groups(
+    algorithms: tuple[str, ...],
+    dimensions: tuple[int, ...],
+    precisions: tuple[int, ...],
+    seeds: tuple[int, ...],
+    tasks: tuple[str, ...],
+    *,
+    anchor_dim: int | None = None,
+    with_measures: bool = False,
+    model_type: str = "bow",
+) -> list["CellGroup"]:
+    """Collapse grid axes into cell groups, topologically ordered by ancestry.
+
+    When measures are requested, every group of an (algorithm, seed) depends
+    on that pair's anchor-dimension embeddings; scheduling the anchor group
+    first means a serial run (or a warm store) trains the shared ancestor
+    exactly once before its dependants need it.
+    """
+    groups = [
+        CellGroup(
+            algorithm=a, dim=d, seed=s,
+            precisions=tuple(precisions), tasks=tuple(tasks),
+            with_measures=with_measures, model_type=model_type,
+        )
+        for a, d, s in itertools.product(algorithms, dimensions, seeds)
+    ]
+    if with_measures and anchor_dim is not None:
+        groups.sort(key=lambda g: (g.algorithm, g.seed, g.dim != anchor_dim))
+    return groups
+
+
+def evaluate_group(pipeline: "InstabilityPipeline", group: CellGroup) -> list["GridRecord"]:
+    """Evaluate every cell of one group against a pipeline."""
+    from repro.instability.grid import GridRecord
+
+    records: list[GridRecord] = []
+    for precision in group.precisions:
+        measures = (
+            pipeline.compute_measures(group.algorithm, group.dim, precision, group.seed)
+            if group.with_measures
+            else {}
+        )
+        for task in group.tasks:
+            result = pipeline.evaluate(
+                task, group.algorithm, group.dim, precision, group.seed,
+                model_type=group.model_type,
+            )
+            records.append(
+                GridRecord(
+                    algorithm=group.algorithm,
+                    task=task,
+                    dim=group.dim,
+                    precision=precision,
+                    seed=group.seed,
+                    disagreement=result.disagreement,
+                    accuracy_a=result.accuracy_a,
+                    accuracy_b=result.accuracy_b,
+                    measures=measures,
+                )
+            )
+    return records
+
+
+# -- multiprocessing workers ----------------------------------------------------
+
+_WORKER_PIPELINE: "InstabilityPipeline | None" = None
+
+
+def _init_worker(config: "PipelineConfig", store_root) -> None:
+    """Build the per-process pipeline once; groups then reuse its caches."""
+    global _WORKER_PIPELINE
+    from repro.instability.pipeline import InstabilityPipeline
+
+    _WORKER_PIPELINE = InstabilityPipeline(config, store=ArtifactStore(store_root))
+
+
+def _evaluate_group_in_worker(group: CellGroup) -> list["GridRecord"]:
+    assert _WORKER_PIPELINE is not None, "worker initializer did not run"
+    return evaluate_group(_WORKER_PIPELINE, group)
+
+
+class GridEngine:
+    """Cached, optionally parallel executor of the instability grid.
+
+    Parameters
+    ----------
+    pipeline:
+        An :class:`~repro.instability.pipeline.InstabilityPipeline`, a
+        :class:`~repro.instability.pipeline.PipelineConfig`, or ``None``
+        (default configuration).
+    store:
+        Artifact store handed to a pipeline the engine constructs itself
+        (ignored when a ready pipeline is passed -- it already owns one).
+    n_workers:
+        Default process fan-out for :meth:`run`; ``0`` or ``1`` means serial.
+    """
+
+    def __init__(
+        self,
+        pipeline: "InstabilityPipeline | PipelineConfig | None" = None,
+        *,
+        store: ArtifactStore | None = None,
+        n_workers: int = 0,
+    ) -> None:
+        from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+
+        if pipeline is None:
+            pipeline = InstabilityPipeline(store=store)
+        elif isinstance(pipeline, PipelineConfig):
+            pipeline = InstabilityPipeline(pipeline, store=store)
+        self.pipeline: "InstabilityPipeline" = pipeline
+        self.n_workers = int(n_workers)
+
+    @property
+    def store(self) -> ArtifactStore:
+        return self.pipeline.store
+
+    def run(
+        self,
+        *,
+        algorithms: tuple[str, ...] | None = None,
+        tasks: tuple[str, ...] | None = None,
+        dimensions: tuple[int, ...] | None = None,
+        precisions: tuple[int, ...] | None = None,
+        seeds: tuple[int, ...] | None = None,
+        with_measures: bool = False,
+        model_type: str = "bow",
+        n_workers: int | None = None,
+    ) -> list["GridRecord"]:
+        """Evaluate every grid combination and return records in product order.
+
+        Any axis left as ``None`` defaults to the pipeline configuration.
+        ``n_workers`` overrides the engine default for this run only.
+        """
+        cfg = self.pipeline.config
+        algorithms = tuple(algorithms or cfg.algorithms)
+        tasks = tuple(tasks or cfg.tasks)
+        dimensions = tuple(dimensions or cfg.dimensions)
+        precisions = tuple(precisions or cfg.precisions)
+        seeds = tuple(seeds or cfg.seeds)
+        workers = self.n_workers if n_workers is None else int(n_workers)
+
+        groups = plan_groups(
+            algorithms, dimensions, precisions, seeds, tasks,
+            anchor_dim=cfg.resolved_anchor_dim,
+            with_measures=with_measures, model_type=model_type,
+        )
+        if workers > 1 and not self.pipeline.reconstructible:
+            warnings.warn(
+                "pipeline was built from a custom corpus source and cannot be "
+                "reconstructed in worker processes; falling back to serial "
+                "execution",
+                UserWarning,
+                stacklevel=2,
+            )
+            workers = 0
+
+        if workers > 1 and len(groups) > 1:
+            group_results = self._run_parallel(groups, min(workers, len(groups)))
+        else:
+            group_results = [evaluate_group(self.pipeline, group) for group in groups]
+
+        records = list(itertools.chain.from_iterable(group_results))
+        logger.info(
+            "grid done: %d records from %d groups (%s)",
+            len(records), len(groups), f"{workers} workers" if workers > 1 else "serial",
+        )
+        return self._in_product_order(records, algorithms, dimensions, precisions, seeds, tasks)
+
+    def _run_parallel(
+        self, groups: list[CellGroup], workers: int
+    ) -> list[list["GridRecord"]]:
+        """Fan groups out over processes; falls back to serial on start failure."""
+        method = "fork" if "fork" in get_all_start_methods() else None
+        ctx = get_context(method)
+        store_root = self.store.root
+        try:
+            pool = ctx.Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(self.pipeline.config, store_root),
+            )
+        except (OSError, RuntimeError) as error:  # pragma: no cover - env dependent
+            # Only pool *start-up* failures trigger the serial fallback; an
+            # exception raised by a worker task is a real error and propagates.
+            warnings.warn(
+                f"parallel grid execution unavailable ({error}); running serially",
+                UserWarning,
+                stacklevel=3,
+            )
+            return [evaluate_group(self.pipeline, group) for group in groups]
+        with pool:
+            return pool.map(_evaluate_group_in_worker, groups, chunksize=1)
+
+    @staticmethod
+    def _in_product_order(
+        records: list["GridRecord"],
+        algorithms: tuple[str, ...],
+        dimensions: tuple[int, ...],
+        precisions: tuple[int, ...],
+        seeds: tuple[int, ...],
+        tasks: tuple[str, ...],
+    ) -> list["GridRecord"]:
+        """Reorder records into the canonical axis-product order."""
+        indexed = {
+            (r.algorithm, r.dim, r.precision, r.seed, r.task): r for r in records
+        }
+        ordered = [
+            indexed[(algorithm, dim, precision, seed, task)]
+            for algorithm, dim, precision, seed in itertools.product(
+                algorithms, dimensions, precisions, seeds
+            )
+            for task in tasks
+        ]
+        return ordered

@@ -1,0 +1,265 @@
+"""Content-addressed artifact store for the grid-execution engine.
+
+Every expensive artifact of the instability pipeline -- trained embedding
+pairs, quantized pairs, matrix decompositions, downstream results, measure
+values -- is keyed by a hash of the configuration that produced it.  Repeated
+grid cells, repeated experiments, and repeated *runs* then hit the cache
+instead of recomputing:
+
+* an **in-memory tier** (always on) preserves object identity within a
+  process, replacing the ad-hoc dicts the pipeline used to keep;
+* an optional **disk tier** (``root`` given) persists artifacts as ``.npz``
+  and ``.json`` files under ``root/<kind>/<key>.*`` via the same conventions
+  as :mod:`repro.utils.io`, so a second process (or a second day) skips
+  retraining entirely.
+
+Writes to the disk tier go through a temporary file and an atomic
+``os.replace`` so concurrent scheduler workers sharing one store can never
+observe a half-written artifact.  Per-kind hit/miss counters make cache
+behaviour testable ("a warm rerun performs zero retrainings").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.corpus.vocabulary import Vocabulary
+from repro.embeddings.base import Embedding
+from repro.utils.io import ensure_dir, to_jsonable
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = [
+    "config_hash",
+    "CacheStats",
+    "ArtifactStore",
+    "configure_default_store",
+    "default_store",
+]
+
+
+def config_hash(payload: Any) -> str:
+    """Stable content hash of a JSON-able configuration payload.
+
+    Dataclasses, numpy scalars/arrays and nested mappings are canonicalised
+    through :func:`repro.utils.io.to_jsonable`; key order does not matter.
+    """
+    canonical = json.dumps(to_jsonable(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write counters for one artifact kind."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+def _atomic_write(path: Path, writer) -> None:
+    """Write a file via a sibling temp file + ``os.replace`` (atomic on POSIX)."""
+    ensure_dir(path.parent)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            writer(handle)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def _vocab_from_arrays(words: np.ndarray, counts: np.ndarray) -> Vocabulary:
+    return Vocabulary({str(w): int(c) for w, c in zip(words, counts)})
+
+
+class ArtifactStore:
+    """Two-tier (memory + optional disk) content-addressed artifact cache."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else None
+        if self.root is not None:
+            ensure_dir(self.root)
+        self._memory: dict[tuple[str, str], Any] = {}
+        self.stats: dict[str, CacheStats] = {}
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def stat(self, kind: str) -> CacheStats:
+        """The (auto-created) counter block of one artifact kind."""
+        if kind not in self.stats:
+            self.stats[kind] = CacheStats()
+        return self.stats[kind]
+
+    def reset_stats(self) -> None:
+        self.stats = {}
+
+    @property
+    def persistent(self) -> bool:
+        return self.root is not None
+
+    def key(self, **fields: Any) -> str:
+        """Content hash of keyword fields (convenience over :func:`config_hash`)."""
+        return config_hash(fields)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _path(self, kind: str, key: str, suffix: str) -> Path:
+        assert self.root is not None
+        return self.root / kind / f"{key}{suffix}"
+
+    def _record(self, kind: str, found: bool) -> None:
+        stat = self.stat(kind)
+        if found:
+            stat.hits += 1
+        else:
+            stat.misses += 1
+
+    # -- generic JSON artifacts ----------------------------------------------
+
+    def get_json(self, kind: str, key: str) -> Any | None:
+        """Look up a JSON-able artifact; ``None`` on miss (counted)."""
+        memo = self._memory.get((kind, key))
+        if memo is not None:
+            self._record(kind, True)
+            return memo
+        if self.root is not None:
+            path = self._path(kind, key, ".json")
+            if path.exists():
+                value = json.loads(path.read_text())
+                self._memory[(kind, key)] = value
+                self._record(kind, True)
+                return value
+        self._record(kind, False)
+        return None
+
+    def put_json(self, kind: str, key: str, value: Any) -> None:
+        value = to_jsonable(value)
+        self._memory[(kind, key)] = value
+        self.stat(kind).puts += 1
+        if self.root is not None:
+            payload = json.dumps(value, indent=2, sort_keys=True).encode("utf-8")
+            _atomic_write(self._path(kind, key, ".json"), lambda f: f.write(payload))
+
+    # -- array artifacts (matrix decompositions etc.) --------------------------
+
+    def get_arrays(self, kind: str, key: str) -> dict[str, np.ndarray] | None:
+        memo = self._memory.get((kind, key))
+        if memo is not None:
+            self._record(kind, True)
+            return memo
+        if self.root is not None:
+            path = self._path(kind, key, ".npz")
+            if path.exists():
+                with np.load(path) as data:
+                    arrays = {name: data[name] for name in data.files}
+                self._memory[(kind, key)] = arrays
+                self._record(kind, True)
+                return arrays
+        self._record(kind, False)
+        return None
+
+    def put_arrays(self, kind: str, key: str, arrays: Mapping[str, np.ndarray]) -> None:
+        arrays = {name: np.asarray(arr) for name, arr in arrays.items()}
+        self._memory[(kind, key)] = arrays
+        self.stat(kind).puts += 1
+        if self.root is not None:
+            _atomic_write(
+                self._path(kind, key, ".npz"),
+                lambda f: np.savez_compressed(f, **arrays),
+            )
+
+    # -- embedding pairs ---------------------------------------------------------
+
+    def get_embedding_pair(self, kind: str, key: str) -> tuple[Embedding, Embedding] | None:
+        """Look up a (base, drifted) embedding pair; ``None`` on miss."""
+        memo = self._memory.get((kind, key))
+        if memo is not None:
+            self._record(kind, True)
+            return memo
+        if self.root is not None:
+            path = self._path(kind, key, ".npz")
+            if path.exists():
+                pair = self._load_pair(path)
+                self._memory[(kind, key)] = pair
+                self._record(kind, True)
+                return pair
+        self._record(kind, False)
+        return None
+
+    def put_embedding_pair(
+        self, kind: str, key: str, pair: tuple[Embedding, Embedding]
+    ) -> None:
+        self._memory[(kind, key)] = pair
+        self.stat(kind).puts += 1
+        if self.root is not None:
+            emb_a, emb_b = pair
+            payload = {
+                "vectors_a": emb_a.vectors,
+                "vectors_b": emb_b.vectors,
+                "words_a": np.array(emb_a.vocab.words, dtype=object),
+                "counts_a": emb_a.vocab.counts,
+                "words_b": np.array(emb_b.vocab.words, dtype=object),
+                "counts_b": emb_b.vocab.counts,
+                "metadata": np.array(
+                    json.dumps([to_jsonable(emb_a.metadata), to_jsonable(emb_b.metadata)])
+                ),
+            }
+            _atomic_write(
+                self._path(kind, key, ".npz"),
+                lambda f: np.savez_compressed(f, **payload),
+            )
+
+    @staticmethod
+    def _load_pair(path: Path) -> tuple[Embedding, Embedding]:
+        with np.load(path, allow_pickle=True) as data:
+            meta_a, meta_b = json.loads(str(data["metadata"]))
+            embeddings = []
+            for side, meta in (("a", meta_a), ("b", meta_b)):
+                words = [str(w) for w in data[f"words_{side}"]]
+                counts = data[f"counts_{side}"]
+                vectors = data[f"vectors_{side}"]
+                vocab = _vocab_from_arrays(np.array(words, dtype=object), counts)
+                # Vocabulary re-sorts by frequency; restore row alignment.
+                order = np.asarray([words.index(w) for w in vocab.words], dtype=np.int64)
+                embeddings.append(Embedding(vocab=vocab, vectors=vectors[order], metadata=meta))
+        return embeddings[0], embeddings[1]
+
+
+# -- process-wide default store ------------------------------------------------
+#
+# ``repro.experiments.runner --cache-dir`` configures a root here once, and
+# every pipeline constructed afterwards without an explicit store persists to
+# it; the default without configuration stays a private in-memory store per
+# pipeline, matching the seed behaviour.
+
+_DEFAULT_ROOT: Path | None = None
+
+
+def configure_default_store(root: str | Path | None) -> None:
+    """Set (or clear, with ``None``) the process-wide artifact store root."""
+    global _DEFAULT_ROOT
+    _DEFAULT_ROOT = Path(root) if root is not None else None
+    if _DEFAULT_ROOT is not None:
+        logger.info("default artifact store root: %s", _DEFAULT_ROOT)
+
+
+def default_store() -> ArtifactStore:
+    """A store at the configured default root, or a fresh in-memory store."""
+    return ArtifactStore(_DEFAULT_ROOT)

@@ -8,7 +8,12 @@ table or figure.  The benchmark files under ``benchmarks/`` are thin wrappers
 that time these functions and print the resulting tables.
 """
 
-from repro.experiments.base import ExperimentResult, quick_pipeline_config
+from repro.experiments.base import (
+    ExperimentResult,
+    quick_pipeline_config,
+    resolve_engine,
+    resolve_pipeline,
+)
 from repro.experiments import (
     fig1_dimension,
     fig1_precision,
@@ -46,6 +51,8 @@ __all__ = [
     "fig15_learning_rate",
     "proposition1",
     "quick_pipeline_config",
+    "resolve_engine",
+    "resolve_pipeline",
     "run_experiment",
     "table1_correlation",
     "table2_selection",

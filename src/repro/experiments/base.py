@@ -6,9 +6,16 @@ from dataclasses import dataclass, field
 
 from repro.analysis.reporting import format_table, rows_to_csv
 from repro.corpus.synthetic import SyntheticCorpusConfig
+from repro.engine.scheduler import GridEngine
+from repro.engine.store import ArtifactStore
 from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
 
-__all__ = ["ExperimentResult", "quick_pipeline_config", "resolve_pipeline"]
+__all__ = [
+    "ExperimentResult",
+    "quick_pipeline_config",
+    "resolve_engine",
+    "resolve_pipeline",
+]
 
 
 @dataclass
@@ -76,10 +83,32 @@ def quick_pipeline_config(
 
 def resolve_pipeline(
     pipeline: InstabilityPipeline | PipelineConfig | None,
+    *,
+    store: ArtifactStore | None = None,
 ) -> InstabilityPipeline:
     """Accept a pipeline, a config, or ``None`` (quick defaults) and return a pipeline."""
     if isinstance(pipeline, InstabilityPipeline):
         return pipeline
     if isinstance(pipeline, PipelineConfig):
-        return InstabilityPipeline(pipeline)
-    return InstabilityPipeline(quick_pipeline_config())
+        return InstabilityPipeline(pipeline, store=store)
+    return InstabilityPipeline(quick_pipeline_config(), store=store)
+
+
+def resolve_engine(
+    pipeline: GridEngine | InstabilityPipeline | PipelineConfig | None,
+    *,
+    store: ArtifactStore | None = None,
+    n_workers: int | None = None,
+) -> GridEngine:
+    """Resolve any pipeline-ish input to a grid-execution engine.
+
+    Every experiment entrypoint routes its grid sweeps through the engine so
+    artifact caching, ancestry-aware scheduling and process fan-out apply
+    uniformly.  ``n_workers=None`` inherits the worker count of a passed
+    :class:`GridEngine` (and otherwise means serial); an explicit ``0``
+    always forces serial execution.
+    """
+    if isinstance(pipeline, GridEngine):
+        workers = pipeline.n_workers if n_workers is None else n_workers
+        return GridEngine(pipeline.pipeline, n_workers=workers)
+    return GridEngine(resolve_pipeline(pipeline, store=store), n_workers=n_workers or 0)

@@ -7,8 +7,8 @@ Here the subword algorithm is :class:`~repro.embeddings.fasttext.SubwordEmbeddin
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult, resolve_pipeline
-from repro.instability.grid import GridRunner, average_over_seeds
+from repro.experiments.base import ExperimentResult, resolve_engine, resolve_pipeline
+from repro.instability.grid import average_over_seeds
 from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
 
 __all__ = ["run"]
@@ -20,10 +20,11 @@ def run(
     tasks: tuple[str, ...] = ("sst2", "conll"),
     dimensions: tuple[int, ...] | None = None,
     precisions: tuple[int, ...] | None = None,
+    n_workers: int | None = None,
 ) -> ExperimentResult:
     """Reproduce the subword-embedding sweep (Figure 12)."""
     pipe = resolve_pipeline(pipeline)
-    records = GridRunner(pipe).run(
+    records = resolve_engine(pipe, n_workers=n_workers).run(
         algorithms=("fasttext",),
         tasks=tasks,
         dimensions=dimensions,

@@ -11,8 +11,8 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro.experiments.base import ExperimentResult, resolve_pipeline
-from repro.instability.grid import GridRunner, average_over_seeds
+from repro.experiments.base import ExperimentResult, resolve_engine, resolve_pipeline
+from repro.instability.grid import average_over_seeds
 from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
 
 __all__ = ["run"]
@@ -25,19 +25,28 @@ def run(
     algorithms: tuple[str, ...] = ("mc",),
     dimensions: tuple[int, ...] | None = None,
     precisions: tuple[int, ...] = (1, 4, 32),
+    n_workers: int | None = None,
 ) -> ExperimentResult:
     """Compare fixed vs fine-tuned embeddings on the memory sweep."""
     base_pipe = resolve_pipeline(pipeline)
     finetune_config = replace(base_pipe.config, fine_tune_embeddings=True)
-    finetune_pipe = InstabilityPipeline(
-        finetune_config, corpus_pair=base_pipe.corpus_pair, generator=base_pipe.generator
+    # Share the base pipeline's artifact store so both settings see identical
+    # trained pairs (embedding keys don't include the fine-tune flag, while
+    # downstream keys do).  A config-reconstructible base regenerates the same
+    # corpus deterministically; a custom-corpus base shares its source objects
+    # so the store keys line up.
+    shared_sources = (
+        {}
+        if base_pipe.reconstructible
+        else {"corpus_pair": base_pipe.corpus_pair, "generator": base_pipe.generator}
     )
-    # Reuse the already-trained embeddings so both settings see identical pairs.
-    finetune_pipe._embedding_cache = base_pipe._embedding_cache
+    finetune_pipe = InstabilityPipeline(
+        finetune_config, store=base_pipe.store, **shared_sources
+    )
 
     rows = []
     for label, pipe in (("fixed", base_pipe), ("fine-tuned", finetune_pipe)):
-        records = GridRunner(pipe).run(
+        records = resolve_engine(pipe, n_workers=n_workers).run(
             algorithms=algorithms,
             tasks=(task,),
             dimensions=dimensions,

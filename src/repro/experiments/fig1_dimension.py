@@ -8,8 +8,8 @@ dimension increases, plateauing at large dimensions.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult, resolve_pipeline
-from repro.instability.grid import GridRunner, average_over_seeds
+from repro.experiments.base import ExperimentResult, resolve_engine, resolve_pipeline
+from repro.instability.grid import average_over_seeds
 from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
 
 __all__ = ["run"]
@@ -20,10 +20,11 @@ def run(
     *,
     precision: int = 32,
     dimensions: tuple[int, ...] | None = None,
+    n_workers: int | None = None,
 ) -> ExperimentResult:
     """Reproduce Figure 1 (top) at a fixed precision (default: full precision)."""
     pipe = resolve_pipeline(pipeline)
-    records = GridRunner(pipe).run(
+    records = resolve_engine(pipe, n_workers=n_workers).run(
         precisions=(precision,), dimensions=dimensions, with_measures=False
     )
     averaged = average_over_seeds(records)

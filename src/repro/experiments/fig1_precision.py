@@ -9,8 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.base import ExperimentResult, resolve_pipeline
-from repro.instability.grid import GridRunner, average_over_seeds
+from repro.experiments.base import ExperimentResult, resolve_engine, resolve_pipeline
+from repro.instability.grid import average_over_seeds
 from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
 
 __all__ = ["run"]
@@ -21,13 +21,14 @@ def run(
     *,
     dim: int | None = None,
     precisions: tuple[int, ...] | None = None,
+    n_workers: int | None = None,
 ) -> ExperimentResult:
     """Reproduce Figure 1 (bottom) at one dimension (default: the median of the sweep)."""
     pipe = resolve_pipeline(pipeline)
     dims = pipe.config.dimensions
     if dim is None:
         dim = int(sorted(dims)[len(dims) // 2])
-    records = GridRunner(pipe).run(
+    records = resolve_engine(pipe, n_workers=n_workers).run(
         dimensions=(dim,), precisions=precisions, with_measures=False
     )
     averaged = average_over_seeds(records)

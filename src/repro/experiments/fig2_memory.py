@@ -10,8 +10,8 @@ dimension.
 from __future__ import annotations
 
 from repro.analysis.linear_log import fit_linear_log, relative_reduction_range
-from repro.experiments.base import ExperimentResult, resolve_pipeline
-from repro.instability.grid import GridRecord, GridRunner, average_over_seeds
+from repro.experiments.base import ExperimentResult, resolve_engine, resolve_pipeline
+from repro.instability.grid import GridRecord, average_over_seeds
 from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
 
 __all__ = ["run", "rule_of_thumb"]
@@ -22,10 +22,11 @@ def run(
     *,
     with_measures: bool = False,
     max_memory_for_fit: float | None = None,
+    n_workers: int | None = None,
 ) -> ExperimentResult:
     """Reproduce Figure 2 (memory vs instability) and the rule-of-thumb fits."""
     pipe = resolve_pipeline(pipeline)
-    records = GridRunner(pipe).run(with_measures=with_measures)
+    records = resolve_engine(pipe, n_workers=n_workers).run(with_measures=with_measures)
     return summarize(records, max_memory_for_fit=max_memory_for_fit)
 
 

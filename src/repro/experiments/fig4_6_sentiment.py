@@ -7,9 +7,9 @@ hold beyond SST-2.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult, resolve_pipeline
+from repro.experiments.base import ExperimentResult, resolve_engine, resolve_pipeline
 from repro.experiments.fig2_memory import rule_of_thumb
-from repro.instability.grid import GridRunner, average_over_seeds
+from repro.instability.grid import average_over_seeds
 from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
 
 __all__ = ["run"]
@@ -19,10 +19,11 @@ def run(
     pipeline: InstabilityPipeline | PipelineConfig | None = None,
     *,
     tasks: tuple[str, ...] = ("mr", "subj", "mpqa"),
+    n_workers: int | None = None,
 ) -> ExperimentResult:
     """Reproduce the appendix sentiment sweeps (Figures 4-6)."""
     pipe = resolve_pipeline(pipeline)
-    records = GridRunner(pipe).run(tasks=tasks, with_measures=False)
+    records = resolve_engine(pipe, n_workers=n_workers).run(tasks=tasks, with_measures=False)
     averaged = average_over_seeds(records)
     rows = [
         {

@@ -11,8 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.correlation import spearman_correlation
-from repro.experiments.base import ExperimentResult, resolve_pipeline
-from repro.instability.grid import GridRunner, average_over_seeds
+from repro.experiments.base import ExperimentResult, resolve_engine, resolve_pipeline
+from repro.instability.grid import average_over_seeds
 from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
 
 __all__ = ["run"]
@@ -22,10 +22,11 @@ def run(
     pipeline: InstabilityPipeline | PipelineConfig | None = None,
     *,
     tasks: tuple[str, ...] | None = None,
+    n_workers: int | None = None,
 ) -> ExperimentResult:
     """Reproduce the quality-tradeoff panels (Figures 7-8)."""
     pipe = resolve_pipeline(pipeline)
-    records = GridRunner(pipe).run(tasks=tasks, with_measures=False)
+    records = resolve_engine(pipe, n_workers=n_workers).run(tasks=tasks, with_measures=False)
     averaged = average_over_seeds(records)
     rows = [
         {

@@ -8,9 +8,12 @@ writes one CSV per experiment under ``results/``.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from pathlib import Path
 from typing import Callable
+
+from repro.engine.store import configure_default_store
 
 from repro.experiments import (
     fig1_dimension,
@@ -59,11 +62,23 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
+#: Engine-wide settings the CLI applies to every experiment; experiments that
+#: don't sweep the grid (and so don't accept them) get them dropped.  All
+#: other unknown kwargs still raise ``TypeError`` as usual.
+_OPTIONAL_ENGINE_KWARGS = frozenset({"n_workers"})
+
+
 def run_experiment(name: str, *args, **kwargs) -> ExperimentResult:
     """Run a registered experiment by name."""
     if name not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}")
-    return EXPERIMENTS[name](*args, **kwargs)
+    func = EXPERIMENTS[name]
+    accepted = set(inspect.signature(func).parameters)
+    passed = {
+        k: v for k, v in kwargs.items()
+        if k in accepted or k not in _OPTIONAL_ENGINE_KWARGS
+    }
+    return func(*args, **passed)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -72,6 +87,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--list", action="store_true", help="list available experiments")
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument("--output-dir", default="results", help="directory for CSV/JSON output")
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="process fan-out for grid sweeps (0 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="persist the engine's artifact store here; reruns skip retraining",
+    )
     args = parser.parse_args(argv)
 
     configure_logging()
@@ -85,9 +108,12 @@ def main(argv: list[str] | None = None) -> int:
         parser.print_help()
         return 1
 
+    if args.cache_dir is not None:
+        configure_default_store(args.cache_dir)
+
     out_dir = Path(args.output_dir)
     for name in names:
-        result = run_experiment(name)
+        result = run_experiment(name, n_workers=args.workers)
         print(result.to_table())
         print()
         result.to_csv(out_dir / f"{name}.csv")

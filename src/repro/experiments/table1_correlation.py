@@ -13,8 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.correlation import measure_correlations
-from repro.experiments.base import ExperimentResult, resolve_pipeline
-from repro.instability.grid import GridRecord, GridRunner
+from repro.experiments.base import ExperimentResult, resolve_engine, resolve_pipeline
+from repro.instability.grid import GridRecord
 from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
 
 __all__ = ["run", "summarize", "MEASURE_ORDER"]
@@ -27,10 +27,11 @@ def run(
     pipeline: InstabilityPipeline | PipelineConfig | None = None,
     *,
     tasks: tuple[str, ...] | None = None,
+    n_workers: int | None = None,
 ) -> ExperimentResult:
     """Reproduce Table 1 on the pipeline's grid."""
     pipe = resolve_pipeline(pipeline)
-    records = GridRunner(pipe).run(tasks=tasks, with_measures=True)
+    records = resolve_engine(pipe, n_workers=n_workers).run(tasks=tasks, with_measures=True)
     return summarize(records)
 
 

@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.base import ExperimentResult, resolve_pipeline
+from repro.experiments.base import ExperimentResult, resolve_engine, resolve_pipeline
 from repro.experiments.table1_correlation import MEASURE_ORDER
-from repro.instability.grid import GridRecord, GridRunner
+from repro.instability.grid import GridRecord
 from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
 from repro.selection.budget import budget_selection_error
 from repro.selection.criteria import HIGH_PRECISION, LOW_PRECISION, measure_criterion
@@ -25,10 +25,11 @@ def run(
     pipeline: InstabilityPipeline | PipelineConfig | None = None,
     *,
     tasks: tuple[str, ...] | None = None,
+    n_workers: int | None = None,
 ) -> ExperimentResult:
     """Reproduce Table 3 on the pipeline's grid."""
     pipe = resolve_pipeline(pipeline)
-    records = GridRunner(pipe).run(tasks=tasks, with_measures=True)
+    records = resolve_engine(pipe, n_workers=n_workers).run(tasks=tasks, with_measures=True)
     return summarize(records)
 
 

@@ -11,8 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.correlation import spearman_correlation
-from repro.experiments.base import ExperimentResult, resolve_pipeline
-from repro.instability.grid import GridRunner
+from repro.experiments.base import ExperimentResult, resolve_engine, resolve_pipeline
 from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
 from repro.measures.eigenspace_instability import EigenspaceInstability
 from repro.measures.knn import KNNDistance
@@ -26,11 +25,12 @@ def run(
     alphas: tuple[float, ...] = (0.0, 1.0, 2.0, 3.0, 4.0),
     ks: tuple[int, ...] = (1, 2, 5, 10, 50),
     tasks: tuple[str, ...] | None = None,
+    n_workers: int | None = None,
 ) -> ExperimentResult:
     """Sweep the EIS alpha and k-NN k and report mean Spearman correlations."""
     pipe = resolve_pipeline(pipeline)
     cfg = pipe.config
-    records = GridRunner(pipe).run(tasks=tasks, with_measures=False)
+    records = resolve_engine(pipe, n_workers=n_workers).run(tasks=tasks, with_measures=False)
 
     # Group the grid by (algorithm, seed) once; each group shares its anchors
     # and its set of compressed pairs.

@@ -9,7 +9,6 @@ and reporting modules all consume lists of these records.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -94,10 +93,18 @@ def average_over_seeds(records: list[GridRecord]) -> list[GridRecord]:
 
 
 class GridRunner:
-    """Sweep the dimension-precision grid of an :class:`InstabilityPipeline`."""
+    """Sweep the dimension-precision grid of an :class:`InstabilityPipeline`.
 
-    def __init__(self, pipeline: InstabilityPipeline) -> None:
+    A thin compatibility facade over :class:`repro.engine.scheduler.GridEngine`:
+    records come back in the same axis-product order as the original serial
+    loop, but cells are scheduled by shared ancestry, every artifact goes
+    through the pipeline's store, and ``n_workers`` fans independent cell
+    groups out over processes.
+    """
+
+    def __init__(self, pipeline: InstabilityPipeline, *, n_workers: int = 0) -> None:
         self.pipeline = pipeline
+        self.n_workers = int(n_workers)
 
     def run(
         self,
@@ -109,45 +116,22 @@ class GridRunner:
         seeds: tuple[int, ...] | None = None,
         with_measures: bool = False,
         model_type: str = "bow",
+        n_workers: int | None = None,
     ) -> list[GridRecord]:
         """Evaluate every combination and return the grid records.
 
         Any axis left as ``None`` defaults to the pipeline configuration.
         """
-        cfg = self.pipeline.config
-        algorithms = algorithms or cfg.algorithms
-        tasks = tasks or cfg.tasks
-        dimensions = dimensions or cfg.dimensions
-        precisions = precisions or cfg.precisions
-        seeds = seeds or cfg.seeds
+        from repro.engine.scheduler import GridEngine
 
-        records: list[GridRecord] = []
-        combos = list(itertools.product(algorithms, dimensions, precisions, seeds))
-        for index, (algorithm, dim, precision, seed) in enumerate(combos):
-            measures = (
-                self.pipeline.compute_measures(algorithm, dim, precision, seed)
-                if with_measures
-                else {}
-            )
-            for task in tasks:
-                result = self.pipeline.evaluate(
-                    task, algorithm, dim, precision, seed, model_type=model_type
-                )
-                records.append(
-                    GridRecord(
-                        algorithm=algorithm,
-                        task=task,
-                        dim=dim,
-                        precision=precision,
-                        seed=seed,
-                        disagreement=result.disagreement,
-                        accuracy_a=result.accuracy_a,
-                        accuracy_b=result.accuracy_b,
-                        measures=measures,
-                    )
-                )
-            logger.info(
-                "grid %d/%d: %s d=%d b=%d seed=%d done",
-                index + 1, len(combos), algorithm, dim, precision, seed,
-            )
-        return records
+        engine = GridEngine(self.pipeline, n_workers=self.n_workers)
+        return engine.run(
+            algorithms=algorithms,
+            tasks=tasks,
+            dimensions=dimensions,
+            precisions=precisions,
+            seeds=seeds,
+            with_measures=with_measures,
+            model_type=model_type,
+            n_workers=n_workers,
+        )

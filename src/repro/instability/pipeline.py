@@ -12,7 +12,12 @@ Reproduces the paper's experimental pipeline (Appendix A.5):
 5. compute the embedding distance measures between the pair.
 
 Everything is cached aggressively because the grid study reuses the same
-full-precision embeddings across many precisions and tasks.
+full-precision embeddings across many precisions and tasks.  Caching goes
+through the engine's content-addressed :class:`~repro.engine.store.ArtifactStore`:
+the default store is in-memory (matching the seed behaviour), and handing the
+pipeline a disk-backed store makes every trained embedding pair, quantized
+pair, anchor decomposition, measure value and downstream result persistent, so
+a warm rerun performs zero retrainings.
 """
 
 from __future__ import annotations
@@ -27,8 +32,14 @@ from repro.corpus.synthetic import CorpusPair, SyntheticCorpusConfig, SyntheticC
 from repro.corpus.vocabulary import Vocabulary
 from repro.embeddings.alignment import align_pair
 from repro.embeddings.base import EMBEDDING_ALGORITHMS, Embedding
+from repro.engine.store import ArtifactStore, config_hash, default_store
 from repro.instability.downstream import classification_disagreement, tagging_disagreement
-from repro.measures.eigenspace_instability import EigenspaceInstability
+from repro.measures.batch import compute_measure_batch
+from repro.measures.eigenspace_instability import (
+    AnchorFactors,
+    EigenspaceInstability,
+    anchor_factors,
+)
 from repro.measures.eigenspace_overlap import EigenspaceOverlapDistance
 from repro.measures.knn import KNNDistance
 from repro.measures.pip_loss import PIPLoss
@@ -136,7 +147,21 @@ class DownstreamResult:
 
 
 class InstabilityPipeline:
-    """Caches and orchestrates embeddings, compression, tasks and models."""
+    """Caches and orchestrates embeddings, compression, tasks and models.
+
+    Parameters
+    ----------
+    config:
+        Pipeline configuration (quick defaults when omitted).
+    corpus_pair, generator:
+        Optional pre-built corpus sources; when given, the pipeline cannot be
+        reconstructed from its config alone, which disables the parallel
+        scheduler's worker path (and salts artifact keys, so a persistent
+        store is never polluted with artifacts that don't match their config).
+    store:
+        Artifact store for every expensive artifact.  ``None`` uses the
+        process default (in-memory unless configured otherwise).
+    """
 
     def __init__(
         self,
@@ -144,23 +169,68 @@ class InstabilityPipeline:
         *,
         corpus_pair: CorpusPair | None = None,
         generator: SyntheticCorpusGenerator | None = None,
+        store: ArtifactStore | None = None,
     ) -> None:
         self.config = config or PipelineConfig()
+        self.store = store if store is not None else default_store()
+        self.reconstructible = corpus_pair is None and generator is None
         self.generator = generator or SyntheticCorpusGenerator(self.config.corpus)
         self.corpus_pair = corpus_pair or self.generator.generate_pair(seed=self.config.corpus.seed)
+        # Salting by the *source objects* (not the pipeline) lets pipelines that
+        # share the same custom corpus also share artifacts -- their trained
+        # embeddings really are interchangeable -- while pipelines with
+        # unrelated custom corpora can never collide in a persistent store.
+        self._key_salt = (
+            None
+            if self.reconstructible
+            else f"custom-source-{id(self.corpus_pair):x}-{id(self.generator):x}"
+        )
         self.vocab: Vocabulary = self.corpus_pair.shared_vocabulary(
             min_count=self.config.vocab_min_count
         )
         self.lexicons = build_task_lexicons(self.generator, self.vocab)
         self._datasets: dict[str, DatasetSplits] = {}
-        self._embedding_cache: dict[tuple[str, int, int], tuple[Embedding, Embedding]] = {}
-        self._downstream_cache: dict[tuple, DownstreamResult] = {}
+        self._downstream_results: dict[str, DownstreamResult] = {}
+        self._measure_suites: dict[tuple[str, int], dict[str, object]] = {}
+        #: Number of embedding pairs actually trained (cache misses) and of
+        #: downstream models actually fit; warm-cache tests pin these to zero.
+        self.embedding_train_count = 0
+        self.downstream_train_count = 0
         logger.info(
             "pipeline ready: %d-word vocabulary, %d/%d tokens",
             len(self.vocab),
             self.corpus_pair.base.num_tokens,
             self.corpus_pair.drifted.num_tokens,
         )
+
+    # -- artifact keys -----------------------------------------------------------
+
+    def _corpus_fields(self) -> dict:
+        return {
+            "corpus": self.config.corpus,
+            "vocab_min_count": self.config.vocab_min_count,
+            "salt": self._key_salt,
+        }
+
+    def _embedding_fields(self, algorithm: str, dim: int, seed: int) -> dict:
+        fields = self._corpus_fields()
+        fields.update(
+            algorithm=algorithm,
+            dim=int(dim),
+            seed=int(seed),
+            align=self.config.align,
+            epochs=self.config.embedding_epochs,
+            window=self.config.embedding_window,
+        )
+        return fields
+
+    def _quantized_fields(self, algorithm: str, dim: int, precision: int, seed: int) -> dict:
+        fields = self._embedding_fields(algorithm, dim, seed)
+        fields.update(
+            precision=int(precision),
+            share_clip_threshold=self.config.share_clip_threshold,
+        )
+        return fields
 
     # -- datasets --------------------------------------------------------------
 
@@ -199,28 +269,36 @@ class InstabilityPipeline:
 
     def embedding_pair(self, algorithm: str, dim: int, seed: int) -> tuple[Embedding, Embedding]:
         """Full-precision (base, drifted) embedding pair, Procrustes-aligned."""
-        key = (algorithm, int(dim), int(seed))
-        if key not in self._embedding_cache:
+        key = config_hash(self._embedding_fields(algorithm, dim, seed))
+        pair = self.store.get_embedding_pair("embedding_pair", key)
+        if pair is None:
             model_a = self._make_algorithm(algorithm, dim, seed)
             model_b = self._make_algorithm(algorithm, dim, seed)
             emb_a = model_a.fit(self.corpus_pair.base, vocab=self.vocab)
             emb_b = model_b.fit(self.corpus_pair.drifted, vocab=self.vocab)
             if self.config.align:
                 emb_b = align_pair(emb_a, emb_b)
-            self._embedding_cache[key] = (emb_a, emb_b)
+            pair = (emb_a, emb_b)
+            self.embedding_train_count += 1
+            self.store.put_embedding_pair("embedding_pair", key, pair)
             logger.debug("trained %s pair dim=%d seed=%d", algorithm, dim, seed)
-        return self._embedding_cache[key]
+        return pair
 
     def compressed_pair(
         self, algorithm: str, dim: int, precision: int, seed: int
     ) -> tuple[Embedding, Embedding]:
         """Embedding pair quantized to ``precision`` bits (threshold shared)."""
-        emb_a, emb_b = self.embedding_pair(algorithm, dim, seed)
         if precision >= FULL_PRECISION_BITS:
-            return emb_a, emb_b
-        return compress_pair(
-            emb_a, emb_b, precision, share_threshold=self.config.share_clip_threshold
-        )
+            return self.embedding_pair(algorithm, dim, seed)
+        key = config_hash(self._quantized_fields(algorithm, dim, precision, seed))
+        pair = self.store.get_embedding_pair("quantized_pair", key)
+        if pair is None:
+            emb_a, emb_b = self.embedding_pair(algorithm, dim, seed)
+            pair = compress_pair(
+                emb_a, emb_b, precision, share_threshold=self.config.share_clip_threshold
+            )
+            self.store.put_embedding_pair("quantized_pair", key, pair)
+        return pair
 
     def anchors(self, algorithm: str, seed: int) -> tuple[Embedding, Embedding]:
         """Anchor embeddings for the EIS measure: highest-dim, full precision."""
@@ -228,32 +306,93 @@ class InstabilityPipeline:
 
     # -- measures ----------------------------------------------------------------
 
+    def anchor_decomposition(self, algorithm: str, seed: int) -> AnchorFactors:
+        """SVD factors of the aligned anchor pair, shared across grid cells.
+
+        One decomposition of the (largest-dimension) anchors serves the EIS
+        evaluation of every (dimension, precision) cell with the same
+        (algorithm, seed); with a persistent store it also survives reruns.
+        """
+        fields = self._embedding_fields(algorithm, self.config.resolved_anchor_dim, seed)
+        fields.update(kind="anchor-svd", alpha=self.config.eis_alpha,
+                      top_k=self.config.measure_top_k)
+        key = config_hash(fields)
+        # All pipeline embeddings share one vocabulary, so the aligned word
+        # order of any pair is the vocabulary's frequency order.
+        words = tuple(self.vocab.words[: self.config.measure_top_k])
+        arrays = self.store.get_arrays("decomposition", key)
+        if arrays is None:
+            anchor_a, anchor_b = self.anchors(algorithm, seed)
+            ra, rb = Embedding.aligned_pair(anchor_a, anchor_b, top_k=self.config.measure_top_k)
+            factors = anchor_factors(
+                ra.vectors, rb.vectors, alpha=self.config.eis_alpha,
+                words=tuple(ra.vocab.words),
+            )
+            self.store.put_arrays(
+                "decomposition", key,
+                {"P": factors.P, "Ra": factors.Ra, "P_t": factors.P_t, "Ra_t": factors.Ra_t},
+            )
+            return factors
+        return AnchorFactors(
+            P=arrays["P"], Ra=arrays["Ra"], P_t=arrays["P_t"], Ra_t=arrays["Ra_t"],
+            words=words,
+        )
+
     def measure_suite(self, algorithm: str, seed: int) -> dict[str, object]:
-        """The five embedding distance measures, with anchors resolved."""
-        anchor_a, anchor_b = self.anchors(algorithm, seed)
-        return {
-            "eis": EigenspaceInstability(anchor_a, anchor_b, alpha=self.config.eis_alpha),
-            "1-knn": KNNDistance(
-                k=self.config.knn_k, num_queries=self.config.knn_num_queries, seed=0
-            ),
-            "semantic-displacement": SemanticDisplacement(),
-            "pip": PIPLoss(),
-            "1-eigenspace-overlap": EigenspaceOverlapDistance(),
-        }
+        """The five embedding distance measures, with anchors resolved (cached)."""
+        suite_key = (algorithm, int(seed))
+        if suite_key not in self._measure_suites:
+            anchor_a, anchor_b = self.anchors(algorithm, seed)
+            self._measure_suites[suite_key] = {
+                "eis": EigenspaceInstability(
+                    anchor_a, anchor_b, alpha=self.config.eis_alpha,
+                    factors=self.anchor_decomposition(algorithm, seed),
+                ),
+                "1-knn": KNNDistance(
+                    k=self.config.knn_k, num_queries=self.config.knn_num_queries, seed=0
+                ),
+                "semantic-displacement": SemanticDisplacement(),
+                "pip": PIPLoss(),
+                "1-eigenspace-overlap": EigenspaceOverlapDistance(),
+            }
+        return self._measure_suites[suite_key]
 
     def compute_measures(
         self, algorithm: str, dim: int, precision: int, seed: int,
         *, measures: tuple[str, ...] | None = None,
     ) -> dict[str, float]:
-        """Evaluate embedding distance measures on a compressed pair."""
+        """Evaluate embedding distance measures on a compressed pair.
+
+        The suite runs as a batch sharing one vocabulary alignment and one
+        :class:`~repro.measures.base.DecompositionCache`, so each embedding
+        matrix is decomposed once for EIS, eigenspace overlap and PIP loss
+        together; values are cached in the artifact store.
+        """
+        fields = self._quantized_fields(algorithm, dim, precision, seed)
+        fields.update(
+            kind="measures",
+            measures=sorted(measures) if measures is not None else None,
+            top_k=self.config.measure_top_k,
+            eis_alpha=self.config.eis_alpha,
+            knn_k=self.config.knn_k,
+            knn_num_queries=self.config.knn_num_queries,
+            anchor_dim=self.config.resolved_anchor_dim,
+        )
+        key = config_hash(fields)
+        cached = self.store.get_json("measures", key)
+        if cached is not None:
+            return dict(cached)
         emb_a, emb_b = self.compressed_pair(algorithm, dim, precision, seed)
         suite = self.measure_suite(algorithm, seed)
-        top_k = self.config.measure_top_k
-        out: dict[str, float] = {}
-        for name, measure in suite.items():
-            if measures is not None and name not in measures:
-                continue
-            out[name] = measure.compute_embeddings(emb_a, emb_b, top_k=top_k).value
+        selected = {
+            name: measure for name, measure in suite.items()
+            if measures is None or name in measures
+        }
+        batch = compute_measure_batch(
+            selected, emb_a, emb_b, top_k=self.config.measure_top_k
+        )
+        out = batch.values
+        self.store.put_json("measures", key, out)
         return out
 
     # -- downstream models ----------------------------------------------------------
@@ -299,6 +438,7 @@ class InstabilityPipeline:
         else:
             raise ValueError(f"unknown classifier type {model_type!r}")
         model.fit(splits.train, splits.val)
+        self.downstream_train_count += 1
         return model
 
     def _train_tagger(
@@ -324,6 +464,7 @@ class InstabilityPipeline:
             config=cfg,
         )
         tagger.fit(splits.train, splits.val)
+        self.downstream_train_count += 1
         return tagger
 
     def downstream_result(
@@ -386,13 +527,45 @@ class InstabilityPipeline:
         use_crf: bool = False,
     ) -> DownstreamResult:
         """Cached end-to-end evaluation of one grid point."""
-        key = (task, algorithm, int(dim), int(precision), int(seed), model_type, use_crf)
-        if key not in self._downstream_cache:
-            emb_a, emb_b = self.compressed_pair(algorithm, dim, precision, seed)
-            self._downstream_cache[key] = self.downstream_result(
-                task, emb_a, emb_b, seed, model_type=model_type, use_crf=use_crf
-            )
-        return self._downstream_cache[key]
+        fields = self._quantized_fields(algorithm, dim, precision, seed)
+        fields.update(
+            kind="downstream",
+            task=task,
+            model_type=model_type,
+            use_crf=use_crf,
+            task_seed=self.config.task_seed,
+            val_fraction=self.config.val_fraction,
+            test_fraction=self.config.test_fraction,
+            downstream_epochs=self.config.downstream_epochs,
+            sentiment_learning_rate=self.config.sentiment_learning_rate,
+            ner=self.config.ner_config,
+            ner_optimizer=self.config.ner_optimizer,
+            ner_epochs=self.config.ner_epochs,
+            ner_hidden_dim=self.config.ner_hidden_dim,
+            ner_learning_rate=self.config.ner_learning_rate,
+            fine_tune=self.config.fine_tune_embeddings,
+        )
+        key = config_hash(fields)
+        payload = self.store.get_json("downstream", key)
+        if payload is not None:
+            # Reconstruct once and memoise so repeated lookups keep identity.
+            result = self._downstream_results.get(key)
+            if result is None:
+                result = DownstreamResult(
+                    task=payload["task"],
+                    disagreement=payload["disagreement"],
+                    accuracy_a=payload["accuracy_a"],
+                    accuracy_b=payload["accuracy_b"],
+                )
+                self._downstream_results[key] = result
+            return result
+        emb_a, emb_b = self.compressed_pair(algorithm, dim, precision, seed)
+        result = self.downstream_result(
+            task, emb_a, emb_b, seed, model_type=model_type, use_crf=use_crf
+        )
+        self._downstream_results[key] = result
+        self.store.put_json("downstream", key, result)
+        return result
 
     # -- bookkeeping ------------------------------------------------------------------
 

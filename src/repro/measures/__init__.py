@@ -6,9 +6,17 @@ downstream instability, so measures the paper reports as similarities
 matching the rows "1 - k-NN" / "1 - Eigenspace Overlap" of Tables 1-3.
 """
 
-from repro.measures.base import MEASURES, EmbeddingDistanceMeasure, MeasureResult
+from repro.measures.base import (
+    MEASURES,
+    DecompositionCache,
+    EmbeddingDistanceMeasure,
+    MeasureResult,
+)
+from repro.measures.batch import MeasureBatchResult, compute_measure_batch
 from repro.measures.eigenspace_instability import (
+    AnchorFactors,
     EigenspaceInstability,
+    anchor_factors,
     eigenspace_instability,
     eigenspace_instability_exact,
 )
@@ -18,14 +26,19 @@ from repro.measures.pip_loss import PIPLoss, pip_loss
 from repro.measures.semantic_displacement import SemanticDisplacement, semantic_displacement
 
 __all__ = [
+    "AnchorFactors",
+    "DecompositionCache",
     "EigenspaceInstability",
     "EigenspaceOverlapDistance",
     "EmbeddingDistanceMeasure",
     "KNNDistance",
     "MEASURES",
+    "MeasureBatchResult",
     "MeasureResult",
     "PIPLoss",
     "SemanticDisplacement",
+    "anchor_factors",
+    "compute_measure_batch",
     "eigenspace_instability",
     "eigenspace_instability_exact",
     "eigenspace_overlap",

@@ -11,29 +11,34 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.measures.base import MEASURES, EmbeddingDistanceMeasure
+from repro.measures.base import (
+    MEASURES,
+    DecompositionCache,
+    EmbeddingDistanceMeasure,
+    left_singular_vectors,
+)
 from repro.utils.validation import check_embedding_pair
 
 __all__ = ["eigenspace_overlap", "EigenspaceOverlapDistance"]
 
 
-def eigenspace_overlap(X: np.ndarray, X_tilde: np.ndarray) -> float:
+def eigenspace_overlap(
+    X: np.ndarray, X_tilde: np.ndarray, *, cache: DecompositionCache | None = None
+) -> float:
     """Eigenspace overlap score in [0, 1] (1 = identical column spaces)."""
     X, X_tilde = check_embedding_pair(X, X_tilde)
-    U, S, _ = np.linalg.svd(X, full_matrices=False)
-    U_t, S_t, _ = np.linalg.svd(X_tilde, full_matrices=False)
-
-    def rank_restrict(U: np.ndarray, S: np.ndarray) -> np.ndarray:
-        if S.size == 0:
-            return U
-        tol = S.max() * max(X.shape) * np.finfo(np.float64).eps
-        rank = max(int(np.sum(S > tol)), 1)
-        return U[:, :rank]
-
-    U = rank_restrict(U, S)
-    U_t = rank_restrict(U_t, S_t)
+    if cache is not None:
+        # The rank-restricted bases are leading columns of the thin SVD bases,
+        # so the overlap is a sub-block of the shared cross product.
+        U = cache.left_singular(X)
+        U_t = cache.left_singular(X_tilde)
+        cross = cache.cross(X, X_tilde)[: U.shape[1], : U_t.shape[1]]
+    else:
+        U = left_singular_vectors(X)
+        U_t = left_singular_vectors(X_tilde)
+        cross = U.T @ U_t
     d = max(U.shape[1], U_t.shape[1])
-    overlap = float(np.sum((U.T @ U_t) ** 2) / d)
+    overlap = float(np.sum(cross**2) / d)
     # Guard against round-off pushing the score outside [0, 1].
     return float(np.clip(overlap, 0.0, 1.0))
 
@@ -46,3 +51,8 @@ class EigenspaceOverlapDistance(EmbeddingDistanceMeasure):
 
     def compute(self, X: np.ndarray, X_tilde: np.ndarray) -> float:
         return 1.0 - eigenspace_overlap(X, X_tilde)
+
+    def compute_cached(
+        self, X: np.ndarray, X_tilde: np.ndarray, cache: DecompositionCache | None = None
+    ) -> float:
+        return 1.0 - eigenspace_overlap(X, X_tilde, cache=cache)

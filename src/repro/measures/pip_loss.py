@@ -13,19 +13,30 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.measures.base import MEASURES, EmbeddingDistanceMeasure
+from repro.measures.base import MEASURES, DecompositionCache, EmbeddingDistanceMeasure
 from repro.utils.validation import check_embedding_pair
 
 __all__ = ["pip_loss", "PIPLoss"]
 
 
-def pip_loss(X: np.ndarray, X_tilde: np.ndarray) -> float:
+def pip_loss(
+    X: np.ndarray, X_tilde: np.ndarray, *, cache: DecompositionCache | None = None
+) -> float:
     """Frobenius norm of the Gram-matrix difference ``X X^T - X~ X~^T``."""
     X, X_tilde = check_embedding_pair(X, X_tilde)
-    xtx = X.T @ X
-    yty = X_tilde.T @ X_tilde
-    xty = X.T @ X_tilde
-    sq = float(np.sum(xtx**2) + np.sum(yty**2) - 2.0 * np.sum(xty**2))
+    if cache is not None:
+        # From X = U S V^T: ||X X^T||_F^2 = sum(S^4) and
+        # tr(X X^T Y Y^T) = ||diag(S) U^T U~ diag(S~)||_F^2, so the shared SVD
+        # and cross product replace all three Gram products.
+        _, S, _ = cache.svd(X)
+        _, S_t, _ = cache.svd(X_tilde)
+        M = (S[:, np.newaxis] * cache.cross(X, X_tilde)) * S_t[np.newaxis, :]
+        sq = float(np.sum(S**4) + np.sum(S_t**4) - 2.0 * np.sum(M**2))
+    else:
+        xtx = X.T @ X
+        yty = X_tilde.T @ X_tilde
+        xty = X.T @ X_tilde
+        sq = float(np.sum(xtx**2) + np.sum(yty**2) - 2.0 * np.sum(xty**2))
     # Round-off can produce a tiny negative value when the matrices are equal.
     return float(np.sqrt(max(sq, 0.0)))
 
@@ -38,3 +49,8 @@ class PIPLoss(EmbeddingDistanceMeasure):
 
     def compute(self, X: np.ndarray, X_tilde: np.ndarray) -> float:
         return pip_loss(X, X_tilde)
+
+    def compute_cached(
+        self, X: np.ndarray, X_tilde: np.ndarray, cache: DecompositionCache | None = None
+    ) -> float:
+        return pip_loss(X, X_tilde, cache=cache)

@@ -1,0 +1,150 @@
+"""Property-style round-trip tests for uniform quantization.
+
+Pins the analytic guarantees of deterministic uniform quantization:
+
+* compress -> decompress error is bounded by half a quantization step for
+  every in-range entry (and by the clipping error outside the range), across
+  bit widths;
+* ``compress_pair`` with a shared threshold quantizes both members onto the
+  *same* grid (the paper's Appendix C.2 behaviour), and the shared threshold
+  is exactly the one fitted on the reference embedding;
+* ``FULL_PRECISION_BITS`` is an exact no-op.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.uniform_quantization import (
+    FULL_PRECISION_BITS,
+    UniformQuantizer,
+    compress_pair,
+    optimal_clip_threshold,
+    uniform_quantize,
+)
+from repro.corpus.vocabulary import Vocabulary
+from repro.embeddings.base import Embedding
+
+
+def toy_embedding(rng: np.random.Generator, n: int = 30, d: int = 6, scale: float = 1.0):
+    words = {f"w{i}": n - i for i in range(n)}
+    return Embedding(vocab=Vocabulary(words), vectors=scale * rng.standard_normal((n, d)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    bits=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=50),
+    scale=st.floats(min_value=1e-3, max_value=1e3),
+)
+def test_property_roundtrip_error_bounded(bits, seed, scale):
+    """|q(x) - clip(x)| <= delta/2 for every entry, at every bit width."""
+    rng = np.random.default_rng(seed)
+    X = scale * rng.standard_normal((40, 5))
+    clip = optimal_clip_threshold(X, bits)
+    q = uniform_quantize(X, bits, clip=clip)
+    delta = 2.0 * clip / max(2**bits - 1, 1)
+    clipped = np.clip(X, -clip, clip)
+    assert np.all(np.abs(q - clipped) <= delta / 2 + 1e-12 * clip)
+    # In-range entries (the vast majority) round-trip within half a step of
+    # their original value, not just of their clipped value.
+    in_range = np.abs(X) <= clip
+    assert np.all(np.abs(q[in_range] - X[in_range]) <= delta / 2 + 1e-12 * clip)
+
+
+@settings(max_examples=25, deadline=None)
+@given(bits=st.integers(min_value=1, max_value=8), seed=st.integers(min_value=0, max_value=50))
+def test_property_level_count_and_range(bits, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((30, 4))
+    q = uniform_quantize(X, bits)
+    assert len(np.unique(q)) <= 2**bits
+    assert np.max(np.abs(q)) <= optimal_clip_threshold(X, bits) + 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(bits=st.integers(min_value=1, max_value=6), seed=st.integers(min_value=0, max_value=20))
+def test_property_quantization_is_idempotent(bits, seed):
+    """Quantizing an already-quantized matrix with the same grid is exact."""
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((25, 4))
+    clip = optimal_clip_threshold(X, bits)
+    once = uniform_quantize(X, bits, clip=clip)
+    twice = uniform_quantize(once, bits, clip=clip)
+    np.testing.assert_array_equal(once, twice)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100))
+def test_property_full_precision_is_exact_noop(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((20, 5))
+    np.testing.assert_array_equal(uniform_quantize(X, FULL_PRECISION_BITS), X)
+    np.testing.assert_array_equal(uniform_quantize(X, FULL_PRECISION_BITS + 32), X)
+
+
+class TestSharedThresholdSymmetry:
+    def test_shared_threshold_is_the_reference_fit(self, rng):
+        """compress_pair's shared grid is exactly the quantizer fit on ``reference``."""
+        bits = 3
+        ref = toy_embedding(rng)
+        other = toy_embedding(rng, scale=2.0)
+        ref_q, other_q = compress_pair(ref, other, bits, share_threshold=True)
+        quantizer = UniformQuantizer(bits=bits).fit(ref.vectors)
+        np.testing.assert_array_equal(ref_q.vectors, quantizer.transform(ref.vectors))
+        np.testing.assert_array_equal(other_q.vectors, quantizer.transform(other.vectors))
+
+    def test_shared_grid_alignment(self, rng):
+        """Both members land on one common lattice when the threshold is shared."""
+        bits = 2
+        ref = toy_embedding(rng)
+        other = toy_embedding(rng, scale=0.5)
+        ref_q, other_q = compress_pair(ref, other, bits, share_threshold=True)
+        levels = np.unique(np.concatenate([ref_q.vectors.ravel(), other_q.vectors.ravel()]))
+        assert len(levels) <= 2**bits
+
+    def test_unshared_thresholds_use_own_grids(self, rng):
+        bits = 2
+        ref = toy_embedding(rng)
+        other = toy_embedding(rng, scale=5.0)
+        _, other_shared = compress_pair(ref, other, bits, share_threshold=True)
+        _, other_own = compress_pair(ref, other, bits, share_threshold=False)
+        own_clip = optimal_clip_threshold(other.vectors, bits)
+        np.testing.assert_array_equal(
+            other_own.vectors, uniform_quantize(other.vectors, bits, clip=own_clip)
+        )
+        # With a 10x scale mismatch the grids must actually differ.
+        assert not np.array_equal(other_shared.vectors, other_own.vectors)
+
+    def test_swapping_the_pair_swaps_the_fitted_threshold(self, rng):
+        bits = 3
+        a = toy_embedding(rng)
+        b = toy_embedding(rng, scale=3.0)
+        a_q_ab, _ = compress_pair(a, b, bits, share_threshold=True)
+        b_q_ba, _ = compress_pair(b, a, bits, share_threshold=True)
+        clip_a = optimal_clip_threshold(a.vectors, bits)
+        clip_b = optimal_clip_threshold(b.vectors, bits)
+        np.testing.assert_array_equal(
+            a_q_ab.vectors, uniform_quantize(a.vectors, bits, clip=clip_a)
+        )
+        np.testing.assert_array_equal(
+            b_q_ba.vectors, uniform_quantize(b.vectors, bits, clip=clip_b)
+        )
+
+
+class TestFullPrecisionPair:
+    def test_compress_pair_at_full_precision_is_exact(self, rng):
+        ref = toy_embedding(rng)
+        other = toy_embedding(rng)
+        ref_q, other_q = compress_pair(ref, other, FULL_PRECISION_BITS)
+        np.testing.assert_array_equal(ref_q.vectors, ref.vectors)
+        np.testing.assert_array_equal(other_q.vectors, other.vectors)
+        assert ref_q.metadata["precision"] == FULL_PRECISION_BITS
+
+    def test_metadata_records_precision(self, rng):
+        ref = toy_embedding(rng)
+        other = toy_embedding(rng)
+        ref_q, other_q = compress_pair(ref, other, 4)
+        assert ref_q.metadata["precision"] == 4
+        assert other_q.metadata["precision"] == 4

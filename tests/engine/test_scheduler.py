@@ -1,0 +1,135 @@
+"""Engine equivalence and determinism tests.
+
+The acceptance bar of the engine: the parallel scheduler is bit-identical to
+the serial path, a warm artifact store performs zero retrainings, and tied
+seeds reproduce identical downstream results.
+"""
+
+import warnings
+
+import pytest
+
+from repro.corpus.synthetic import SyntheticCorpusConfig
+from repro.engine import ArtifactStore, GridEngine, plan_groups
+from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+
+TINY_GRID_CONFIG = PipelineConfig(
+    corpus=SyntheticCorpusConfig(vocab_size=120, n_documents=60, doc_length_mean=30, seed=7),
+    algorithms=("svd",),
+    dimensions=(4, 6),
+    precisions=(1, 32),
+    seeds=(0,),
+    tasks=("sst2",),
+    embedding_epochs=2,
+    downstream_epochs=3,
+    ner_epochs=2,
+)
+
+
+@pytest.fixture(scope="module")
+def serial_records():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)
+        return GridEngine(TINY_GRID_CONFIG).run(with_measures=True)
+
+
+class TestPlanGroups:
+    def test_one_group_per_embedding_pair(self):
+        groups = plan_groups(
+            ("svd", "mc"), (4, 8), (1, 32), (0, 1), ("sst2",), anchor_dim=8
+        )
+        assert len(groups) == 2 * 2 * 2
+        assert all(g.precisions == (1, 32) for g in groups)
+        assert all(g.n_cells == 2 for g in groups)
+
+    def test_anchor_groups_scheduled_first(self):
+        groups = plan_groups(
+            ("svd",), (4, 8, 6), (1,), (0,), ("sst2",), anchor_dim=8, with_measures=True
+        )
+        # The dim-8 group is every other group's EIS-anchor ancestor.
+        assert groups[0].dim == 8
+
+    def test_no_reorder_without_measures(self):
+        groups = plan_groups(("svd",), (4, 8), (1,), (0,), ("sst2",), anchor_dim=8)
+        assert [g.dim for g in groups] == [4, 8]
+
+
+class TestParallelEquivalence:
+    def test_parallel_bit_identical_to_serial(self, serial_records):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", UserWarning)
+            parallel = GridEngine(TINY_GRID_CONFIG).run(with_measures=True, n_workers=2)
+        assert parallel == serial_records  # dataclass equality: exact floats
+
+    def test_record_order_is_axis_product_order(self, serial_records):
+        keys = [(r.algorithm, r.dim, r.precision, r.seed, r.task) for r in serial_records]
+        expected = [
+            ("svd", d, p, 0, "sst2") for d in (4, 6) for p in (1, 32)
+        ]
+        assert keys == expected
+
+    def test_custom_corpus_falls_back_to_serial(self):
+        from repro.corpus.synthetic import SyntheticCorpusGenerator
+
+        generator = SyntheticCorpusGenerator(TINY_GRID_CONFIG.corpus)
+        pair = generator.generate_pair(seed=7)
+        pipeline = InstabilityPipeline(TINY_GRID_CONFIG, corpus_pair=pair)
+        assert not pipeline.reconstructible
+        engine = GridEngine(pipeline)
+        with pytest.warns(UserWarning, match="custom corpus"):
+            records = engine.run(with_measures=False, n_workers=2, precisions=(32,))
+        assert len(records) == 2
+
+
+class TestWarmStore:
+    def test_warm_rerun_trains_nothing(self, tmp_path, serial_records):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", UserWarning)
+            cold = GridEngine(TINY_GRID_CONFIG, store=ArtifactStore(tmp_path))
+            cold_records = cold.run(with_measures=True)
+            assert cold.pipeline.embedding_train_count > 0
+            assert cold.pipeline.downstream_train_count > 0
+
+            warm = GridEngine(TINY_GRID_CONFIG, store=ArtifactStore(tmp_path))
+            warm_records = warm.run(with_measures=True)
+
+        # Zero retraining, asserted via the pipeline's train counters...
+        assert warm.pipeline.embedding_train_count == 0
+        assert warm.pipeline.downstream_train_count == 0
+        # ... and via the store's counters: every downstream/measure lookup hit
+        # and no embedding pair was ever missed (the warm run is lazy enough
+        # not to load them at all).
+        assert warm.store.stat("embedding_pair").misses == 0
+        assert warm.store.stat("downstream").misses == 0
+        assert warm.store.stat("downstream").hits > 0
+        assert warm.store.stat("measures").misses == 0
+        assert warm.store.stat("measures").hits > 0
+        # The warm records are bit-identical to both the cold and in-memory runs.
+        assert warm_records == cold_records == serial_records
+
+    def test_repeated_cells_hit_the_cache_in_one_run(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", UserWarning)
+            engine = GridEngine(TINY_GRID_CONFIG)
+            engine.run(with_measures=False)
+            first_train_count = engine.pipeline.embedding_train_count
+            engine.run(with_measures=False)  # same grid again, same process
+        assert engine.pipeline.embedding_train_count == first_train_count
+
+
+class TestDeterminism:
+    def test_tied_seeds_reproduce_identical_downstream_results(self):
+        results = []
+        for _ in range(2):
+            pipeline = InstabilityPipeline(TINY_GRID_CONFIG)
+            results.append(pipeline.evaluate("sst2", "svd", 4, 1, 0))
+        assert results[0] == results[1]  # exact float equality
+
+    def test_measures_reproduce_exactly(self):
+        values = []
+        for _ in range(2):
+            pipeline = InstabilityPipeline(TINY_GRID_CONFIG)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", UserWarning)
+                values.append(pipeline.compute_measures("svd", 4, 1, 0))
+        assert values[0] == values[1]

@@ -1,0 +1,119 @@
+"""Tests for the content-addressed artifact store."""
+
+import numpy as np
+import pytest
+
+from repro.engine.store import (
+    ArtifactStore,
+    config_hash,
+    configure_default_store,
+    default_store,
+)
+
+
+class TestConfigHash:
+    def test_stable_across_key_order(self):
+        assert config_hash({"a": 1, "b": [2, 3]}) == config_hash({"b": [2, 3], "a": 1})
+
+    def test_different_payloads_differ(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+        assert config_hash({"a": 1}) != config_hash({"b": 1})
+
+    def test_handles_numpy_and_dataclasses(self):
+        from repro.corpus.synthetic import SyntheticCorpusConfig
+
+        cfg = SyntheticCorpusConfig(vocab_size=10)
+        key = config_hash({"cfg": cfg, "x": np.float64(1.5), "n": np.int64(3)})
+        assert isinstance(key, str) and len(key) == 24
+        assert key == config_hash({"cfg": cfg, "x": 1.5, "n": 3})
+
+    def test_store_key_helper(self):
+        store = ArtifactStore()
+        assert store.key(a=1, b=2) == config_hash({"a": 1, "b": 2})
+
+
+class TestMemoryTier:
+    def test_json_round_trip_preserves_identity(self):
+        store = ArtifactStore()
+        store.put_json("downstream", "k", {"x": 1.25})
+        assert store.get_json("downstream", "k") == {"x": 1.25}
+        # The memory tier returns the stored object itself.
+        assert store.get_json("downstream", "k") is store.get_json("downstream", "k")
+
+    def test_miss_returns_none_and_counts(self):
+        store = ArtifactStore()
+        assert store.get_json("downstream", "absent") is None
+        assert store.stat("downstream").misses == 1
+        assert store.stat("downstream").hits == 0
+
+    def test_hit_and_put_counters(self):
+        store = ArtifactStore()
+        store.put_json("measures", "k", {"eis": 0.5})
+        store.get_json("measures", "k")
+        store.get_json("measures", "k")
+        stat = store.stat("measures")
+        assert (stat.hits, stat.misses, stat.puts) == (2, 0, 1)
+        assert stat.lookups == 2
+
+    def test_kinds_are_isolated(self):
+        store = ArtifactStore()
+        store.put_json("a", "k", 1)
+        assert store.get_json("b", "k") is None
+
+
+class TestDiskTier:
+    def test_json_survives_new_store(self, tmp_path):
+        ArtifactStore(tmp_path).put_json("downstream", "k", {"acc": 0.75})
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.get_json("downstream", "k") == {"acc": 0.75}
+        assert fresh.stat("downstream").hits == 1
+
+    def test_arrays_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        P = np.arange(12, dtype=np.float64).reshape(4, 3)
+        store.put_arrays("decomposition", "k", {"P": P, "S": np.ones(3)})
+        loaded = ArtifactStore(tmp_path).get_arrays("decomposition", "k")
+        np.testing.assert_array_equal(loaded["P"], P)
+        np.testing.assert_array_equal(loaded["S"], np.ones(3))
+
+    def test_embedding_pair_round_trip(self, tmp_path, embedding_pair):
+        emb_a, emb_b = embedding_pair
+        ArtifactStore(tmp_path).put_embedding_pair("embedding_pair", "k", (emb_a, emb_b))
+        loaded_a, loaded_b = ArtifactStore(tmp_path).get_embedding_pair(
+            "embedding_pair", "k"
+        )
+        assert loaded_a.vocab.words == emb_a.vocab.words
+        assert loaded_b.vocab.words == emb_b.vocab.words
+        np.testing.assert_array_equal(loaded_a.vectors, emb_a.vectors)
+        np.testing.assert_array_equal(loaded_b.vectors, emb_b.vectors)
+        assert loaded_a.metadata == emb_a.metadata
+
+    def test_float_values_round_trip_exactly(self, tmp_path):
+        # Bit-identical warm reruns require exact float round-trips via JSON.
+        value = {"disagreement": 1.0 / 3.0, "accuracy_a": 0.1 + 0.2}
+        ArtifactStore(tmp_path).put_json("downstream", "k", value)
+        assert ArtifactStore(tmp_path).get_json("downstream", "k") == value
+
+    def test_files_live_under_kind_directories(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put_json("downstream", "deadbeef", {})
+        store.put_arrays("decomposition", "cafe", {"x": np.zeros(2)})
+        assert (tmp_path / "downstream" / "deadbeef.json").exists()
+        assert (tmp_path / "decomposition" / "cafe.npz").exists()
+        # No stray temp files left behind by the atomic writes.
+        assert not list(tmp_path.rglob("*.tmp"))
+
+
+class TestDefaultStore:
+    def test_unconfigured_default_is_memory_only(self):
+        store = default_store()
+        assert not store.persistent
+
+    def test_configured_default_persists(self, tmp_path):
+        configure_default_store(tmp_path)
+        try:
+            store = default_store()
+            assert store.persistent and store.root == tmp_path
+        finally:
+            configure_default_store(None)
+        assert not default_store().persistent

@@ -1,0 +1,145 @@
+"""Measure-invariance tests: identities every registered measure must satisfy.
+
+Three families:
+
+* every registered measure is 0 on an identical pair;
+* EIS / PIP / k-NN are invariant under a shared orthogonal rotation of both
+  embeddings (they only depend on inner products / subspaces);
+* measures flagged ``requires_same_dim`` reject mismatched dimensions with a
+  clear error.
+
+Plus the pinned behaviour of the top-k vocabulary restriction, which used to
+be a silent no-op on vocabularies smaller than ``top_k``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.measures.base import MEASURES, aligned_top_k_pair
+from repro.measures.eigenspace_instability import EigenspaceInstability
+from repro.measures.knn import KNNDistance
+from repro.measures.pip_loss import PIPLoss
+
+
+def make_measure(name: str, rng: np.random.Generator, n: int = 40):
+    """Instantiate a registered measure (EIS needs anchors)."""
+    cls = MEASURES.get(name)
+    if name == "eis":
+        anchors = rng.standard_normal((n, 10))
+        return cls(anchors, anchors + 0.1 * rng.standard_normal((n, 10)))
+    if name == "1-knn":
+        return cls(k=3, num_queries=n, seed=0)
+    return cls()
+
+
+def orthogonal(rng: np.random.Generator, d: int) -> np.ndarray:
+    q, _ = np.linalg.qr(rng.standard_normal((d, d)))
+    return q
+
+
+class TestZeroOnIdenticalPair:
+    @pytest.mark.parametrize("name", sorted(MEASURES))
+    def test_identical_pair_scores_zero(self, name, rng):
+        n = 40
+        measure = make_measure(name, rng, n=n)
+        X = rng.standard_normal((n, 6))
+        assert measure.compute(X, X.copy()) == pytest.approx(0.0, abs=1e-7)
+
+
+class TestRotationInvariance:
+    """EIS, PIP and k-NN depend only on rotation-invariant quantities."""
+
+    @pytest.mark.parametrize("name", ["eis", "pip", "1-knn"])
+    def test_shared_rotation_leaves_value_unchanged(self, name, rng):
+        n, d = 40, 6
+        measure = make_measure(name, rng, n=n)
+        X = rng.standard_normal((n, d))
+        Y = X + 0.3 * rng.standard_normal((n, d))
+        Q = orthogonal(rng, d)
+        base = measure.compute(X, Y)
+        rotated = measure.compute(X @ Q, Y @ Q)
+        assert rotated == pytest.approx(base, rel=1e-6, abs=1e-9)
+
+    def test_eis_invariant_even_with_fixed_anchors(self, rng):
+        """Rotating the *pair* but not the anchors must not move EIS: the
+        measure sees only the left singular subspaces, which ``X @ Q`` shares
+        with ``X``."""
+        n, d = 30, 5
+        E = rng.standard_normal((n, 8))
+        measure = EigenspaceInstability(E, E + 0.1 * rng.standard_normal((n, 8)))
+        X = rng.standard_normal((n, d))
+        Y = rng.standard_normal((n, d))
+        Q = orthogonal(rng, d)
+        assert measure.compute(X @ Q, Y @ Q) == pytest.approx(
+            measure.compute(X, Y), rel=1e-6
+        )
+
+    def test_pip_zero_for_pure_rotation(self, rng):
+        X = rng.standard_normal((25, 5))
+        Q = orthogonal(rng, 5)
+        assert PIPLoss().compute(X, X @ Q) == pytest.approx(0.0, abs=1e-6)
+
+    def test_knn_neighbourhoods_survive_rotation(self, rng):
+        X = rng.standard_normal((30, 5))
+        Q = orthogonal(rng, 5)
+        assert KNNDistance(k=3, num_queries=30).compute(X, X @ Q) == pytest.approx(0.0)
+
+
+class TestSameDimRequirement:
+    def same_dim_measures(self):
+        return [name for name in MEASURES if MEASURES.get(name).requires_same_dim]
+
+    def test_flagged_measures_exist(self):
+        assert "semantic-displacement" in self.same_dim_measures()
+
+    @pytest.mark.parametrize("name", ["semantic-displacement"])
+    def test_mismatched_dims_rejected_with_clear_error(self, name, rng):
+        measure = make_measure(name, rng)
+        X = rng.standard_normal((20, 6))
+        Y = rng.standard_normal((20, 4))
+        with pytest.raises(ValueError, match="equal dimensions"):
+            measure.compute(X, Y)
+
+    @pytest.mark.parametrize("name", ["eis", "pip", "1-knn", "1-eigenspace-overlap"])
+    def test_other_measures_accept_mismatched_dims(self, name, rng):
+        measure = make_measure(name, rng)
+        X = rng.standard_normal((40, 6))
+        Y = rng.standard_normal((40, 4))
+        assert np.isfinite(measure.compute(X, Y))
+
+
+class TestTopKRestriction:
+    """Pins the top-k slice: effective when k < |common vocab|, warns when not."""
+
+    def test_top_k_smaller_than_vocab_restricts(self, embedding_pair):
+        emb_a, emb_b = embedding_pair
+        k = emb_a.n_words // 2
+        ra, rb = aligned_top_k_pair(emb_a, emb_b, top_k=k)
+        assert ra.n_words == k
+        assert rb.n_words == k
+        # The slice keeps the k most frequent words.
+        assert ra.vocab.words == emb_a.vocab.words[:k]
+
+    def test_top_k_exceeding_vocab_warns_and_uses_all_words(self, embedding_pair):
+        emb_a, emb_b = embedding_pair
+        with pytest.warns(UserWarning, match="exceeds the common vocabulary"):
+            ra, _ = aligned_top_k_pair(emb_a, emb_b, top_k=emb_a.n_words + 1)
+        assert ra.n_words == emb_a.n_words
+
+    def test_top_k_equal_to_vocab_does_not_warn(self, embedding_pair, recwarn):
+        emb_a, emb_b = embedding_pair
+        ra, _ = aligned_top_k_pair(emb_a, emb_b, top_k=emb_a.n_words)
+        assert ra.n_words == emb_a.n_words
+        assert not [w for w in recwarn if issubclass(w.category, UserWarning)]
+
+    def test_top_k_none_disables_slice_and_warning(self, embedding_pair, recwarn):
+        emb_a, emb_b = embedding_pair
+        ra, _ = aligned_top_k_pair(emb_a, emb_b, top_k=None)
+        assert ra.n_words == emb_a.n_words
+        assert not [w for w in recwarn if issubclass(w.category, UserWarning)]
+
+    def test_measure_interface_emits_warning_on_small_vocab(self, embedding_pair):
+        emb_a, emb_b = embedding_pair
+        with pytest.warns(UserWarning, match="top_k=10000"):
+            result = PIPLoss().compute_embeddings(emb_a, emb_b)  # default top-k
+        assert result.n_words == emb_a.n_words
