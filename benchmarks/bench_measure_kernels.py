@@ -1,0 +1,273 @@
+"""Benchmark the linalg kernel layer: SVD kernels, precision, k-NN overlap.
+
+Three comparisons, each reported as wall-clock plus accuracy-vs-exact:
+
+1. ``svd``      -- exact (LAPACK) vs randomized truncated SVD, float64 and
+                   float32, on tall matrices with a truncated target rank
+                   (the PPMI-factorization / anchor-decomposition regime);
+2. ``measures`` -- the full measure batch on a vocab >= 5k embedding pair
+                   under the float64/exact policy vs the float32 policy,
+                   with per-measure value deltas;
+3. ``knn``      -- the vectorised searchsorted k-NN set overlap vs the seed
+                   repository's per-row ``np.intersect1d`` loop.
+
+The script exits non-zero if the randomized SVD is slower than exact on the
+large smoke shape, if the k-NN kernels disagree, or if float32 measure values
+leave the documented tolerance -- so CI can smoke the perf claims::
+
+    PYTHONPATH=src python benchmarks/bench_measure_kernels.py --quick
+    PYTHONPATH=src python benchmarks/bench_measure_kernels.py --output BENCH_kernels.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.reporting import format_table  # noqa: E402
+from repro.corpus.vocabulary import Vocabulary  # noqa: E402
+from repro.embeddings.base import Embedding  # noqa: E402
+from repro.linalg import KernelPolicy, exact_svd, randomized_svd  # noqa: E402
+from repro.measures.batch import compute_measure_batch  # noqa: E402
+from repro.measures.eigenspace_instability import EigenspaceInstability  # noqa: E402
+from repro.measures.eigenspace_overlap import EigenspaceOverlapDistance  # noqa: E402
+from repro.measures.knn import KNNDistance, _top_k_neighbors, knn_overlap  # noqa: E402
+from repro.measures.pip_loss import PIPLoss  # noqa: E402
+from repro.measures.semantic_displacement import SemanticDisplacement  # noqa: E402
+from repro.utils.io import save_json  # noqa: E402
+
+#: Float32 tolerance contract, mirrored from tests/measures/test_precision_policy.py.
+FLOAT32_ABS_TOL = {
+    "eis": 1e-4,
+    "1-eigenspace-overlap": 1e-4,
+    "semantic-displacement": 1e-4,
+    "1-knn": 0.05,
+}
+FLOAT32_REL_TOL = {"pip": 1e-3}
+
+
+def timed(fn, *, repeats: int = 3):
+    best, result = np.inf, None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def synthetic_embedding_pair(n: int, d: int, *, seed: int = 0, noise: float = 0.05):
+    """A correlated (base, drifted) embedding pair with clustered geometry."""
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((16, d)) * 3.0
+    assignment = rng.integers(0, len(centers), size=n)
+    base = centers[assignment] + rng.standard_normal((n, d))
+    drifted = base + noise * rng.standard_normal((n, d))
+    vocab = Vocabulary({f"w{i:06d}": n - i for i in range(n)})
+    return (
+        Embedding(vocab=vocab, vectors=base),
+        Embedding(vocab=vocab, vectors=drifted),
+    )
+
+
+# -- 1. SVD kernels --------------------------------------------------------------
+
+
+def bench_svd(shapes: list[tuple[int, int, int]], repeats: int) -> list[dict]:
+    rows = []
+    for n, d, rank in shapes:
+        rng = np.random.default_rng(0)
+        # Decaying spectrum: the regime where truncation is meaningful.
+        U, _ = np.linalg.qr(rng.standard_normal((n, min(n, d))))
+        V, _ = np.linalg.qr(rng.standard_normal((d, min(n, d))))
+        S = np.geomspace(100.0, 0.01, min(n, d))
+        X = (U * S) @ V.T
+        X32 = X.astype(np.float32)
+
+        (_, S_exact, _), t_exact = timed(lambda: exact_svd(X, rank), repeats=repeats)
+        (_, S_rand, _), t_rand = timed(lambda: randomized_svd(X, rank, seed=0), repeats=repeats)
+        (_, S_rand32, _), t_rand32 = timed(
+            lambda: randomized_svd(X32, rank, seed=0), repeats=repeats
+        )
+        rows.append({
+            "shape": f"{n}x{d}", "rank": rank,
+            "exact_s": round(t_exact, 4),
+            "randomized_s": round(t_rand, 4),
+            "randomized_f32_s": round(t_rand32, 4),
+            "speedup": round(t_exact / t_rand, 2),
+            "speedup_f32": round(t_exact / t_rand32, 2),
+            "sv_rel_err": float(np.max(np.abs(S_rand - S_exact) / S_exact)),
+            "sv_rel_err_f32": float(np.max(np.abs(S_rand32 - S_exact) / S_exact)),
+        })
+    return rows
+
+
+# -- 2. Measure suite under precision policies -----------------------------------
+
+
+def bench_measures(n: int, d: int, anchor_dim: int, num_queries: int) -> dict:
+    emb_a, emb_b = synthetic_embedding_pair(n, d, seed=0)
+    anchor_a, anchor_b = synthetic_embedding_pair(n, anchor_dim, seed=1)
+
+    def suite():
+        return {
+            "eis": EigenspaceInstability(anchor_a, anchor_b, alpha=3.0),
+            "1-knn": KNNDistance(k=5, num_queries=num_queries, seed=0),
+            "semantic-displacement": SemanticDisplacement(),
+            "pip": PIPLoss(),
+            "1-eigenspace-overlap": EigenspaceOverlapDistance(),
+        }
+
+    start = time.perf_counter()
+    exact = compute_measure_batch(
+        suite(), emb_a, emb_b, top_k=None, policy=KernelPolicy(dtype="float64")
+    )
+    t_exact = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fast = compute_measure_batch(
+        suite(), emb_a, emb_b, top_k=None, policy=KernelPolicy(dtype="float32")
+    )
+    t_fast = time.perf_counter() - start
+
+    deltas, in_tolerance = {}, True
+    for name, result in exact.results.items():
+        delta = abs(fast[name].value - result.value)
+        deltas[name] = delta
+        if name in FLOAT32_REL_TOL:
+            in_tolerance &= delta <= FLOAT32_REL_TOL[name] * max(abs(result.value), 1e-12)
+        else:
+            in_tolerance &= delta <= FLOAT32_ABS_TOL[name]
+    return {
+        "vocab": n, "dim": d,
+        "float64_s": round(t_exact, 3),
+        "float32_s": round(t_fast, 3),
+        "float32_speedup": round(t_exact / t_fast, 2),
+        "max_abs_delta": max(deltas.values()),
+        "deltas": deltas,
+        "within_tolerance": bool(in_tolerance),
+    }
+
+
+# -- 3. k-NN overlap: vectorised vs per-row loop ---------------------------------
+
+
+def knn_overlap_loop(X, Y, *, k: int, num_queries: int, seed: int) -> float:
+    """The seed repository's per-row intersect1d implementation (reference)."""
+    rng = np.random.default_rng(seed)
+    queries = rng.choice(X.shape[0], size=min(num_queries, X.shape[0]), replace=False)
+    top_a = _top_k_neighbors(X, queries, k)
+    top_b = _top_k_neighbors(Y, queries, k)
+    overlaps = np.empty(len(queries))
+    for row in range(len(queries)):
+        overlaps[row] = len(np.intersect1d(top_a[row], top_b[row]))
+    return float(np.mean(overlaps) / top_a.shape[1])
+
+
+def bench_knn(n: int, d: int, num_queries: int) -> dict:
+    from repro.linalg import row_set_overlap
+
+    emb_a, emb_b = synthetic_embedding_pair(n, d, seed=2)
+    X, Y = emb_a.vectors, emb_b.vectors
+    kwargs = dict(k=5, num_queries=num_queries, seed=0)
+    vec_value, t_vec = timed(lambda: knn_overlap(X, Y, **kwargs))
+    loop_value, t_loop = timed(lambda: knn_overlap_loop(X, Y, **kwargs))
+
+    # Isolate the overlap-count stage (the part the vectorisation replaced):
+    # end-to-end numbers above are dominated by the neighbour GEMM.
+    rng = np.random.default_rng(0)
+    queries = rng.choice(n, size=min(num_queries, n), replace=False)
+    top_a = _top_k_neighbors(X, queries, 5)
+    top_b = _top_k_neighbors(Y, queries, 5)
+    _, t_stage_vec = timed(lambda: row_set_overlap(top_a, top_b))
+    _, t_stage_loop = timed(
+        lambda: [len(np.intersect1d(top_a[i], top_b[i])) for i in range(len(queries))]
+    )
+    return {
+        "vocab": n, "queries": num_queries,
+        "vectorized_s": round(t_vec, 4),
+        "loop_s": round(t_loop, 4),
+        "speedup": round(t_loop / t_vec, 2),
+        "overlap_stage_speedup": round(t_stage_loop / t_stage_vec, 2),
+        "values_equal": vec_value == loop_value,
+    }
+
+
+def run_benchmark(quick: bool):
+    if quick:
+        svd_shapes = [(1500, 128, 16), (5000, 256, 32)]
+        measure_args = (5000, 64, 96, 500)
+        knn_args = (5000, 64, 500)
+        repeats = 2
+    else:
+        svd_shapes = [(1500, 128, 16), (5000, 256, 32), (8000, 512, 64)]
+        measure_args = (8000, 96, 128, 1000)
+        knn_args = (8000, 96, 1000)
+        repeats = 3
+
+    svd_rows = bench_svd(svd_shapes, repeats)
+    measure_row = bench_measures(*measure_args)
+    knn_row = bench_knn(*knn_args)
+
+    summary = {
+        "svd": svd_rows,
+        "measures": measure_row,
+        "knn": knn_row,
+        "large_shape_randomized_speedup": svd_rows[-1]["speedup"],
+    }
+
+    failures = []
+    # CI smoke contract: the randomized kernel must beat exact on the large shape.
+    if svd_rows[-1]["randomized_s"] >= svd_rows[-1]["exact_s"]:
+        failures.append(
+            f"randomized SVD slower than exact on {svd_rows[-1]['shape']}: "
+            f"{svd_rows[-1]['randomized_s']}s vs {svd_rows[-1]['exact_s']}s"
+        )
+    if not knn_row["values_equal"]:
+        failures.append("vectorised k-NN overlap diverged from the per-row loop")
+    if not measure_row["within_tolerance"]:
+        failures.append(f"float32 measure deltas out of tolerance: {measure_row['deltas']}")
+    return summary, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smaller shapes (CI smoke)")
+    parser.add_argument("--output", default=None, help="write the summary JSON here")
+    args = parser.parse_args(argv)
+
+    summary, failures = run_benchmark(args.quick)
+
+    print(format_table(summary["svd"], title="SVD kernels (exact vs randomized)"))
+    print()
+    measures = summary["measures"]
+    print(format_table(
+        [{k: v for k, v in measures.items() if k != "deltas"}],
+        title="measure batch (float64 vs float32)",
+    ))
+    print(format_table(
+        [{"measure": name, "abs_delta": f"{delta:.3e}"}
+         for name, delta in measures["deltas"].items()],
+        title="float32 measure deltas",
+    ))
+    print()
+    print(format_table([summary["knn"]], title="k-NN overlap (vectorised vs loop)"))
+
+    if args.output:
+        save_json(summary, args.output)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,11 +16,13 @@ from repro.engine.store import (
     default_store,
 )
 from repro.engine.scheduler import CellGroup, GridEngine, evaluate_group, plan_groups
+from repro.engine.warmup import CorpusShipment
 
 __all__ = [
     "ArtifactStore",
     "CacheStats",
     "CellGroup",
+    "CorpusShipment",
     "GridEngine",
     "config_hash",
     "configure_default_store",

@@ -22,6 +22,13 @@ config-reconstructible pipelines can run in parallel; pipelines built around a
 custom corpus fall back to serial execution with a warning.  Handing the
 engine a disk-backed :class:`~repro.engine.store.ArtifactStore` lets workers
 share trained artifacts across processes and across runs.
+
+Workers are **warm-started**: the parent packs its already-generated corpus
+pair into a shared-memory :class:`~repro.engine.warmup.CorpusShipment` and the
+pool initializer materialises it, so the corpus is built once per run instead
+of once per worker (pinned by ``pipeline.corpus_build_count``).  The parent's
+kernel policy (``repro.linalg``) ships along so spawned workers resolve
+decompositions identically.
 """
 
 from __future__ import annotations
@@ -33,6 +40,8 @@ from multiprocessing import get_all_start_methods, get_context
 from typing import TYPE_CHECKING
 
 from repro.engine.store import ArtifactStore
+from repro.engine.warmup import CorpusShipment
+from repro.linalg import KernelPolicy, configure_default_policy, default_policy
 from repro.utils.logging import get_logger
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid import cycles
@@ -132,14 +141,33 @@ def evaluate_group(pipeline: "InstabilityPipeline", group: CellGroup) -> list["G
 # -- multiprocessing workers ----------------------------------------------------
 
 _WORKER_PIPELINE: "InstabilityPipeline | None" = None
+_WORKER_SHIPMENT: CorpusShipment | None = None
 
 
-def _init_worker(config: "PipelineConfig", store_root) -> None:
-    """Build the per-process pipeline once; groups then reuse its caches."""
-    global _WORKER_PIPELINE
+def _init_worker(
+    config: "PipelineConfig",
+    store_root,
+    shipment: CorpusShipment | None = None,
+    parent_policy: KernelPolicy | None = None,
+) -> None:
+    """Build the per-process pipeline once; groups then reuse its caches.
+
+    ``shipment`` carries the parent's pre-built corpus pair (shared memory);
+    the shipment object is kept alive for the worker's lifetime because the
+    materialised corpora view its buffer.  ``parent_policy`` replicates the
+    parent's process-wide kernel policy so ``None`` config fields resolve the
+    same way in every process.
+    """
+    global _WORKER_PIPELINE, _WORKER_SHIPMENT
     from repro.instability.pipeline import InstabilityPipeline
 
-    _WORKER_PIPELINE = InstabilityPipeline(config, store=ArtifactStore(store_root))
+    if parent_policy is not None:
+        configure_default_policy(parent_policy)
+    _WORKER_SHIPMENT = shipment
+    warm_pair = shipment.materialize() if shipment is not None else None
+    _WORKER_PIPELINE = InstabilityPipeline(
+        config, store=ArtifactStore(store_root), warm_corpus_pair=warm_pair
+    )
 
 
 def _evaluate_group_in_worker(group: CellGroup) -> list["GridRecord"]:
@@ -178,6 +206,9 @@ class GridEngine:
             pipeline = InstabilityPipeline(pipeline, store=store)
         self.pipeline: "InstabilityPipeline" = pipeline
         self.n_workers = int(n_workers)
+        #: Warm-up telemetry of the most recent parallel run: whether the
+        #: corpus pair shipped to workers, how, and how many bytes travelled.
+        self.last_warmup: dict | None = None
 
     @property
     def store(self) -> ArtifactStore:
@@ -242,23 +273,35 @@ class GridEngine:
         method = "fork" if "fork" in get_all_start_methods() else None
         ctx = get_context(method)
         store_root = self.store.root
+        # Warm-up: ship the already-built corpus pair to workers once, instead
+        # of letting every worker regenerate it from the config.
+        shipment = CorpusShipment.create(self.pipeline.corpus_pair)
+        self.last_warmup = {
+            "enabled": True,
+            "via_shared_memory": shipment.via_shared_memory,
+            "nbytes": shipment.nbytes,
+        }
         try:
-            pool = ctx.Pool(
-                processes=workers,
-                initializer=_init_worker,
-                initargs=(self.pipeline.config, store_root),
-            )
-        except (OSError, RuntimeError) as error:  # pragma: no cover - env dependent
-            # Only pool *start-up* failures trigger the serial fallback; an
-            # exception raised by a worker task is a real error and propagates.
-            warnings.warn(
-                f"parallel grid execution unavailable ({error}); running serially",
-                UserWarning,
-                stacklevel=3,
-            )
-            return [evaluate_group(self.pipeline, group) for group in groups]
-        with pool:
-            return pool.map(_evaluate_group_in_worker, groups, chunksize=1)
+            try:
+                pool = ctx.Pool(
+                    processes=workers,
+                    initializer=_init_worker,
+                    initargs=(self.pipeline.config, store_root, shipment, default_policy()),
+                )
+            except (OSError, RuntimeError) as error:  # pragma: no cover - env dependent
+                # Only pool *start-up* failures trigger the serial fallback; an
+                # exception raised by a worker task is a real error and propagates.
+                warnings.warn(
+                    f"parallel grid execution unavailable ({error}); running serially",
+                    UserWarning,
+                    stacklevel=3,
+                )
+                self.last_warmup = None
+                return [evaluate_group(self.pipeline, group) for group in groups]
+            with pool:
+                return pool.map(_evaluate_group_in_worker, groups, chunksize=1)
+        finally:
+            shipment.close()
 
     @staticmethod
     def _in_product_order(

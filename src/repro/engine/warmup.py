@@ -1,0 +1,229 @@
+"""Worker warm-up: ship a pre-built corpus pair to scheduler workers once.
+
+The parallel scheduler used to rebuild the whole pipeline -- including
+regenerating the synthetic corpus pair -- inside every worker process.  A
+:class:`CorpusShipment` instead packs the parent's already-generated pair
+into flat arrays, publishes them through one
+:class:`multiprocessing.shared_memory.SharedMemory` segment, and hands the
+workers a small picklable handle; each worker attaches and reconstructs the
+pair as zero-copy views, so the corpus is built exactly once per run instead
+of once per worker.
+
+When shared memory is unavailable (platform quirks, exhausted ``/dev/shm``),
+the shipment transparently falls back to carrying the packed arrays inline in
+the handle -- still one build, just shipped by pickling instead of mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.synthetic import Corpus, CorpusPair
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = ["CorpusShipment", "pack_corpus", "unpack_corpus", "PackedCorpus"]
+
+
+@dataclass
+class PackedCorpus:
+    """A :class:`Corpus` flattened into three arrays (plus its word list)."""
+
+    tokens: np.ndarray        # every document concatenated, int64
+    offsets: np.ndarray       # document i is tokens[offsets[i]:offsets[i+1]]
+    topics: np.ndarray
+    word_list: list[str]
+    name: str
+
+
+def pack_corpus(corpus: Corpus) -> PackedCorpus:
+    """Flatten a corpus into shared-memory-friendly arrays."""
+    lengths = np.asarray([len(d) for d in corpus.documents], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    tokens = (
+        np.concatenate(corpus.documents)
+        if corpus.documents
+        else np.array([], dtype=np.int64)
+    ).astype(np.int64, copy=False)
+    return PackedCorpus(
+        tokens=tokens,
+        offsets=offsets,
+        topics=np.asarray(corpus.document_topics),
+        word_list=list(corpus.word_list),
+        name=corpus.name,
+    )
+
+
+def unpack_corpus(packed: PackedCorpus) -> Corpus:
+    """Rebuild a corpus from packed arrays; documents are zero-copy views."""
+    documents = [
+        packed.tokens[start:stop]
+        for start, stop in zip(packed.offsets[:-1], packed.offsets[1:])
+    ]
+    return Corpus(
+        word_list=list(packed.word_list),
+        documents=documents,
+        document_topics=np.asarray(packed.topics),
+        name=packed.name,
+    )
+
+
+def _array_specs(arrays: dict[str, np.ndarray]) -> tuple[list[tuple], int]:
+    """Byte layout (name, dtype, shape, offset) of arrays packed back to back."""
+    specs, cursor = [], 0
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        specs.append((name, arr.dtype.str, arr.shape, cursor))
+        cursor += arr.nbytes
+    return specs, cursor
+
+
+class CorpusShipment:
+    """Picklable handle delivering a pre-built :class:`CorpusPair` to workers.
+
+    Create with :meth:`create` in the parent, pass through the pool
+    initializer, call :meth:`materialize` in each worker, and finally
+    :meth:`close` (parent side) once the pool is done.  Attributes
+    ``via_shared_memory`` and ``nbytes`` expose how the pair travelled, and
+    the scheduler surfaces them as warm-up counters.
+    """
+
+    def __init__(
+        self,
+        *,
+        shm_name: str | None,
+        specs: list[tuple],
+        inline: dict[str, np.ndarray] | None,
+        meta: dict,
+        nbytes: int,
+    ) -> None:
+        self._shm_name = shm_name
+        self._specs = specs
+        self._inline = inline
+        self._meta = meta
+        self.nbytes = int(nbytes)
+        self._shm = None          # parent-side owner / worker-side attachment
+        self._owner = False       # True only on the creating (parent) handle
+
+    # -- construction (parent) ------------------------------------------------
+
+    @classmethod
+    def create(cls, pair: CorpusPair, *, use_shared_memory: bool = True) -> "CorpusShipment":
+        packed = {"base": pack_corpus(pair.base), "drifted": pack_corpus(pair.drifted)}
+        arrays = {
+            f"{side}/{field}": getattr(p, field)
+            for side, p in packed.items()
+            for field in ("tokens", "offsets", "topics")
+        }
+        meta = {
+            "config": pair.config,
+            "word_lists": {side: p.word_list for side, p in packed.items()},
+            "names": {side: p.name for side, p in packed.items()},
+        }
+        specs, total = _array_specs(arrays)
+
+        shipment = None
+        if use_shared_memory and total > 0:
+            shm = None
+            try:
+                from multiprocessing import shared_memory
+
+                shm = shared_memory.SharedMemory(create=True, size=total)
+                for (name, dtype, shape, offset), arr in zip(specs, arrays.values()):
+                    view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offset)
+                    view[...] = arr
+                shipment = cls(
+                    shm_name=shm.name, specs=specs, inline=None, meta=meta, nbytes=total
+                )
+                shipment._shm = shm
+                shipment._owner = True
+            except Exception as error:  # pragma: no cover - platform dependent
+                # A segment created before the failure must not leak: POSIX
+                # shared memory outlives the process unless unlinked.
+                if shm is not None:
+                    try:
+                        shm.close()
+                        shm.unlink()
+                    except OSError:
+                        pass
+                logger.info("shared-memory warm-up unavailable (%s); shipping inline", error)
+        if shipment is None:
+            shipment = cls(
+                shm_name=None, specs=specs,
+                inline={name: np.ascontiguousarray(arr) for name, arr in arrays.items()},
+                meta=meta, nbytes=total,
+            )
+        return shipment
+
+    @property
+    def via_shared_memory(self) -> bool:
+        return self._shm_name is not None
+
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_shm"] = None      # segments are re-attached by name in workers
+        state["_owner"] = False   # only the creating handle may unlink
+        return state
+
+    # -- materialisation (worker) ---------------------------------------------
+
+    def _attach_arrays(self) -> dict[str, np.ndarray]:
+        if self._inline is not None:
+            return self._inline
+        from multiprocessing import shared_memory
+
+        if self._shm is None:
+            try:
+                # Python 3.13+: attach without resource-tracker registration
+                # (the creating process owns cleanup).
+                self._shm = shared_memory.SharedMemory(name=self._shm_name, track=False)
+            except TypeError:
+                # Older Pythons: plain attach.  Under the fork start method the
+                # tracker process is shared and registration is idempotent, so
+                # the owner's single unlink still cleans up exactly once.
+                self._shm = shared_memory.SharedMemory(name=self._shm_name)
+        return {
+            name: np.ndarray(shape, dtype=dtype, buffer=self._shm.buf, offset=offset)
+            for name, dtype, shape, offset in self._specs
+        }
+
+    def materialize(self) -> CorpusPair:
+        """Reconstruct the corpus pair (zero-copy views over shared memory).
+
+        The returned corpora reference this shipment's buffer; keep the
+        shipment alive for as long as the pair is used (the scheduler keeps it
+        in the worker-global state).
+        """
+        arrays = self._attach_arrays()
+        corpora = {}
+        for side in ("base", "drifted"):
+            corpora[side] = unpack_corpus(
+                PackedCorpus(
+                    tokens=arrays[f"{side}/tokens"],
+                    offsets=arrays[f"{side}/offsets"],
+                    topics=arrays[f"{side}/topics"],
+                    word_list=self._meta["word_lists"][side],
+                    name=self._meta["names"][side],
+                )
+            )
+        return CorpusPair(
+            base=corpora["base"], drifted=corpora["drifted"], config=self._meta["config"]
+        )
+
+    # -- cleanup (parent) -----------------------------------------------------
+
+    def close(self) -> None:
+        """Release the shared segment (the creating handle also unlinks it)."""
+        if self._shm is not None:
+            try:
+                self._shm.close()
+                if self._owner:
+                    self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+            self._shm = None

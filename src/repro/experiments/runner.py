@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.engine.store import configure_default_store
+from repro.linalg import KERNEL_DTYPES, SVD_METHODS, configure_default_policy
 
 from repro.experiments import (
     fig1_dimension,
@@ -95,6 +96,15 @@ def main(argv: list[str] | None = None) -> int:
         "--cache-dir", default=None,
         help="persist the engine's artifact store here; reruns skip retraining",
     )
+    parser.add_argument(
+        "--kernel-policy", choices=SVD_METHODS, default=None,
+        help="SVD kernel selection for every decomposition (default: exact; "
+             "'auto' switches large truncated decompositions to randomized)",
+    )
+    parser.add_argument(
+        "--dtype", choices=KERNEL_DTYPES, default=None,
+        help="working precision of the measure kernels (default: float64)",
+    )
     args = parser.parse_args(argv)
 
     configure_logging()
@@ -110,6 +120,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.cache_dir is not None:
         configure_default_store(args.cache_dir)
+    if args.kernel_policy is not None or args.dtype is not None:
+        configure_default_policy(svd=args.kernel_policy, dtype=args.dtype)
 
     out_dir = Path(args.output_dir)
     for name in names:

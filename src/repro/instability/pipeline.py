@@ -34,6 +34,7 @@ from repro.embeddings.alignment import align_pair
 from repro.embeddings.base import EMBEDDING_ALGORITHMS, Embedding
 from repro.engine.store import ArtifactStore, config_hash, default_store
 from repro.instability.downstream import classification_disagreement, tagging_disagreement
+from repro.linalg import KERNEL_DTYPES, SVD_METHODS, KernelPolicy, default_policy
 from repro.measures.batch import compute_measure_batch
 from repro.measures.eigenspace_instability import (
     AnchorFactors,
@@ -115,6 +116,13 @@ class PipelineConfig:
     knn_k: int = 5
     knn_num_queries: int = 300
 
+    # Numerical kernels (see repro.linalg).  ``None`` defers to the
+    # process-wide default policy (the runner's --kernel-policy/--dtype
+    # flags); explicit values pin the choice into this config and its
+    # artifact keys.
+    kernel_policy: str | None = None        # "exact" | "randomized" | "auto"
+    measure_dtype: str | None = None        # "float32" | "float64"
+
     def __post_init__(self) -> None:
         for algo in self.algorithms:
             if algo not in EMBEDDING_ALGORITHMS:
@@ -126,10 +134,25 @@ class PipelineConfig:
                 raise KeyError(f"unknown task {task!r}")
         if not self.dimensions or not self.precisions or not self.seeds:
             raise ValueError("dimensions, precisions and seeds must be non-empty")
+        if self.kernel_policy is not None and self.kernel_policy not in SVD_METHODS:
+            raise ValueError(
+                f"kernel_policy must be one of {SVD_METHODS} or None, got {self.kernel_policy!r}"
+            )
+        if self.measure_dtype is not None and self.measure_dtype not in KERNEL_DTYPES:
+            raise ValueError(
+                f"measure_dtype must be one of {KERNEL_DTYPES} or None, got {self.measure_dtype!r}"
+            )
 
     @property
     def resolved_anchor_dim(self) -> int:
         return self.anchor_dim if self.anchor_dim is not None else max(self.dimensions)
+
+    def resolved_kernel_policy(self) -> KernelPolicy:
+        """The kernel policy this config runs under, filling ``None`` fields
+        from the process-wide default."""
+        return default_policy().with_overrides(
+            svd=self.kernel_policy, dtype=self.measure_dtype
+        )
 
 
 @dataclass(frozen=True)
@@ -161,6 +184,12 @@ class InstabilityPipeline:
     store:
         Artifact store for every expensive artifact.  ``None`` uses the
         process default (in-memory unless configured otherwise).
+    warm_corpus_pair:
+        A pre-built corpus pair **trusted to be identical** to the one this
+        config would generate -- the scheduler's worker warm-up ships the
+        parent's pair here (via shared memory) so workers skip regeneration.
+        Unlike ``corpus_pair`` it keeps the pipeline reconstructible and the
+        artifact keys unsalted.
     """
 
     def __init__(
@@ -170,12 +199,22 @@ class InstabilityPipeline:
         corpus_pair: CorpusPair | None = None,
         generator: SyntheticCorpusGenerator | None = None,
         store: ArtifactStore | None = None,
+        warm_corpus_pair: CorpusPair | None = None,
     ) -> None:
         self.config = config or PipelineConfig()
         self.store = store if store is not None else default_store()
         self.reconstructible = corpus_pair is None and generator is None
         self.generator = generator or SyntheticCorpusGenerator(self.config.corpus)
-        self.corpus_pair = corpus_pair or self.generator.generate_pair(seed=self.config.corpus.seed)
+        #: Number of corpus pairs this pipeline actually generated; worker
+        #: warm-up tests pin this to zero for warm-started pipelines.
+        self.corpus_build_count = 0
+        if corpus_pair is not None:
+            self.corpus_pair = corpus_pair
+        elif warm_corpus_pair is not None:
+            self.corpus_pair = warm_corpus_pair
+        else:
+            self.corpus_pair = self.generator.generate_pair(seed=self.config.corpus.seed)
+            self.corpus_build_count = 1
         # Salting by the *source objects* (not the pipeline) lets pipelines that
         # share the same custom corpus also share artifacts -- their trained
         # embeddings really are interchangeable -- while pipelines with
@@ -221,6 +260,11 @@ class InstabilityPipeline:
             align=self.config.align,
             epochs=self.config.embedding_epochs,
             window=self.config.embedding_window,
+            # The SVD kernel choice (and, for randomized/auto, its knobs)
+            # changes the trained vectors of the "svd" algorithm, so it is
+            # part of every embedding key (harmlessly conservative for the
+            # iterative algorithms).
+            kernel_policy=self.config.resolved_kernel_policy().key_fields(),
         )
         return fields
 
@@ -265,6 +309,10 @@ class InstabilityPipeline:
         }
         if name != "svd":
             kwargs["epochs"] = self.config.embedding_epochs
+        else:
+            # Resolved here so the model sees one concrete method regardless
+            # of whether it came from the config or the process default.
+            kwargs["kernel_policy"] = self.config.resolved_kernel_policy().svd
         return cls(**kwargs)
 
     def embedding_pair(self, algorithm: str, dim: int, seed: int) -> tuple[Embedding, Embedding]:
@@ -313,9 +361,10 @@ class InstabilityPipeline:
         evaluation of every (dimension, precision) cell with the same
         (algorithm, seed); with a persistent store it also survives reruns.
         """
+        policy = self.config.resolved_kernel_policy()
         fields = self._embedding_fields(algorithm, self.config.resolved_anchor_dim, seed)
         fields.update(kind="anchor-svd", alpha=self.config.eis_alpha,
-                      top_k=self.config.measure_top_k)
+                      top_k=self.config.measure_top_k, dtype=policy.dtype)
         key = config_hash(fields)
         # All pipeline embeddings share one vocabulary, so the aligned word
         # order of any pair is the vocabulary's frequency order.
@@ -326,7 +375,7 @@ class InstabilityPipeline:
             ra, rb = Embedding.aligned_pair(anchor_a, anchor_b, top_k=self.config.measure_top_k)
             factors = anchor_factors(
                 ra.vectors, rb.vectors, alpha=self.config.eis_alpha,
-                words=tuple(ra.vocab.words),
+                words=tuple(ra.vocab.words), policy=policy,
             )
             self.store.put_arrays(
                 "decomposition", key,
@@ -347,6 +396,7 @@ class InstabilityPipeline:
                 "eis": EigenspaceInstability(
                     anchor_a, anchor_b, alpha=self.config.eis_alpha,
                     factors=self.anchor_decomposition(algorithm, seed),
+                    policy=self.config.resolved_kernel_policy(),
                 ),
                 "1-knn": KNNDistance(
                     k=self.config.knn_k, num_queries=self.config.knn_num_queries, seed=0
@@ -368,6 +418,7 @@ class InstabilityPipeline:
         matrix is decomposed once for EIS, eigenspace overlap and PIP loss
         together; values are cached in the artifact store.
         """
+        policy = self.config.resolved_kernel_policy()
         fields = self._quantized_fields(algorithm, dim, precision, seed)
         fields.update(
             kind="measures",
@@ -377,6 +428,7 @@ class InstabilityPipeline:
             knn_k=self.config.knn_k,
             knn_num_queries=self.config.knn_num_queries,
             anchor_dim=self.config.resolved_anchor_dim,
+            dtype=policy.dtype,
         )
         key = config_hash(fields)
         cached = self.store.get_json("measures", key)
@@ -389,7 +441,7 @@ class InstabilityPipeline:
             if measures is None or name in measures
         }
         batch = compute_measure_batch(
-            selected, emb_a, emb_b, top_k=self.config.measure_top_k
+            selected, emb_a, emb_b, top_k=self.config.measure_top_k, policy=policy
         )
         out = batch.values
         self.store.put_json("measures", key, out)

@@ -11,16 +11,19 @@ from __future__ import annotations
 
 import abc
 import warnings
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.embeddings.base import Embedding
+from repro.linalg import KernelPolicy, compute_svd
 from repro.utils.registry import Registry
 from repro.utils.validation import check_embedding_pair
 
 __all__ = [
     "MEASURES",
+    "DEFAULT_CACHE_ENTRIES",
     "EmbeddingDistanceMeasure",
     "MeasureResult",
     "DecompositionCache",
@@ -46,9 +49,17 @@ def rank_restricted(U: np.ndarray, S: np.ndarray, shape: tuple[int, ...]) -> np.
     """
     if S.size == 0:
         return U
-    tol = S.max() * max(shape) * np.finfo(np.float64).eps
+    # The tolerance scales with the working precision: float32 decompositions
+    # have a correspondingly higher singular-value noise floor.
+    tol = S.max() * max(shape) * np.finfo(S.dtype if S.dtype.kind == "f" else np.float64).eps
     rank = max(int(np.sum(S > tol)), 1)
     return U[:, :rank]
+
+
+#: Default entry bound of a :class:`DecompositionCache`; generous for one
+#: measure batch (which needs two SVDs and one cross product) while keeping
+#: long-lived caches, e.g. one shared across a whole grid run, bounded.
+DEFAULT_CACHE_ENTRIES = 128
 
 
 class DecompositionCache:
@@ -57,25 +68,63 @@ class DecompositionCache:
     Keys are object identities: within a measure batch the *same* ndarray
     objects are handed to every measure, so ``id``-based lookup is exact (a
     strong reference to the keyed array is kept, which also guards against id
-    reuse).  The cache therefore lives for the duration of one aligned pair,
-    not across pairs.
+    reuse).
+
+    The cache is LRU-bounded (``max_entries`` per table, ``None`` = unbounded)
+    so a cache shared across a long grid run cannot grow memory without limit;
+    ``hits``/``misses``/``evictions`` counters expose its behaviour the same
+    way :class:`~repro.engine.store.ArtifactStore` counters do.  Decompositions
+    are dispatched through the kernel ``policy`` (exact/randomized, dtype),
+    defaulting to the process-wide policy.
     """
 
-    def __init__(self) -> None:
-        self._svd: dict[int, tuple[np.ndarray, tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
-        self._cross: dict[tuple[int, int], tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+    def __init__(
+        self,
+        *,
+        policy: KernelPolicy | None = None,
+        max_entries: int | None = DEFAULT_CACHE_ENTRIES,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 or None, got {max_entries}")
+        self.policy = policy
+        self.max_entries = max_entries
+        self._svd: OrderedDict[
+            int, tuple[np.ndarray, tuple[np.ndarray, np.ndarray, np.ndarray]]
+        ] = OrderedDict()
+        self._cross: OrderedDict[
+            tuple[int, int], tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (mirrors the artifact store's per-kind stats)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._svd) + len(self._cross),
+        }
+
+    def _evict(self, table: OrderedDict) -> None:
+        if self.max_entries is not None:
+            while len(table) > self.max_entries:
+                table.popitem(last=False)
+                self.evictions += 1
 
     def svd(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Thin SVD ``(U, S, Vt)`` of ``X``, computed at most once per array."""
         entry = self._svd.get(id(X))
         if entry is not None and entry[0] is X:
             self.hits += 1
+            self._svd.move_to_end(id(X))
             return entry[1]
         self.misses += 1
-        decomposition = np.linalg.svd(X, full_matrices=False)
+        decomposition = compute_svd(X, policy=self.policy)
         self._svd[id(X)] = (X, decomposition)
+        self._evict(self._svd)
         return decomposition
 
     def left_singular(self, X: np.ndarray) -> np.ndarray:
@@ -89,12 +138,14 @@ class DecompositionCache:
         entry = self._cross.get(key)
         if entry is not None and entry[0] is X and entry[1] is Y:
             self.hits += 1
+            self._cross.move_to_end(key)
             return entry[2]
         U_x = self.svd(X)[0]
         U_y = self.svd(Y)[0]
         self.misses += 1
         product = U_x.T @ U_y
         self._cross[key] = (X, Y, product)
+        self._evict(self._cross)
         return product
 
 
@@ -104,7 +155,7 @@ def left_singular_vectors(
     """Rank-restricted left singular vectors of ``X``, via ``cache`` when given."""
     if cache is not None:
         return cache.left_singular(X)
-    U, S, _ = np.linalg.svd(X, full_matrices=False)
+    U, S, _ = compute_svd(X)
     return rank_restricted(U, S, X.shape)
 
 
@@ -173,9 +224,20 @@ class EmbeddingDistanceMeasure(abc.ABC):
         return check_embedding_pair(X, X_tilde, same_dim=self.requires_same_dim)
 
     def compute_aligned(
-        self, ra: Embedding, rb: Embedding, *, cache: DecompositionCache | None = None
+        self,
+        ra: Embedding,
+        rb: Embedding,
+        *,
+        cache: DecompositionCache | None = None,
+        policy: KernelPolicy | None = None,
     ) -> MeasureResult:
-        """Evaluate on an already row-aligned embedding pair."""
+        """Evaluate on an already row-aligned embedding pair.
+
+        ``policy`` is the batch's kernel policy; most measures need nothing
+        from it (the batch already cast the pair and the cache dispatches
+        decompositions through it), but measures owning extra decompositions
+        (EIS anchor factors) override this method and honour it.
+        """
         value = self.compute_cached(ra.vectors, rb.vectors, cache)
         return MeasureResult(measure=self.name, value=float(value), n_words=ra.n_words)
 

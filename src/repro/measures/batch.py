@@ -12,7 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+import numpy as np
+
 from repro.embeddings.base import Embedding
+from repro.linalg import KernelPolicy
 from repro.measures.base import (
     DEFAULT_TOP_K,
     DecompositionCache,
@@ -49,6 +52,7 @@ def compute_measure_batch(
     *,
     top_k: int | None = DEFAULT_TOP_K,
     cache: DecompositionCache | None = None,
+    policy: KernelPolicy | None = None,
 ) -> MeasureBatchResult:
     """Evaluate every measure on the common (top-``k``) vocabulary of a pair.
 
@@ -61,12 +65,26 @@ def compute_measure_batch(
     top_k:
         Common-vocabulary restriction (see ``DEFAULT_TOP_K``).
     cache:
-        Decomposition cache to share; a fresh one is created when omitted.
-        Passing a long-lived cache is only safe while the underlying matrices
-        stay alive, as it keys by object identity.
+        Decomposition cache to share; a fresh one (carrying ``policy``) is
+        created when omitted.  Passing a long-lived cache is only safe while
+        the underlying matrices stay alive, as it keys by object identity.
+    policy:
+        Kernel policy for the whole batch: the aligned pair is cast to the
+        policy dtype once, the shared decompositions dispatch through it, and
+        it is handed to every measure's ``compute_aligned`` so measure-owned
+        decompositions (the EIS anchor factors) follow the same policy unless
+        the measure was constructed with an explicit one -- the policy is
+        never half-applied.  ``None`` = process default (float64 / exact at
+        measure shapes, i.e. bit-identical to the unpolicied path).
     """
     ra, rb = aligned_top_k_pair(a, b, top_k=top_k)
-    batch = MeasureBatchResult(cache=cache if cache is not None else DecompositionCache())
+    if policy is not None and policy.np_dtype != np.float64:
+        ra, rb = ra.astype(policy.np_dtype), rb.astype(policy.np_dtype)
+    if cache is None:
+        cache = DecompositionCache(policy=policy)
+    batch = MeasureBatchResult(cache=cache)
     for name, measure in measures.items():
-        batch.results[name] = measure.compute_aligned(ra, rb, cache=batch.cache)
+        batch.results[name] = measure.compute_aligned(
+            ra, rb, cache=batch.cache, policy=policy
+        )
     return batch

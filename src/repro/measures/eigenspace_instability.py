@@ -34,6 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.embeddings.base import Embedding
+from repro.linalg import KernelPolicy, compute_svd
 from repro.measures.base import (
     DEFAULT_TOP_K,
     MEASURES,
@@ -43,7 +44,7 @@ from repro.measures.base import (
     aligned_top_k_pair,
     left_singular_vectors,
 )
-from repro.utils.validation import check_array, check_embedding_pair
+from repro.utils.validation import check_array, check_embedding_pair, float_dtype_of
 
 __all__ = [
     "AnchorFactors",
@@ -78,14 +79,22 @@ class AnchorFactors:
 def anchor_factors(
     E: np.ndarray, E_tilde: np.ndarray, *, alpha: float = 3.0,
     words: tuple[str, ...] | None = None,
+    policy: KernelPolicy | None = None,
 ) -> AnchorFactors:
-    """Decompose an anchor pair once so many grid cells can share the factors."""
-    E = check_array(E, name="E", ndim=2)
-    E_tilde = check_array(E_tilde, name="E_tilde", ndim=2)
+    """Decompose an anchor pair once so many grid cells can share the factors.
+
+    The decomposition is dispatched through the kernel ``policy``: its dtype
+    decides the working precision and its SVD method applies (the anchors are
+    tall and thin, so ``auto`` resolves to the exact path).
+    """
+    if policy is not None:
+        E, E_tilde = policy.cast(E), policy.cast(E_tilde)
+    E = check_array(E, name="E", ndim=2, dtype=float_dtype_of(E))
+    E_tilde = check_array(E_tilde, name="E_tilde", ndim=2, dtype=float_dtype_of(E_tilde))
     if E.shape[0] != E_tilde.shape[0]:
         raise ValueError("anchor embeddings must share a vocabulary")
-    P, R, _ = np.linalg.svd(E, full_matrices=False)
-    P_t, R_t, _ = np.linalg.svd(E_tilde, full_matrices=False)
+    P, R, _ = compute_svd(E, policy=policy)
+    P_t, R_t, _ = compute_svd(E_tilde, policy=policy)
     return AnchorFactors(P=P, Ra=R**alpha, P_t=P_t, Ra_t=R_t**alpha, words=words)
 
 
@@ -125,21 +134,27 @@ def eigenspace_instability_exact(
 def _instability_from_factors(
     U: np.ndarray, U_t: np.ndarray, factors: AnchorFactors
 ) -> float:
-    """Trace expansion of Appendix B.1 on pre-decomposed subspaces/anchors."""
+    """Trace expansion of Appendix B.1 on pre-decomposed subspaces/anchors.
+
+    All scalar reductions accumulate in float64 so the float32 kernel policy
+    only loses precision inside the GEMMs.
+    """
     UtU = U_t.T @ U                      # (d~, d)
 
     def term(Panchor: np.ndarray, Ralpha: np.ndarray) -> float:
         # tr(R^a P^T (UU^T + U~U~^T - 2 U~U~^T U U^T) P R^a) expanded as in B.1.
         A = U.T @ Panchor                # (d, dE)
         B = U_t.T @ Panchor              # (d~, dE)
-        t1 = float(np.sum((A * Ralpha[np.newaxis, :]) ** 2))
-        t2 = float(np.sum((B * Ralpha[np.newaxis, :]) ** 2))
+        t1 = float(np.sum((A * Ralpha[np.newaxis, :]) ** 2, dtype=np.float64))
+        t2 = float(np.sum((B * Ralpha[np.newaxis, :]) ** 2, dtype=np.float64))
         M = UtU @ (A * Ralpha[np.newaxis, :])     # (d~, dE)
-        t3 = float(np.sum((B * Ralpha[np.newaxis, :]) * M))
+        t3 = float(np.sum((B * Ralpha[np.newaxis, :]) * M, dtype=np.float64))
         return t1 + t2 - 2.0 * t3
 
     numerator = term(factors.P, factors.Ra) + term(factors.P_t, factors.Ra_t)
-    denominator = float(np.sum(factors.Ra**2) + np.sum(factors.Ra_t**2))
+    denominator = float(
+        np.sum(factors.Ra**2, dtype=np.float64) + np.sum(factors.Ra_t**2, dtype=np.float64)
+    )
     if denominator <= 0:
         raise ValueError("anchor embeddings produce a zero-trace Sigma")
     # Numerical round-off can push the value a hair outside [0, ~2]; clip at 0.
@@ -154,6 +169,7 @@ def eigenspace_instability(
     *,
     alpha: float = 3.0,
     cache: DecompositionCache | None = None,
+    policy: KernelPolicy | None = None,
 ) -> float:
     """Efficient eigenspace instability with ``Sigma = (EE^T)^a + (E~E~^T)^a``.
 
@@ -172,7 +188,13 @@ def eigenspace_instability(
     cache:
         Optional shared decomposition cache; the SVDs of ``X`` and ``X_tilde``
         are reused from (or deposited into) it.
+    policy:
+        Kernel policy applied to the whole evaluation: the scored pair is
+        cast to the policy dtype like the anchors, so the float32 path is
+        never half-applied.
     """
+    if policy is not None:
+        X, X_tilde = policy.cast(X), policy.cast(X_tilde)
     X, X_tilde = check_embedding_pair(X, X_tilde)
     n = X.shape[0]
     for name, M in (("E", np.asarray(E)), ("E_tilde", np.asarray(E_tilde))):
@@ -181,7 +203,9 @@ def eigenspace_instability(
 
     U = left_singular_vectors(X, cache)
     U_t = left_singular_vectors(X_tilde, cache)
-    return _instability_from_factors(U, U_t, anchor_factors(E, E_tilde, alpha=alpha))
+    return _instability_from_factors(
+        U, U_t, anchor_factors(E, E_tilde, alpha=alpha, policy=policy)
+    )
 
 
 @MEASURES.register("eis")
@@ -200,6 +224,9 @@ class EigenspaceInstability(EmbeddingDistanceMeasure):
         Optional pre-computed anchor factors (e.g. loaded from the engine's
         artifact store); used whenever the scored pair's vocabulary matches,
         otherwise the factors are re-derived from the anchors and memoised.
+    policy:
+        Kernel policy used when the measure has to derive anchor factors
+        itself (dtype and SVD dispatch); ``None`` = process default.
     """
 
     name = "eis"
@@ -211,14 +238,26 @@ class EigenspaceInstability(EmbeddingDistanceMeasure):
         *,
         alpha: float = 3.0,
         factors: AnchorFactors | None = None,
+        policy: KernelPolicy | None = None,
     ) -> None:
         self.anchor_a = anchor_a
         self.anchor_b = anchor_b
         self.alpha = float(alpha)
         self.factors = factors
-        #: Anchor factors memoised per vocabulary selection so that one SVD of
-        #: the (large) anchors serves every grid cell sharing them.
+        self.policy = policy
+        #: Anchor factors memoised per (vocabulary selection, policy dtype) so
+        #: that one SVD of the (large) anchors serves every grid cell sharing
+        #: them, without leaking factors across precisions when successive
+        #: batches run under different policies.
         self._factor_memo: dict[object, AnchorFactors] = {}
+
+    def _effective_policy(self, policy: KernelPolicy | None) -> KernelPolicy | None:
+        """A construction-time policy wins over the per-batch one."""
+        return self.policy if self.policy is not None else policy
+
+    @staticmethod
+    def _memo_key(selector, policy: KernelPolicy | None) -> tuple:
+        return (selector, policy.dtype if policy is not None else "float64")
 
     def _anchor_matrices(self, n_words: int) -> tuple[np.ndarray, np.ndarray]:
         def resolve(anchor) -> np.ndarray:
@@ -231,7 +270,9 @@ class EigenspaceInstability(EmbeddingDistanceMeasure):
 
         return resolve(self.anchor_a), resolve(self.anchor_b)
 
-    def _positional_factors(self, n_words: int) -> AnchorFactors:
+    def _positional_factors(
+        self, n_words: int, policy: KernelPolicy | None = None
+    ) -> AnchorFactors:
         """Factors of the anchors sliced to the first ``n_words`` rows."""
         if (
             self.factors is not None
@@ -239,19 +280,23 @@ class EigenspaceInstability(EmbeddingDistanceMeasure):
             and self.factors.n_words == n_words
         ):
             return self.factors
-        memo = self._factor_memo.get(n_words)
+        policy = self._effective_policy(policy)
+        memo = self._factor_memo.get(self._memo_key(n_words, policy))
         if memo is None:
             E, E_t = self._anchor_matrices(n_words)
-            memo = anchor_factors(E, E_t, alpha=self.alpha)
-            self._factor_memo[n_words] = memo
+            memo = anchor_factors(E, E_t, alpha=self.alpha, policy=policy)
+            self._factor_memo[self._memo_key(n_words, policy)] = memo
         return memo
 
-    def _word_matched_factors(self, words: list[str]) -> AnchorFactors:
+    def _word_matched_factors(
+        self, words: list[str], policy: KernelPolicy | None = None
+    ) -> AnchorFactors:
         """Factors of the anchors row-matched to ``words`` (by vocabulary)."""
         key = tuple(words)
         if self.factors is not None and self.factors.words == key:
             return self.factors
-        memo = self._factor_memo.get(key)
+        policy = self._effective_policy(policy)
+        memo = self._factor_memo.get(self._memo_key(key, policy))
         if memo is None:
             anchors = []
             for anchor in (self.anchor_a, self.anchor_b):
@@ -268,8 +313,10 @@ class EigenspaceInstability(EmbeddingDistanceMeasure):
                             f"{len(words)} are required"
                         )
                     anchors.append(mat[: len(words)])
-            memo = anchor_factors(anchors[0], anchors[1], alpha=self.alpha, words=key)
-            self._factor_memo[key] = memo
+            memo = anchor_factors(
+                anchors[0], anchors[1], alpha=self.alpha, words=key, policy=policy
+            )
+            self._factor_memo[self._memo_key(key, policy)] = memo
         return memo
 
     def compute(self, X: np.ndarray, X_tilde: np.ndarray) -> float:
@@ -285,14 +332,21 @@ class EigenspaceInstability(EmbeddingDistanceMeasure):
         return _instability_from_factors(U, U_t, factors)
 
     def compute_aligned(
-        self, ra: Embedding, rb: Embedding, *, cache: DecompositionCache | None = None
+        self,
+        ra: Embedding,
+        rb: Embedding,
+        *,
+        cache: DecompositionCache | None = None,
+        policy: KernelPolicy | None = None,
     ) -> MeasureResult:
         """Evaluate on an aligned pair, row-matching the anchors by word.
 
-        Raw-matrix anchors are assumed to be row-aligned with ``ra``.
+        Raw-matrix anchors are assumed to be row-aligned with ``ra``.  The
+        batch ``policy`` (unless overridden at construction) also governs the
+        anchor factorization, so a float32 batch runs float32 end to end.
         """
         X, X_tilde = check_embedding_pair(ra.vectors, rb.vectors)
-        factors = self._word_matched_factors(ra.vocab.words)
+        factors = self._word_matched_factors(ra.vocab.words, policy)
         U = left_singular_vectors(X, cache)
         U_t = left_singular_vectors(X_tilde, cache)
         value = _instability_from_factors(U, U_t, factors)

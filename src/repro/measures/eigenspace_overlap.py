@@ -38,7 +38,7 @@ def eigenspace_overlap(
         U_t = left_singular_vectors(X_tilde)
         cross = U.T @ U_t
     d = max(U.shape[1], U_t.shape[1])
-    overlap = float(np.sum(cross**2) / d)
+    overlap = float(np.sum(cross**2, dtype=np.float64) / d)
     # Guard against round-off pushing the score outside [0, 1].
     return float(np.clip(overlap, 0.0, 1.0))
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.linalg import gram_frobenius_diff_sq
 from repro.measures.base import MEASURES, DecompositionCache, EmbeddingDistanceMeasure
 from repro.utils.validation import check_embedding_pair
 
@@ -27,16 +28,18 @@ def pip_loss(
     if cache is not None:
         # From X = U S V^T: ||X X^T||_F^2 = sum(S^4) and
         # tr(X X^T Y Y^T) = ||diag(S) U^T U~ diag(S~)||_F^2, so the shared SVD
-        # and cross product replace all three Gram products.
+        # and cross product replace all three Gram products.  Reductions run
+        # in float64 even when the decompositions are float32.
         _, S, _ = cache.svd(X)
         _, S_t, _ = cache.svd(X_tilde)
         M = (S[:, np.newaxis] * cache.cross(X, X_tilde)) * S_t[np.newaxis, :]
-        sq = float(np.sum(S**4) + np.sum(S_t**4) - 2.0 * np.sum(M**2))
+        sq = float(
+            np.sum(S**4, dtype=np.float64)
+            + np.sum(S_t**4, dtype=np.float64)
+            - 2.0 * np.sum(M**2, dtype=np.float64)
+        )
     else:
-        xtx = X.T @ X
-        yty = X_tilde.T @ X_tilde
-        xty = X.T @ X_tilde
-        sq = float(np.sum(xtx**2) + np.sum(yty**2) - 2.0 * np.sum(xty**2))
+        sq = gram_frobenius_diff_sq(X, X_tilde)
     # Round-off can produce a tiny negative value when the matrices are equal.
     return float(np.sqrt(max(sq, 0.0)))
 

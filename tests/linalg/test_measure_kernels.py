@@ -1,0 +1,141 @@
+"""Tests of the blocked GEMM measure kernels (cosine top-k, set overlap, Gram)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    cosine_top_k,
+    gram_frobenius_diff_sq,
+    normalize_rows,
+    row_set_overlap,
+)
+
+
+def brute_force_top_k(X, queries, k):
+    """Unblocked reference: full similarity matrix + per-row sort."""
+    normed = normalize_rows(X)
+    sims = normed[queries] @ normed.T
+    sims[np.arange(len(queries)), queries] = -np.inf
+    return np.argsort(-sims, axis=1)[:, :k]
+
+
+class TestCosineTopK:
+    @pytest.mark.parametrize("block_size", [1, 3, 7, 512])
+    def test_blocking_invariant(self, rng, block_size):
+        X = rng.standard_normal((40, 6))
+        queries = rng.choice(40, size=15, replace=False)
+        reference = cosine_top_k(X, queries, 5, block_size=4096)
+        blocked = cosine_top_k(X, queries, 5, block_size=block_size)
+        # argpartition order within the top-k is unspecified: compare as sets.
+        for ref_row, blk_row in zip(reference, blocked):
+            assert set(ref_row) == set(blk_row)
+
+    def test_matches_brute_force_sets(self, rng):
+        X = rng.standard_normal((60, 8))
+        queries = np.arange(20)
+        top = cosine_top_k(X, queries, 5)
+        brute = brute_force_top_k(X, queries, 5)
+        for fast_row, slow_row in zip(top, brute):
+            assert set(fast_row) == set(slow_row)
+
+    def test_excludes_query_row(self, rng):
+        X = rng.standard_normal((30, 4))
+        queries = np.arange(30)
+        top = cosine_top_k(X, queries, 5)
+        for q, row in zip(queries, top):
+            assert q not in row
+
+    def test_k_capped(self, rng):
+        X = rng.standard_normal((6, 3))
+        top = cosine_top_k(X, np.arange(6), 50)
+        assert top.shape == (6, 5)
+
+    def test_rejects_degenerate(self, rng):
+        with pytest.raises(ValueError):
+            cosine_top_k(rng.standard_normal((1, 3)), np.array([0]), 1)
+
+
+class TestRowSetOverlap:
+    def test_matches_intersect1d_loop(self, rng):
+        a = np.stack([rng.choice(50, size=8, replace=False) for _ in range(20)])
+        b = np.stack([rng.choice(50, size=8, replace=False) for _ in range(20)])
+        expected = np.array([len(np.intersect1d(a[i], b[i])) for i in range(20)])
+        assert np.array_equal(row_set_overlap(a, b), expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_matches_intersect1d(self, q, k, seed):
+        rng = np.random.default_rng(seed)
+        universe = max(k + 1, 15)
+        a = np.stack([rng.choice(universe, size=k, replace=False) for _ in range(q)])
+        b = np.stack([rng.choice(universe, size=k, replace=False) for _ in range(q)])
+        expected = np.array([len(np.intersect1d(a[i], b[i])) for i in range(q)])
+        assert np.array_equal(row_set_overlap(a, b), expected)
+
+    def test_disjoint_and_identical_rows(self):
+        a = np.array([[0, 1, 2], [3, 4, 5]])
+        assert np.array_equal(row_set_overlap(a, a), [3, 3])
+        b = np.array([[6, 7, 8], [9, 10, 11]])
+        assert np.array_equal(row_set_overlap(a, b), [0, 0])
+
+    def test_no_cross_row_matches(self):
+        # Row 0 of `a` shares ids with row 1 of `b` only: overlap must be zero.
+        a = np.array([[1, 2], [5, 6]])
+        b = np.array([[5, 6], [1, 2]])
+        assert np.array_equal(row_set_overlap(a, b), [0, 0])
+
+    def test_different_widths(self):
+        a = np.array([[0, 1, 2, 3]])
+        b = np.array([[2, 3]])
+        assert np.array_equal(row_set_overlap(a, b), [2])
+
+    def test_rejects_negative_and_mismatched(self):
+        with pytest.raises(ValueError):
+            row_set_overlap(np.array([[-1, 2]]), np.array([[0, 1]]))
+        with pytest.raises(ValueError):
+            row_set_overlap(np.ones((2, 3), dtype=int), np.ones((3, 3), dtype=int))
+
+
+class TestGramFrobenius:
+    def test_matches_dense(self, rng):
+        X = rng.standard_normal((30, 5))
+        Y = rng.standard_normal((30, 8))
+        dense = np.linalg.norm(X @ X.T - Y @ Y.T) ** 2
+        assert gram_frobenius_diff_sq(X, Y) == pytest.approx(dense, rel=1e-9)
+
+    @pytest.mark.parametrize("block_rows", [1, 7, 16, None])
+    def test_blocking_invariant(self, rng, block_rows):
+        X = rng.standard_normal((25, 4))
+        Y = rng.standard_normal((25, 6))
+        full = gram_frobenius_diff_sq(X, Y)
+        assert gram_frobenius_diff_sq(X, Y, block_rows=block_rows) == pytest.approx(
+            full, rel=1e-9
+        )
+
+    def test_float32_accumulates_in_float64(self, rng):
+        X = rng.standard_normal((200, 16)).astype(np.float32)
+        result = gram_frobenius_diff_sq(X, X)
+        assert isinstance(result, float)
+        assert result == pytest.approx(0.0, abs=1e-2)
+
+    def test_row_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            gram_frobenius_diff_sq(rng.standard_normal((5, 2)), rng.standard_normal((6, 2)))
+
+
+class TestNormalizeRows:
+    def test_unit_norms_and_zero_rows(self):
+        X = np.array([[3.0, 4.0], [0.0, 0.0]])
+        normed = normalize_rows(X)
+        assert np.allclose(normed[0], [0.6, 0.8])
+        assert np.array_equal(normed[1], [0.0, 0.0])
+
+    def test_dtype_preserved(self):
+        X = np.ones((3, 2), dtype=np.float32)
+        assert normalize_rows(X).dtype == np.float32

@@ -1,0 +1,198 @@
+"""Property tests of the randomized SVD kernel and the kernel policy."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    KernelPolicy,
+    compute_svd,
+    configure_default_policy,
+    default_policy,
+    exact_svd,
+    randomized_svd,
+)
+
+
+def spectrum_matrix(n: int, d: int, rank: int, *, seed: int = 0, decay: float = 1e-3):
+    """A matrix with a decaying spectrum and a clear gap after ``rank``.
+
+    The gap makes the top-``rank`` subspace well separated, so subspace
+    (projector) comparisons between exact and randomized factorizations are
+    numerically meaningful.
+    """
+    rng = np.random.default_rng(seed)
+    r = min(n, d)
+    U, _ = np.linalg.qr(rng.standard_normal((n, r)))
+    V, _ = np.linalg.qr(rng.standard_normal((d, r)))
+    S = np.concatenate([
+        np.geomspace(1.0, 0.2, min(rank, r)),
+        np.geomspace(decay, decay / 10, max(r - rank, 0)),
+    ])
+    return (U * S) @ V.T, S
+
+
+class TestRandomizedSVD:
+    @pytest.mark.parametrize("shape,rank", [
+        ((60, 20), 5),
+        ((200, 40), 10),
+        ((120, 120), 16),
+        ((40, 150), 8),
+    ])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_exact_within_tolerance(self, shape, rank, seed):
+        X, _ = spectrum_matrix(*shape, rank, seed=seed)
+        Ue, Se, Vte = exact_svd(X, rank)
+        Ur, Sr, Vtr = randomized_svd(X, rank, seed=seed)
+        assert Sr.shape == (rank,)
+        assert np.allclose(Sr, Se, rtol=1e-6)
+        # Compare subspaces via projectors (singular vectors are sign-ambiguous).
+        assert np.allclose(Ur @ Ur.T, Ue @ Ue.T, atol=1e-6)
+        assert np.allclose(Vtr.T @ Vtr, Vte.T @ Vte, atol=1e-6)
+
+    def test_low_rank_reconstruction(self):
+        X, _ = spectrum_matrix(100, 30, 10, seed=3)
+        U, S, Vt = randomized_svd(X, 10, seed=0)
+        # Relative reconstruction error is bounded by the discarded spectrum.
+        _, S_full, _ = exact_svd(X)
+        bound = S_full[10] if S_full.size > 10 else 0.0
+        err = np.linalg.norm(X - (U * S) @ Vt, 2)
+        assert err <= bound * 1.5 + 1e-9
+
+    def test_deterministic_given_seed(self):
+        X, _ = spectrum_matrix(80, 25, 8, seed=5)
+        first = randomized_svd(X, 8, seed=42)
+        second = randomized_svd(X, 8, seed=42)
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)  # bitwise
+
+    def test_different_seeds_differ(self):
+        # Same factorization values, but different range-finder samples: the
+        # raw U matrices generally differ in the trailing digits.
+        X = np.random.default_rng(0).standard_normal((60, 40))
+        U0, _, _ = randomized_svd(X, 30, n_power_iter=0, n_oversamples=0, seed=0)
+        U1, _, _ = randomized_svd(X, 30, n_power_iter=0, n_oversamples=0, seed=1)
+        assert not np.array_equal(U0, U1)
+
+    def test_rank_clamped_to_short_side(self):
+        X, _ = spectrum_matrix(30, 10, 5, seed=0)
+        U, S, Vt = randomized_svd(X, 50, seed=0)
+        assert U.shape == (30, 10) and S.shape == (10,) and Vt.shape == (10, 10)
+
+    def test_invalid_rank(self):
+        X = np.ones((5, 5))
+        with pytest.raises(ValueError):
+            randomized_svd(X, 0)
+
+    def test_dtype_preserved(self):
+        X, _ = spectrum_matrix(50, 20, 5, seed=1)
+        U, S, Vt = randomized_svd(X.astype(np.float32), 5, seed=0)
+        assert U.dtype == S.dtype == Vt.dtype == np.float32
+
+    def test_sparse_input(self):
+        import scipy.sparse as sp
+
+        X, _ = spectrum_matrix(80, 40, 8, seed=2)
+        X[np.abs(X) < 1e-3] = 0.0
+        U, S, Vt = randomized_svd(sp.csr_matrix(X), 8, seed=0)
+        _, Se, _ = exact_svd(X, 8)
+        assert np.allclose(S, Se, rtol=1e-5)
+
+
+class TestKernelPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelPolicy(svd="fast")
+        with pytest.raises(ValueError):
+            KernelPolicy(dtype="float16")
+
+    def test_auto_resolution(self):
+        policy = KernelPolicy(svd="auto", auto_min_side=512, auto_max_rank_fraction=0.25)
+        # Full-rank thin decompositions stay exact.
+        assert policy.resolve_method((10_000, 64), None) == "exact"
+        # Small matrices stay exact even with a truncated rank.
+        assert policy.resolve_method((300, 300), 10) == "exact"
+        # Large matrix, small rank: randomized.
+        assert policy.resolve_method((5000, 1000), 50) == "randomized"
+        # Large matrix but nearly full rank: exact.
+        assert policy.resolve_method((5000, 1000), 900) == "exact"
+
+    def test_explicit_methods_bypass_auto(self):
+        assert KernelPolicy(svd="exact").resolve_method((5000, 1000), 10) == "exact"
+        # Forced randomized applies to any truncated rank, however small the matrix.
+        assert KernelPolicy(svd="randomized").resolve_method((10, 10), 3) == "randomized"
+
+    def test_full_rank_always_exact(self):
+        # A randomized factorization without a truncated rank is strictly
+        # slower and less accurate than LAPACK, so rank=None resolves to
+        # exact under every policy.
+        for svd in ("exact", "randomized", "auto"):
+            assert KernelPolicy(svd=svd).resolve_method((5000, 64), None) == "exact"
+
+    def test_cast(self):
+        policy = KernelPolicy(dtype="float32")
+        X = np.ones((3, 3))
+        assert policy.cast(X).dtype == np.float32
+        Y = np.ones((3, 3), dtype=np.float32)
+        assert policy.cast(Y) is Y
+
+    def test_with_overrides_drops_none(self):
+        policy = KernelPolicy()
+        assert policy.with_overrides(svd=None, dtype=None) is policy
+        assert policy.with_overrides(svd="randomized").svd == "randomized"
+
+    def test_default_is_exact_and_float64(self):
+        # The bit-identical-to-seed contract: faster kernels are opt-in only.
+        policy = KernelPolicy()
+        assert policy.svd == "exact" and policy.dtype == "float64"
+        assert policy.resolve_method((5000, 5000), 50) == "exact"
+
+    def test_key_fields_track_value_affecting_knobs(self):
+        assert KernelPolicy(svd="exact", n_power_iter=7).key_fields() == {"svd": "exact"}
+        randomized = KernelPolicy(svd="randomized").key_fields()
+        assert {"svd", "n_oversamples", "n_power_iter", "seed"} <= set(randomized)
+        assert "auto_min_side" not in randomized
+        auto = KernelPolicy(svd="auto").key_fields()
+        assert {"auto_min_side", "auto_max_rank_fraction"} <= set(auto)
+        # Changing a knob that changes randomized results changes the key fields.
+        assert KernelPolicy(svd="randomized", n_power_iter=0).key_fields() != randomized
+
+    def test_default_policy_configuration(self):
+        try:
+            configured = configure_default_policy(svd="randomized", dtype="float32")
+            assert default_policy() is configured
+            assert default_policy().svd == "randomized"
+        finally:
+            configure_default_policy()  # reset
+        assert default_policy() == KernelPolicy()
+
+
+class TestComputeSVD:
+    def test_policy_dispatch_exact_matches_numpy(self):
+        X = np.random.default_rng(0).standard_normal((40, 12))
+        U, S, Vt = compute_svd(X, policy=KernelPolicy(svd="exact"))
+        Ue, Se, Vte = np.linalg.svd(X, full_matrices=False)
+        assert np.array_equal(S, Se)
+
+    def test_truncation(self):
+        X = np.random.default_rng(0).standard_normal((40, 12))
+        U, S, Vt = compute_svd(X, rank=4)
+        assert U.shape == (40, 4) and S.shape == (4,) and Vt.shape == (4, 12)
+
+    def test_randomized_full_requested_rank_is_close_to_exact(self):
+        X, _ = spectrum_matrix(60, 12, 12, seed=0, decay=1e-2)
+        U, S, Vt = compute_svd(X, rank=12, policy=KernelPolicy(svd="randomized"))
+        _, Se, _ = exact_svd(X)
+        assert np.allclose(S, Se, rtol=1e-5)
+
+    def test_forced_randomized_without_rank_stays_exact(self):
+        X = np.random.default_rng(0).standard_normal((40, 12))
+        U, S, Vt = compute_svd(X, policy=KernelPolicy(svd="randomized"))
+        _, Se, _ = np.linalg.svd(X, full_matrices=False)
+        assert np.array_equal(S, Se)
+
+    def test_seed_override(self):
+        X = np.random.default_rng(0).standard_normal((600, 520))
+        policy = KernelPolicy(svd="randomized", n_oversamples=0, n_power_iter=0)
+        a = compute_svd(X, rank=5, policy=policy, seed=1)
+        b = compute_svd(X, rank=5, policy=policy, seed=2)
+        assert not np.array_equal(a[0], b[0])

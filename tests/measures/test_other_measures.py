@@ -52,6 +52,24 @@ class TestKNN:
         large = X + 1.0 * rng.standard_normal(X.shape)
         assert knn_overlap(X, small, num_queries=80) >= knn_overlap(X, large, num_queries=80)
 
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_vectorized_overlap_equals_per_row_loop(self, rng, seed):
+        """The searchsorted overlap is pinned to the seed repo's intersect1d loop."""
+        from repro.measures.knn import _top_k_neighbors
+        from repro.utils.rng import check_random_state
+
+        X = rng.standard_normal((70, 8))
+        Y = rng.standard_normal((70, 8))
+        k, q = 5, 40
+        queries = check_random_state(seed).choice(70, size=q, replace=False)
+        top_a = _top_k_neighbors(X, queries, k)
+        top_b = _top_k_neighbors(Y, queries, k)
+        reference = np.empty(q)
+        for row in range(q):
+            reference[row] = len(np.intersect1d(top_a[row], top_b[row]))
+        loop_value = float(np.mean(reference) / top_a.shape[1])
+        assert knn_overlap(X, Y, k=k, num_queries=q, seed=seed) == loop_value
+
 
 class TestSemanticDisplacement:
     def test_zero_for_rotated_copy(self, rng):

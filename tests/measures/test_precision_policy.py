@@ -1,0 +1,221 @@
+"""Float32 kernel-policy tests: tolerance vs float64, and cache bounding.
+
+The float32 policy trades a documented amount of accuracy for roughly halved
+SVD/GEMM time.  The tolerances pinned here are the contract referenced by the
+README's kernel-layer notes: spectral measures stay within ``1e-4`` absolute
+of the float64 values on embedding-scale inputs, and the k-NN measure (whose
+value is quantised in units of ``1/(k * queries)`` and can flip near-tie
+neighbours) stays within ``0.05``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.base import Embedding
+from repro.linalg import KernelPolicy
+from repro.measures.base import DecompositionCache
+from repro.measures.batch import compute_measure_batch
+from repro.measures.eigenspace_instability import EigenspaceInstability
+from repro.measures.eigenspace_overlap import EigenspaceOverlapDistance
+from repro.measures.knn import KNNDistance
+from repro.measures.pip_loss import PIPLoss
+from repro.measures.semantic_displacement import SemanticDisplacement
+
+#: Documented float32-vs-float64 absolute tolerances per measure.  PIP is an
+#: unnormalised Frobenius norm, so its tolerance is relative instead.
+FLOAT32_ABS_TOL = {
+    "eis": 1e-4,
+    "1-eigenspace-overlap": 1e-4,
+    "semantic-displacement": 1e-4,
+    "1-knn": 0.05,
+}
+FLOAT32_REL_TOL = {"pip": 1e-3}
+
+
+@pytest.fixture()
+def suite(embedding_pair):
+    emb_a, emb_b = embedding_pair
+    return {
+        "eis": EigenspaceInstability(emb_a, emb_b, alpha=3.0),
+        "1-knn": KNNDistance(k=3, num_queries=50, seed=0),
+        "semantic-displacement": SemanticDisplacement(),
+        "pip": PIPLoss(),
+        "1-eigenspace-overlap": EigenspaceOverlapDistance(),
+    }
+
+
+class TestFloat32Policy:
+    def test_float32_within_documented_tolerance(self, embedding_pair, suite):
+        emb_a, emb_b = embedding_pair
+        exact = compute_measure_batch(suite, emb_a, emb_b, top_k=None)
+        fast = compute_measure_batch(
+            suite, emb_a, emb_b, top_k=None, policy=KernelPolicy(dtype="float32")
+        )
+        for name in suite:
+            if name in FLOAT32_REL_TOL:
+                assert fast[name].value == pytest.approx(
+                    exact[name].value, rel=FLOAT32_REL_TOL[name]
+                ), name
+            else:
+                assert fast[name].value == pytest.approx(
+                    exact[name].value, abs=FLOAT32_ABS_TOL[name]
+                ), name
+
+    def test_float32_pair_flows_through_stack(self, embedding_pair):
+        emb_a, _ = embedding_pair
+        emb32 = emb_a.astype(np.float32)
+        assert emb32.vectors.dtype == np.float32
+        assert emb32.metadata["dtype"] == "float32"
+        # Embedding construction and validation both preserve float32.
+        rebuilt = Embedding(vocab=emb32.vocab, vectors=emb32.vectors)
+        assert rebuilt.vectors.dtype == np.float32
+        cache = DecompositionCache(policy=KernelPolicy(dtype="float32"))
+        U, S, Vt = cache.svd(emb32.vectors)
+        assert U.dtype == np.float32
+
+    def test_astype_is_identity_when_matching(self, embedding_pair):
+        emb_a, _ = embedding_pair
+        assert emb_a.astype(np.float64) is emb_a
+
+    def test_float64_policy_is_bit_identical_to_no_policy(self, embedding_pair, suite):
+        emb_a, emb_b = embedding_pair
+        plain = compute_measure_batch(suite, emb_a, emb_b, top_k=None)
+        policied = compute_measure_batch(
+            suite, emb_a, emb_b, top_k=None, policy=KernelPolicy(dtype="float64")
+        )
+        for name in suite:
+            assert plain[name].value == policied[name].value, name
+
+    def test_batch_policy_reaches_eis_anchor_factors(self, embedding_pair):
+        """The float32 policy is applied end to end, including anchor SVDs."""
+        emb_a, emb_b = embedding_pair
+        eis = EigenspaceInstability(emb_a, emb_b, alpha=3.0)
+        measures = {"eis": eis}
+        compute_measure_batch(
+            measures, emb_a, emb_b, top_k=None, policy=KernelPolicy(dtype="float32")
+        )
+        float32_factors = [
+            factors for (_, dtype), factors in eis._factor_memo.items()
+            if dtype == "float32"
+        ]
+        assert float32_factors and float32_factors[0].P.dtype == np.float32
+        # A policy-less batch on the same instance derives separate float64
+        # factors instead of reusing the float32 ones.
+        compute_measure_batch(measures, emb_a, emb_b, top_k=None)
+        float64_factors = [
+            factors for (_, dtype), factors in eis._factor_memo.items()
+            if dtype == "float64"
+        ]
+        assert float64_factors and float64_factors[0].P.dtype == np.float64
+
+    def test_eigenspace_instability_function_applies_policy_to_pair(self, embedding_pair):
+        from repro.measures.eigenspace_instability import eigenspace_instability
+
+        emb_a, emb_b = embedding_pair
+        X, Y = emb_a.vectors, emb_b.vectors
+        E, E_t = emb_a.vectors, emb_b.vectors
+        exact = eigenspace_instability(X, Y, E, E_t)
+        fast = eigenspace_instability(X, Y, E, E_t, policy=KernelPolicy(dtype="float32"))
+        # The whole evaluation (pair + anchors) runs in float32, not just the
+        # anchors: the result matches the fully-cast computation exactly.
+        manual = eigenspace_instability(
+            X.astype(np.float32), Y.astype(np.float32),
+            E.astype(np.float32), E_t.astype(np.float32),
+        )
+        assert fast == manual
+        assert fast == pytest.approx(exact, abs=FLOAT32_ABS_TOL["eis"])
+
+    def test_randomized_knobs_change_embedding_keys(self):
+        """Persistent stores must never serve artifacts across knob changes."""
+        from repro.corpus.synthetic import SyntheticCorpusConfig
+        from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+        from repro.linalg import configure_default_policy
+
+        cfg = PipelineConfig(
+            corpus=SyntheticCorpusConfig(
+                vocab_size=80, n_documents=30, doc_length_mean=20, seed=0
+            ),
+            algorithms=("svd",), dimensions=(4,), precisions=(32,), seeds=(0,),
+            tasks=("sst2",), kernel_policy="randomized",
+        )
+        try:
+            pipeline = InstabilityPipeline(cfg)
+            key_default = pipeline._embedding_fields("svd", 4, 0)
+            configure_default_policy(n_power_iter=0)
+            key_tweaked = pipeline._embedding_fields("svd", 4, 0)
+        finally:
+            configure_default_policy()
+        assert key_default != key_tweaked
+        # Exact policies ignore the randomized knobs entirely.
+        exact_cfg = PipelineConfig(
+            corpus=cfg.corpus, algorithms=("svd",), dimensions=(4,),
+            precisions=(32,), seeds=(0,), tasks=("sst2",), kernel_policy="exact",
+        )
+        try:
+            exact_pipeline = InstabilityPipeline(exact_cfg)
+            key_exact = exact_pipeline._embedding_fields("svd", 4, 0)
+            configure_default_policy(n_power_iter=0)
+            assert exact_pipeline._embedding_fields("svd", 4, 0) == key_exact
+        finally:
+            configure_default_policy()
+
+    def test_float32_measure_values_are_python_floats(self, embedding_pair, suite):
+        emb_a, emb_b = embedding_pair
+        fast = compute_measure_batch(
+            suite, emb_a, emb_b, top_k=None, policy=KernelPolicy(dtype="float32")
+        )
+        for result in fast.results.values():
+            assert isinstance(result.value, float)
+            assert np.isfinite(result.value)
+
+
+class TestDecompositionCacheBounds:
+    def test_lru_eviction_and_counter(self, rng):
+        cache = DecompositionCache(max_entries=2)
+        matrices = [rng.standard_normal((10, 3)) for _ in range(4)]
+        for X in matrices:
+            cache.svd(X)
+        assert cache.evictions == 2
+        assert cache.stats["entries"] <= 2
+        # The two most recent entries still hit; the evicted ones re-miss.
+        hits_before = cache.hits
+        cache.svd(matrices[-1])
+        assert cache.hits == hits_before + 1
+        misses_before = cache.misses
+        cache.svd(matrices[0])
+        assert cache.misses == misses_before + 1
+
+    def test_recent_use_protects_from_eviction(self, rng):
+        cache = DecompositionCache(max_entries=2)
+        X, Y, Z = (rng.standard_normal((8, 3)) for _ in range(3))
+        cache.svd(X)
+        cache.svd(Y)
+        cache.svd(X)           # X becomes most recent
+        cache.svd(Z)           # evicts Y, not X
+        hits_before = cache.hits
+        cache.svd(X)
+        assert cache.hits == hits_before + 1
+
+    def test_cross_products_also_bounded(self, rng):
+        cache = DecompositionCache(max_entries=1)
+        pairs = [(rng.standard_normal((8, 2)), rng.standard_normal((8, 3))) for _ in range(3)]
+        for X, Y in pairs:
+            cache.cross(X, Y)
+        assert cache.evictions > 0
+
+    def test_unbounded_cache(self, rng):
+        cache = DecompositionCache(max_entries=None)
+        for _ in range(10):
+            cache.svd(rng.standard_normal((5, 2)))
+        assert cache.evictions == 0
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            DecompositionCache(max_entries=0)
+
+    def test_stats_snapshot(self, rng):
+        cache = DecompositionCache()
+        X = rng.standard_normal((6, 2))
+        cache.svd(X)
+        cache.svd(X)
+        assert cache.stats == {"hits": 1, "misses": 1, "evictions": 0, "entries": 1}
