@@ -37,6 +37,7 @@ if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
 from repro.analysis.reporting import format_table  # noqa: E402
 from repro.corpus.synthetic import SyntheticCorpusConfig  # noqa: E402
 from repro.engine import ArtifactStore, GridEngine  # noqa: E402
+from repro.engine import stats as engine_stats  # noqa: E402
 from repro.instability.pipeline import InstabilityPipeline, PipelineConfig  # noqa: E402
 from repro.utils.io import save_json  # noqa: E402
 
@@ -102,10 +103,11 @@ def run_benchmark(quick: bool, workers: int, cache_dir: str | None):
             {"mode": "serial / warm", "seconds": round(warm_time, 3),
              "speedup": round(serial_time / warm_time, 2)}
         )
-        assert warm_engine.pipeline.embedding_train_count == 0, (
+        warm_counters = engine_stats(warm_engine)["pipeline"]
+        assert warm_counters["embedding_train_count"] == 0, (
             "warm rerun retrained embeddings"
         )
-        assert warm_engine.pipeline.downstream_train_count == 0, (
+        assert warm_counters["downstream_train_count"] == 0, (
             "warm rerun retrained downstream models"
         )
         assert warm_records == disk_records == serial_records, (
@@ -151,6 +153,8 @@ def run_benchmark(quick: bool, workers: int, cache_dir: str | None):
         "parallel_speedup": round(serial_time / parallel_time, 2),
         "measure_batch_speedup": round(unbatched_time / serial_time, 2),
         "workers": workers,
+        "warm_counters": warm_counters,
+        "parallel_warmup": engine_stats(parallel_engine)["warmup"],
     }
     return rows, summary
 

@@ -1,0 +1,194 @@
+"""Benchmark the stability-query service: cold vs warm vs coalesced latency.
+
+Exercises the serving layer the way production traffic would and reports:
+
+1. ``cold``      -- first-ever /measure queries (train + decompose + measure);
+2. ``warm``      -- the same queries repeated against the warm store (pure
+   cache; asserts zero new trainings via ``repro.engine.stats``);
+3. ``coalesced`` -- N identical concurrent queries for a fresh cell (asserts
+   the single-flight path performed exactly one computation);
+4. ``select``    -- a budget recommendation over the warm measure cache;
+5. ``stream``    -- a full NDJSON-style grid stream (records consumed as the
+   cells complete).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py --quick
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py --requests 16
+
+The script exits non-zero if any serving invariant fails, so CI can smoke it;
+it is intentionally not a pytest-benchmark file (like the sibling
+``bench_engine_grid.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import threading
+import time
+import warnings
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.reporting import format_table  # noqa: E402
+from repro.corpus.synthetic import SyntheticCorpusConfig  # noqa: E402
+from repro.engine import stats as engine_stats  # noqa: E402
+from repro.instability.pipeline import PipelineConfig  # noqa: E402
+from repro.serving import ServiceConfig, StabilityService  # noqa: E402
+from repro.utils.io import save_json  # noqa: E402
+
+
+def bench_config(quick: bool) -> PipelineConfig:
+    if quick:
+        return PipelineConfig(
+            corpus=SyntheticCorpusConfig(
+                vocab_size=120, n_documents=60, doc_length_mean=30, seed=7
+            ),
+            algorithms=("svd",),
+            dimensions=(4, 6),
+            precisions=(1, 32),
+            seeds=(0,),
+            tasks=("sst2",),
+            embedding_epochs=2,
+            downstream_epochs=3,
+            ner_epochs=2,
+        )
+    return PipelineConfig(
+        corpus=SyntheticCorpusConfig(
+            vocab_size=300, n_documents=250, doc_length_mean=70, seed=0
+        ),
+        algorithms=("cbow",),
+        dimensions=(8, 16, 32),
+        precisions=(1, 2, 4, 8, 32),
+        seeds=(0,),
+        tasks=("sst2",),
+        embedding_epochs=8,
+        downstream_epochs=10,
+    )
+
+
+def _measure_latencies(service: StabilityService, cells) -> list[float]:
+    latencies = []
+    for algorithm, dim, precision, seed in cells:
+        start = time.perf_counter()
+        service.measure(algorithm, dim, precision, seed)
+        latencies.append(time.perf_counter() - start)
+    return latencies
+
+
+def run_benchmark(quick: bool, n_requests: int):
+    config = bench_config(quick)
+    service = StabilityService(config, config=ServiceConfig(max_concurrency=4))
+    cells = [
+        (algorithm, dim, precision, config.seeds[0])
+        for algorithm in config.algorithms
+        for dim in config.dimensions
+        for precision in config.precisions
+    ]
+    rows = []
+
+    # 1. Cold: every query trains/quantizes/decomposes on first touch.
+    cold = _measure_latencies(service, cells)
+    rows.append({"mode": "cold /measure", "queries": len(cold),
+                 "mean_ms": round(1e3 * statistics.mean(cold), 2),
+                 "total_s": round(sum(cold), 3)})
+
+    # 2. Warm: identical queries, pure cache; zero new trainings.
+    before = engine_stats(service.engine)["pipeline"]
+    warm = _measure_latencies(service, cells)
+    after = engine_stats(service.engine)["pipeline"]
+    rows.append({"mode": "warm /measure", "queries": len(warm),
+                 "mean_ms": round(1e3 * statistics.mean(warm), 2),
+                 "total_s": round(sum(warm), 3)})
+    assert after == before, f"warm queries trained something: {before} -> {after}"
+    assert sum(warm) < sum(cold), "warm requests were not faster than cold"
+
+    # 3. Coalesced: N identical concurrent queries for a cell nobody asked
+    #    for yet.  Single-flight guarantees exactly one computation (one
+    #    store write) no matter how the threads interleave.
+    fresh_cell = (config.algorithms[0], config.dimensions[-1], config.precisions[0],
+                  config.seeds[0] + 1)
+    puts_before = service.pipeline.store.stat("measures").puts
+    barrier = threading.Barrier(n_requests)
+    latencies = [0.0] * n_requests
+
+    def query(slot: int) -> None:
+        barrier.wait()
+        start = time.perf_counter()
+        service.measure(*fresh_cell)
+        latencies[slot] = time.perf_counter() - start
+
+    threads = [threading.Thread(target=query, args=(i,)) for i in range(n_requests)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    puts_after = service.pipeline.store.stat("measures").puts
+    coalesced = service.metrics()["serving"]["coalesced_total"]
+    rows.append({"mode": f"coalesced x{n_requests} /measure", "queries": n_requests,
+                 "mean_ms": round(1e3 * statistics.mean(latencies), 2),
+                 "total_s": round(wall, 3)})
+    assert puts_after == puts_before + 1, (
+        f"{n_requests} identical concurrent queries performed "
+        f"{puts_after - puts_before} computations; expected 1"
+    )
+
+    # 4. /select over the warm measure cache.
+    start = time.perf_counter()
+    selection = service.select(128)
+    select_s = time.perf_counter() - start
+    rows.append({"mode": "/select budget=128", "queries": 1,
+                 "mean_ms": round(1e3 * select_s, 2), "total_s": round(select_s, 3)})
+
+    # 5. Streaming grid: consume records as cells complete.
+    start = time.perf_counter()
+    n_records = sum(1 for _ in service.grid_iter(with_measures=True))
+    stream_s = time.perf_counter() - start
+    rows.append({"mode": "/grid stream", "queries": n_records,
+                 "mean_ms": round(1e3 * stream_s / max(n_records, 1), 2),
+                 "total_s": round(stream_s, 3)})
+
+    summary = {
+        "cells": len(cells),
+        "cold_mean_ms": round(1e3 * statistics.mean(cold), 2),
+        "warm_mean_ms": round(1e3 * statistics.mean(warm), 2),
+        "warm_speedup": round(sum(cold) / max(sum(warm), 1e-9), 1),
+        "coalesced_requests": n_requests,
+        "coalesced_total": coalesced,
+        "coalesced_computations": puts_after - puts_before,
+        "selected": selection["selected"],
+        "grid_records_streamed": n_records,
+    }
+    service.close()
+    return rows, summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="tiny grid (CI smoke)")
+    parser.add_argument("--requests", type=int, default=8,
+                        help="concurrent identical requests in the coalescing stage")
+    parser.add_argument("--output", default=None, help="write the summary JSON here")
+    args = parser.parse_args(argv)
+
+    with warnings.catch_warnings():
+        # The small benchmark vocabularies always trip the top-k no-op warning.
+        warnings.simplefilter("ignore", UserWarning)
+        rows, summary = run_benchmark(args.quick, args.requests)
+
+    print(format_table(rows, title="stability-service throughput"))
+    print("summary:", summary)
+    if args.output:
+        save_json(summary, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Stability queries as a service: measure, select, and stream a grid online.
+
+The offline path (see ``select_dimension_precision.py``) sweeps a batch grid
+and analyses it afterwards.  This example drives the same machinery through
+the serving layer instead -- the way a production embedding platform would
+ask the questions:
+
+1. boot a warm :class:`~repro.serving.service.StabilityService` (one corpus
+   generation, one vocabulary; everything else computes lazily per query);
+2. ask for the stability measures of one cell, twice -- the repeat is pure
+   cache (zero new trainings, visible in the metrics);
+3. ask which dimension/precision to ship under a memory budget;
+4. stream a small grid, acting on each record the moment its cell finishes;
+5. read the service's counters (the same payload ``GET /metrics`` serves).
+
+Run with: ``python examples/stability_service.py``
+
+The HTTP equivalent (same service behind ``repro-serve``)::
+
+    repro-serve --quick --port 8732 &
+    curl 'localhost:8732/measure?algorithm=svd&dim=16&precision=4'
+    curl 'localhost:8732/select?budget=128'
+    curl -N 'localhost:8732/grid?dims=8,16&precisions=1,32'
+"""
+
+import time
+import warnings
+
+from repro.corpus import SyntheticCorpusConfig
+from repro.instability.pipeline import PipelineConfig
+from repro.serving import ServiceConfig, StabilityService
+from repro.utils.logging import configure_logging
+
+
+def main() -> None:
+    configure_logging()
+    warnings.simplefilter("ignore", UserWarning)   # tiny vocab trips top-k notice
+
+    config = PipelineConfig(
+        corpus=SyntheticCorpusConfig(vocab_size=200, n_documents=150,
+                                     doc_length_mean=50, seed=0),
+        algorithms=("svd",),
+        dimensions=(8, 16),
+        precisions=(1, 4, 32),
+        seeds=(0,),
+        tasks=("sst2",),
+        embedding_epochs=3,
+        downstream_epochs=5,
+    )
+
+    with StabilityService(config, config=ServiceConfig(max_concurrency=4)) as service:
+        # 1. One stability query: trains the pair on first touch.
+        start = time.perf_counter()
+        cold = service.measure("svd", 16, 4)
+        cold_ms = 1e3 * (time.perf_counter() - start)
+
+        # 2. The identical query again: answered from the warm store.
+        start = time.perf_counter()
+        warm = service.measure("svd", 16, 4)
+        warm_ms = 1e3 * (time.perf_counter() - start)
+        assert warm["measures"] == cold["measures"]
+        print(f"measure svd d=16 b=4: eis={cold['measures']['eis']:.4f} "
+              f"(cold {cold_ms:.0f}ms, warm {warm_ms:.1f}ms)")
+
+        # 3. What should we ship under 64 bits/word?
+        selection = service.select(64, criterion="eis")
+        chosen = selection["selected"]
+        print(f"under 64 bits/word ship: dim={chosen['dim']} "
+              f"precision={chosen['precision']} "
+              f"({chosen['memory_bits_per_word']} bits/word, "
+              f"eis={chosen['score']:.4f})")
+
+        # 4. Stream the grid: each record is usable as soon as its cell is done.
+        print("streaming grid records as cells complete:")
+        for record in service.grid_iter(with_measures=True):
+            print(f"  d={record.dim:<3} b={record.precision:<3} "
+                  f"disagreement={record.disagreement:.2f}% "
+                  f"eis={record.measures['eis']:.4f}")
+
+        # 5. The observability surface /metrics serves.
+        metrics = service.metrics()
+        print(f"metrics: {metrics['serving']}")
+        print(f"trained {metrics['pipeline']['embedding_train_count']} embedding "
+              f"pairs, {metrics['pipeline']['downstream_train_count']} downstream "
+              f"models for the whole session")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,8 +2,19 @@
 
 ``pip install -e .`` uses PEP 660 editable wheels, which require ``wheel``;
 fully offline environments that lack it can fall back to
-``python setup.py develop`` (or add ``src/`` to ``PYTHONPATH``).
+``python setup.py develop`` (or add ``src/`` to ``PYTHONPATH``).  The
+``repro-serve`` console script boots the serving layer; without an install it
+is equivalently ``python -m repro.serving.api``.
 """
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "repro-serve=repro.serving.api:main",
+        ],
+    },
+)

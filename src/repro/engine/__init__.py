@@ -16,17 +16,24 @@ from repro.engine.store import (
     default_store,
 )
 from repro.engine.scheduler import CellGroup, GridEngine, evaluate_group, plan_groups
-from repro.engine.warmup import CorpusShipment
+from repro.engine.stats import stats
+from repro.engine.streaming import OrderedCommitter, canonical_cell_keys, commit_in_order
+from repro.engine.warmup import CorpusShipment, EmbeddingShipment
 
 __all__ = [
     "ArtifactStore",
     "CacheStats",
     "CellGroup",
     "CorpusShipment",
+    "EmbeddingShipment",
     "GridEngine",
+    "OrderedCommitter",
+    "canonical_cell_keys",
+    "commit_in_order",
     "config_hash",
     "configure_default_store",
     "default_store",
     "evaluate_group",
     "plan_groups",
+    "stats",
 ]

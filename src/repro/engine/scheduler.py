@@ -26,9 +26,18 @@ share trained artifacts across processes and across runs.
 Workers are **warm-started**: the parent packs its already-generated corpus
 pair into a shared-memory :class:`~repro.engine.warmup.CorpusShipment` and the
 pool initializer materialises it, so the corpus is built once per run instead
-of once per worker (pinned by ``pipeline.corpus_build_count``).  The parent's
-kernel policy (``repro.linalg``) ships along so spawned workers resolve
-decompositions identically.
+of once per worker (pinned by ``pipeline.corpus_build_count``).  Trained
+embedding pairs already in the parent store's memory tier ship the same way
+(:class:`~repro.engine.warmup.EmbeddingShipment`), so warm reruns fan out
+without retraining even without a disk tier.  The parent's kernel policy
+(``repro.linalg``) ships along so spawned workers resolve decompositions
+identically.
+
+Results can be consumed two ways: the batch :meth:`GridEngine.run` (records
+reassembled in canonical axis-product order) and the streaming
+:meth:`GridEngine.run_iter`, which yields records as workers complete them;
+``run`` is a thin wrapper over the ordered-commit streaming path (see
+:mod:`repro.engine.streaming`).
 """
 
 from __future__ import annotations
@@ -37,10 +46,11 @@ import itertools
 import warnings
 from dataclasses import dataclass
 from multiprocessing import get_all_start_methods, get_context
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 from repro.engine.store import ArtifactStore
-from repro.engine.warmup import CorpusShipment
+from repro.engine.streaming import canonical_cell_keys, commit_in_order
+from repro.engine.warmup import CorpusShipment, EmbeddingShipment
 from repro.linalg import KernelPolicy, configure_default_policy, default_policy
 from repro.utils.logging import get_logger
 
@@ -142,6 +152,7 @@ def evaluate_group(pipeline: "InstabilityPipeline", group: CellGroup) -> list["G
 
 _WORKER_PIPELINE: "InstabilityPipeline | None" = None
 _WORKER_SHIPMENT: CorpusShipment | None = None
+_WORKER_PAIR_SHIPMENT: EmbeddingShipment | None = None
 
 
 def _init_worker(
@@ -149,25 +160,31 @@ def _init_worker(
     store_root,
     shipment: CorpusShipment | None = None,
     parent_policy: KernelPolicy | None = None,
+    pair_shipment: EmbeddingShipment | None = None,
 ) -> None:
     """Build the per-process pipeline once; groups then reuse its caches.
 
     ``shipment`` carries the parent's pre-built corpus pair (shared memory);
     the shipment object is kept alive for the worker's lifetime because the
-    materialised corpora view its buffer.  ``parent_policy`` replicates the
-    parent's process-wide kernel policy so ``None`` config fields resolve the
-    same way in every process.
+    materialised corpora view its buffer.  ``pair_shipment`` carries whatever
+    trained embedding pairs the parent store already held; they preload the
+    worker store's memory tier so warm reruns skip retraining.
+    ``parent_policy`` replicates the parent's process-wide kernel policy so
+    ``None`` config fields resolve the same way in every process.
     """
-    global _WORKER_PIPELINE, _WORKER_SHIPMENT
+    global _WORKER_PIPELINE, _WORKER_SHIPMENT, _WORKER_PAIR_SHIPMENT
     from repro.instability.pipeline import InstabilityPipeline
 
     if parent_policy is not None:
         configure_default_policy(parent_policy)
     _WORKER_SHIPMENT = shipment
+    _WORKER_PAIR_SHIPMENT = pair_shipment
     warm_pair = shipment.materialize() if shipment is not None else None
     _WORKER_PIPELINE = InstabilityPipeline(
         config, store=ArtifactStore(store_root), warm_corpus_pair=warm_pair
     )
+    if pair_shipment is not None:
+        pair_shipment.seed(_WORKER_PIPELINE.store)
 
 
 def _evaluate_group_in_worker(group: CellGroup) -> list["GridRecord"]:
@@ -229,7 +246,45 @@ class GridEngine:
         """Evaluate every grid combination and return records in product order.
 
         Any axis left as ``None`` defaults to the pipeline configuration.
-        ``n_workers`` overrides the engine default for this run only.
+        ``n_workers`` overrides the engine default for this run only.  This is
+        the batch view of :meth:`run_iter` with ordered commit: the list is
+        bit-identical to what the pre-streaming serial path produced.
+        """
+        return list(
+            self.run_iter(
+                algorithms=algorithms,
+                tasks=tasks,
+                dimensions=dimensions,
+                precisions=precisions,
+                seeds=seeds,
+                with_measures=with_measures,
+                model_type=model_type,
+                n_workers=n_workers,
+                ordered=True,
+            )
+        )
+
+    def run_iter(
+        self,
+        *,
+        algorithms: tuple[str, ...] | None = None,
+        tasks: tuple[str, ...] | None = None,
+        dimensions: tuple[int, ...] | None = None,
+        precisions: tuple[int, ...] | None = None,
+        seeds: tuple[int, ...] | None = None,
+        with_measures: bool = False,
+        model_type: str = "bow",
+        n_workers: int | None = None,
+        ordered: bool = True,
+    ) -> Iterator["GridRecord"]:
+        """Stream grid records as their cells complete.
+
+        With ``ordered=True`` (default) records are released in the canonical
+        axis-product order through an ordered commit -- completions arriving
+        early are buffered, so the stream is bit-identical to :meth:`run`
+        regardless of worker scheduling.  With ``ordered=False`` records are
+        yielded the moment their group finishes (nondeterministic order under
+        parallel execution, lowest latency to first record).
         """
         cfg = self.pipeline.config
         algorithms = tuple(algorithms or cfg.algorithms)
@@ -255,38 +310,61 @@ class GridEngine:
             workers = 0
 
         if workers > 1 and len(groups) > 1:
-            group_results = self._run_parallel(groups, min(workers, len(groups)))
+            batches = self._iter_parallel(groups, min(workers, len(groups)))
         else:
-            group_results = [evaluate_group(self.pipeline, group) for group in groups]
+            batches = (evaluate_group(self.pipeline, group) for group in groups)
 
-        records = list(itertools.chain.from_iterable(group_results))
+        count = 0
+        if ordered:
+            keys = canonical_cell_keys(algorithms, dimensions, precisions, seeds, tasks)
+            for record in commit_in_order(batches, keys):
+                count += 1
+                yield record
+        else:
+            for batch in batches:
+                for record in batch:
+                    count += 1
+                    yield record
         logger.info(
-            "grid done: %d records from %d groups (%s)",
-            len(records), len(groups), f"{workers} workers" if workers > 1 else "serial",
+            "grid done: %d records from %d groups (%s, %s)",
+            count, len(groups), f"{workers} workers" if workers > 1 else "serial",
+            "ordered" if ordered else "arrival order",
         )
-        return self._in_product_order(records, algorithms, dimensions, precisions, seeds, tasks)
 
-    def _run_parallel(
+    def _iter_parallel(
         self, groups: list[CellGroup], workers: int
-    ) -> list[list["GridRecord"]]:
-        """Fan groups out over processes; falls back to serial on start failure."""
+    ) -> Iterator[list["GridRecord"]]:
+        """Fan groups out over processes, yielding each group's records as it
+        completes; falls back to serial on pool start failure."""
         method = "fork" if "fork" in get_all_start_methods() else None
         ctx = get_context(method)
         store_root = self.store.root
         # Warm-up: ship the already-built corpus pair to workers once, instead
-        # of letting every worker regenerate it from the config.
+        # of letting every worker regenerate it from the config -- and every
+        # trained full-precision pair the parent store already holds, so warm
+        # reruns skip retraining even without a shared disk tier.
         shipment = CorpusShipment.create(self.pipeline.corpus_pair)
+        known_pairs = self.store.memory_entries("embedding_pair")
+        pair_shipment = EmbeddingShipment.create(known_pairs) if known_pairs else None
         self.last_warmup = {
             "enabled": True,
             "via_shared_memory": shipment.via_shared_memory,
             "nbytes": shipment.nbytes,
+            "pairs_shipped": pair_shipment.n_pairs if pair_shipment else 0,
+            "pair_nbytes": pair_shipment.nbytes if pair_shipment else 0,
+            "pairs_via_shared_memory": (
+                pair_shipment.via_shared_memory if pair_shipment else False
+            ),
         }
         try:
             try:
                 pool = ctx.Pool(
                     processes=workers,
                     initializer=_init_worker,
-                    initargs=(self.pipeline.config, store_root, shipment, default_policy()),
+                    initargs=(
+                        self.pipeline.config, store_root, shipment,
+                        default_policy(), pair_shipment,
+                    ),
                 )
             except (OSError, RuntimeError) as error:  # pragma: no cover - env dependent
                 # Only pool *start-up* failures trigger the serial fallback; an
@@ -297,30 +375,17 @@ class GridEngine:
                     stacklevel=3,
                 )
                 self.last_warmup = None
-                return [evaluate_group(self.pipeline, group) for group in groups]
+                for group in groups:
+                    yield evaluate_group(self.pipeline, group)
+                return
             with pool:
-                return pool.map(_evaluate_group_in_worker, groups, chunksize=1)
+                # ``imap_unordered``: each group's records surface the moment
+                # its worker finishes; the ordered committer (when requested)
+                # restores the canonical sequence downstream.
+                yield from pool.imap_unordered(
+                    _evaluate_group_in_worker, groups, chunksize=1
+                )
         finally:
             shipment.close()
-
-    @staticmethod
-    def _in_product_order(
-        records: list["GridRecord"],
-        algorithms: tuple[str, ...],
-        dimensions: tuple[int, ...],
-        precisions: tuple[int, ...],
-        seeds: tuple[int, ...],
-        tasks: tuple[str, ...],
-    ) -> list["GridRecord"]:
-        """Reorder records into the canonical axis-product order."""
-        indexed = {
-            (r.algorithm, r.dim, r.precision, r.seed, r.task): r for r in records
-        }
-        ordered = [
-            indexed[(algorithm, dim, precision, seed, task)]
-            for algorithm, dim, precision, seed in itertools.product(
-                algorithms, dimensions, precisions, seeds
-            )
-            for task in tasks
-        ]
-        return ordered
+            if pair_shipment is not None:
+                pair_shipment.close()

@@ -1,0 +1,84 @@
+"""One counter surface for the whole engine: ``repro.engine.stats()``.
+
+The engine's observability used to be scattered attribute reads: store
+counters via ``store.stat(kind)``, decomposition-cache counters via
+``cache.stats``, pipeline build/train counters, and the scheduler's warm-up
+telemetry via ``engine.last_warmup``.  :func:`stats` collects all of them
+into one plain, JSON-able dict so the serving layer's ``/metrics`` endpoint,
+the benchmarks, and the tests read the same snapshot the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Mapping
+
+from repro.engine.store import ArtifactStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.scheduler import GridEngine
+    from repro.instability.pipeline import InstabilityPipeline
+    from repro.measures.base import DecompositionCache
+
+__all__ = ["stats"]
+
+
+def stats(
+    source: "GridEngine | InstabilityPipeline | ArtifactStore | None" = None,
+    *,
+    store: ArtifactStore | None = None,
+    pipeline: "InstabilityPipeline | None" = None,
+    engine: "GridEngine | None" = None,
+    caches: "Mapping[str, DecompositionCache] | None" = None,
+) -> dict:
+    """Aggregate engine counters into one JSON-able snapshot.
+
+    ``source`` is a convenience positional: pass a :class:`GridEngine`, an
+    :class:`~repro.instability.pipeline.InstabilityPipeline` or a bare
+    :class:`~repro.engine.store.ArtifactStore` and the related components are
+    resolved from it (an engine implies its pipeline and store; a pipeline
+    implies its store).  Keyword arguments override or extend the resolution;
+    ``caches`` maps display names to
+    :class:`~repro.measures.base.DecompositionCache` instances (e.g. a
+    serving process's long-lived cache).
+
+    The snapshot always contains the keys ``store``, ``pipeline``,
+    ``decomposition_caches`` and ``warmup`` (empty/None when the component is
+    absent), so consumers can index without existence checks.
+    """
+    if source is not None:
+        if isinstance(source, ArtifactStore):
+            store = store or source
+        elif hasattr(source, "pipeline"):      # GridEngine
+            engine = engine or source
+        else:                                   # InstabilityPipeline
+            pipeline = pipeline or source
+    if engine is not None:
+        pipeline = pipeline or engine.pipeline
+    if pipeline is not None:
+        store = store or pipeline.store
+
+    snapshot: dict = {
+        "store": {},
+        "pipeline": {},
+        "decomposition_caches": {},
+        "warmup": None,
+    }
+    if store is not None:
+        snapshot["store"] = {
+            kind: asdict(stat) for kind, stat in sorted(store.stats.items())
+        }
+        snapshot["store_persistent"] = store.persistent
+    if pipeline is not None:
+        snapshot["pipeline"] = {
+            "corpus_build_count": pipeline.corpus_build_count,
+            "embedding_train_count": pipeline.embedding_train_count,
+            "downstream_train_count": pipeline.downstream_train_count,
+        }
+    if caches:
+        snapshot["decomposition_caches"] = {
+            name: dict(cache.stats) for name, cache in caches.items()
+        }
+    if engine is not None:
+        snapshot["warmup"] = engine.last_warmup
+    return snapshot

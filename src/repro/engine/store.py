@@ -64,6 +64,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     puts: int = 0
+    #: Entries seeded into the memory tier from outside (worker warm-up);
+    #: they are neither hits nor puts -- the store did not produce them.
+    preloads: int = 0
 
     @property
     def lookups(self) -> int:
@@ -116,6 +119,20 @@ class ArtifactStore:
     def key(self, **fields: Any) -> str:
         """Content hash of keyword fields (convenience over :func:`config_hash`)."""
         return config_hash(fields)
+
+    def preload(self, kind: str, key: str, value: Any) -> None:
+        """Seed the memory tier with an externally-produced artifact.
+
+        Used by the worker warm-up path: the parent ships artifacts it already
+        holds and workers preload them, skipping recomputation without
+        touching the disk tier (the parent persists its own copies).
+        """
+        self._memory[(kind, key)] = value
+        self.stat(kind).preloads += 1
+
+    def memory_entries(self, kind: str) -> dict[str, Any]:
+        """Snapshot of the memory tier's entries of one artifact kind."""
+        return {key: value for (k, key), value in self._memory.items() if k == kind}
 
     def __len__(self) -> int:
         return len(self._memory)

@@ -1,4 +1,4 @@
-"""Worker warm-up: ship a pre-built corpus pair to scheduler workers once.
+"""Worker warm-up: ship pre-built artifacts to scheduler workers once.
 
 The parallel scheduler used to rebuild the whole pipeline -- including
 regenerating the synthetic corpus pair -- inside every worker process.  A
@@ -9,23 +9,41 @@ workers a small picklable handle; each worker attaches and reconstructs the
 pair as zero-copy views, so the corpus is built exactly once per run instead
 of once per worker.
 
+:class:`EmbeddingShipment` extends the same mechanism to *trained* embedding
+pairs: whatever full-precision pairs the parent's store already holds in its
+memory tier travel to the workers through shared memory and are preloaded
+into each worker store, so a warm-store parallel rerun (or a long-lived
+serving process re-fanning a grid out) retrains nothing even when the store
+has no disk tier to share.
+
 When shared memory is unavailable (platform quirks, exhausted ``/dev/shm``),
-the shipment transparently falls back to carrying the packed arrays inline in
-the handle -- still one build, just shipped by pickling instead of mapping.
+both shipments transparently fall back to carrying the packed arrays inline
+in the handle -- still one build, just shipped by pickling instead of mapping.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
 from repro.corpus.synthetic import Corpus, CorpusPair
 from repro.utils.logging import get_logger
 
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids an import cycle
+    from repro.embeddings.base import Embedding
+    from repro.engine.store import ArtifactStore
+
 logger = get_logger(__name__)
 
-__all__ = ["CorpusShipment", "pack_corpus", "unpack_corpus", "PackedCorpus"]
+__all__ = [
+    "CorpusShipment",
+    "EmbeddingShipment",
+    "pack_corpus",
+    "unpack_corpus",
+    "PackedCorpus",
+]
 
 
 @dataclass
@@ -81,14 +99,14 @@ def _array_specs(arrays: dict[str, np.ndarray]) -> tuple[list[tuple], int]:
     return specs, cursor
 
 
-class CorpusShipment:
-    """Picklable handle delivering a pre-built :class:`CorpusPair` to workers.
+class _ArrayShipment:
+    """Picklable handle delivering a dict of arrays (plus metadata) to workers.
 
-    Create with :meth:`create` in the parent, pass through the pool
-    initializer, call :meth:`materialize` in each worker, and finally
-    :meth:`close` (parent side) once the pool is done.  Attributes
-    ``via_shared_memory`` and ``nbytes`` expose how the pair travelled, and
-    the scheduler surfaces them as warm-up counters.
+    Create with :meth:`_build` in the parent, pass through the pool
+    initializer, attach in each worker, and finally :meth:`close` (parent
+    side) once the pool is done.  Attributes ``via_shared_memory`` and
+    ``nbytes`` expose how the arrays travelled, and the scheduler surfaces
+    them as warm-up counters.
     """
 
     def __init__(
@@ -111,18 +129,9 @@ class CorpusShipment:
     # -- construction (parent) ------------------------------------------------
 
     @classmethod
-    def create(cls, pair: CorpusPair, *, use_shared_memory: bool = True) -> "CorpusShipment":
-        packed = {"base": pack_corpus(pair.base), "drifted": pack_corpus(pair.drifted)}
-        arrays = {
-            f"{side}/{field}": getattr(p, field)
-            for side, p in packed.items()
-            for field in ("tokens", "offsets", "topics")
-        }
-        meta = {
-            "config": pair.config,
-            "word_lists": {side: p.word_list for side, p in packed.items()},
-            "names": {side: p.name for side, p in packed.items()},
-        }
+    def _build(
+        cls, arrays: dict[str, np.ndarray], meta: dict, *, use_shared_memory: bool = True
+    ) -> "_ArrayShipment":
         specs, total = _array_specs(arrays)
 
         shipment = None
@@ -192,6 +201,38 @@ class CorpusShipment:
             for name, dtype, shape, offset in self._specs
         }
 
+    # -- cleanup (parent) -----------------------------------------------------
+
+    def close(self) -> None:
+        """Release the shared segment (the creating handle also unlinks it)."""
+        if self._shm is not None:
+            try:
+                self._shm.close()
+                if self._owner:
+                    self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+            self._shm = None
+
+
+class CorpusShipment(_ArrayShipment):
+    """Delivers a pre-built :class:`CorpusPair` to scheduler workers."""
+
+    @classmethod
+    def create(cls, pair: CorpusPair, *, use_shared_memory: bool = True) -> "CorpusShipment":
+        packed = {"base": pack_corpus(pair.base), "drifted": pack_corpus(pair.drifted)}
+        arrays = {
+            f"{side}/{field}": getattr(p, field)
+            for side, p in packed.items()
+            for field in ("tokens", "offsets", "topics")
+        }
+        meta = {
+            "config": pair.config,
+            "word_lists": {side: p.word_list for side, p in packed.items()},
+            "names": {side: p.name for side, p in packed.items()},
+        }
+        return cls._build(arrays, meta, use_shared_memory=use_shared_memory)
+
     def materialize(self) -> CorpusPair:
         """Reconstruct the corpus pair (zero-copy views over shared memory).
 
@@ -215,15 +256,74 @@ class CorpusShipment:
             base=corpora["base"], drifted=corpora["drifted"], config=self._meta["config"]
         )
 
-    # -- cleanup (parent) -----------------------------------------------------
 
-    def close(self) -> None:
-        """Release the shared segment (the creating handle also unlinks it)."""
-        if self._shm is not None:
-            try:
-                self._shm.close()
-                if self._owner:
-                    self._shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already unlinked
-                pass
-            self._shm = None
+class EmbeddingShipment(_ArrayShipment):
+    """Delivers already-trained embedding pairs to scheduler workers.
+
+    The parent packs every pair its store holds in its memory tier (keyed by
+    the same content hashes the workers will derive) and each worker preloads
+    them into its own store via :meth:`seed`, so warm reruns fan out without a
+    disk tier and still perform zero retrainings.  Vectors travel through
+    shared memory; vocabularies and metadata (small) ride inline in the
+    handle.
+    """
+
+    @classmethod
+    def create(
+        cls,
+        pairs: Mapping[str, tuple["Embedding", "Embedding"]],
+        *,
+        kind: str = "embedding_pair",
+        use_shared_memory: bool = True,
+    ) -> "EmbeddingShipment":
+        arrays: dict[str, np.ndarray] = {}
+        entries: dict[str, dict] = {}
+        for key, (emb_a, emb_b) in pairs.items():
+            arrays[f"{key}/a"] = emb_a.vectors
+            arrays[f"{key}/b"] = emb_b.vectors
+            entries[key] = {
+                side: {
+                    "words": list(emb.vocab.words),
+                    "counts": [int(emb.vocab.count(w)) for w in emb.vocab.words],
+                    "metadata": dict(emb.metadata),
+                }
+                for side, emb in (("a", emb_a), ("b", emb_b))
+            }
+        meta = {"kind": kind, "entries": entries}
+        return cls._build(arrays, meta, use_shared_memory=use_shared_memory)
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self._meta["entries"])
+
+    def seed(self, store: "ArtifactStore") -> int:
+        """Preload every shipped pair into ``store``'s memory tier.
+
+        Returns the number of pairs preloaded.  The reconstructed vectors are
+        zero-copy views over the shipment's buffer, so keep the shipment alive
+        for as long as the store serves them (the scheduler parks it in the
+        worker-global state next to the corpus shipment).
+        """
+        from repro.corpus.vocabulary import Vocabulary
+        from repro.embeddings.base import Embedding
+
+        arrays = self._attach_arrays()
+        kind = self._meta["kind"]
+        for key, entry in self._meta["entries"].items():
+            pair = []
+            for side in ("a", "b"):
+                spec = entry[side]
+                vocab = Vocabulary(dict(zip(spec["words"], spec["counts"])))
+                vectors = arrays[f"{key}/{side}"]
+                # Vocabulary re-sorts by frequency; restore row alignment the
+                # same way the store's disk loader does.
+                if list(vocab.words) != spec["words"]:
+                    order = np.asarray(
+                        [spec["words"].index(w) for w in vocab.words], dtype=np.int64
+                    )
+                    vectors = vectors[order]
+                pair.append(
+                    Embedding(vocab=vocab, vectors=vectors, metadata=dict(spec["metadata"]))
+                )
+            store.preload(kind, key, (pair[0], pair[1]))
+        return self.n_pairs

@@ -2,7 +2,10 @@
 
 ``python -m repro.experiments.runner figure-2-memory`` runs one experiment
 with quick settings and prints its table; ``--all`` runs the full suite and
-writes one CSV per experiment under ``results/``.
+writes one CSV per experiment under ``results/``.  ``--serve`` boots the
+online stability-query service instead (see :mod:`repro.serving.api`),
+reusing the runner's engine flags (``--workers``, ``--cache-dir``,
+``--kernel-policy``, ``--dtype``).
 """
 
 from __future__ import annotations
@@ -105,6 +108,12 @@ def main(argv: list[str] | None = None) -> int:
         "--dtype", choices=KERNEL_DTYPES, default=None,
         help="working precision of the measure kernels (default: float64)",
     )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="boot the stability-query HTTP service instead of running experiments",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address for --serve")
+    parser.add_argument("--port", type=int, default=8732, help="port for --serve (0 = ephemeral)")
     args = parser.parse_args(argv)
 
     configure_logging()
@@ -112,6 +121,19 @@ def main(argv: list[str] | None = None) -> int:
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
+
+    if args.serve:
+        from repro.serving.api import main as serve_main
+
+        serve_argv = ["--host", args.host, "--port", str(args.port),
+                      "--workers", str(args.workers)]
+        if args.cache_dir is not None:
+            serve_argv += ["--cache-dir", args.cache_dir]
+        if args.kernel_policy is not None:
+            serve_argv += ["--kernel-policy", args.kernel_policy]
+        if args.dtype is not None:
+            serve_argv += ["--dtype", args.dtype]
+        return serve_main(serve_argv)
 
     names = sorted(EXPERIMENTS) if args.all else ([args.experiment] if args.experiment else [])
     if not names:

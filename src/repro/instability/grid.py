@@ -135,3 +135,10 @@ class GridRunner:
             model_type=model_type,
             n_workers=n_workers,
         )
+
+    def run_iter(self, *, ordered: bool = True, **axes):
+        """Stream grid records as cells complete (see ``GridEngine.run_iter``)."""
+        from repro.engine.scheduler import GridEngine
+
+        engine = GridEngine(self.pipeline, n_workers=self.n_workers)
+        return engine.run_iter(ordered=ordered, **axes)

@@ -35,6 +35,7 @@ from repro.embeddings.base import EMBEDDING_ALGORITHMS, Embedding
 from repro.engine.store import ArtifactStore, config_hash, default_store
 from repro.instability.downstream import classification_disagreement, tagging_disagreement
 from repro.linalg import KERNEL_DTYPES, SVD_METHODS, KernelPolicy, default_policy
+from repro.measures.base import DecompositionCache
 from repro.measures.batch import compute_measure_batch
 from repro.measures.eigenspace_instability import (
     AnchorFactors,
@@ -407,16 +408,16 @@ class InstabilityPipeline:
             }
         return self._measure_suites[suite_key]
 
-    def compute_measures(
+    def measures_key(
         self, algorithm: str, dim: int, precision: int, seed: int,
         *, measures: tuple[str, ...] | None = None,
-    ) -> dict[str, float]:
-        """Evaluate embedding distance measures on a compressed pair.
+    ) -> str:
+        """Artifact key of one measure evaluation.
 
-        The suite runs as a batch sharing one vocabulary alignment and one
-        :class:`~repro.measures.base.DecompositionCache`, so each embedding
-        matrix is decomposed once for EIS, eigenspace overlap and PIP loss
-        together; values are cached in the artifact store.
+        Public so callers that deduplicate work by artifact identity (the
+        serving layer's single-flight coalescing) agree exactly with the
+        store's caching: two requests with the same key are the same
+        computation.
         """
         policy = self.config.resolved_kernel_policy()
         fields = self._quantized_fields(algorithm, dim, precision, seed)
@@ -430,7 +431,24 @@ class InstabilityPipeline:
             anchor_dim=self.config.resolved_anchor_dim,
             dtype=policy.dtype,
         )
-        key = config_hash(fields)
+        return config_hash(fields)
+
+    def compute_measures(
+        self, algorithm: str, dim: int, precision: int, seed: int,
+        *, measures: tuple[str, ...] | None = None,
+        cache: "DecompositionCache | None" = None,
+    ) -> dict[str, float]:
+        """Evaluate embedding distance measures on a compressed pair.
+
+        The suite runs as a batch sharing one vocabulary alignment and one
+        :class:`~repro.measures.base.DecompositionCache`, so each embedding
+        matrix is decomposed once for EIS, eigenspace overlap and PIP loss
+        together; values are cached in the artifact store.  ``cache`` lets a
+        long-lived caller (the serving layer) share one bounded decomposition
+        cache across many requests instead of one per batch.
+        """
+        policy = self.config.resolved_kernel_policy()
+        key = self.measures_key(algorithm, dim, precision, seed, measures=measures)
         cached = self.store.get_json("measures", key)
         if cached is not None:
             return dict(cached)
@@ -441,7 +459,8 @@ class InstabilityPipeline:
             if measures is None or name in measures
         }
         batch = compute_measure_batch(
-            selected, emb_a, emb_b, top_k=self.config.measure_top_k, policy=policy
+            selected, emb_a, emb_b, top_k=self.config.measure_top_k, policy=policy,
+            cache=cache,
         )
         out = batch.values
         self.store.put_json("measures", key, out)

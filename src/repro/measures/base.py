@@ -10,6 +10,7 @@ overlap and PIP loss measures instead of one each.
 from __future__ import annotations
 
 import abc
+import threading
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -76,6 +77,13 @@ class DecompositionCache:
     way :class:`~repro.engine.store.ArtifactStore` counters do.  Decompositions
     are dispatched through the kernel ``policy`` (exact/randomized, dtype),
     defaulting to the process-wide policy.
+
+    The cache is safe to share across threads (the serving layer keeps one
+    long-lived instance under concurrent requests): table bookkeeping happens
+    under a lock, while the decompositions themselves compute outside it so
+    unrelated requests don't serialise.  Two threads missing the same array
+    simultaneously may both compute it (the duplicate work is benign and the
+    first insert wins); the tables can never be observed mid-mutation.
     """
 
     def __init__(
@@ -94,6 +102,7 @@ class DecompositionCache:
         self._cross: OrderedDict[
             tuple[int, int], tuple[np.ndarray, np.ndarray, np.ndarray]
         ] = OrderedDict()
+        self._table_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -101,14 +110,16 @@ class DecompositionCache:
     @property
     def stats(self) -> dict[str, int]:
         """Counter snapshot (mirrors the artifact store's per-kind stats)."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "entries": len(self._svd) + len(self._cross),
-        }
+        with self._table_lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._svd) + len(self._cross),
+            }
 
     def _evict(self, table: OrderedDict) -> None:
+        # Caller holds ``_table_lock``.
         if self.max_entries is not None:
             while len(table) > self.max_entries:
                 table.popitem(last=False)
@@ -116,15 +127,17 @@ class DecompositionCache:
 
     def svd(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Thin SVD ``(U, S, Vt)`` of ``X``, computed at most once per array."""
-        entry = self._svd.get(id(X))
-        if entry is not None and entry[0] is X:
-            self.hits += 1
-            self._svd.move_to_end(id(X))
-            return entry[1]
-        self.misses += 1
+        with self._table_lock:
+            entry = self._svd.get(id(X))
+            if entry is not None and entry[0] is X:
+                self.hits += 1
+                self._svd.move_to_end(id(X))
+                return entry[1]
+            self.misses += 1
         decomposition = compute_svd(X, policy=self.policy)
-        self._svd[id(X)] = (X, decomposition)
-        self._evict(self._svd)
+        with self._table_lock:
+            self._svd[id(X)] = (X, decomposition)
+            self._evict(self._svd)
         return decomposition
 
     def left_singular(self, X: np.ndarray) -> np.ndarray:
@@ -135,17 +148,19 @@ class DecompositionCache:
     def cross(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
         """``U_X^T @ U_Y`` for the full (thin, unrestricted) singular bases."""
         key = (id(X), id(Y))
-        entry = self._cross.get(key)
-        if entry is not None and entry[0] is X and entry[1] is Y:
-            self.hits += 1
-            self._cross.move_to_end(key)
-            return entry[2]
+        with self._table_lock:
+            entry = self._cross.get(key)
+            if entry is not None and entry[0] is X and entry[1] is Y:
+                self.hits += 1
+                self._cross.move_to_end(key)
+                return entry[2]
         U_x = self.svd(X)[0]
         U_y = self.svd(Y)[0]
-        self.misses += 1
         product = U_x.T @ U_y
-        self._cross[key] = (X, Y, product)
-        self._evict(self._cross)
+        with self._table_lock:
+            self.misses += 1
+            self._cross[key] = (X, Y, product)
+            self._evict(self._cross)
         return product
 
 

@@ -9,6 +9,7 @@ each matrix is decomposed exactly once per pair.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -82,6 +83,16 @@ def compute_measure_batch(
         ra, rb = ra.astype(policy.np_dtype), rb.astype(policy.np_dtype)
     if cache is None:
         cache = DecompositionCache(policy=policy)
+    elif policy is not None and cache.policy is not None and cache.policy != policy:
+        # A long-lived cache (e.g. the serving layer's) dispatches
+        # decompositions through its own policy; casting the pair under a
+        # different one would half-apply the batch policy.
+        warnings.warn(
+            f"measure batch policy {policy} differs from the shared cache's "
+            f"policy {cache.policy}; the cache's policy governs decompositions",
+            UserWarning,
+            stacklevel=2,
+        )
     batch = MeasureBatchResult(cache=cache)
     for name, measure in measures.items():
         batch.results[name] = measure.compute_aligned(

@@ -17,7 +17,12 @@ import numpy as np
 from repro.instability.grid import GridRecord
 from repro.selection.criteria import SelectionCriterion
 
-__all__ = ["BudgetSelectionResult", "budget_selection_error", "group_by_budget"]
+__all__ = [
+    "BudgetSelectionResult",
+    "budget_selection_error",
+    "group_by_budget",
+    "recommend_under_budget",
+]
 
 
 @dataclass(frozen=True)
@@ -42,6 +47,31 @@ def group_by_budget(records: list[GridRecord]) -> dict[int, list[GridRecord]]:
         for m, group in sorted(budgets.items())
         if len({(r.dim, r.precision) for r in group}) >= 2
     }
+
+
+def recommend_under_budget(
+    candidates: list[GridRecord],
+    budget_bits: int,
+    criterion: SelectionCriterion,
+) -> GridRecord:
+    """Pick the candidate the criterion prefers among those fitting a budget.
+
+    This is the *operational* face of the paper's selection study: given grid
+    records whose measures are populated (one per dimension-precision
+    combination, same algorithm and seed) and a memory budget in bits per
+    word, return the record the criterion scores lowest among the feasible
+    ones.  The evaluation machinery above quantifies how far such picks land
+    from the oracle; this function is what a deployment (the serving layer's
+    ``/select`` endpoint) actually calls.
+    """
+    feasible = [r for r in candidates if r.memory <= budget_bits]
+    if not feasible:
+        smallest = min((r.memory for r in candidates), default=None)
+        raise ValueError(
+            f"no dimension-precision combination fits {budget_bits} bits/word"
+            + (f"; the smallest candidate needs {smallest}" if smallest else "")
+        )
+    return criterion.select(feasible)
 
 
 def budget_selection_error(

@@ -1,0 +1,13 @@
+"""Online stability-query serving layer.
+
+Wraps the grid-execution engine in a long-lived service
+(:class:`~repro.serving.service.StabilityService`) and a stdlib-only async
+HTTP JSON API (:mod:`repro.serving.api`, the ``repro-serve`` entrypoint):
+the paper's stability measures, dimension-precision selection under a memory
+budget, and streaming grid execution become operational queries instead of
+offline batch scripts.
+"""
+
+from repro.serving.service import ServiceConfig, StabilityService
+
+__all__ = ["ServiceConfig", "StabilityService"]

@@ -1,0 +1,510 @@
+"""Stdlib-only async HTTP JSON API over the stability service: ``repro-serve``.
+
+Endpoints (GET query parameters and/or a JSON request body; body wins):
+
+* ``GET /healthz`` -- liveness + the served grid configuration.
+* ``GET /metrics`` -- engine + serving counters (see ``repro.engine.stats``).
+* ``GET|POST /measure?algorithm=cbow&dim=16&precision=4&seed=0`` -- the
+  pairwise stability measures of one grid cell.
+* ``GET|POST /select?budget=128&criterion=eis`` -- dimension-precision
+  recommendation under a memory budget (bits per word).
+* ``GET|POST /grid?dims=8,16&precisions=1,32&stream=...`` -- executes a grid
+  and **streams one NDJSON record per line as each cell completes**
+  (chunked transfer encoding; ``ordered=false`` for arrival order).
+
+Built on ``asyncio.start_server`` and nothing else -- no third-party web
+framework -- so the serving layer runs anywhere the reproduction runs.
+Blocking numerical work happens on the service's bounded thread pool; the
+event loop only parses requests and shuttles bytes.
+
+Run it::
+
+    repro-serve --port 8732                     # or python -m repro.serving.api
+    curl localhost:8732/healthz
+    curl -N 'localhost:8732/grid?dims=8&precisions=1,32'
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Awaitable, Callable
+from urllib.parse import parse_qs, urlsplit
+
+from repro.corpus.synthetic import SyntheticCorpusConfig
+from repro.engine.store import ArtifactStore
+from repro.linalg import KERNEL_DTYPES, SVD_METHODS, configure_default_policy
+from repro.serving.service import ServiceConfig, StabilityService
+from repro.utils.logging import configure_logging, get_logger
+
+logger = get_logger(__name__)
+
+__all__ = ["StabilityAPIServer", "quick_serve_config", "main"]
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 500: "Internal Server Error",
+}
+_MAX_BODY_BYTES = 1 << 20
+
+
+class APIError(Exception):
+    """Request error carrying an HTTP status (maps to a JSON error payload)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class _Request:
+    method: str
+    path: str
+    params: dict[str, str | object]
+
+
+async def _read_request(reader: asyncio.StreamReader) -> _Request | None:
+    """Parse one HTTP/1.1 request (request line, headers, optional JSON body)."""
+    line = await reader.readline()
+    if not line:
+        return None
+    try:
+        method, target, _version = line.decode("latin1").split(" ", 2)
+    except ValueError as error:
+        raise APIError(400, f"malformed request line: {error}") from error
+    headers: dict[str, str] = {}
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = header.decode("latin1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    params: dict[str, str | object] = {
+        key: values[-1] for key, values in parse_qs(split.query).items()
+    }
+    length = int(headers.get("content-length", "0") or "0")
+    if length > _MAX_BODY_BYTES:
+        raise APIError(400, f"request body over {_MAX_BODY_BYTES} bytes")
+    if length:
+        body = await reader.readexactly(length)
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as error:
+            raise APIError(400, f"request body is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise APIError(400, "JSON request body must be an object")
+        params.update(payload)
+    return _Request(method=method.upper(), path=split.path, params=params)
+
+
+# -- parameter coercion ---------------------------------------------------------
+
+
+def _int_param(
+    params: dict, name: str, default: int | None = None, *, required: bool = False
+) -> int | None:
+    # An explicit JSON ``null`` means the same as an absent parameter.
+    if params.get(name) is None:
+        if required:
+            raise APIError(400, f"missing required parameter {name!r}")
+        return default
+    try:
+        return int(params[name])
+    except (TypeError, ValueError):
+        raise APIError(400, f"parameter {name!r} must be an integer") from None
+
+
+def _bool_param(params: dict, name: str, default: bool) -> bool:
+    if name not in params:
+        return default
+    value = params[name]
+    if isinstance(value, bool):
+        return value
+    if str(value).lower() in ("1", "true", "yes", "on"):
+        return True
+    if str(value).lower() in ("0", "false", "no", "off"):
+        return False
+    raise APIError(400, f"parameter {name!r} must be a boolean")
+
+
+def _tuple_param(params: dict, name: str, cast=int) -> tuple | None:
+    """A list parameter: JSON array in a body, or comma-separated in a query."""
+    if name not in params:
+        return None
+    value = params[name]
+    if isinstance(value, str):
+        value = [item for item in value.split(",") if item]
+    if not isinstance(value, (list, tuple)) or not value:
+        raise APIError(400, f"parameter {name!r} must be a non-empty list")
+    try:
+        return tuple(cast(item) for item in value)
+    except (TypeError, ValueError):
+        raise APIError(400, f"parameter {name!r} has non-{cast.__name__} items") from None
+
+
+class StabilityAPIServer:
+    """Asyncio HTTP server routing requests to a :class:`StabilityService`."""
+
+    def __init__(
+        self, service: StabilityService, *, host: str = "127.0.0.1", port: int = 8732
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._routes: dict[str, Callable[[_Request], Awaitable[dict]]] = {
+            "/healthz": self._handle_healthz,
+            "/metrics": self._handle_metrics,
+            "/measure": self._handle_measure,
+            "/select": self._handle_select,
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("repro-serve listening on http://%s:%d", self.host, self.port)
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # -- connection handling ----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await _read_request(reader)
+            except APIError as error:
+                self._write_json(writer, error.status, {"error": str(error)})
+                await writer.drain()
+                return
+            if request is None:
+                return
+            await self._dispatch(request, writer)
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        except Exception:  # pragma: no cover - last-resort guard
+            logger.exception("unhandled error serving a request")
+            try:
+                self._write_json(writer, 500, {"error": "internal server error"})
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: _Request, writer: asyncio.StreamWriter) -> None:
+        if request.method not in ("GET", "POST"):
+            self._write_json(writer, 405, {"error": f"method {request.method} not allowed"})
+            await writer.drain()
+            return
+        if request.path == "/grid":
+            await self._handle_grid_stream(request, writer)
+            return
+        handler = self._routes.get(request.path)
+        if handler is None:
+            self._write_json(
+                writer, 404,
+                {"error": f"unknown path {request.path!r}",
+                 "paths": sorted([*self._routes, "/grid"])},
+            )
+            await writer.drain()
+            return
+        try:
+            payload = await handler(request)
+        except APIError as error:
+            self._write_json(writer, error.status, {"error": str(error)})
+        except (ValueError, KeyError) as error:
+            # Domain validation: unknown algorithm/task/criterion names raise
+            # KeyError from the registries, bad values raise ValueError.
+            message = error.args[0] if error.args else str(error)
+            self._write_json(writer, 400, {"error": str(message)})
+        except Exception as error:  # pragma: no cover - defensive
+            logger.exception("request to %s failed", request.path)
+            self._write_json(writer, 500, {"error": f"{type(error).__name__}: {error}"})
+        else:
+            self._write_json(writer, 200, payload)
+        await writer.drain()
+
+    @staticmethod
+    def _write_json(writer: asyncio.StreamWriter, status: int, payload: dict) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin1")
+        writer.write(head + body)
+
+    # -- plain JSON endpoints ----------------------------------------------------
+
+    async def _handle_healthz(self, request: _Request) -> dict:
+        return self.service.healthz()
+
+    async def _handle_metrics(self, request: _Request) -> dict:
+        return self.service.metrics()
+
+    async def _handle_measure(self, request: _Request) -> dict:
+        params = request.params
+        algorithm = params.get("algorithm")
+        if not algorithm:
+            raise APIError(400, "missing required parameter 'algorithm'")
+        measures = _tuple_param(params, "measures", cast=str)
+        loop = asyncio.get_running_loop()
+        # The service blocks (possibly training); keep the event loop free.
+        dim = _int_param(params, "dim", required=True)
+        precision = _int_param(params, "precision", required=True)
+        seed = _int_param(params, "seed", 0)
+        return await loop.run_in_executor(
+            None,
+            lambda: self.service.measure(
+                str(algorithm), dim, precision, seed, measures=measures
+            ),
+        )
+
+    async def _handle_select(self, request: _Request) -> dict:
+        params = request.params
+        budget = _int_param(params, "budget", required=True)
+        criterion = str(params.get("criterion", "eis"))
+        algorithm = params.get("algorithm")
+        seed = _int_param(params, "seed")      # None = the config's first seed
+        dimensions = _tuple_param(params, "dims") or _tuple_param(params, "dimensions")
+        precisions = _tuple_param(params, "precisions")
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None,
+            lambda: self.service.select(
+                budget,
+                criterion=criterion,
+                algorithm=str(algorithm) if algorithm else None,
+                seed=seed,
+                dimensions=dimensions,
+                precisions=precisions,
+            ),
+        )
+
+    # -- streaming /grid ---------------------------------------------------------
+
+    async def _handle_grid_stream(
+        self, request: _Request, writer: asyncio.StreamWriter
+    ) -> None:
+        """Run a grid and stream NDJSON records as cells complete.
+
+        The blocking record generator runs on a dedicated thread feeding an
+        asyncio queue; each record becomes one chunked-transfer NDJSON line
+        the moment its cell finishes.  A client disconnect sets a cancel
+        event, stopping the producer at the next record boundary.
+        """
+        params = request.params
+        try:
+            kwargs = {
+                "algorithms": _tuple_param(params, "algorithms", cast=str),
+                "tasks": _tuple_param(params, "tasks", cast=str),
+                "dimensions": _tuple_param(params, "dims")
+                or _tuple_param(params, "dimensions"),
+                "precisions": _tuple_param(params, "precisions"),
+                "seeds": _tuple_param(params, "seeds"),
+                "with_measures": _bool_param(params, "with_measures", True),
+                "ordered": _bool_param(params, "ordered", True),
+                "n_workers": _int_param(params, "workers", None),
+            }
+            # grid_iter validates axes eagerly, so a bad request is rejected
+            # with a clean 400 *before* the streaming 200 is committed.
+            records = self.service.grid_iter(**kwargs)
+        except APIError as error:
+            self._write_json(writer, error.status, {"error": str(error)})
+            await writer.drain()
+            return
+        except (ValueError, KeyError) as error:
+            message = error.args[0] if error.args else str(error)
+            self._write_json(writer, 400, {"error": str(message)})
+            await writer.drain()
+            return
+
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue[tuple[str, object]] = asyncio.Queue()
+        cancelled = threading.Event()
+
+        def produce() -> None:
+            outcome: tuple[str, object] = ("done", None)
+            try:
+                for record in records:
+                    if cancelled.is_set():
+                        return
+                    loop.call_soon_threadsafe(queue.put_nowait, ("record", record.to_row()))
+            except Exception as error:  # surfaced as a terminal NDJSON line
+                outcome = ("error", f"{type(error).__name__}: {error}")
+            try:
+                loop.call_soon_threadsafe(queue.put_nowait, outcome)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+
+        thread = threading.Thread(target=produce, name="grid-stream", daemon=True)
+        thread.start()
+        try:
+            while True:
+                kind, item = await queue.get()
+                if kind == "record":
+                    self._write_chunk(writer, json.dumps(item, sort_keys=True) + "\n")
+                elif kind == "error":
+                    self._write_chunk(writer, json.dumps({"error": item}) + "\n")
+                    self._end_chunks(writer)
+                    break
+                else:  # done
+                    self._end_chunks(writer)
+                    break
+                await writer.drain()
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            cancelled.set()
+
+    @staticmethod
+    def _write_chunk(writer: asyncio.StreamWriter, text: str) -> None:
+        data = text.encode("utf-8")
+        writer.write(f"{len(data):x}\r\n".encode("latin1") + data + b"\r\n")
+
+    @staticmethod
+    def _end_chunks(writer: asyncio.StreamWriter) -> None:
+        writer.write(b"0\r\n\r\n")
+
+
+# -- entrypoint ------------------------------------------------------------------
+
+
+def quick_serve_config() -> "PipelineConfig":
+    """A tiny pipeline configuration for smoke tests and CI boots."""
+    from repro.instability.pipeline import PipelineConfig
+
+    return PipelineConfig(
+        corpus=SyntheticCorpusConfig(
+            vocab_size=120, n_documents=60, doc_length_mean=30, seed=7
+        ),
+        algorithms=("svd",),
+        dimensions=(4, 6),
+        precisions=(1, 32),
+        seeds=(0,),
+        tasks=("sst2",),
+        embedding_epochs=2,
+        downstream_epochs=3,
+        ner_epochs=2,
+    )
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    config = quick_serve_config() if args.quick else None
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else None
+    service = StabilityService(
+        config,
+        store=store,
+        config=ServiceConfig(
+            max_concurrency=args.max_concurrency, grid_workers=args.workers
+        ),
+    )
+    server = StabilityAPIServer(service, host=args.host, port=args.port)
+    await server.start()
+    print(f"repro-serve listening on http://{server.host}:{server.port}", flush=True)
+    if args.port_file:
+        # Write-then-rename so a poller never reads a half-written file.
+        port_path = Path(args.port_file)
+        tmp = port_path.with_suffix(port_path.suffix + ".tmp")
+        tmp.write_text(str(server.port))
+        tmp.replace(port_path)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+    try:
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        stop_task = asyncio.ensure_future(stop.wait())
+        await asyncio.wait({serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED)
+        serve_task.cancel()
+    finally:
+        await server.stop()
+        service.close()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8732, help="port (0 = ephemeral)")
+    parser.add_argument(
+        "--port-file", default=None,
+        help="write the bound port here once listening (for scripts and CI)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="process fan-out for /grid executions (0 = in-process serial)",
+    )
+    parser.add_argument(
+        "--max-concurrency", type=int, default=4,
+        help="bounded thread pool computing requests",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="disk-backed artifact store; makes the service warm across restarts",
+    )
+    parser.add_argument(
+        "--kernel-policy", choices=SVD_METHODS, default=None,
+        help="SVD kernel selection (see repro.linalg)",
+    )
+    parser.add_argument(
+        "--dtype", choices=KERNEL_DTYPES, default=None,
+        help="working precision of the measure kernels",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="serve a tiny pipeline configuration (CI smoke / demos)",
+    )
+    args = parser.parse_args(argv)
+
+    configure_logging()
+    if args.kernel_policy is not None or args.dtype is not None:
+        configure_default_policy(svd=args.kernel_policy, dtype=args.dtype)
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    sys.exit(main())

@@ -1,0 +1,408 @@
+"""Long-lived stability-query service over the grid-execution engine.
+
+A :class:`StabilityService` owns one warm
+:class:`~repro.instability.pipeline.InstabilityPipeline` (and thus one
+:class:`~repro.engine.store.ArtifactStore`), one bounded long-lived
+:class:`~repro.measures.base.DecompositionCache`, and a bounded thread pool,
+and answers the operational questions the paper's measures exist for:
+
+* :meth:`measure` -- the pairwise stability measures of one (algorithm,
+  dimension, precision, seed) cell;
+* :meth:`select` -- the dimension-precision combination to ship under a
+  memory budget, ranked by a selection criterion (EIS by default, the
+  paper's rule of thumb);
+* :meth:`grid_iter` -- a streaming grid execution yielding records as cells
+  complete (the engine's :meth:`~repro.engine.scheduler.GridEngine.run_iter`);
+* :meth:`metrics` / :meth:`healthz` -- observability.
+
+Three serving-specific behaviours sit between the HTTP layer and the engine:
+
+**Request coalescing (single-flight).**  Concurrent requests for the same
+artifact key -- the same content hash the store caches under -- share one
+computation: the first request submits it, the rest await the same future.
+``coalesced_total`` counts the requests that piggybacked.
+
+**Ancestry-aware batching.**  Distinct measure requests sharing an
+(algorithm, seed) ancestry serialise on a per-ancestry lock, so the shared
+anchor decomposition and measure suite are built exactly once and every
+follower hits them in cache; requests of unrelated ancestries run
+concurrently up to ``max_concurrency``.
+
+**Bounded concurrency.**  All computation runs on a ``max_concurrency``-sized
+thread pool; the asyncio HTTP layer stays responsive no matter how heavy the
+numerical work gets.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator
+
+import numpy as np
+
+from repro.compression.memory import bits_per_word
+from repro.engine import ArtifactStore, GridEngine
+from repro.engine import stats as engine_stats
+from repro.instability.grid import GridRecord
+from repro.measures.base import DEFAULT_CACHE_ENTRIES, MEASURES, DecompositionCache
+from repro.selection.budget import recommend_under_budget
+from repro.selection.criteria import (
+    HIGH_PRECISION,
+    LOW_PRECISION,
+    SelectionCriterion,
+    measure_criterion,
+)
+from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+
+logger = get_logger(__name__)
+
+__all__ = ["ServiceConfig", "StabilityService"]
+
+#: Criteria the /select endpoint resolves by name, besides the measure names
+#: themselves ("eis", "1-knn", "pip", "1-eigenspace-overlap",
+#: "semantic-displacement").
+_NAIVE_CRITERIA = {c.name: c for c in (HIGH_PRECISION, LOW_PRECISION)}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Serving-layer knobs (the pipeline keeps its own configuration)."""
+
+    #: Threads computing requests concurrently (and the single-flight pool).
+    max_concurrency: int = 4
+    #: Process fan-out for /grid executions; 0 = in-process serial.
+    grid_workers: int = 0
+    #: Entry bound of the long-lived decomposition cache.
+    decomposition_cache_entries: int | None = DEFAULT_CACHE_ENTRIES
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError(f"max_concurrency must be >= 1, got {self.max_concurrency}")
+
+
+class StabilityService:
+    """Warm, concurrent, coalescing front-end to the instability pipeline.
+
+    Parameters
+    ----------
+    pipeline:
+        An :class:`~repro.instability.pipeline.InstabilityPipeline`, a
+        :class:`~repro.instability.pipeline.PipelineConfig`, or ``None``
+        (default configuration).  The pipeline is built once at start-up --
+        corpus generated, vocabulary fixed -- and everything else is computed
+        lazily per request and cached in the store.
+    store:
+        Artifact store handed to a pipeline the service constructs itself;
+        pass a disk-backed store to make the service warm across restarts.
+    config:
+        Serving-layer knobs (:class:`ServiceConfig`).
+    """
+
+    def __init__(
+        self,
+        pipeline: "InstabilityPipeline | PipelineConfig | None" = None,
+        *,
+        store: ArtifactStore | None = None,
+        config: ServiceConfig | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.engine = GridEngine(
+            pipeline, store=store, n_workers=self.config.grid_workers
+        )
+        self.pipeline = self.engine.pipeline
+        self.decomposition_cache = DecompositionCache(
+            policy=self.pipeline.config.resolved_kernel_policy(),
+            max_entries=self.config.decomposition_cache_entries,
+        )
+        self.started_at = time.time()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrency, thread_name_prefix="stability"
+        )
+        self._lock = threading.Lock()
+        self._inflight: dict[str, Future] = {}
+        self._ancestry_locks: dict[tuple[str, int], threading.Lock] = {}
+        self._counters = {
+            "requests_measure": 0,
+            "requests_select": 0,
+            "requests_grid": 0,
+            "coalesced_total": 0,
+            "records_streamed": 0,
+        }
+        self._closed = False
+        logger.info(
+            "stability service ready: %d-word vocabulary, %d-way concurrency",
+            len(self.pipeline.vocab), self.config.max_concurrency,
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "StabilityService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------------
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += delta
+
+    def _ancestry_lock(self, algorithm: str, seed: int) -> threading.Lock:
+        with self._lock:
+            return self._ancestry_locks.setdefault(
+                (algorithm, int(seed)), threading.Lock()
+            )
+
+    def _single_flight(self, key: str, fn: Callable[[], dict]) -> dict:
+        """Run ``fn`` once per in-flight ``key``; identical requests share it."""
+        with self._lock:
+            future = self._inflight.get(key)
+            if future is not None:
+                self._counters["coalesced_total"] += 1
+            else:
+                future = self._executor.submit(self._run_tracked, key, fn)
+                self._inflight[key] = future
+        return future.result()
+
+    def _run_tracked(self, key: str, fn: Callable[[], dict]) -> dict:
+        try:
+            return fn()
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+
+    # -- queries ---------------------------------------------------------------
+
+    def measure(
+        self,
+        algorithm: str,
+        dim: int,
+        precision: int,
+        seed: int = 0,
+        *,
+        measures: tuple[str, ...] | None = None,
+    ) -> dict:
+        """Pairwise stability measures of one grid cell (coalesced, cached).
+
+        A repeated query against a warm store is pure cache: zero trainings,
+        zero decompositions (pinned in the serving tests).
+        """
+        self._count("requests_measure")
+        dim, precision, seed = int(dim), int(precision), int(seed)
+        key = self.pipeline.measures_key(
+            algorithm, dim, precision, seed, measures=measures
+        )
+
+        def compute() -> dict:
+            # Ancestry-aware batching: requests sharing the (algorithm, seed)
+            # anchor pair serialise here, so the anchor decomposition and the
+            # measure suite are built once and every follower hits the cache.
+            with self._ancestry_lock(algorithm, seed):
+                values = self.pipeline.compute_measures(
+                    algorithm, dim, precision, seed,
+                    measures=measures, cache=self.decomposition_cache,
+                )
+            return values
+
+        values = self._single_flight(key, compute)
+        return {
+            "algorithm": algorithm,
+            "dim": dim,
+            "precision": precision,
+            "seed": seed,
+            "memory_bits_per_word": bits_per_word(dim, precision),
+            "artifact_key": key,
+            "measures": values,
+        }
+
+    def select(
+        self,
+        budget: int,
+        *,
+        criterion: str = "eis",
+        algorithm: str | None = None,
+        seed: int | None = None,
+        dimensions: tuple[int, ...] | None = None,
+        precisions: tuple[int, ...] | None = None,
+    ) -> dict:
+        """Dimension-precision recommendation under a memory budget.
+
+        Implements the paper's selection rule operationally: evaluate every
+        candidate (dimension, precision) combination's stability measures
+        (cached, coalesced) and return the one the criterion ranks most
+        stable among those fitting ``budget`` bits per word.  ``criterion``
+        is a measure name (default ``"eis"``, the paper's rule of thumb) or a
+        naive baseline (``"high-precision"``, ``"low-precision"``).
+        """
+        self._count("requests_select")
+        cfg = self.pipeline.config
+        algorithm = algorithm or cfg.algorithms[0]
+        seed = int(cfg.seeds[0] if seed is None else seed)
+        dimensions = tuple(int(d) for d in (dimensions or cfg.dimensions))
+        precisions = tuple(int(p) for p in (precisions or cfg.precisions))
+        budget = int(budget)
+        chosen_criterion = self._resolve_criterion(criterion)
+
+        candidates = []
+        for dim in dimensions:
+            for precision in precisions:
+                needs_measures = criterion not in _NAIVE_CRITERIA
+                measures = (
+                    self.measure(algorithm, dim, precision, seed)["measures"]
+                    if needs_measures
+                    else {}
+                )
+                candidates.append(
+                    GridRecord(
+                        algorithm=algorithm,
+                        task="-",          # selection is task-free: measures only
+                        dim=dim,
+                        precision=precision,
+                        seed=seed,
+                        disagreement=float("nan"),
+                        accuracy_a=float("nan"),
+                        accuracy_b=float("nan"),
+                        measures=measures,
+                    )
+                )
+        selected = recommend_under_budget(candidates, budget, chosen_criterion)
+        return {
+            "budget_bits_per_word": budget,
+            "criterion": chosen_criterion.name,
+            "algorithm": algorithm,
+            "seed": seed,
+            "selected": {
+                "dim": selected.dim,
+                "precision": selected.precision,
+                "memory_bits_per_word": selected.memory,
+                "score": _finite_or_none(chosen_criterion(selected)),
+            },
+            "n_candidates": len(candidates),
+            "n_feasible": sum(1 for c in candidates if c.memory <= budget),
+        }
+
+    def _resolve_criterion(self, name: str) -> SelectionCriterion:
+        if name in _NAIVE_CRITERIA:
+            return _NAIVE_CRITERIA[name]
+        if name == "oracle":
+            raise ValueError(
+                "the oracle criterion requires downstream training; stream the "
+                "grid via /grid and rank records offline instead"
+            )
+        measure_names = set(MEASURES.names())
+        if name not in measure_names:
+            raise ValueError(
+                f"unknown selection criterion {name!r}; known: "
+                f"{sorted(measure_names | set(_NAIVE_CRITERIA))}"
+            )
+        return measure_criterion(name)
+
+    def grid_iter(
+        self,
+        *,
+        algorithms: tuple[str, ...] | None = None,
+        tasks: tuple[str, ...] | None = None,
+        dimensions: tuple[int, ...] | None = None,
+        precisions: tuple[int, ...] | None = None,
+        seeds: tuple[int, ...] | None = None,
+        with_measures: bool = True,
+        ordered: bool = True,
+        n_workers: int | None = None,
+    ) -> Iterator[GridRecord]:
+        """Stream grid records as cells complete (see ``GridEngine.run_iter``).
+
+        Axes are validated *eagerly* (unknown algorithm/task names, duplicate
+        axis values) so callers -- the HTTP layer in particular -- can reject
+        a bad request before committing to a streaming response; only the
+        record production itself is lazy.
+        """
+        from repro.embeddings.base import EMBEDDING_ALGORITHMS
+        from repro.instability.pipeline import NER_TASK_NAME, SENTIMENT_TASK_NAMES
+
+        cfg = self.pipeline.config
+        algorithms = tuple(algorithms or cfg.algorithms)
+        tasks = tuple(tasks or cfg.tasks)
+        dimensions = tuple(int(d) for d in (dimensions or cfg.dimensions))
+        precisions = tuple(int(p) for p in (precisions or cfg.precisions))
+        seeds = tuple(int(s) for s in (seeds or cfg.seeds))
+        for algorithm in algorithms:
+            if algorithm not in EMBEDDING_ALGORITHMS:
+                raise KeyError(
+                    f"unknown embedding algorithm {algorithm!r}; "
+                    f"known: {EMBEDDING_ALGORITHMS.names()}"
+                )
+        for task in tasks:
+            if task not in SENTIMENT_TASK_NAMES and task != NER_TASK_NAME:
+                raise KeyError(f"unknown task {task!r}")
+        for axis_name, axis in (
+            ("algorithms", algorithms), ("tasks", tasks), ("dimensions", dimensions),
+            ("precisions", precisions), ("seeds", seeds),
+        ):
+            if len(set(axis)) != len(axis):
+                raise ValueError(f"duplicate values in {axis_name}: {axis}")
+        self._count("requests_grid")
+        return self._stream_records(
+            algorithms, tasks, dimensions, precisions, seeds,
+            with_measures, ordered, n_workers,
+        )
+
+    def _stream_records(
+        self, algorithms, tasks, dimensions, precisions, seeds,
+        with_measures, ordered, n_workers,
+    ) -> Iterator[GridRecord]:
+        for record in self.engine.run_iter(
+            algorithms=algorithms,
+            tasks=tasks,
+            dimensions=dimensions,
+            precisions=precisions,
+            seeds=seeds,
+            with_measures=with_measures,
+            ordered=ordered,
+            n_workers=n_workers,
+        ):
+            self._count("records_streamed")
+            yield record
+
+    # -- observability ---------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """Liveness payload: cheap, touches no numerical state."""
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "vocab_words": len(self.pipeline.vocab),
+            "algorithms": list(self.pipeline.config.algorithms),
+            "dimensions": list(self.pipeline.config.dimensions),
+            "precisions": list(self.pipeline.config.precisions),
+            "seeds": list(self.pipeline.config.seeds),
+            "tasks": list(self.pipeline.config.tasks),
+            "store_persistent": self.pipeline.store.persistent,
+        }
+
+    def metrics(self) -> dict:
+        """Counter snapshot: engine stats plus the serving-layer counters."""
+        snapshot = engine_stats(
+            engine=self.engine, caches={"serving": self.decomposition_cache}
+        )
+        with self._lock:
+            serving = dict(self._counters)
+            serving["inflight_now"] = len(self._inflight)
+        snapshot["serving"] = serving
+        return snapshot
+
+
+def _finite_or_none(value: float) -> float | None:
+    return float(value) if np.isfinite(value) else None

@@ -1,0 +1,61 @@
+"""Tests of the aggregate counter surface ``repro.engine.stats``."""
+
+import json
+
+import numpy as np
+
+from repro.engine import ArtifactStore, stats
+from repro.measures.base import DecompositionCache
+
+
+class TestStats:
+    def test_empty_snapshot_has_all_keys(self):
+        snapshot = stats()
+        assert snapshot == {
+            "store": {}, "pipeline": {}, "decomposition_caches": {}, "warmup": None,
+        }
+
+    def test_bare_store_positional(self):
+        store = ArtifactStore()
+        store.put_json("downstream", "k", {"v": 1})
+        store.get_json("downstream", "k")
+        store.get_json("downstream", "missing")
+        snapshot = stats(store)
+        assert snapshot["store"]["downstream"] == {
+            "hits": 1, "misses": 1, "puts": 1, "preloads": 0,
+        }
+        assert snapshot["store_persistent"] is False
+        assert snapshot["pipeline"] == {}
+
+    def test_pipeline_positional_implies_store(self):
+        from repro.instability.pipeline import InstabilityPipeline
+
+        pipeline = InstabilityPipeline()
+        snapshot = stats(pipeline)
+        assert snapshot["pipeline"] == {
+            "corpus_build_count": 1,
+            "embedding_train_count": 0,
+            "downstream_train_count": 0,
+        }
+        assert "store_persistent" in snapshot
+
+    def test_engine_positional_implies_pipeline_and_warmup(self):
+        from repro.engine import GridEngine
+
+        engine = GridEngine()
+        snapshot = stats(engine)
+        assert snapshot["pipeline"]["corpus_build_count"] == 1
+        assert snapshot["warmup"] is None        # no parallel run yet
+
+    def test_decomposition_caches_by_name(self):
+        cache = DecompositionCache()
+        cache.svd(np.eye(3))
+        snapshot = stats(caches={"serving": cache})
+        assert snapshot["decomposition_caches"]["serving"]["misses"] == 1
+
+    def test_snapshot_is_json_serialisable(self):
+        from repro.engine import GridEngine
+
+        engine = GridEngine()
+        cache = DecompositionCache()
+        json.dumps(stats(engine, caches={"c": cache}))

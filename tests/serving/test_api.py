@@ -1,0 +1,194 @@
+"""End-to-end HTTP tests of the serving API: a real asyncio server on an
+ephemeral port, exercised through ``http.client`` -- all five endpoints,
+NDJSON streaming, and error mapping."""
+
+import asyncio
+import http.client
+import json
+import threading
+import warnings
+
+import pytest
+
+from repro.serving import StabilityService
+from repro.serving.api import StabilityAPIServer, quick_serve_config
+
+
+@pytest.fixture(scope="module")
+def server():
+    """A live server on an ephemeral port, with its own event-loop thread."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)
+        service = StabilityService(quick_serve_config())
+    api = StabilityAPIServer(service, port=0)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(api.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(timeout=30), "server failed to start"
+    yield api
+    asyncio.run_coroutine_threadsafe(api.stop(), loop).result(timeout=10)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=10)
+    service.close()
+
+
+def request(server, path, *, method="GET", body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=120)
+    headers = {}
+    payload = None
+    if body is not None:
+        payload = json.dumps(body)
+        headers["Content-Type"] = "application/json"
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        data = response.read()
+    conn.close()
+    return response, data
+
+
+def get_json(server, path, **kwargs):
+    response, data = request(server, path, **kwargs)
+    return response.status, json.loads(data)
+
+
+class TestHealthz:
+    def test_ok(self, server):
+        status, payload = get_json(server, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["algorithms"] == ["svd"]
+
+
+class TestMeasure:
+    def test_get_query_params(self, server):
+        status, payload = get_json(server, "/measure?algorithm=svd&dim=4&precision=1")
+        assert status == 200
+        assert payload["dim"] == 4 and payload["precision"] == 1
+        assert set(payload["measures"]) == {
+            "eis", "1-knn", "pip", "1-eigenspace-overlap", "semantic-displacement"
+        }
+
+    def test_post_json_body_equals_get(self, server):
+        _, via_get = get_json(server, "/measure?algorithm=svd&dim=4&precision=1")
+        status, via_post = get_json(
+            server, "/measure", method="POST",
+            body={"algorithm": "svd", "dim": 4, "precision": 1},
+        )
+        assert status == 200
+        assert via_post == via_get         # bit-identical, served from cache
+
+    def test_missing_parameter_is_400(self, server):
+        status, payload = get_json(server, "/measure?algorithm=svd&dim=4")
+        assert status == 400
+        assert "precision" in payload["error"]
+
+    def test_unknown_algorithm_is_400(self, server):
+        status, payload = get_json(server, "/measure?algorithm=nope&dim=4&precision=1")
+        assert status == 400
+        assert "nope" in payload["error"]
+
+
+class TestSelect:
+    def test_recommendation(self, server):
+        status, payload = get_json(server, "/select?budget=128")
+        assert status == 200
+        assert payload["criterion"] == "eis"
+        assert payload["selected"]["memory_bits_per_word"] <= 128
+
+    def test_explicit_axes(self, server):
+        status, payload = get_json(
+            server, "/select?budget=1000&criterion=high-precision&dims=4&precisions=1,32"
+        )
+        assert status == 200
+        assert payload["selected"] == {
+            "dim": 4, "precision": 32, "memory_bits_per_word": 128,
+            "score": -32.0,
+        }
+
+    def test_infeasible_budget_is_400(self, server):
+        status, payload = get_json(server, "/select?budget=1")
+        assert status == 400
+        assert "fits" in payload["error"]
+
+
+class TestGridStreaming:
+    def test_ndjson_stream_matches_engine_batch(self, server):
+        response, data = request(server, "/grid?dims=4,6&precisions=1,32")
+        assert response.status == 200
+        assert response.getheader("Content-Type") == "application/x-ndjson"
+        lines = data.decode("utf-8").strip().splitlines()
+        rows = [json.loads(line) for line in lines]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", UserWarning)
+            expected = server.service.engine.run(with_measures=True)
+        assert rows == [record.to_row() for record in expected]
+
+    def test_arrival_order_stream_same_cells(self, server):
+        response, data = request(server, "/grid?dims=4,6&precisions=1,32&ordered=false")
+        assert response.status == 200
+        rows = [json.loads(line) for line in data.decode().strip().splitlines()]
+        cell = lambda r: (r["algorithm"], r["dim"], r["precision"], r["seed"], r["task"])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", UserWarning)
+            expected = server.service.engine.run(with_measures=True)
+        assert sorted(map(cell, rows)) == sorted(
+            cell(record.to_row()) for record in expected
+        )
+
+    def test_bad_axis_is_400(self, server):
+        status, payload = get_json(server, "/grid?dims=four")
+        assert status == 400
+        assert "dims" in payload["error"]
+
+    def test_unknown_algorithm_is_400_not_a_broken_stream(self, server):
+        # Axis validation is eager: the 400 lands *before* the streaming 200
+        # is committed, so scripts checking the status code see the failure.
+        status, payload = get_json(server, "/grid?algorithms=nope")
+        assert status == 400
+        assert "nope" in payload["error"]
+
+    def test_duplicate_axis_values_are_400(self, server):
+        status, payload = get_json(server, "/grid?dims=4,4")
+        assert status == 400
+        assert "duplicate" in payload["error"]
+
+
+class TestMetricsAndErrors:
+    def test_metrics_counts_the_traffic(self, server):
+        status, payload = get_json(server, "/metrics")
+        assert status == 200
+        serving = payload["serving"]
+        assert serving["requests_measure"] >= 1
+        assert serving["requests_select"] >= 1
+        assert serving["requests_grid"] >= 1
+        assert serving["records_streamed"] >= 4
+        assert "store" in payload and "measures" in payload["store"]
+        assert payload["pipeline"]["corpus_build_count"] == 1
+
+    def test_unknown_path_is_404(self, server):
+        status, payload = get_json(server, "/nope")
+        assert status == 404
+        assert "/measure" in payload["paths"]
+
+    def test_unsupported_method_is_405(self, server):
+        status, payload = get_json(server, "/healthz", method="PUT")
+        assert status == 405
+
+    def test_malformed_json_body_is_400(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        conn.request("POST", "/measure", body="{not json", headers={})
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        conn.close()
+        assert response.status == 400
+        assert "JSON" in payload["error"]
