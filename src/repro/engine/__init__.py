@@ -8,6 +8,14 @@ grid cells by shared ancestry and fans independent cell groups out over
 processes with a bit-identical serial fallback.
 """
 
+from repro.engine.backends import (
+    DiskBackend,
+    MemoryBackend,
+    RemoteBackend,
+    ShardedBackend,
+    StoreBackend,
+    TierStats,
+)
 from repro.engine.store import (
     ArtifactStore,
     CacheStats,
@@ -25,9 +33,15 @@ __all__ = [
     "CacheStats",
     "CellGroup",
     "CorpusShipment",
+    "DiskBackend",
     "EmbeddingShipment",
     "GridEngine",
+    "MemoryBackend",
     "OrderedCommitter",
+    "RemoteBackend",
+    "ShardedBackend",
+    "StoreBackend",
+    "TierStats",
     "canonical_cell_keys",
     "commit_in_order",
     "config_hash",

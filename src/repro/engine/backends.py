@@ -1,0 +1,528 @@
+"""Pluggable byte-level storage backends for the artifact store.
+
+A backend stores opaque payloads under ``(kind, name)`` -- ``name`` is the
+content-hash key plus the codec suffix (``<key>.json`` / ``<key>.npz``), so a
+backend never needs to understand an artifact to move it.  The
+:class:`~repro.engine.store.ArtifactStore` stacks backends into read-through /
+write-back tiers; the codecs (:mod:`repro.engine.codecs`) translate at the
+boundary.
+
+Backends:
+
+* :class:`MemoryBackend` -- in-process dict of payloads, optionally
+  LRU-bounded; useful as a hot tier in front of a slow (remote) tier.
+* :class:`DiskBackend` -- today's on-disk layout (``root/<kind>/<name>``),
+  written via a durable atomic temp-file + ``os.replace`` + fsync protocol.
+* :class:`ShardedBackend` -- deterministic consistent-hash fan-out over N
+  child backends (N local directories, N remote peers, or a mix); the same
+  ``(kind, name)`` maps to the same shard in every process on every host.
+* :class:`RemoteBackend` -- stdlib HTTP client speaking the serving layer's
+  ``/artifacts/<kind>/<name>`` endpoints, with per-thread keep-alive
+  connections; any running ``repro-serve`` instance is a valid peer.
+
+Every backend counts its traffic (:class:`TierStats`); the store surfaces the
+counters through ``repro.engine.stats()`` as ``store_tiers``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import http.client
+import os
+import tempfile
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Sequence
+from urllib.parse import quote, urlsplit
+
+from repro.utils.io import ensure_dir
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = [
+    "TierStats",
+    "StoreBackend",
+    "MemoryBackend",
+    "DiskBackend",
+    "ShardedBackend",
+    "RemoteBackend",
+    "atomic_write_bytes",
+    "backend_from_spec",
+]
+
+
+@dataclass
+class TierStats:
+    """Traffic counters of one storage tier."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    deletes: int = 0
+    #: Backend I/O failures survived (network errors, unreadable files);
+    #: the tier answered as a miss / best-effort write instead of raising.
+    errors: int = 0
+    #: Entries dropped by an LRU bound (memory tiers only).
+    evictions: int = 0
+
+
+def atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Durably write ``payload`` via a sibling temp file + atomic rename.
+
+    The temp file is fsynced before ``os.replace`` so a crash mid-write can
+    never leave a torn artifact under the final name -- a peer fetching over
+    ``/artifacts`` must either see the complete payload or nothing.  The
+    directory entry is fsynced best-effort afterwards (some filesystems don't
+    support opening directories).
+    """
+    ensure_dir(path.parent)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - filesystem dependent
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+class StoreBackend:
+    """Byte-level storage of ``(kind, name) -> payload`` with counters.
+
+    Subclasses implement the raw ``_get``/``_put``/``_contains``/``_delete``;
+    the public methods layer the :class:`TierStats` accounting on top.
+    """
+
+    name: str = "backend"
+    #: Whether payloads survive this process (disk, sharded disk, remote).
+    persistent: bool = False
+    #: Whether any operation can reach another node (directly or through a
+    #: child backend).  The serving layer's /artifacts handlers exclude such
+    #: tiers so symmetric peer configurations can never recurse.
+    remote_capable: bool = False
+
+    def __init__(self) -> None:
+        self.stats = TierStats()
+
+    # -- public API (counted) --------------------------------------------------
+
+    def get(self, kind: str, name: str) -> bytes | None:
+        payload = self._get(kind, name)
+        if payload is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return payload
+
+    def put(self, kind: str, name: str, payload: bytes) -> None:
+        self.stats.puts += 1
+        self._put(kind, name, payload)
+
+    def contains(self, kind: str, name: str) -> bool:
+        return self._contains(kind, name)
+
+    def delete(self, kind: str, name: str) -> None:
+        self.stats.deletes += 1
+        self._delete(kind, name)
+
+    # -- raw operations --------------------------------------------------------
+
+    def _get(self, kind: str, name: str) -> bytes | None:
+        raise NotImplementedError
+
+    def _put(self, kind: str, name: str, payload: bytes) -> None:
+        raise NotImplementedError
+
+    def _contains(self, kind: str, name: str) -> bool:
+        raise NotImplementedError
+
+    def _delete(self, kind: str, name: str) -> None:
+        raise NotImplementedError
+
+    # -- reconstruction / observability ---------------------------------------
+
+    def spec(self) -> dict | None:
+        """Picklable description to rebuild this backend in another process.
+
+        ``None`` means the backend cannot be reconstructed from a description
+        (custom in-test backends); the scheduler then falls back to whatever
+        the spec does describe.
+        """
+        return None
+
+    def describe(self) -> dict:
+        """JSON-able counter snapshot for ``repro.engine.stats()``."""
+        return {"name": self.name, "persistent": self.persistent, **asdict(self.stats)}
+
+
+class MemoryBackend(StoreBackend):
+    """In-process payload dict, optionally LRU-bounded by entry count."""
+
+    name = "memory"
+    persistent = False
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        super().__init__()
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._data: OrderedDict[tuple[str, str], bytes] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def _get(self, kind: str, name: str) -> bytes | None:
+        with self._lock:
+            payload = self._data.get((kind, name))
+            if payload is not None:
+                self._data.move_to_end((kind, name))
+            return payload
+
+    def _put(self, kind: str, name: str, payload: bytes) -> None:
+        with self._lock:
+            self._data[(kind, name)] = payload
+            self._data.move_to_end((kind, name))
+            while self.max_entries is not None and len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+
+    def _contains(self, kind: str, name: str) -> bool:
+        with self._lock:
+            return (kind, name) in self._data
+
+    def _delete(self, kind: str, name: str) -> None:
+        with self._lock:
+            self._data.pop((kind, name), None)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def spec(self) -> dict:
+        return {"backend": "memory", "max_entries": self.max_entries}
+
+
+class DiskBackend(StoreBackend):
+    """Directory-tree backend: ``root/<kind>/<name>``, durable atomic writes.
+
+    The layout is byte-compatible with the pre-refactor store's disk tier, so
+    existing ``--cache-dir`` trees keep working unchanged.
+    """
+
+    name = "disk"
+    persistent = True
+
+    def __init__(self, root: str | Path) -> None:
+        super().__init__()
+        self.root = Path(root)
+        ensure_dir(self.root)
+
+    def _path(self, kind: str, name: str) -> Path:
+        return self.root / kind / name
+
+    def _get(self, kind: str, name: str) -> bytes | None:
+        path = self._path(kind, name)
+        try:
+            return path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError as error:  # pragma: no cover - environment dependent
+            logger.warning("disk tier failed reading %s: %s", path, error)
+            self.stats.errors += 1
+            return None
+
+    def _put(self, kind: str, name: str, payload: bytes) -> None:
+        atomic_write_bytes(self._path(kind, name), payload)
+
+    def _contains(self, kind: str, name: str) -> bool:
+        return self._path(kind, name).exists()
+
+    def _delete(self, kind: str, name: str) -> None:
+        self._path(kind, name).unlink(missing_ok=True)
+
+    def spec(self) -> dict:
+        return {"backend": "disk", "root": str(self.root)}
+
+    def describe(self) -> dict:
+        return {**super().describe(), "root": str(self.root)}
+
+
+def _ring_hash(token: str) -> int:
+    return int.from_bytes(hashlib.sha256(token.encode("utf-8")).digest()[:8], "big")
+
+
+class ShardedBackend(StoreBackend):
+    """Deterministic consistent-hash fan-out over N child backends.
+
+    Each shard claims ``points_per_shard`` pseudo-random points on a hash
+    ring; a key is owned by the shard whose point follows the key's hash.
+    The mapping depends only on SHA-256 of shard index and key (never on
+    Python's salted ``hash``), so every process and every host routes the
+    same ``(kind, name)`` to the same shard -- the property the multi-host
+    grid relies on.  Consistent hashing (rather than ``hash % N``) keeps
+    most keys in place when a shard is added or removed.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self, shards: Sequence[StoreBackend], *, points_per_shard: int = 64
+    ) -> None:
+        super().__init__()
+        if not shards:
+            raise ValueError("ShardedBackend needs at least one shard")
+        self.shards = list(shards)
+        self.points_per_shard = int(points_per_shard)
+        self.persistent = any(shard.persistent for shard in self.shards)
+        self.remote_capable = any(shard.remote_capable for shard in self.shards)
+        self._ring: list[tuple[int, int]] = sorted(
+            (_ring_hash(f"shard:{index}:{point}"), index)
+            for index in range(len(self.shards))
+            for point in range(points_per_shard)
+        )
+        self._ring_keys = [entry[0] for entry in self._ring]
+
+    @classmethod
+    def local(cls, root: str | Path, n_shards: int) -> "ShardedBackend":
+        """N disk shards under ``root/shard-00 .. root/shard-<N-1>``."""
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        return cls(
+            [DiskBackend(Path(root) / f"shard-{index:02d}") for index in range(n_shards)]
+        )
+
+    def shard_index(self, kind: str, name: str) -> int:
+        """The shard owning ``(kind, name)`` (exposed for tests and tooling)."""
+        point = _ring_hash(f"{kind}/{name}")
+        slot = bisect.bisect_right(self._ring_keys, point) % len(self._ring)
+        return self._ring[slot][1]
+
+    def shard_for(self, kind: str, name: str) -> StoreBackend:
+        return self.shards[self.shard_index(kind, name)]
+
+    def _get(self, kind: str, name: str) -> bytes | None:
+        return self.shard_for(kind, name).get(kind, name)
+
+    def _put(self, kind: str, name: str, payload: bytes) -> None:
+        self.shard_for(kind, name).put(kind, name, payload)
+
+    def _contains(self, kind: str, name: str) -> bool:
+        return self.shard_for(kind, name).contains(kind, name)
+
+    def _delete(self, kind: str, name: str) -> None:
+        self.shard_for(kind, name).delete(kind, name)
+
+    def spec(self) -> dict | None:
+        shard_specs = [shard.spec() for shard in self.shards]
+        if any(spec is None for spec in shard_specs):
+            return None
+        # points_per_shard shapes the hash ring: dropping it would make a
+        # worker rebuilt from this spec route keys to different shards.
+        return {
+            "backend": "sharded",
+            "shards": shard_specs,
+            "points_per_shard": self.points_per_shard,
+        }
+
+    def describe(self) -> dict:
+        return {
+            **super().describe(),
+            "n_shards": len(self.shards),
+            "shards": [shard.describe() for shard in self.shards],
+        }
+
+
+class RemoteBackend(StoreBackend):
+    """HTTP peer backend speaking the serving layer's ``/artifacts`` API.
+
+    Any running ``repro-serve`` instance is a peer: ``GET`` fetches a
+    payload, ``PUT`` replicates one, ``HEAD`` probes existence.  Connections
+    are kept alive per thread and transparently re-established once when a
+    peer closes an idle connection.  A dead or unreachable peer degrades to
+    cache misses and dropped best-effort writes (counted in ``errors``) --
+    remote tiers accelerate, they must never take the computation down.
+    After a connection failure the backend cools down for
+    ``failure_cooldown`` seconds, answering misses immediately instead of
+    paying the full socket timeout on every subsequent operation.
+    """
+
+    name = "remote"
+    persistent = True
+    remote_capable = True
+
+    def __init__(
+        self, url: str, *, timeout: float = 10.0, failure_cooldown: float = 30.0
+    ) -> None:
+        super().__init__()
+        if "://" not in url:
+            url = f"http://{url}"
+        split = urlsplit(url)
+        if split.scheme not in ("http", "https"):
+            raise ValueError(f"unsupported remote store scheme {split.scheme!r}")
+        if not split.hostname:
+            raise ValueError(f"remote store URL has no host: {url!r}")
+        self.url = url
+        self.timeout = float(timeout)
+        self.failure_cooldown = float(failure_cooldown)
+        self._scheme = split.scheme
+        self._host = split.hostname
+        self._port = split.port
+        self._base_path = split.path.rstrip("/")
+        self._local = threading.local()
+        #: Monotonic deadline before which the peer is assumed still down.
+        #: Shared across threads without a lock: a racy read at worst costs
+        #: one extra probe or skips one, both harmless.
+        self._down_until = 0.0
+
+    # -- connection management -------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            factory = (
+                http.client.HTTPSConnection
+                if self._scheme == "https"
+                else http.client.HTTPConnection
+            )
+            conn = factory(self._host, self._port, timeout=self.timeout)
+            self._local.conn = conn
+        return conn
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+            self._local.conn = None
+
+    def _artifact_path(self, kind: str, name: str) -> str:
+        return f"{self._base_path}/artifacts/{quote(kind, safe='')}/{quote(name, safe='')}"
+
+    def _request(
+        self, method: str, kind: str, name: str, body: bytes | None = None
+    ) -> tuple[int, bytes]:
+        """One keep-alive request; retries once on a stale pooled connection.
+
+        Circuit breaker: while the peer is cooling down after a failure,
+        raise immediately -- otherwise every lookup of a busy grid run would
+        block for the full socket timeout against a dead peer.
+        """
+        if time.monotonic() < self._down_until:
+            raise ConnectionError(
+                f"remote store {self.url} cooling down after a failure"
+            )
+        last_error: Exception | None = None
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(
+                    method,
+                    self._artifact_path(kind, name),
+                    body=body,
+                    headers={"Content-Type": "application/octet-stream"} if body else {},
+                )
+                response = conn.getresponse()
+                payload = response.read()
+                self._down_until = 0.0
+                return response.status, payload
+            except (http.client.HTTPException, ConnectionError, OSError) as error:
+                # The peer may have closed an idle keep-alive connection;
+                # reconnect once before treating the peer as unreachable.
+                self._drop_connection()
+                last_error = error
+        self._down_until = time.monotonic() + self.failure_cooldown
+        raise ConnectionError(f"remote store {self.url} unreachable: {last_error}")
+
+    # -- raw operations --------------------------------------------------------
+
+    def _get(self, kind: str, name: str) -> bytes | None:
+        try:
+            status, payload = self._request("GET", kind, name)
+        except ConnectionError as error:
+            logger.warning("remote tier GET %s/%s failed: %s", kind, name, error)
+            self.stats.errors += 1
+            return None
+        if status == 200:
+            return payload
+        if status != 404:
+            logger.warning("remote tier GET %s/%s: HTTP %d", kind, name, status)
+            self.stats.errors += 1
+        return None
+
+    def _put(self, kind: str, name: str, payload: bytes) -> None:
+        try:
+            status, _ = self._request("PUT", kind, name, body=payload)
+        except ConnectionError as error:
+            logger.warning("remote tier PUT %s/%s failed: %s", kind, name, error)
+            self.stats.errors += 1
+            return
+        if status >= 300:
+            logger.warning("remote tier PUT %s/%s: HTTP %d", kind, name, status)
+            self.stats.errors += 1
+
+    def _contains(self, kind: str, name: str) -> bool:
+        try:
+            status, _ = self._request("HEAD", kind, name)
+        except ConnectionError:
+            self.stats.errors += 1
+            return False
+        return status == 200
+
+    def _delete(self, kind: str, name: str) -> None:
+        try:
+            self._request("DELETE", kind, name)
+        except ConnectionError:
+            self.stats.errors += 1
+
+    def close(self) -> None:
+        """Drop this thread's pooled connection (other threads drop lazily)."""
+        self._drop_connection()
+
+    def spec(self) -> dict:
+        return {
+            "backend": "remote",
+            "url": self.url,
+            "timeout": self.timeout,
+            "failure_cooldown": self.failure_cooldown,
+        }
+
+    def describe(self) -> dict:
+        return {**super().describe(), "url": self.url}
+
+
+def backend_from_spec(spec: dict) -> StoreBackend:
+    """Rebuild a backend from its :meth:`StoreBackend.spec` description."""
+    backend = spec.get("backend")
+    if backend == "memory":
+        return MemoryBackend(max_entries=spec.get("max_entries"))
+    if backend == "disk":
+        return DiskBackend(spec["root"])
+    if backend == "sharded":
+        return ShardedBackend(
+            [backend_from_spec(child) for child in spec["shards"]],
+            points_per_shard=spec.get("points_per_shard", 64),
+        )
+    if backend == "remote":
+        return RemoteBackend(
+            spec["url"],
+            timeout=spec.get("timeout", 10.0),
+            failure_cooldown=spec.get("failure_cooldown", 30.0),
+        )
+    raise ValueError(f"unknown backend spec {spec!r}")

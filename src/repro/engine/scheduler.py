@@ -157,20 +157,24 @@ _WORKER_PAIR_SHIPMENT: EmbeddingShipment | None = None
 
 def _init_worker(
     config: "PipelineConfig",
-    store_root,
+    store_spec,
     shipment: CorpusShipment | None = None,
     parent_policy: KernelPolicy | None = None,
     pair_shipment: EmbeddingShipment | None = None,
 ) -> None:
     """Build the per-process pipeline once; groups then reuse its caches.
 
-    ``shipment`` carries the parent's pre-built corpus pair (shared memory);
-    the shipment object is kept alive for the worker's lifetime because the
-    materialised corpora view its buffer.  ``pair_shipment`` carries whatever
-    trained embedding pairs the parent store already held; they preload the
-    worker store's memory tier so warm reruns skip retraining.
-    ``parent_policy`` replicates the parent's process-wide kernel policy so
-    ``None`` config fields resolve the same way in every process.
+    ``store_spec`` is the parent store's :meth:`ArtifactStore.spec` (or a bare
+    root path, or ``None``); each worker rebuilds the same tier stack -- disk,
+    shards, remote peers -- so artifacts written by any process land where
+    every other process looks for them.  ``shipment`` carries the parent's
+    pre-built corpus pair (shared memory); the shipment object is kept alive
+    for the worker's lifetime because the materialised corpora view its
+    buffer.  ``pair_shipment`` carries whatever trained embedding pairs the
+    parent store already held; they preload the worker store's memory tier so
+    warm reruns skip retraining.  ``parent_policy`` replicates the parent's
+    process-wide kernel policy so ``None`` config fields resolve the same way
+    in every process.
     """
     global _WORKER_PIPELINE, _WORKER_SHIPMENT, _WORKER_PAIR_SHIPMENT
     from repro.instability.pipeline import InstabilityPipeline
@@ -181,7 +185,7 @@ def _init_worker(
     _WORKER_PAIR_SHIPMENT = pair_shipment
     warm_pair = shipment.materialize() if shipment is not None else None
     _WORKER_PIPELINE = InstabilityPipeline(
-        config, store=ArtifactStore(store_root), warm_corpus_pair=warm_pair
+        config, store=ArtifactStore.from_spec(store_spec), warm_corpus_pair=warm_pair
     )
     if pair_shipment is not None:
         pair_shipment.seed(_WORKER_PIPELINE.store)
@@ -338,7 +342,7 @@ class GridEngine:
         completes; falls back to serial on pool start failure."""
         method = "fork" if "fork" in get_all_start_methods() else None
         ctx = get_context(method)
-        store_root = self.store.root
+        store_spec = self.store.spec()
         # Warm-up: ship the already-built corpus pair to workers once, instead
         # of letting every worker regenerate it from the config -- and every
         # trained full-precision pair the parent store already holds, so warm
@@ -362,7 +366,7 @@ class GridEngine:
                     processes=workers,
                     initializer=_init_worker,
                     initargs=(
-                        self.pipeline.config, store_root, shipment,
+                        self.pipeline.config, store_spec, shipment,
                         default_policy(), pair_shipment,
                     ),
                 )

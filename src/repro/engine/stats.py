@@ -69,6 +69,7 @@ def stats(
             kind: asdict(stat) for kind, stat in sorted(store.stats.items())
         }
         snapshot["store_persistent"] = store.persistent
+        snapshot["store_tiers"] = store.tier_stats()
     if pipeline is not None:
         snapshot["pipeline"] = {
             "corpus_build_count": pipeline.corpus_build_count,

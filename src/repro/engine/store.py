@@ -1,39 +1,62 @@
-"""Content-addressed artifact store for the grid-execution engine.
+"""Content-addressed artifact store: a tier stack over pluggable backends.
 
 Every expensive artifact of the instability pipeline -- trained embedding
 pairs, quantized pairs, matrix decompositions, downstream results, measure
 values -- is keyed by a hash of the configuration that produced it.  Repeated
 grid cells, repeated experiments, and repeated *runs* then hit the cache
-instead of recomputing:
+instead of recomputing.
 
-* an **in-memory tier** (always on) preserves object identity within a
-  process, replacing the ad-hoc dicts the pipeline used to keep;
-* an optional **disk tier** (``root`` given) persists artifacts as ``.npz``
-  and ``.json`` files under ``root/<kind>/<key>.*`` via the same conventions
-  as :mod:`repro.utils.io`, so a second process (or a second day) skips
-  retraining entirely.
+The store is layered:
 
-Writes to the disk tier go through a temporary file and an atomic
-``os.replace`` so concurrent scheduler workers sharing one store can never
-observe a half-written artifact.  Per-kind hit/miss counters make cache
-behaviour testable ("a warm rerun performs zero retrainings").
+* an **object memory tier** (always on) holds decoded artifacts and preserves
+  object identity within a process -- it also backs :meth:`preload` (worker
+  warm-up) and :meth:`memory_entries`;
+* below it, a **tier stack** of byte-level backends
+  (:mod:`repro.engine.backends`): a local disk tree, N sharded directories,
+  a remote ``repro-serve`` peer, or any combination.  Reads walk tiers top to
+  bottom and promote hits into the tiers above (read-through); writes encode
+  once and land in every tier (write-back, top to bottom).
+
+``ArtifactStore(root)`` keeps the original behaviour and on-disk layout:
+one memory tier plus one disk tier at ``root/<kind>/<key>.{json,npz}``.
+``shards=N`` replaces the disk tier with N consistent-hashed shard
+directories; ``remote_url=...`` appends an HTTP peer tier.  Because keys are
+content hashes, they are location-independent: any tier on any host serves
+the same bytes for the same key.
+
+Per-kind hit/miss counters make cache behaviour testable ("a warm rerun
+performs zero retrainings"); a corrupted or truncated payload in any tier is
+logged, counted (``corrupt``) and treated as a miss instead of poisoning the
+run.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import json
-import os
-import tempfile
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from repro.corpus.vocabulary import Vocabulary
 from repro.embeddings.base import Embedding
-from repro.utils.io import ensure_dir, to_jsonable
+from repro.engine.backends import (
+    DiskBackend,
+    RemoteBackend,
+    ShardedBackend,
+    StoreBackend,
+    backend_from_spec,
+)
+from repro.engine.codecs import (
+    ARRAYS_CODEC,
+    EMBEDDING_PAIR_CODEC,
+    JSON_CODEC,
+    ArtifactCodec,
+    codec_for_value,
+)
+from repro.utils.io import to_jsonable
 from repro.utils.logging import get_logger
 
 logger = get_logger(__name__)
@@ -67,37 +90,60 @@ class CacheStats:
     #: Entries seeded into the memory tier from outside (worker warm-up);
     #: they are neither hits nor puts -- the store did not produce them.
     preloads: int = 0
+    #: Payloads found in a tier but undecodable (truncated file, bad npz/json);
+    #: each one is logged and treated as a miss for that tier.
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
 
 
-def _atomic_write(path: Path, writer) -> None:
-    """Write a file via a sibling temp file + ``os.replace`` (atomic on POSIX)."""
-    ensure_dir(path.parent)
-    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
-    tmp = Path(tmp_name)
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            writer(handle)
-        os.replace(tmp, path)
-    except BaseException:
-        tmp.unlink(missing_ok=True)
-        raise
-
-
-def _vocab_from_arrays(words: np.ndarray, counts: np.ndarray) -> Vocabulary:
-    return Vocabulary({str(w): int(c) for w, c in zip(words, counts)})
-
-
 class ArtifactStore:
-    """Two-tier (memory + optional disk) content-addressed artifact cache."""
+    """Tiered content-addressed artifact cache (memory + backend stack).
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    Parameters
+    ----------
+    root:
+        Local cache directory.  ``None`` keeps the store memory-only unless
+        other tiers are given.  With ``shards`` <= 1 the disk layout is the
+        original ``root/<kind>/<key>.{json,npz}``.
+    backends:
+        Explicit tier stack (upper tier first); overrides ``root``/``shards``/
+        ``remote_url`` construction.
+    shards:
+        Split the local disk tier into this many consistent-hashed shard
+        directories (``root/shard-00`` ...).  Values <= 1 mean unsharded.
+    remote_url:
+        A peer ``repro-serve`` base URL appended as the lowest tier; local
+        misses are fetched from the peer and promoted into the tiers above.
+    remote_timeout:
+        Per-request socket timeout of the remote tier, in seconds.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        backends: Sequence[StoreBackend] | None = None,
+        shards: int | None = None,
+        remote_url: str | None = None,
+        remote_timeout: float = 10.0,
+    ) -> None:
         self.root = Path(root) if root is not None else None
-        if self.root is not None:
-            ensure_dir(self.root)
+        if backends is not None:
+            if shards or remote_url:
+                raise ValueError("pass either explicit backends or shards/remote_url")
+            self.tiers: list[StoreBackend] = list(backends)
+        else:
+            self.tiers = []
+            if self.root is not None:
+                if shards is not None and shards > 1:
+                    self.tiers.append(ShardedBackend.local(self.root, shards))
+                else:
+                    self.tiers.append(DiskBackend(self.root))
+            if remote_url:
+                self.tiers.append(RemoteBackend(remote_url, timeout=remote_timeout))
         self._memory: dict[tuple[str, str], Any] = {}
         self.stats: dict[str, CacheStats] = {}
 
@@ -114,7 +160,8 @@ class ArtifactStore:
 
     @property
     def persistent(self) -> bool:
-        return self.root is not None
+        """Whether any tier outlives this process (disk, shards, or a peer)."""
+        return any(tier.persistent for tier in self.tiers)
 
     def key(self, **fields: Any) -> str:
         """Content hash of keyword fields (convenience over :func:`config_hash`)."""
@@ -125,7 +172,7 @@ class ArtifactStore:
 
         Used by the worker warm-up path: the parent ships artifacts it already
         holds and workers preload them, skipping recomputation without
-        touching the disk tier (the parent persists its own copies).
+        touching the byte tiers (the parent persists its own copies).
         """
         self._memory[(kind, key)] = value
         self.stat(kind).preloads += 1
@@ -137,10 +184,6 @@ class ArtifactStore:
     def __len__(self) -> int:
         return len(self._memory)
 
-    def _path(self, kind: str, key: str, suffix: str) -> Path:
-        assert self.root is not None
-        return self.root / kind / f"{key}{suffix}"
-
     def _record(self, kind: str, found: bool) -> None:
         stat = self.stat(kind)
         if found:
@@ -148,135 +191,230 @@ class ArtifactStore:
         else:
             stat.misses += 1
 
-    # -- generic JSON artifacts ----------------------------------------------
+    def tier_stats(self) -> list[dict]:
+        """Per-tier counter snapshots, upper tier first (JSON-able)."""
+        return [tier.describe() for tier in self.tiers]
+
+    # -- reconstruction (scheduler workers) ----------------------------------
+
+    def spec(self) -> dict:
+        """Picklable description so worker processes can rebuild this store.
+
+        Tiers that cannot describe themselves (custom backend objects) are
+        dropped from the description; workers then reconstruct the closest
+        expressible store (at worst ``root``-only, the old behaviour).
+        """
+        tier_specs = [tier.spec() for tier in self.tiers]
+        return {
+            "root": str(self.root) if self.root is not None else None,
+            "tiers": [spec for spec in tier_specs if spec is not None],
+        }
+
+    @classmethod
+    def from_spec(cls, spec: "dict | str | Path | None") -> "ArtifactStore":
+        """Rebuild a store from :meth:`spec` (also accepts a bare root path)."""
+        if spec is None:
+            return cls()
+        if isinstance(spec, (str, Path)):
+            return cls(spec)
+        tiers = [backend_from_spec(s) for s in spec.get("tiers", [])]
+        if tiers:
+            return cls(spec.get("root"), backends=tiers)
+        return cls(spec.get("root"))
+
+    # -- generic tiered read/write -------------------------------------------
+
+    def _get(self, kind: str, key: str, codec: ArtifactCodec) -> Any | None:
+        memo = self._memory.get((kind, key))
+        if memo is not None:
+            self._record(kind, True)
+            return memo
+        name = key + codec.suffix
+        for index, tier in enumerate(self.tiers):
+            payload = tier.get(kind, name)
+            if payload is None:
+                continue
+            try:
+                value = codec.decode(payload)
+            except Exception as error:
+                logger.warning(
+                    "corrupt %s artifact %s/%s in %s tier: %s; treating as a miss",
+                    codec.name, kind, name, tier.name, error,
+                )
+                self.stat(kind).corrupt += 1
+                continue
+            # Read-through: promote the payload into every tier above the hit.
+            for upper in self.tiers[:index]:
+                upper.put(kind, name, payload)
+            self._memory[(kind, key)] = value
+            self._record(kind, True)
+            return value
+        self._record(kind, False)
+        return None
+
+    def _put(self, kind: str, key: str, value: Any, codec: ArtifactCodec) -> None:
+        self._memory[(kind, key)] = value
+        self.stat(kind).puts += 1
+        if self.tiers:
+            payload = codec.encode(value)
+            for tier in self.tiers:
+                tier.put(kind, key + codec.suffix, payload)
+
+    # -- typed artifact families ---------------------------------------------
 
     def get_json(self, kind: str, key: str) -> Any | None:
         """Look up a JSON-able artifact; ``None`` on miss (counted)."""
-        memo = self._memory.get((kind, key))
-        if memo is not None:
-            self._record(kind, True)
-            return memo
-        if self.root is not None:
-            path = self._path(kind, key, ".json")
-            if path.exists():
-                value = json.loads(path.read_text())
-                self._memory[(kind, key)] = value
-                self._record(kind, True)
-                return value
-        self._record(kind, False)
-        return None
+        return self._get(kind, key, JSON_CODEC)
 
     def put_json(self, kind: str, key: str, value: Any) -> None:
-        value = to_jsonable(value)
-        self._memory[(kind, key)] = value
-        self.stat(kind).puts += 1
-        if self.root is not None:
-            payload = json.dumps(value, indent=2, sort_keys=True).encode("utf-8")
-            _atomic_write(self._path(kind, key, ".json"), lambda f: f.write(payload))
-
-    # -- array artifacts (matrix decompositions etc.) --------------------------
+        self._put(kind, key, to_jsonable(value), JSON_CODEC)
 
     def get_arrays(self, kind: str, key: str) -> dict[str, np.ndarray] | None:
-        memo = self._memory.get((kind, key))
-        if memo is not None:
-            self._record(kind, True)
-            return memo
-        if self.root is not None:
-            path = self._path(kind, key, ".npz")
-            if path.exists():
-                with np.load(path) as data:
-                    arrays = {name: data[name] for name in data.files}
-                self._memory[(kind, key)] = arrays
-                self._record(kind, True)
-                return arrays
-        self._record(kind, False)
-        return None
+        return self._get(kind, key, ARRAYS_CODEC)
 
     def put_arrays(self, kind: str, key: str, arrays: Mapping[str, np.ndarray]) -> None:
-        arrays = {name: np.asarray(arr) for name, arr in arrays.items()}
-        self._memory[(kind, key)] = arrays
-        self.stat(kind).puts += 1
-        if self.root is not None:
-            _atomic_write(
-                self._path(kind, key, ".npz"),
-                lambda f: np.savez_compressed(f, **arrays),
-            )
-
-    # -- embedding pairs ---------------------------------------------------------
+        self._put(
+            kind, key, {name: np.asarray(arr) for name, arr in arrays.items()},
+            ARRAYS_CODEC,
+        )
 
     def get_embedding_pair(self, kind: str, key: str) -> tuple[Embedding, Embedding] | None:
         """Look up a (base, drifted) embedding pair; ``None`` on miss."""
-        memo = self._memory.get((kind, key))
-        if memo is not None:
-            self._record(kind, True)
-            return memo
-        if self.root is not None:
-            path = self._path(kind, key, ".npz")
-            if path.exists():
-                pair = self._load_pair(path)
-                self._memory[(kind, key)] = pair
-                self._record(kind, True)
-                return pair
-        self._record(kind, False)
-        return None
+        return self._get(kind, key, EMBEDDING_PAIR_CODEC)
 
     def put_embedding_pair(
         self, kind: str, key: str, pair: tuple[Embedding, Embedding]
     ) -> None:
-        self._memory[(kind, key)] = pair
-        self.stat(kind).puts += 1
-        if self.root is not None:
-            emb_a, emb_b = pair
-            payload = {
-                "vectors_a": emb_a.vectors,
-                "vectors_b": emb_b.vectors,
-                "words_a": np.array(emb_a.vocab.words, dtype=object),
-                "counts_a": emb_a.vocab.counts,
-                "words_b": np.array(emb_b.vocab.words, dtype=object),
-                "counts_b": emb_b.vocab.counts,
-                "metadata": np.array(
-                    json.dumps([to_jsonable(emb_a.metadata), to_jsonable(emb_b.metadata)])
-                ),
-            }
-            _atomic_write(
-                self._path(kind, key, ".npz"),
-                lambda f: np.savez_compressed(f, **payload),
-            )
+        self._put(kind, key, (pair[0], pair[1]), EMBEDDING_PAIR_CODEC)
+
+    # -- byte-level access (the serving layer's /artifacts endpoints) ----------
+    #
+    # The byte API answers *peers*, so it deliberately touches only local
+    # tiers: a node must never answer a peer's fetch by fetching from its own
+    # peers (two symmetrically-configured nodes would recurse on every miss),
+    # nor forward a peer's replication write back out to another peer.
+
+    @property
+    def _local_tiers(self) -> list[StoreBackend]:
+        return [tier for tier in self.tiers if not tier.remote_capable]
 
     @staticmethod
-    def _load_pair(path: Path) -> tuple[Embedding, Embedding]:
-        with np.load(path, allow_pickle=True) as data:
-            meta_a, meta_b = json.loads(str(data["metadata"]))
-            embeddings = []
-            for side, meta in (("a", meta_a), ("b", meta_b)):
-                words = [str(w) for w in data[f"words_{side}"]]
-                counts = data[f"counts_{side}"]
-                vectors = data[f"vectors_{side}"]
-                vocab = _vocab_from_arrays(np.array(words, dtype=object), counts)
-                # Vocabulary re-sorts by frequency; restore row alignment.
-                order = np.asarray([words.index(w) for w in vocab.words], dtype=np.int64)
-                embeddings.append(Embedding(vocab=vocab, vectors=vectors[order], metadata=meta))
-        return embeddings[0], embeddings[1]
+    def _split_name(name: str) -> tuple[str, str] | None:
+        for suffix in (".json", ".npz"):
+            if name.endswith(suffix):
+                return name[: -len(suffix)], suffix
+        return None
+
+    def get_bytes(self, kind: str, name: str) -> bytes | None:
+        """Raw payload of ``kind/name`` for serving to a peer (local tiers only).
+
+        Walks the local byte tiers first; when the artifact lives only in
+        the object memory tier (e.g. a serving node that trained it this
+        process), it is encoded on the fly with the codec matching the
+        object's type.  Not counted in the per-kind hit/miss stats -- peer
+        traffic is accounted by the peer's own store.
+        """
+        for tier in self._local_tiers:
+            payload = tier.get(kind, name)
+            if payload is not None:
+                return payload
+        split = self._split_name(name)
+        if split is not None:
+            key, suffix = split
+            memo = self._memory.get((kind, key))
+            if memo is not None:
+                codec = codec_for_value(memo)
+                if codec.suffix == suffix:
+                    return codec.encode(memo)
+        return None
+
+    def contains_bytes(self, kind: str, name: str) -> bool:
+        if any(tier.contains(kind, name) for tier in self._local_tiers):
+            return True
+        split = self._split_name(name)
+        if split is None:
+            return False
+        key, suffix = split
+        memo = self._memory.get((kind, key))
+        # Mirror get_bytes: a memory-only artifact only "exists" under the
+        # name its codec would encode it as (HEAD 200 must imply GET 200).
+        return memo is not None and codec_for_value(memo).suffix == suffix
+
+    def put_bytes(self, kind: str, name: str, payload: bytes) -> None:
+        """Write a peer-provided payload into the local byte tiers (not decoded).
+
+        A store with no local byte tiers (memory-only serving node) decodes
+        the payload into its object tier instead, so replication to it still
+        sticks; an undecodable payload is dropped and counted as corrupt.
+        """
+        local = self._local_tiers
+        if not local:
+            split = self._split_name(name)
+            if split is None:
+                return
+            key, suffix = split
+            try:
+                self._memory[(kind, key)] = self._decode_payload(payload, suffix)
+            except Exception as error:
+                logger.warning(
+                    "dropping corrupt peer payload %s/%s: %s", kind, name, error
+                )
+                self.stat(kind).corrupt += 1
+            return
+        for tier in local:
+            tier.put(kind, name, payload)
+
+    @staticmethod
+    def _decode_payload(payload: bytes, suffix: str) -> Any:
+        """Decode a raw payload by suffix (npz family sniffed by field names)."""
+        if suffix == ".json":
+            return JSON_CODEC.decode(payload)
+        with np.load(io.BytesIO(payload), allow_pickle=True) as data:
+            files = set(data.files)
+        if {"vectors_a", "vectors_b", "metadata"} <= files:
+            return EMBEDDING_PAIR_CODEC.decode(payload)
+        return ARRAYS_CODEC.decode(payload)
+
+    def delete_bytes(self, kind: str, name: str) -> None:
+        for tier in self._local_tiers:
+            tier.delete(kind, name)
+        split = self._split_name(name)
+        if split is not None:
+            self._memory.pop((kind, split[0]), None)
 
 
 # -- process-wide default store ------------------------------------------------
 #
-# ``repro.experiments.runner --cache-dir`` configures a root here once, and
-# every pipeline constructed afterwards without an explicit store persists to
-# it; the default without configuration stays a private in-memory store per
-# pipeline, matching the seed behaviour.
+# ``repro.experiments.runner --cache-dir/--store-shards/--store-url`` configures
+# the default construction here once, and every pipeline constructed afterwards
+# without an explicit store uses it; the default without configuration stays a
+# private in-memory store per pipeline, matching the seed behaviour.
 
 _DEFAULT_ROOT: Path | None = None
+_DEFAULT_SHARDS: int | None = None
+_DEFAULT_REMOTE_URL: str | None = None
 
 
-def configure_default_store(root: str | Path | None) -> None:
-    """Set (or clear, with ``None``) the process-wide artifact store root."""
-    global _DEFAULT_ROOT
+def configure_default_store(
+    root: str | Path | None,
+    *,
+    shards: int | None = None,
+    remote_url: str | None = None,
+) -> None:
+    """Set (or clear, with all-``None``) the process-wide store construction."""
+    global _DEFAULT_ROOT, _DEFAULT_SHARDS, _DEFAULT_REMOTE_URL
     _DEFAULT_ROOT = Path(root) if root is not None else None
-    if _DEFAULT_ROOT is not None:
-        logger.info("default artifact store root: %s", _DEFAULT_ROOT)
+    _DEFAULT_SHARDS = shards
+    _DEFAULT_REMOTE_URL = remote_url
+    if _DEFAULT_ROOT is not None or remote_url is not None:
+        logger.info(
+            "default artifact store: root=%s shards=%s remote=%s",
+            _DEFAULT_ROOT, shards, remote_url,
+        )
 
 
 def default_store() -> ArtifactStore:
-    """A store at the configured default root, or a fresh in-memory store."""
-    return ArtifactStore(_DEFAULT_ROOT)
+    """A store built from the configured defaults, or a fresh in-memory store."""
+    return ArtifactStore(
+        _DEFAULT_ROOT, shards=_DEFAULT_SHARDS, remote_url=_DEFAULT_REMOTE_URL
+    )

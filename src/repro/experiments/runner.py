@@ -100,6 +100,16 @@ def main(argv: list[str] | None = None) -> int:
         help="persist the engine's artifact store here; reruns skip retraining",
     )
     parser.add_argument(
+        "--store-shards", type=int, default=None,
+        help="split the local artifact store into N consistent-hashed shard "
+             "directories under --cache-dir",
+    )
+    parser.add_argument(
+        "--store-url", default=None,
+        help="peer repro-serve base URL used as a remote artifact-store tier; "
+             "warm artifacts are fetched instead of recomputed",
+    )
+    parser.add_argument(
         "--kernel-policy", choices=SVD_METHODS, default=None,
         help="SVD kernel selection for every decomposition (default: exact; "
              "'auto' switches large truncated decompositions to randomized)",
@@ -115,6 +125,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--host", default="127.0.0.1", help="bind address for --serve")
     parser.add_argument("--port", type=int, default=8732, help="port for --serve (0 = ephemeral)")
     args = parser.parse_args(argv)
+    if args.store_shards is not None and args.cache_dir is None:
+        parser.error("--store-shards requires --cache-dir (it shards the local store)")
 
     configure_logging()
     if args.list:
@@ -129,6 +141,10 @@ def main(argv: list[str] | None = None) -> int:
                       "--workers", str(args.workers)]
         if args.cache_dir is not None:
             serve_argv += ["--cache-dir", args.cache_dir]
+        if args.store_shards is not None:
+            serve_argv += ["--store-shards", str(args.store_shards)]
+        if args.store_url is not None:
+            serve_argv += ["--store-url", args.store_url]
         if args.kernel_policy is not None:
             serve_argv += ["--kernel-policy", args.kernel_policy]
         if args.dtype is not None:
@@ -140,8 +156,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.print_help()
         return 1
 
-    if args.cache_dir is not None:
-        configure_default_store(args.cache_dir)
+    if args.cache_dir is not None or args.store_url is not None:
+        configure_default_store(
+            args.cache_dir, shards=args.store_shards, remote_url=args.store_url
+        )
     if args.kernel_policy is not None or args.dtype is not None:
         configure_default_policy(svd=args.kernel_policy, dtype=args.dtype)
 

@@ -11,17 +11,27 @@ Endpoints (GET query parameters and/or a JSON request body; body wins):
 * ``GET|POST /grid?dims=8,16&precisions=1,32&stream=...`` -- executes a grid
   and **streams one NDJSON record per line as each cell completes**
   (chunked transfer encoding; ``ordered=false`` for arrival order).
+* ``GET|PUT|HEAD|DELETE /artifacts/<kind>/<name>`` -- raw byte access to the
+  service's artifact store, so **any running instance is a remote storage
+  tier** for other nodes (see
+  :class:`~repro.engine.backends.RemoteBackend`): ``GET`` serves a payload
+  from any tier (encoding memory-only artifacts on the fly), ``PUT``
+  replicates one in, ``HEAD`` probes existence.
 
 Built on ``asyncio.start_server`` and nothing else -- no third-party web
 framework -- so the serving layer runs anywhere the reproduction runs.
 Blocking numerical work happens on the service's bounded thread pool; the
-event loop only parses requests and shuttles bytes.
+event loop only parses requests and shuttles bytes.  Connections are
+**keep-alive** (HTTP/1.1 semantics) so a peer's store tier reuses one TCP
+connection across artifact fetches, and every non-streaming request is
+bounded by a per-request timeout (``--request-timeout``).
 
 Run it::
 
     repro-serve --port 8732                     # or python -m repro.serving.api
     curl localhost:8732/healthz
     curl -N 'localhost:8732/grid?dims=8&precisions=1,32'
+    repro-serve --port 8733 --store-url http://localhost:8732   # warm peer
 """
 
 from __future__ import annotations
@@ -29,13 +39,14 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import re
 import signal
 import sys
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Awaitable, Callable
-from urllib.parse import parse_qs, urlsplit
+from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.corpus.synthetic import SyntheticCorpusConfig
 from repro.engine.store import ArtifactStore
@@ -49,9 +60,17 @@ __all__ = ["StabilityAPIServer", "quick_serve_config", "main"]
 
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 500: "Internal Server Error",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error", 504: "Gateway Timeout",
 }
 _MAX_BODY_BYTES = 1 << 20
+#: Raw /artifacts payloads (npz embedding pairs) dwarf JSON request bodies.
+_MAX_ARTIFACT_BYTES = 1 << 28
+#: ``/artifacts/<kind>/<name>``: identifier-safe kind, hex-ish name with the
+#: codec suffix -- rejects path traversal and temp-file names by construction.
+_ARTIFACT_PATH = re.compile(
+    r"^/artifacts/([A-Za-z0-9_\-]{1,64})/([A-Za-z0-9_\-]{1,128}\.(?:json|npz))$"
+)
 
 
 class APIError(Exception):
@@ -67,15 +86,31 @@ class _Request:
     method: str
     path: str
     params: dict[str, str | object]
+    headers: dict[str, str] = field(default_factory=dict)
+    #: Raw request body; only kept for /artifacts requests (PUT payloads).
+    body: bytes = b""
+    #: Whether the client may reuse this connection for further requests.
+    keep_alive: bool = True
 
 
-async def _read_request(reader: asyncio.StreamReader) -> _Request | None:
-    """Parse one HTTP/1.1 request (request line, headers, optional JSON body)."""
-    line = await reader.readline()
+async def _read_request(
+    reader: asyncio.StreamReader, idle_timeout: float | None = None
+) -> _Request | None:
+    """Parse one HTTP/1.1 request (request line, headers, optional body).
+
+    ``idle_timeout`` bounds only the wait for the *first* byte of the next
+    request -- the keep-alive idle gap.  Once a request line has started
+    arriving, the rest (headers and an arbitrarily large /artifacts body on
+    a slow link) reads without that clock; ``asyncio.TimeoutError``
+    surfaces to the caller to close the idle connection.  JSON bodies merge
+    into the query parameters (body wins); ``/artifacts`` bodies stay raw
+    bytes -- they are opaque store payloads.
+    """
+    line = await asyncio.wait_for(reader.readline(), timeout=idle_timeout)
     if not line:
         return None
     try:
-        method, target, _version = line.decode("latin1").split(" ", 2)
+        method, target, version = line.decode("latin1").split(" ", 2)
     except ValueError as error:
         raise APIError(400, f"malformed request line: {error}") from error
     headers: dict[str, str] = {}
@@ -87,14 +122,17 @@ async def _read_request(reader: asyncio.StreamReader) -> _Request | None:
         headers[name.strip().lower()] = value.strip()
 
     split = urlsplit(target)
+    path = split.path
     params: dict[str, str | object] = {
         key: values[-1] for key, values in parse_qs(split.query).items()
     }
+    raw = path.startswith("/artifacts/")
+    limit = _MAX_ARTIFACT_BYTES if raw else _MAX_BODY_BYTES
     length = int(headers.get("content-length", "0") or "0")
-    if length > _MAX_BODY_BYTES:
-        raise APIError(400, f"request body over {_MAX_BODY_BYTES} bytes")
-    if length:
-        body = await reader.readexactly(length)
+    if length > limit:
+        raise APIError(413, f"request body over {limit} bytes")
+    body = await reader.readexactly(length) if length else b""
+    if body and not raw:
         try:
             payload = json.loads(body)
         except json.JSONDecodeError as error:
@@ -102,7 +140,16 @@ async def _read_request(reader: asyncio.StreamReader) -> _Request | None:
         if not isinstance(payload, dict):
             raise APIError(400, "JSON request body must be an object")
         params.update(payload)
-    return _Request(method=method.upper(), path=split.path, params=params)
+        body = b""
+    connection = headers.get("connection", "").lower()
+    keep_alive = (
+        connection == "keep-alive"
+        or (version.strip().upper() == "HTTP/1.1" and connection != "close")
+    )
+    return _Request(
+        method=method.upper(), path=path, params=params,
+        headers=headers, body=body, keep_alive=keep_alive,
+    )
 
 
 # -- parameter coercion ---------------------------------------------------------
@@ -151,15 +198,33 @@ def _tuple_param(params: dict, name: str, cast=int) -> tuple | None:
 
 
 class StabilityAPIServer:
-    """Asyncio HTTP server routing requests to a :class:`StabilityService`."""
+    """Asyncio HTTP server routing requests to a :class:`StabilityService`.
+
+    Connections are keep-alive: after each response the server waits up to
+    ``keepalive_timeout`` seconds for the next request on the same socket, so
+    a peer's :class:`~repro.engine.backends.RemoteBackend` fetches hundreds of
+    artifacts over one TCP connection.  Non-streaming requests are bounded by
+    ``request_timeout`` seconds (``None`` disables); a timed-out request
+    answers 504 and closes the connection (the underlying worker thread
+    cannot be interrupted, but the socket stops waiting on it).
+    """
 
     def __init__(
-        self, service: StabilityService, *, host: str = "127.0.0.1", port: int = 8732
+        self,
+        service: StabilityService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8732,
+        request_timeout: float | None = 300.0,
+        keepalive_timeout: float = 30.0,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.request_timeout = request_timeout
+        self.keepalive_timeout = keepalive_timeout
         self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
         self._routes: dict[str, Callable[[_Request], Awaitable[dict]]] = {
             "/healthz": self._handle_healthz,
             "/metrics": self._handle_metrics,
@@ -181,6 +246,14 @@ class StabilityAPIServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Idle keep-alive connections would otherwise linger until their
+        # timeout; cancel their handler tasks so shutdown is prompt and the
+        # event loop tears down clean.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -191,35 +264,63 @@ class StabilityAPIServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
         try:
-            try:
-                request = await _read_request(reader)
-            except APIError as error:
-                self._write_json(writer, error.status, {"error": str(error)})
-                await writer.drain()
-                return
-            if request is None:
-                return
-            await self._dispatch(request, writer)
+            # Keep-alive loop: serve requests on this socket until the client
+            # closes, asks to close, streams a /grid, or goes idle too long.
+            while True:
+                try:
+                    request = await _read_request(reader, self.keepalive_timeout)
+                except asyncio.TimeoutError:
+                    break                      # idle keep-alive connection
+                except APIError as error:
+                    # Framing errors leave the stream unparseable: answer, close.
+                    self._write_json(
+                        writer, error.status, {"error": str(error)}, close=True
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                keep_alive = request.keep_alive and request.path != "/grid"
+                await self._dispatch(request, writer, keep_alive=keep_alive)
+                # A handler may force the connection shut (e.g. a 504).
+                if not (keep_alive and request.keep_alive):
+                    break
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass  # client went away; nothing to answer
         except Exception:  # pragma: no cover - last-resort guard
             logger.exception("unhandled error serving a request")
             try:
-                self._write_json(writer, 500, {"error": "internal server error"})
+                self._write_json(writer, 500, {"error": "internal server error"}, close=True)
                 await writer.drain()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+        except asyncio.CancelledError:
+            pass  # server shutdown; the finally block closes the socket
         finally:
+            if task is not None:
+                self._connections.discard(task)
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
                 pass
 
-    async def _dispatch(self, request: _Request, writer: asyncio.StreamWriter) -> None:
+    async def _dispatch(
+        self, request: _Request, writer: asyncio.StreamWriter, *, keep_alive: bool = False
+    ) -> None:
+        close = not keep_alive
+        if request.path.startswith("/artifacts/"):
+            await self._handle_artifacts(request, writer, close=close)
+            return
         if request.method not in ("GET", "POST"):
-            self._write_json(writer, 405, {"error": f"method {request.method} not allowed"})
+            self._write_json(
+                writer, 405, {"error": f"method {request.method} not allowed"},
+                close=close,
+            )
             await writer.drain()
             return
         if request.path == "/grid":
@@ -230,36 +331,135 @@ class StabilityAPIServer:
             self._write_json(
                 writer, 404,
                 {"error": f"unknown path {request.path!r}",
-                 "paths": sorted([*self._routes, "/grid"])},
+                 "paths": sorted([*self._routes, "/artifacts", "/grid"])},
+                close=close,
             )
             await writer.drain()
             return
         try:
-            payload = await handler(request)
+            payload = await asyncio.wait_for(handler(request), self.request_timeout)
+        except asyncio.TimeoutError:
+            # The worker thread keeps running, but the client stops waiting;
+            # close so a retry lands on a fresh connection.
+            self._write_json(
+                writer, 504,
+                {"error": f"request exceeded {self.request_timeout:.0f}s"},
+                close=True,
+            )
+            request.keep_alive = False
         except APIError as error:
-            self._write_json(writer, error.status, {"error": str(error)})
+            self._write_json(writer, error.status, {"error": str(error)}, close=close)
         except (ValueError, KeyError) as error:
             # Domain validation: unknown algorithm/task/criterion names raise
             # KeyError from the registries, bad values raise ValueError.
             message = error.args[0] if error.args else str(error)
-            self._write_json(writer, 400, {"error": str(message)})
+            self._write_json(writer, 400, {"error": str(message)}, close=close)
         except Exception as error:  # pragma: no cover - defensive
             logger.exception("request to %s failed", request.path)
-            self._write_json(writer, 500, {"error": f"{type(error).__name__}: {error}"})
+            self._write_json(
+                writer, 500, {"error": f"{type(error).__name__}: {error}"}, close=close
+            )
         else:
-            self._write_json(writer, 200, payload)
+            self._write_json(writer, 200, payload, close=close)
         await writer.drain()
 
     @staticmethod
-    def _write_json(writer: asyncio.StreamWriter, status: int, payload: dict) -> None:
+    def _write_json(
+        writer: asyncio.StreamWriter, status: int, payload: dict, *, close: bool = False
+    ) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        StabilityAPIServer._write_response(
+            writer, status, body, "application/json", close=close
+        )
+
+    @staticmethod
+    def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str,
+        *,
+        close: bool = False,
+        include_body: bool = True,
+    ) -> None:
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
-            "Connection: close\r\n\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n"
         ).encode("latin1")
-        writer.write(head + body)
+        writer.write(head + body if include_body else head)
+
+    async def _offload(self, fn, *args):
+        """Run blocking store/service work off the event loop, time-bounded."""
+        loop = asyncio.get_running_loop()
+        return await asyncio.wait_for(
+            loop.run_in_executor(None, fn, *args), self.request_timeout
+        )
+
+    # -- /artifacts: the store's byte-level peer API ----------------------------
+
+    async def _handle_artifacts(
+        self, request: _Request, writer: asyncio.StreamWriter, *, close: bool
+    ) -> None:
+        """Serve raw store payloads so peers can use this node as a tier."""
+        match = _ARTIFACT_PATH.match(unquote(request.path))
+        if match is None:
+            self._write_json(
+                writer, 404,
+                {"error": "artifact paths look like /artifacts/<kind>/<key>.{json,npz}"},
+                close=close,
+            )
+            await writer.drain()
+            return
+        kind, name = match.group(1), match.group(2)
+        store = self.service.store
+        try:
+            # Store tiers touch the disk: off the event loop, bounded.
+            if request.method == "GET":
+                payload = await self._offload(store.get_bytes, kind, name)
+                if payload is None:
+                    self._write_json(
+                        writer, 404, {"error": f"no artifact {kind}/{name}"}, close=close
+                    )
+                else:
+                    self._write_response(
+                        writer, 200, payload, "application/octet-stream", close=close
+                    )
+            elif request.method == "HEAD":
+                found = await self._offload(store.contains_bytes, kind, name)
+                self._write_response(
+                    writer, 200 if found else 404, b"", "application/octet-stream",
+                    close=close,
+                )
+            elif request.method == "PUT":
+                if not request.body:
+                    self._write_json(
+                        writer, 400, {"error": "PUT needs a request body"}, close=close
+                    )
+                else:
+                    await self._offload(store.put_bytes, kind, name, request.body)
+                    self._write_json(
+                        writer, 200,
+                        {"stored": f"{kind}/{name}", "bytes": len(request.body)},
+                        close=close,
+                    )
+            elif request.method == "DELETE":
+                await self._offload(store.delete_bytes, kind, name)
+                self._write_json(writer, 200, {"deleted": f"{kind}/{name}"}, close=close)
+            else:
+                self._write_json(
+                    writer, 405, {"error": f"method {request.method} not allowed"},
+                    close=close,
+                )
+        except asyncio.TimeoutError:
+            self._write_json(
+                writer, 504,
+                {"error": f"artifact request exceeded {self.request_timeout:.0f}s"},
+                close=True,
+            )
+            request.keep_alive = False
+        await writer.drain()
 
     # -- plain JSON endpoints ----------------------------------------------------
 
@@ -425,7 +625,11 @@ def quick_serve_config() -> "PipelineConfig":
 
 async def _serve(args: argparse.Namespace) -> int:
     config = quick_serve_config() if args.quick else None
-    store = ArtifactStore(args.cache_dir) if args.cache_dir else None
+    store = None
+    if args.cache_dir or args.store_url:
+        store = ArtifactStore(
+            args.cache_dir, shards=args.store_shards, remote_url=args.store_url
+        )
     service = StabilityService(
         config,
         store=store,
@@ -433,7 +637,10 @@ async def _serve(args: argparse.Namespace) -> int:
             max_concurrency=args.max_concurrency, grid_workers=args.workers
         ),
     )
-    server = StabilityAPIServer(service, host=args.host, port=args.port)
+    server = StabilityAPIServer(
+        service, host=args.host, port=args.port,
+        request_timeout=args.request_timeout if args.request_timeout > 0 else None,
+    )
     await server.start()
     print(f"repro-serve listening on http://{server.host}:{server.port}", flush=True)
     if args.port_file:
@@ -484,6 +691,20 @@ def main(argv: list[str] | None = None) -> int:
         help="disk-backed artifact store; makes the service warm across restarts",
     )
     parser.add_argument(
+        "--store-shards", type=int, default=None,
+        help="split the local store into N consistent-hashed shard directories",
+    )
+    parser.add_argument(
+        "--store-url", default=None,
+        help="peer repro-serve base URL used as a remote artifact-store tier "
+             "(local misses are fetched from the peer's /artifacts API)",
+    )
+    parser.add_argument(
+        "--request-timeout", type=float, default=300.0,
+        help="per-request timeout in seconds for non-streaming endpoints "
+             "(0 disables)",
+    )
+    parser.add_argument(
         "--kernel-policy", choices=SVD_METHODS, default=None,
         help="SVD kernel selection (see repro.linalg)",
     )
@@ -496,6 +717,8 @@ def main(argv: list[str] | None = None) -> int:
         help="serve a tiny pipeline configuration (CI smoke / demos)",
     )
     args = parser.parse_args(argv)
+    if args.store_shards is not None and args.cache_dir is None:
+        parser.error("--store-shards requires --cache-dir (it shards the local store)")
 
     configure_logging()
     if args.kernel_policy is not None or args.dtype is not None:

@@ -154,6 +154,11 @@ class StabilityService:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    @property
+    def store(self) -> ArtifactStore:
+        """The artifact store backing this service (shared with the engine)."""
+        return self.pipeline.store
+
     # -- internals -------------------------------------------------------------
 
     def _count(self, name: str, delta: int = 1) -> None:
@@ -390,6 +395,7 @@ class StabilityService:
             "seeds": list(self.pipeline.config.seeds),
             "tasks": list(self.pipeline.config.tasks),
             "store_persistent": self.pipeline.store.persistent,
+            "store_tiers": [tier.name for tier in self.pipeline.store.tiers],
         }
 
     def metrics(self) -> dict:

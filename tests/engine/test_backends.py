@@ -1,0 +1,303 @@
+"""Unit tests of the storage backends, codecs, and the store's tier stack."""
+
+import numpy as np
+import pytest
+
+from repro.engine.backends import (
+    DiskBackend,
+    MemoryBackend,
+    RemoteBackend,
+    ShardedBackend,
+    StoreBackend,
+    backend_from_spec,
+)
+from repro.engine.codecs import (
+    ARRAYS_CODEC,
+    EMBEDDING_PAIR_CODEC,
+    JSON_CODEC,
+    codec_for_value,
+)
+from repro.engine.store import ArtifactStore
+
+
+class RecordingBackend(StoreBackend):
+    """Dict-backed backend that logs every operation (order assertions)."""
+
+    persistent = False
+
+    def __init__(self, name: str, log: list) -> None:
+        super().__init__()
+        self.name = name
+        self.log = log
+        self.data: dict[tuple[str, str], bytes] = {}
+
+    def _get(self, kind, name):
+        self.log.append((self.name, "get", name))
+        return self.data.get((kind, name))
+
+    def _put(self, kind, name, payload):
+        self.log.append((self.name, "put", name))
+        self.data[(kind, name)] = payload
+
+    def _contains(self, kind, name):
+        return (kind, name) in self.data
+
+    def _delete(self, kind, name):
+        self.data.pop((kind, name), None)
+
+
+class TestCodecs:
+    def test_json_round_trip(self):
+        value = {"acc": 0.1 + 0.2, "n": 3}
+        assert JSON_CODEC.decode(JSON_CODEC.encode(value)) == value
+
+    def test_arrays_round_trip(self):
+        arrays = {"P": np.arange(12.0).reshape(3, 4), "S": np.ones(4)}
+        decoded = ARRAYS_CODEC.decode(ARRAYS_CODEC.encode(arrays))
+        np.testing.assert_array_equal(decoded["P"], arrays["P"])
+        np.testing.assert_array_equal(decoded["S"], arrays["S"])
+
+    def test_embedding_pair_round_trip(self, embedding_pair):
+        emb_a, emb_b = embedding_pair
+        dec_a, dec_b = EMBEDDING_PAIR_CODEC.decode(
+            EMBEDDING_PAIR_CODEC.encode((emb_a, emb_b))
+        )
+        assert dec_a.vocab.words == emb_a.vocab.words
+        np.testing.assert_array_equal(dec_a.vectors, emb_a.vectors)
+        np.testing.assert_array_equal(dec_b.vectors, emb_b.vectors)
+        assert dec_b.metadata == emb_b.metadata
+
+    def test_codec_for_value_dispatch(self, embedding_pair):
+        assert codec_for_value({"x": 1}) is JSON_CODEC
+        assert codec_for_value({"x": np.zeros(2)}) is ARRAYS_CODEC
+        assert codec_for_value(embedding_pair) is EMBEDDING_PAIR_CODEC
+        assert codec_for_value([1, 2, 3]) is JSON_CODEC
+
+
+class TestMemoryBackend:
+    def test_round_trip_and_counters(self):
+        backend = MemoryBackend()
+        assert backend.get("k", "a.json") is None
+        backend.put("k", "a.json", b"payload")
+        assert backend.get("k", "a.json") == b"payload"
+        assert backend.contains("k", "a.json")
+        backend.delete("k", "a.json")
+        assert not backend.contains("k", "a.json")
+        assert (backend.stats.hits, backend.stats.misses) == (1, 1)
+        assert (backend.stats.puts, backend.stats.deletes) == (1, 1)
+
+    def test_lru_bound_evicts_oldest(self):
+        backend = MemoryBackend(max_entries=2)
+        backend.put("k", "a", b"1")
+        backend.put("k", "b", b"2")
+        backend.get("k", "a")              # refresh a; b becomes the LRU entry
+        backend.put("k", "c", b"3")
+        assert backend.contains("k", "a") and backend.contains("k", "c")
+        assert not backend.contains("k", "b")
+        assert backend.stats.evictions == 1
+
+
+class TestDiskBackend:
+    def test_layout_matches_store_convention(self, tmp_path):
+        backend = DiskBackend(tmp_path)
+        backend.put("measures", "deadbeef.json", b"{}")
+        assert (tmp_path / "measures" / "deadbeef.json").read_bytes() == b"{}"
+        # Durable atomic writes leave no temp files behind.
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_get_missing_is_none(self, tmp_path):
+        assert DiskBackend(tmp_path).get("measures", "nope.json") is None
+
+    def test_delete(self, tmp_path):
+        backend = DiskBackend(tmp_path)
+        backend.put("k", "a.json", b"x")
+        backend.delete("k", "a.json")
+        assert not backend.contains("k", "a.json")
+        backend.delete("k", "a.json")      # idempotent
+
+
+class TestShardedBackend:
+    def test_same_key_same_shard_across_instances(self, tmp_path):
+        # Two independently-constructed backends (two processes, two hosts)
+        # must route every key identically: the mapping is content-hash-based,
+        # never Python-hash-based.
+        first = ShardedBackend.local(tmp_path, 4)
+        second = ShardedBackend.local(tmp_path, 4)
+        for index in range(64):
+            name = f"key-{index}.json"
+            assert first.shard_index("k", name) == second.shard_index("k", name)
+
+    def test_keys_spread_over_all_shards(self, tmp_path):
+        backend = ShardedBackend.local(tmp_path, 4)
+        owners = {backend.shard_index("k", f"key-{i}.json") for i in range(200)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_round_trip_lands_on_exactly_one_shard(self, tmp_path):
+        backend = ShardedBackend.local(tmp_path, 3)
+        backend.put("measures", "abc.json", b"{}")
+        assert backend.get("measures", "abc.json") == b"{}"
+        holders = [
+            shard for shard in backend.shards if shard.contains("measures", "abc.json")
+        ]
+        assert len(holders) == 1
+        assert holders[0] is backend.shard_for("measures", "abc.json")
+
+    def test_consistent_hashing_is_mostly_stable_under_growth(self, tmp_path):
+        # Adding a shard must only move ~1/(N+1) of the keys -- the property
+        # that makes rebalancing a sharded store cheap.
+        three = ShardedBackend.local(tmp_path / "a", 3)
+        four = ShardedBackend.local(tmp_path / "b", 4)
+        names = [f"key-{i}.json" for i in range(400)]
+        moved = sum(
+            three.shard_index("k", name) != four.shard_index("k", name)
+            for name in names
+        )
+        assert moved < len(names) // 2
+
+    def test_empty_shard_list_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedBackend([])
+
+
+class TestRemoteBackendOffline:
+    def test_unreachable_peer_degrades_to_miss(self):
+        backend = RemoteBackend("http://127.0.0.1:9", timeout=0.2)
+        assert backend.get("measures", "abc.json") is None
+        backend.put("measures", "abc.json", b"{}")     # must not raise
+        assert not backend.contains("measures", "abc.json")
+        assert backend.stats.errors >= 2
+
+    def test_circuit_breaker_skips_timeouts_while_cooling_down(self):
+        import time
+
+        backend = RemoteBackend("http://127.0.0.1:9", timeout=0.2, failure_cooldown=60)
+        assert backend.get("measures", "abc.json") is None   # pays the probe
+        start = time.perf_counter()
+        for _ in range(20):
+            assert backend.get("measures", "abc.json") is None
+        elapsed = time.perf_counter() - start
+        # Cooling down: 20 lookups answer instantly instead of 20 timeouts.
+        assert elapsed < 0.2, f"circuit breaker did not engage ({elapsed:.2f}s)"
+        assert backend.stats.errors >= 21
+
+    def test_url_normalisation_and_validation(self):
+        assert RemoteBackend("localhost:8732").url == "http://localhost:8732"
+        with pytest.raises(ValueError):
+            RemoteBackend("ftp://host/")
+
+
+class TestSpecs:
+    def test_backend_spec_round_trips(self, tmp_path):
+        for backend in (
+            MemoryBackend(max_entries=7),
+            DiskBackend(tmp_path),
+            ShardedBackend.local(tmp_path, 3),
+            RemoteBackend("http://127.0.0.1:1", timeout=2.5),
+        ):
+            rebuilt = backend_from_spec(backend.spec())
+            assert type(rebuilt) is type(backend)
+            assert rebuilt.spec() == backend.spec()
+
+    def test_store_spec_rebuilds_tiers(self, tmp_path):
+        store = ArtifactStore(tmp_path, shards=3, remote_url="http://127.0.0.1:1")
+        clone = ArtifactStore.from_spec(store.spec())
+        assert [tier.name for tier in clone.tiers] == ["sharded", "remote"]
+        assert clone.root == tmp_path
+
+    def test_sharded_spec_preserves_ring_shape(self, tmp_path):
+        # A worker rebuilt from the spec must route every key to the same
+        # shard as the parent -- including non-default ring densities.
+        backend = ShardedBackend(
+            [DiskBackend(tmp_path / f"s{i}") for i in range(3)], points_per_shard=16
+        )
+        rebuilt = backend_from_spec(backend.spec())
+        assert rebuilt.points_per_shard == 16
+        for i in range(64):
+            name = f"key-{i}.json"
+            assert backend.shard_index("k", name) == rebuilt.shard_index("k", name)
+
+    def test_store_spec_accepts_bare_root(self, tmp_path):
+        store = ArtifactStore.from_spec(tmp_path)
+        assert store.persistent and store.root == tmp_path
+        assert not ArtifactStore.from_spec(None).persistent
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError):
+            backend_from_spec({"backend": "tape"})
+
+
+class TestTierStack:
+    def test_write_back_hits_every_tier_in_order(self):
+        log: list = []
+        upper, lower = RecordingBackend("upper", log), RecordingBackend("lower", log)
+        store = ArtifactStore(backends=[upper, lower])
+        store.put_json("measures", "k", {"eis": 0.5})
+        assert log == [("upper", "put", "k.json"), ("lower", "put", "k.json")]
+        assert upper.stats.puts == lower.stats.puts == 1
+
+    def test_read_through_promotes_into_upper_tiers(self):
+        log: list = []
+        upper, lower = RecordingBackend("upper", log), RecordingBackend("lower", log)
+        seed = ArtifactStore(backends=[lower])
+        seed.put_json("measures", "k", {"eis": 0.5})
+
+        store = ArtifactStore(backends=[upper, lower])
+        assert store.get_json("measures", "k") == {"eis": 0.5}
+        # The lower-tier hit was copied into the upper tier...
+        assert upper.contains("measures", "k.json")
+        assert upper.stats.misses == 1 and lower.stats.hits == 1
+        # ...and a fresh store over the upper tier alone now hits it.
+        assert ArtifactStore(backends=[upper]).get_json("measures", "k") == {"eis": 0.5}
+
+    def test_memory_tier_short_circuits_byte_tiers(self):
+        log: list = []
+        upper = RecordingBackend("upper", log)
+        store = ArtifactStore(backends=[upper])
+        store.put_json("measures", "k", {"eis": 0.5})
+        log.clear()
+        store.get_json("measures", "k")    # decoded-object tier answers
+        assert log == []
+
+    def test_store_counters_unchanged_by_tier_shape(self, tmp_path):
+        # The per-kind hit/miss contract is tier-agnostic: one lookup, one hit.
+        for store in (
+            ArtifactStore(),
+            ArtifactStore(tmp_path / "plain"),
+            ArtifactStore(tmp_path / "sharded", shards=3),
+            ArtifactStore(backends=[MemoryBackend(), MemoryBackend()]),
+        ):
+            store.put_json("measures", "k", {"eis": 0.5})
+            store.get_json("measures", "k")
+            store.get_json("measures", "missing")
+            stat = store.stat("measures")
+            assert (stat.hits, stat.misses, stat.puts) == (1, 1, 1)
+
+    def test_explicit_backends_exclude_shard_flags(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactStore(tmp_path, backends=[MemoryBackend()], shards=2)
+
+
+class TestShardedStore:
+    def test_warm_reload_across_store_instances(self, tmp_path):
+        first = ArtifactStore(tmp_path, shards=4)
+        arrays = {"P": np.arange(6.0).reshape(2, 3)}
+        first.put_arrays("decomposition", "abc", arrays)
+        first.put_json("measures", "def", {"eis": 0.25})
+
+        fresh = ArtifactStore(tmp_path, shards=4)
+        np.testing.assert_array_equal(
+            fresh.get_arrays("decomposition", "abc")["P"], arrays["P"]
+        )
+        assert fresh.get_json("measures", "def") == {"eis": 0.25}
+        assert fresh.stat("measures").hits == 1
+
+    def test_single_shard_keeps_flat_layout(self, tmp_path):
+        # shards<=1 preserves the original root/<kind>/<key> layout, so
+        # existing --cache-dir trees stay byte-compatible.
+        ArtifactStore(tmp_path, shards=1).put_json("measures", "k", {})
+        assert (tmp_path / "measures" / "k.json").exists()
+
+    def test_sharded_layout_uses_shard_directories(self, tmp_path):
+        ArtifactStore(tmp_path, shards=3).put_json("measures", "k", {})
+        shard_files = list(tmp_path.glob("shard-*/measures/k.json"))
+        assert len(shard_files) == 1

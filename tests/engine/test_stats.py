@@ -22,10 +22,20 @@ class TestStats:
         store.get_json("downstream", "missing")
         snapshot = stats(store)
         assert snapshot["store"]["downstream"] == {
-            "hits": 1, "misses": 1, "puts": 1, "preloads": 0,
+            "hits": 1, "misses": 1, "puts": 1, "preloads": 0, "corrupt": 0,
         }
         assert snapshot["store_persistent"] is False
+        assert snapshot["store_tiers"] == []      # memory-only: no byte tiers
         assert snapshot["pipeline"] == {}
+
+    def test_store_tiers_reported_per_tier(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put_json("measures", "k", {"eis": 0.5})
+        snapshot = stats(store)
+        (disk,) = snapshot["store_tiers"]
+        assert disk["name"] == "disk" and disk["persistent"] is True
+        assert disk["puts"] == 1
+        assert disk["root"] == str(tmp_path)
 
     def test_pipeline_positional_implies_store(self):
         from repro.instability.pipeline import InstabilityPipeline

@@ -104,6 +104,143 @@ class TestDiskTier:
         assert not list(tmp_path.rglob("*.tmp"))
 
 
+class TestCorruptArtifacts:
+    """A torn or garbage payload must degrade to a counted cache miss."""
+
+    def test_corrupt_json_is_a_miss(self, tmp_path):
+        ArtifactStore(tmp_path).put_json("downstream", "k", {"acc": 0.5})
+        (tmp_path / "downstream" / "k.json").write_bytes(b'{"acc": 0.')
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.get_json("downstream", "k") is None
+        stat = fresh.stat("downstream")
+        assert stat.corrupt == 1 and stat.misses == 1 and stat.hits == 0
+
+    def test_truncated_npz_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put_arrays("decomposition", "k", {"P": np.eye(3)})
+        path = tmp_path / "decomposition" / "k.npz"
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.get_arrays("decomposition", "k") is None
+        assert fresh.stat("decomposition").corrupt == 1
+
+    def test_corrupt_embedding_pair_is_a_miss(self, tmp_path, embedding_pair):
+        store = ArtifactStore(tmp_path)
+        store.put_embedding_pair("embedding_pair", "k", embedding_pair)
+        (tmp_path / "embedding_pair" / "k.npz").write_bytes(b"not an npz at all")
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.get_embedding_pair("embedding_pair", "k") is None
+        assert fresh.stat("embedding_pair").corrupt == 1
+
+    def test_corrupt_upper_tier_falls_through_to_lower(self, tmp_path):
+        from repro.engine.backends import DiskBackend
+
+        upper_dir, lower_dir = tmp_path / "upper", tmp_path / "lower"
+        ArtifactStore(lower_dir).put_json("downstream", "k", {"acc": 0.5})
+        upper = DiskBackend(upper_dir)
+        upper.put("downstream", "k.json", b"garbage")
+        store = ArtifactStore(backends=[upper, DiskBackend(lower_dir)])
+        # The lower tier's intact copy wins, and repairs the upper tier.
+        assert store.get_json("downstream", "k") == {"acc": 0.5}
+        assert store.stat("downstream").corrupt == 1
+        assert store.stat("downstream").hits == 1
+        assert upper.get("downstream", "k.json") != b"garbage"
+
+    def test_rerun_after_corruption_recomputes_and_repairs(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put_json("downstream", "k", {"acc": 0.5})
+        (tmp_path / "downstream" / "k.json").write_bytes(b"junk")
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.get_json("downstream", "k") is None      # recompute path
+        fresh.put_json("downstream", "k", {"acc": 0.5})       # overwrite repairs
+        assert ArtifactStore(tmp_path).get_json("downstream", "k") == {"acc": 0.5}
+
+
+class TestByteAccess:
+    """The byte-level view the /artifacts peer API is built on."""
+
+    def test_get_bytes_from_disk_tier(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put_json("measures", "k", {"eis": 0.5})
+        payload = store.get_bytes("measures", "k.json")
+        assert payload == (tmp_path / "measures" / "k.json").read_bytes()
+
+    def test_get_bytes_encodes_memory_only_artifacts(self):
+        store = ArtifactStore()                      # no byte tiers at all
+        store.put_json("measures", "k", {"eis": 0.5})
+        payload = store.get_bytes("measures", "k.json")
+        assert payload is not None
+        import json as json_module
+
+        assert json_module.loads(payload) == {"eis": 0.5}
+        # Suffix mismatches never mis-encode: a JSON object is not an npz.
+        assert store.get_bytes("measures", "k.npz") is None
+
+    def test_get_bytes_encodes_memory_only_pairs(self, embedding_pair):
+        store = ArtifactStore()
+        store.put_embedding_pair("embedding_pair", "k", embedding_pair)
+        payload = store.get_bytes("embedding_pair", "k.npz")
+        from repro.engine.codecs import EMBEDDING_PAIR_CODEC
+
+        dec_a, _ = EMBEDDING_PAIR_CODEC.decode(payload)
+        np.testing.assert_array_equal(dec_a.vectors, embedding_pair[0].vectors)
+
+    def test_put_bytes_round_trips_through_typed_get(self, tmp_path):
+        source = ArtifactStore()
+        source.put_json("measures", "k", {"eis": 0.5})
+        payload = source.get_bytes("measures", "k.json")
+
+        target = ArtifactStore(tmp_path)
+        target.put_bytes("measures", "k.json", payload)
+        assert target.get_json("measures", "k") == {"eis": 0.5}
+
+    def test_byte_api_never_touches_remote_tiers(self, tmp_path):
+        # Serving a peer must not fan out to this node's own peers: two
+        # symmetrically-configured nodes would otherwise recurse on every
+        # miss.  A slow unreachable remote makes the leak observable as time.
+        store = ArtifactStore(
+            tmp_path, remote_url="http://127.0.0.1:9", remote_timeout=5.0
+        )
+        import time
+
+        start = time.perf_counter()
+        assert store.get_bytes("measures", "absent.json") is None
+        assert not store.contains_bytes("measures", "absent.json")
+        store.put_bytes("measures", "peer.json", b"{}")
+        store.delete_bytes("measures", "peer.json")
+        assert time.perf_counter() - start < 1.0, "byte API hit the remote tier"
+        remote = store.tiers[-1]
+        assert remote.name == "remote" and remote.stats.errors == 0
+
+    def test_byte_api_excludes_remotes_nested_in_sharded_tiers(self):
+        from repro.engine.backends import RemoteBackend, ShardedBackend
+
+        sharded = ShardedBackend(
+            [RemoteBackend("http://127.0.0.1:9", timeout=5.0)]
+        )
+        assert sharded.remote_capable
+        store = ArtifactStore(backends=[sharded])
+        assert store.get_bytes("measures", "absent.json") is None
+        assert not store.contains_bytes("measures", "absent.json")
+        assert sharded.shards[0].stats.errors == 0, "byte API reached a nested peer"
+
+    def test_contains_bytes_respects_codec_suffix(self):
+        # HEAD 200 must imply GET 200: a memory-only JSON artifact does not
+        # "exist" under an .npz name.
+        store = ArtifactStore()
+        store.put_json("measures", "k", {"eis": 0.5})
+        assert store.contains_bytes("measures", "k.json")
+        assert not store.contains_bytes("measures", "k.npz")
+
+    def test_contains_and_delete_bytes(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put_json("measures", "k", {"eis": 0.5})
+        assert store.contains_bytes("measures", "k.json")
+        store.delete_bytes("measures", "k.json")
+        assert not store.contains_bytes("measures", "k.json")
+        assert store.get_json("measures", "k") is None
+
+
 class TestDefaultStore:
     def test_unconfigured_default_is_memory_only(self):
         store = default_store()
@@ -117,3 +254,14 @@ class TestDefaultStore:
         finally:
             configure_default_store(None)
         assert not default_store().persistent
+
+    def test_configured_default_shards_and_remote(self, tmp_path):
+        configure_default_store(
+            tmp_path, shards=3, remote_url="http://127.0.0.1:1"
+        )
+        try:
+            store = default_store()
+            assert [tier.name for tier in store.tiers] == ["sharded", "remote"]
+        finally:
+            configure_default_store(None)
+        assert default_store().tiers == []

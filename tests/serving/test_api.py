@@ -163,6 +163,99 @@ class TestGridStreaming:
         assert "duplicate" in payload["error"]
 
 
+class TestKeepAlive:
+    def test_connection_reused_across_requests(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        conn.request("GET", "/healthz")
+        first = conn.getresponse()
+        first.read()
+        assert first.getheader("Connection") == "keep-alive"
+        sock = conn.sock
+        conn.request("GET", "/metrics")
+        second = conn.getresponse()
+        second.read()
+        assert second.status == 200
+        assert conn.sock is sock, "server closed a keep-alive connection"
+        conn.close()
+
+    def test_connection_close_is_honoured(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        conn.request("GET", "/healthz", headers={"Connection": "close"})
+        response = conn.getresponse()
+        response.read()
+        assert response.getheader("Connection") == "close"
+        conn.close()
+
+
+class TestArtifactsEndpoint:
+    def test_put_head_get_delete_round_trip(self, server):
+        payload = b'{"eis": 0.5}'
+        # PUT carries raw bytes, not JSON: drive http.client directly.
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        conn.request("PUT", "/artifacts/testkind/cafe0123.json", body=payload,
+                     headers={"Content-Type": "application/octet-stream"})
+        response = conn.getresponse()
+        assert response.status == 200
+        assert json.loads(response.read())["bytes"] == len(payload)
+
+        conn.request("HEAD", "/artifacts/testkind/cafe0123.json")
+        head = conn.getresponse()
+        head.read()
+        assert head.status == 200
+
+        conn.request("GET", "/artifacts/testkind/cafe0123.json")
+        got = conn.getresponse()
+        data = got.read()
+        assert got.status == 200
+        assert got.getheader("Content-Type") == "application/octet-stream"
+        # A memory-only node decodes peer payloads into its object tier and
+        # re-encodes on the way out: equality is semantic, not byte-exact
+        # (disk-backed nodes serve byte-exact copies; see test_peer_store).
+        assert json.loads(data) == json.loads(payload)
+
+        conn.request("DELETE", "/artifacts/testkind/cafe0123.json")
+        deleted = conn.getresponse()
+        deleted.read()
+        assert deleted.status == 200
+
+        conn.request("GET", "/artifacts/testkind/cafe0123.json")
+        missing = conn.getresponse()
+        missing.read()
+        assert missing.status == 404
+        conn.close()
+
+    def test_serves_memory_only_artifacts(self, server):
+        # The module server has no disk tier; /measure artifacts live only in
+        # the object memory tier and are encoded on the fly for peers.
+        get_json(server, "/measure?algorithm=svd&dim=4&precision=1")
+        store = server.service.store
+        key = next(iter(store.memory_entries("measures")))
+        response, data = request(server, f"/artifacts/measures/{key}.json")
+        assert response.status == 200
+        assert json.loads(data).keys() == {
+            "eis", "1-knn", "pip", "1-eigenspace-overlap", "semantic-displacement"
+        }
+
+    def test_traversal_and_junk_names_are_404(self, server):
+        for path in (
+            "/artifacts/..%2F..%2Fetc/passwd.json",
+            "/artifacts/kind/key.tmp",
+            "/artifacts/kind/.hidden.json",
+            "/artifacts/kind/sub%2Fdir.json",
+            "/artifacts/kind",
+        ):
+            status, payload = get_json(server, path)
+            assert status == 404, path
+
+    def test_put_without_body_is_400(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        conn.request("PUT", "/artifacts/testkind/feed0123.json")
+        response = conn.getresponse()
+        response.read()
+        assert response.status == 400
+        conn.close()
+
+
 class TestMetricsAndErrors:
     def test_metrics_counts_the_traffic(self, server):
         status, payload = get_json(server, "/metrics")
