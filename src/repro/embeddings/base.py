@@ -165,24 +165,54 @@ class Embedding:
 
     # -- persistence ---------------------------------------------------------
 
+    @classmethod
+    def from_word_arrays(
+        cls, words, counts, vectors, metadata: dict | None = None
+    ) -> "Embedding":
+        """Rebuild an embedding from parallel word / count / vector arrays.
+
+        :class:`~repro.corpus.vocabulary.Vocabulary` re-sorts words by
+        frequency, so the vector rows are re-gathered into the rebuilt
+        vocabulary's order.  Shared by :meth:`load` and the store's
+        embedding-pair codec.
+        """
+        words = [str(w) for w in words]
+        vocab = Vocabulary({w: int(c) for w, c in zip(words, counts)})
+        index = {w: i for i, w in enumerate(words)}
+        order = np.asarray([index[w] for w in vocab.words], dtype=np.int64)
+        return cls(
+            vocab=vocab,
+            vectors=np.asarray(vectors)[order],
+            metadata=dict(metadata or {}),
+        )
+
     def save(self, path: str | Path) -> Path:
         """Save vectors + vocabulary to a ``.npz`` file."""
         p = Path(path)
         p.parent.mkdir(parents=True, exist_ok=True)
-        words = np.array(self.vocab.words, dtype=object)
+        # Fixed-width unicode (not dtype=object) so load() never needs
+        # allow_pickle -- pickled npz fields are an arbitrary-code-execution
+        # vector when a file comes from anywhere but this process.
+        words = np.array(self.vocab.words, dtype=np.str_)
         counts = self.vocab.counts
         np.savez_compressed(p, vectors=self.vectors, words=words, counts=counts)
         return p if p.suffix == ".npz" else p.with_suffix(p.suffix + ".npz")
 
     @classmethod
     def load(cls, path: str | Path) -> "Embedding":
-        with np.load(Path(path), allow_pickle=True) as data:
-            words = [str(w) for w in data["words"]]
-            counts = data["counts"]
-            vectors = data["vectors"]
-        vocab = Vocabulary({w: int(c) for w, c in zip(words, counts)})
-        order = np.asarray([words.index(w) for w in vocab.words], dtype=np.int64)
-        return cls(vocab=vocab, vectors=vectors[order])
+        with np.load(Path(path)) as data:
+            try:
+                words = data["words"]
+            except ValueError as error:
+                # Files written before the pickle-free format stored words as
+                # dtype=object; loading them would require allow_pickle.
+                raise ValueError(
+                    f"{path} was saved by an older version with pickled word "
+                    "arrays; re-save it with the current version (loading "
+                    "pickled fields is disabled because it executes "
+                    "arbitrary code)"
+                ) from error
+            return cls.from_word_arrays(words, data["counts"], data["vectors"])
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         algo = self.metadata.get("algorithm", "?")

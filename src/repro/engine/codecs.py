@@ -8,14 +8,19 @@ family into bytes and back, and every storage backend
 backends interchangeable -- a sharded directory tree and a remote HTTP peer
 serve exactly the same payloads a local disk tier writes.
 
-The byte formats are unchanged from the pre-codec store, so existing
-``--cache-dir`` trees remain readable and writable:
+The byte formats match the pre-codec store's disk layout:
 
 * :class:`JsonCodec` -- ``json.dumps(..., indent=2, sort_keys=True)`` UTF-8,
   ``.json`` files;
 * :class:`ArraysCodec` -- ``np.savez_compressed``, ``.npz`` files;
 * :class:`EmbeddingPairCodec` -- the store's aligned-pair ``.npz`` layout
   (vectors, vocab words/counts per side, metadata as an embedded JSON string).
+
+Decoding never enables ``allow_pickle``: artifact payloads can arrive from
+peers over the unauthenticated ``/artifacts`` HTTP API, and ``np.load`` with
+pickling enabled would turn any reachable store port into arbitrary code
+execution.  All payload fields are plain numeric / fixed-width-unicode
+arrays, so pickle is never needed; an undecodable payload is a cache miss.
 """
 
 from __future__ import annotations
@@ -26,7 +31,6 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from repro.corpus.vocabulary import Vocabulary
 from repro.embeddings.base import Embedding
 from repro.utils.io import to_jsonable
 
@@ -95,9 +99,12 @@ class EmbeddingPairCodec(ArtifactCodec):
     The npz payload carries each side's vectors, vocabulary words and counts,
     plus both metadata dicts as one embedded JSON string; decoding restores
     row alignment after :class:`~repro.corpus.vocabulary.Vocabulary` re-sorts
-    words by frequency.  Word arrays are dtype=object, so decoding requires
-    ``allow_pickle`` -- only feed this codec payloads from trusted stores
-    (your own disk tiers and peer replicas).
+    words by frequency.  Word arrays are fixed-width unicode (``dtype='U...'``)
+    and decoding never enables ``allow_pickle``, so a hostile payload arriving
+    over the ``/artifacts`` peer API cannot smuggle pickled objects -- the
+    worst a bad payload can do is fail to decode (counted as corrupt, treated
+    as a miss).  Payloads written by pre-2026 versions with dtype=object word
+    arrays are rejected the same way and simply recomputed.
     """
 
     name = "embedding_pair"
@@ -108,9 +115,9 @@ class EmbeddingPairCodec(ArtifactCodec):
         payload = {
             "vectors_a": emb_a.vectors,
             "vectors_b": emb_b.vectors,
-            "words_a": np.array(emb_a.vocab.words, dtype=object),
+            "words_a": np.array(emb_a.vocab.words, dtype=np.str_),
             "counts_a": emb_a.vocab.counts,
-            "words_b": np.array(emb_b.vocab.words, dtype=object),
+            "words_b": np.array(emb_b.vocab.words, dtype=np.str_),
             "counts_b": emb_b.vocab.counts,
             "metadata": np.array(
                 json.dumps([to_jsonable(emb_a.metadata), to_jsonable(emb_b.metadata)])
@@ -121,19 +128,15 @@ class EmbeddingPairCodec(ArtifactCodec):
         return buffer.getvalue()
 
     def decode(self, payload: bytes) -> tuple[Embedding, Embedding]:
-        with np.load(io.BytesIO(payload), allow_pickle=True) as data:
+        with np.load(io.BytesIO(payload)) as data:
             meta_a, meta_b = json.loads(str(data["metadata"]))
-            embeddings = []
-            for side, meta in (("a", meta_a), ("b", meta_b)):
-                words = [str(w) for w in data[f"words_{side}"]]
-                counts = data[f"counts_{side}"]
-                vectors = data[f"vectors_{side}"]
-                vocab = Vocabulary({str(w): int(c) for w, c in zip(words, counts)})
-                # Vocabulary re-sorts by frequency; restore row alignment.
-                order = np.asarray([words.index(w) for w in vocab.words], dtype=np.int64)
-                embeddings.append(
-                    Embedding(vocab=vocab, vectors=vectors[order], metadata=meta)
+            embeddings = [
+                Embedding.from_word_arrays(
+                    data[f"words_{side}"], data[f"counts_{side}"],
+                    data[f"vectors_{side}"], metadata=meta,
                 )
+                for side, meta in (("a", meta_a), ("b", meta_b))
+            ]
         return embeddings[0], embeddings[1]
 
 

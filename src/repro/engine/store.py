@@ -145,6 +145,15 @@ class ArtifactStore:
             if remote_url:
                 self.tiers.append(RemoteBackend(remote_url, timeout=remote_timeout))
         self._memory: dict[tuple[str, str], Any] = {}
+        #: Codec each memory entry was stored/decoded with.  The byte-level
+        #: peer API needs it to encode memory-only artifacts under the same
+        #: name a disk tier would use; re-inferring from the value's type is
+        #: ambiguous (an empty dict could be JSON or an empty arrays npz).
+        self._memory_codecs: dict[tuple[str, str], ArtifactCodec] = {}
+        #: Byte payloads get_bytes encoded on the fly for peers, memoised so
+        #: repeated fetches of the same memory-only artifact don't re-run
+        #: savez_compressed; invalidated whenever the entry changes.
+        self._encoded: dict[tuple[str, str], bytes] = {}
         self.stats: dict[str, CacheStats] = {}
 
     # -- bookkeeping ---------------------------------------------------------
@@ -175,6 +184,7 @@ class ArtifactStore:
         touching the byte tiers (the parent persists its own copies).
         """
         self._memory[(kind, key)] = value
+        self._encoded.pop((kind, key), None)
         self.stat(kind).preloads += 1
 
     def memory_entries(self, kind: str) -> dict[str, Any]:
@@ -247,6 +257,7 @@ class ArtifactStore:
             for upper in self.tiers[:index]:
                 upper.put(kind, name, payload)
             self._memory[(kind, key)] = value
+            self._memory_codecs[(kind, key)] = codec
             self._record(kind, True)
             return value
         self._record(kind, False)
@@ -254,6 +265,8 @@ class ArtifactStore:
 
     def _put(self, kind: str, key: str, value: Any, codec: ArtifactCodec) -> None:
         self._memory[(kind, key)] = value
+        self._memory_codecs[(kind, key)] = codec
+        self._encoded.pop((kind, key), None)
         self.stat(kind).puts += 1
         if self.tiers:
             payload = codec.encode(value)
@@ -305,6 +318,14 @@ class ArtifactStore:
                 return name[: -len(suffix)], suffix
         return None
 
+    def _memory_codec(self, kind: str, key: str, value: Any) -> ArtifactCodec:
+        """Codec of a memory entry: recorded at put/decode, else type-inferred.
+
+        The fallback covers :meth:`preload`-seeded entries, which arrive
+        without byte-level provenance.
+        """
+        return self._memory_codecs.get((kind, key)) or codec_for_value(value)
+
     def get_bytes(self, kind: str, name: str) -> bytes | None:
         """Raw payload of ``kind/name`` for serving to a peer (local tiers only).
 
@@ -323,9 +344,13 @@ class ArtifactStore:
             key, suffix = split
             memo = self._memory.get((kind, key))
             if memo is not None:
-                codec = codec_for_value(memo)
+                codec = self._memory_codec(kind, key, memo)
                 if codec.suffix == suffix:
-                    return codec.encode(memo)
+                    payload = self._encoded.get((kind, key))
+                    if payload is None:
+                        payload = codec.encode(memo)
+                        self._encoded[(kind, key)] = payload
+                    return payload
         return None
 
     def contains_bytes(self, kind: str, name: str) -> bool:
@@ -338,7 +363,7 @@ class ArtifactStore:
         memo = self._memory.get((kind, key))
         # Mirror get_bytes: a memory-only artifact only "exists" under the
         # name its codec would encode it as (HEAD 200 must imply GET 200).
-        return memo is not None and codec_for_value(memo).suffix == suffix
+        return memo is not None and self._memory_codec(kind, key, memo).suffix == suffix
 
     def put_bytes(self, kind: str, name: str, payload: bytes) -> None:
         """Write a peer-provided payload into the local byte tiers (not decoded).
@@ -354,26 +379,31 @@ class ArtifactStore:
                 return
             key, suffix = split
             try:
-                self._memory[(kind, key)] = self._decode_payload(payload, suffix)
+                value, codec = self._decode_payload(payload, suffix)
             except Exception as error:
                 logger.warning(
                     "dropping corrupt peer payload %s/%s: %s", kind, name, error
                 )
                 self.stat(kind).corrupt += 1
+            else:
+                self._memory[(kind, key)] = value
+                self._memory_codecs[(kind, key)] = codec
+                self._encoded.pop((kind, key), None)
             return
         for tier in local:
             tier.put(kind, name, payload)
 
     @staticmethod
-    def _decode_payload(payload: bytes, suffix: str) -> Any:
+    def _decode_payload(payload: bytes, suffix: str) -> tuple[Any, ArtifactCodec]:
         """Decode a raw payload by suffix (npz family sniffed by field names)."""
         if suffix == ".json":
-            return JSON_CODEC.decode(payload)
-        with np.load(io.BytesIO(payload), allow_pickle=True) as data:
+            return JSON_CODEC.decode(payload), JSON_CODEC
+        # Never allow_pickle: the payload may come from an untrusted peer.
+        with np.load(io.BytesIO(payload)) as data:
             files = set(data.files)
         if {"vectors_a", "vectors_b", "metadata"} <= files:
-            return EMBEDDING_PAIR_CODEC.decode(payload)
-        return ARRAYS_CODEC.decode(payload)
+            return EMBEDDING_PAIR_CODEC.decode(payload), EMBEDDING_PAIR_CODEC
+        return ARRAYS_CODEC.decode(payload), ARRAYS_CODEC
 
     def delete_bytes(self, kind: str, name: str) -> None:
         for tier in self._local_tiers:
@@ -381,6 +411,8 @@ class ArtifactStore:
         split = self._split_name(name)
         if split is not None:
             self._memory.pop((kind, split[0]), None)
+            self._memory_codecs.pop((kind, split[0]), None)
+            self._encoded.pop((kind, split[0]), None)
 
 
 # -- process-wide default store ------------------------------------------------

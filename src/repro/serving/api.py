@@ -24,7 +24,10 @@ Blocking numerical work happens on the service's bounded thread pool; the
 event loop only parses requests and shuttles bytes.  Connections are
 **keep-alive** (HTTP/1.1 semantics) so a peer's store tier reuses one TCP
 connection across artifact fetches, and every non-streaming request is
-bounded by a per-request timeout (``--request-timeout``).
+bounded by a per-request timeout (``--request-timeout``).  Request *reads*
+are separately bounded: headers and body must arrive within a read timeout
+once the request line lands, and concurrent connections are capped (503
+beyond the cap), so slow clients cannot pin memory or connection tasks.
 
 Run it::
 
@@ -61,8 +64,13 @@ __all__ = ["StabilityAPIServer", "quick_serve_config", "main"]
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
-    500: "Internal Server Error", 504: "Gateway Timeout",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+#: Total header bytes per request; a fast client must not be able to buffer
+#: unbounded header lines for the whole read-timeout window.
+_MAX_HEADER_BYTES = 1 << 14
 _MAX_BODY_BYTES = 1 << 20
 #: Raw /artifacts payloads (npz embedding pairs) dwarf JSON request bodies.
 _MAX_ARTIFACT_BYTES = 1 << 28
@@ -94,30 +102,47 @@ class _Request:
 
 
 async def _read_request(
-    reader: asyncio.StreamReader, idle_timeout: float | None = None
+    reader: asyncio.StreamReader,
+    idle_timeout: float | None = None,
+    read_timeout: float | None = None,
 ) -> _Request | None:
     """Parse one HTTP/1.1 request (request line, headers, optional body).
 
-    ``idle_timeout`` bounds only the wait for the *first* byte of the next
-    request -- the keep-alive idle gap.  Once a request line has started
-    arriving, the rest (headers and an arbitrarily large /artifacts body on
-    a slow link) reads without that clock; ``asyncio.TimeoutError``
-    surfaces to the caller to close the idle connection.  JSON bodies merge
-    into the query parameters (body wins); ``/artifacts`` bodies stay raw
-    bytes -- they are opaque store payloads.
+    Two clocks bound the read.  ``idle_timeout`` covers only the wait for
+    the request line -- the keep-alive idle gap.  ``read_timeout`` covers
+    everything after it: a client must deliver its complete headers and
+    body (up to 256 MB on /artifacts PUTs) within that window, so slow or
+    malicious clients cannot pin buffered bytes and a connection task
+    indefinitely by trickling a request.  Either expiry raises
+    ``asyncio.TimeoutError`` to the caller, which closes the connection.
+    JSON bodies merge into the query parameters (body wins); ``/artifacts``
+    bodies stay raw bytes -- they are opaque store payloads.
     """
     line = await asyncio.wait_for(reader.readline(), timeout=idle_timeout)
     if not line:
         return None
+    return await asyncio.wait_for(
+        _read_request_rest(reader, line), timeout=read_timeout
+    )
+
+
+async def _read_request_rest(
+    reader: asyncio.StreamReader, line: bytes
+) -> _Request:
+    """Headers and body of one request whose request line is ``line``."""
     try:
         method, target, version = line.decode("latin1").split(" ", 2)
     except ValueError as error:
         raise APIError(400, f"malformed request line: {error}") from error
     headers: dict[str, str] = {}
+    header_bytes = 0
     while True:
         header = await reader.readline()
         if header in (b"\r\n", b"\n", b""):
             break
+        header_bytes += len(header)
+        if header_bytes > _MAX_HEADER_BYTES:
+            raise APIError(431, f"request headers over {_MAX_HEADER_BYTES} bytes")
         name, _, value = header.decode("latin1").partition(":")
         headers[name.strip().lower()] = value.strip()
 
@@ -128,7 +153,12 @@ async def _read_request(
     }
     raw = path.startswith("/artifacts/")
     limit = _MAX_ARTIFACT_BYTES if raw else _MAX_BODY_BYTES
-    length = int(headers.get("content-length", "0") or "0")
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise APIError(400, "malformed Content-Length header") from None
+    if length < 0:
+        raise APIError(400, "malformed Content-Length header")
     if length > limit:
         raise APIError(413, f"request body over {limit} bytes")
     body = await reader.readexactly(length) if length else b""
@@ -207,6 +237,13 @@ class StabilityAPIServer:
     ``request_timeout`` seconds (``None`` disables); a timed-out request
     answers 504 and closes the connection (the underlying worker thread
     cannot be interrupted, but the socket stops waiting on it).
+
+    Two further bounds protect the event loop from hostile or broken
+    clients: once a request line arrives, the complete headers and body must
+    follow within ``read_timeout`` seconds (slowloris-style trickled
+    requests are dropped instead of pinning buffered bytes), and at most
+    ``max_connections`` sockets are served concurrently -- excess
+    connections are answered 503 and closed immediately.
     """
 
     def __init__(
@@ -217,12 +254,16 @@ class StabilityAPIServer:
         port: int = 8732,
         request_timeout: float | None = 300.0,
         keepalive_timeout: float = 30.0,
+        read_timeout: float | None = 60.0,
+        max_connections: int | None = 128,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
         self.request_timeout = request_timeout
         self.keepalive_timeout = keepalive_timeout
+        self.read_timeout = read_timeout
+        self.max_connections = max_connections
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task] = set()
         self._routes: dict[str, Callable[[_Request], Awaitable[dict]]] = {
@@ -268,13 +309,28 @@ class StabilityAPIServer:
         if task is not None:
             self._connections.add(task)
         try:
+            if (
+                self.max_connections is not None
+                and len(self._connections) > self.max_connections
+            ):
+                self._write_json(
+                    writer, 503,
+                    {"error": f"over {self.max_connections} concurrent connections"},
+                    close=True,
+                )
+                await writer.drain()
+                return
             # Keep-alive loop: serve requests on this socket until the client
             # closes, asks to close, streams a /grid, or goes idle too long.
             while True:
                 try:
-                    request = await _read_request(reader, self.keepalive_timeout)
+                    request = await _read_request(
+                        reader, self.keepalive_timeout, self.read_timeout
+                    )
                 except asyncio.TimeoutError:
-                    break                      # idle keep-alive connection
+                    # Idle keep-alive connection, or a client too slow to
+                    # deliver the request it started: drop it either way.
+                    break
                 except APIError as error:
                     # Framing errors leave the stream unparseable: answer, close.
                     self._write_json(
@@ -391,10 +447,17 @@ class StabilityAPIServer:
         writer.write(head + body if include_body else head)
 
     async def _offload(self, fn, *args):
-        """Run blocking store/service work off the event loop, time-bounded."""
+        """Run blocking store work on the service's bounded pool, time-bounded.
+
+        /artifacts traffic (disk reads, on-the-fly npz encoding of
+        memory-only pairs) goes through the same ``max_concurrency`` pool as
+        the numerical endpoints, so peer fetches cannot spawn unbounded
+        default-executor threads around the service's concurrency limit.
+        """
         loop = asyncio.get_running_loop()
         return await asyncio.wait_for(
-            loop.run_in_executor(None, fn, *args), self.request_timeout
+            loop.run_in_executor(self.service.executor, fn, *args),
+            self.request_timeout,
         )
 
     # -- /artifacts: the store's byte-level peer API ----------------------------

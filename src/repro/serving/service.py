@@ -159,6 +159,11 @@ class StabilityService:
         """The artifact store backing this service (shared with the engine)."""
         return self.pipeline.store
 
+    @property
+    def executor(self) -> ThreadPoolExecutor:
+        """The bounded worker pool; all blocking service work belongs on it."""
+        return self._executor
+
     # -- internals -------------------------------------------------------------
 
     def _count(self, name: str, delta: int = 1) -> None:

@@ -102,3 +102,24 @@ class TestPersistence:
         loaded = Embedding.load(path)
         assert loaded.vocab.words == small_embedding.vocab.words
         np.testing.assert_allclose(loaded.vectors, small_embedding.vectors)
+
+    def test_saved_files_never_need_pickle(self, small_embedding, tmp_path):
+        path = tmp_path / "emb.npz"
+        small_embedding.save(path)
+        with np.load(path) as data:               # allow_pickle=False
+            assert all(data[name].dtype != object for name in data.files)
+
+    def test_legacy_pickled_file_gets_an_informative_error(
+        self, small_embedding, tmp_path
+    ):
+        # Pre-pickle-free versions saved words as dtype=object; loading them
+        # must fail with an explanation, not an opaque numpy error.
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path,
+            vectors=small_embedding.vectors,
+            words=np.array(small_embedding.vocab.words, dtype=object),
+            counts=small_embedding.vocab.counts,
+        )
+        with pytest.raises(ValueError, match="older version"):
+            Embedding.load(path)

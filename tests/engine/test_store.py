@@ -156,6 +156,58 @@ class TestCorruptArtifacts:
         assert ArtifactStore(tmp_path).get_json("downstream", "k") == {"acc": 0.5}
 
 
+class TestPickleSafety:
+    """Decode paths reachable from the network must never unpickle.
+
+    /artifacts feeds peer-supplied bytes into the npz codecs; ``np.load``
+    with ``allow_pickle=True`` would turn any reachable store port into
+    arbitrary code execution.  A payload carrying pickled object arrays must
+    be rejected as corrupt, never loaded.
+    """
+
+    @staticmethod
+    def _pickled_npz() -> bytes:
+        import io
+
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            vectors_a=np.zeros((1, 1)),
+            vectors_b=np.zeros((1, 1)),
+            metadata=np.array([{"x": 1}], dtype=object),   # forces pickling
+        )
+        return buffer.getvalue()
+
+    def test_pair_payloads_contain_no_object_arrays(self, embedding_pair):
+        import io
+
+        from repro.engine.codecs import EMBEDDING_PAIR_CODEC
+
+        payload = EMBEDDING_PAIR_CODEC.encode(embedding_pair)
+        with np.load(io.BytesIO(payload)) as data:         # allow_pickle=False
+            assert data.files
+            assert all(data[name].dtype != object for name in data.files)
+
+    def test_embedding_pair_codec_rejects_pickled_payloads(self):
+        from repro.engine.codecs import EMBEDDING_PAIR_CODEC
+
+        with pytest.raises(ValueError):
+            EMBEDDING_PAIR_CODEC.decode(self._pickled_npz())
+
+    def test_put_bytes_drops_pickled_peer_payload(self):
+        store = ArtifactStore()      # memory-only: decodes peer payloads
+        store.put_bytes("embedding_pair", "evil.npz", self._pickled_npz())
+        assert store.get_bytes("embedding_pair", "evil.npz") is None
+        assert store.stat("embedding_pair").corrupt == 1
+
+    def test_pickled_disk_artifact_is_a_counted_miss(self, tmp_path):
+        (tmp_path / "embedding_pair").mkdir()
+        (tmp_path / "embedding_pair" / "k.npz").write_bytes(self._pickled_npz())
+        store = ArtifactStore(tmp_path)
+        assert store.get_embedding_pair("embedding_pair", "k") is None
+        assert store.stat("embedding_pair").corrupt == 1
+
+
 class TestByteAccess:
     """The byte-level view the /artifacts peer API is built on."""
 
@@ -231,6 +283,23 @@ class TestByteAccess:
         store.put_json("measures", "k", {"eis": 0.5})
         assert store.contains_bytes("measures", "k.json")
         assert not store.contains_bytes("measures", "k.npz")
+
+    def test_memory_only_empty_arrays_serve_under_their_npz_name(self):
+        # The codec is recorded at put time: by type alone an empty dict is
+        # ambiguous (empty JSON object vs empty arrays npz), and the byte
+        # view must agree with the name a disk tier would have stored.
+        from repro.engine.codecs import ARRAYS_CODEC
+
+        store = ArtifactStore()
+        store.put_arrays("decomposition", "k", {})
+        assert store.contains_bytes("decomposition", "k.npz")
+        assert not store.contains_bytes("decomposition", "k.json")
+        payload = store.get_bytes("decomposition", "k.npz")
+        assert payload is not None and ARRAYS_CODEC.decode(payload) == {}
+
+        store.put_json("measures", "e", {})
+        assert store.contains_bytes("measures", "e.json")
+        assert not store.contains_bytes("measures", "e.npz")
 
     def test_contains_and_delete_bytes(self, tmp_path):
         store = ArtifactStore(tmp_path)

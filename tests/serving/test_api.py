@@ -3,8 +3,10 @@ ephemeral port, exercised through ``http.client`` -- all five endpoints,
 NDJSON streaming, and error mapping."""
 
 import asyncio
+import contextlib
 import http.client
 import json
+import socket
 import threading
 import warnings
 
@@ -14,13 +16,10 @@ from repro.serving import StabilityService
 from repro.serving.api import StabilityAPIServer, quick_serve_config
 
 
-@pytest.fixture(scope="module")
-def server():
+@contextlib.contextmanager
+def live_server(service, **kwargs):
     """A live server on an ephemeral port, with its own event-loop thread."""
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", UserWarning)
-        service = StabilityService(quick_serve_config())
-    api = StabilityAPIServer(service, port=0)
+    api = StabilityAPIServer(service, port=0, **kwargs)
     loop = asyncio.new_event_loop()
     started = threading.Event()
 
@@ -33,10 +32,21 @@ def server():
     thread = threading.Thread(target=run, daemon=True)
     thread.start()
     assert started.wait(timeout=30), "server failed to start"
-    yield api
-    asyncio.run_coroutine_threadsafe(api.stop(), loop).result(timeout=10)
-    loop.call_soon_threadsafe(loop.stop)
-    thread.join(timeout=10)
+    try:
+        yield api
+    finally:
+        asyncio.run_coroutine_threadsafe(api.stop(), loop).result(timeout=10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)
+        service = StabilityService(quick_serve_config())
+    with live_server(service) as api:
+        yield api
     service.close()
 
 
@@ -256,6 +266,59 @@ class TestArtifactsEndpoint:
         conn.close()
 
 
+class TestReadBounds:
+    """Slow and excess clients are dropped instead of pinning the server."""
+
+    def test_trickled_request_is_dropped_after_read_timeout(self, server):
+        # A client that sends a request line plus a huge Content-Length and
+        # then stalls must be disconnected once read_timeout expires --
+        # without the bound it would pin the buffered bytes and the
+        # connection task forever.
+        with live_server(server.service, read_timeout=0.3) as api:
+            sock = socket.create_connection(("127.0.0.1", api.port), timeout=30)
+            sock.sendall(
+                b"PUT /artifacts/kind/aaaa.npz HTTP/1.1\r\n"
+                b"Content-Length: 1000000\r\n\r\npartial"
+            )
+            sock.settimeout(30)
+            # EOF (or a reset) with no response bytes: the server dropped
+            # the connection instead of waiting for the rest of the body.
+            try:
+                data = sock.recv(1024)
+            except ConnectionResetError:
+                data = b""
+            assert data == b""
+            sock.close()
+
+    def test_connections_beyond_the_cap_get_503(self, server):
+        with live_server(server.service, max_connections=1) as api:
+            # One idle connection occupies the single slot...
+            first = socket.create_connection(("127.0.0.1", api.port), timeout=30)
+            try:
+                deadline = 30.0
+                # ...so the next connection must be turned away with a 503.
+                # Poll briefly: the first handler task registers on accept.
+                import time
+
+                status = None
+                start = time.monotonic()
+                while time.monotonic() - start < deadline:
+                    conn = http.client.HTTPConnection(
+                        "127.0.0.1", api.port, timeout=30
+                    )
+                    conn.request("GET", "/healthz")
+                    response = conn.getresponse()
+                    response.read()
+                    status = response.status
+                    conn.close()
+                    if status == 503:
+                        break
+                    time.sleep(0.05)
+                assert status == 503
+            finally:
+                first.close()
+
+
 class TestMetricsAndErrors:
     def test_metrics_counts_the_traffic(self, server):
         status, payload = get_json(server, "/metrics")
@@ -285,3 +348,35 @@ class TestMetricsAndErrors:
         conn.close()
         assert response.status == 400
         assert "JSON" in payload["error"]
+
+    def test_malformed_content_length_is_400(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        conn.putrequest("GET", "/healthz", skip_accept_encoding=True)
+        conn.putheader("Content-Length", "abc")
+        conn.endheaders()
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        conn.close()
+        assert response.status == 400
+        assert "Content-Length" in payload["error"]
+
+    def test_oversized_headers_are_431(self, server):
+        # A fast client streaming endless header lines must be cut off at
+        # the header-size cap, not buffered until the read timeout.
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=30)
+        filler = b"x-filler: " + b"a" * 1000 + b"\r\n"
+        try:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\n")
+            for _ in range(20):                    # ~20 KB > 16 KB cap
+                sock.sendall(filler)
+        except (BrokenPipeError, ConnectionResetError):
+            pass                                   # server already answered
+        sock.settimeout(30)
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            data += chunk
+        assert b" 431 " in data.split(b"\r\n", 1)[0]
+        sock.close()
