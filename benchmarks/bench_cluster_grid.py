@@ -1,0 +1,219 @@
+"""Benchmark the distributed grid path: 1 vs 2 workers, cold vs warm.
+
+Boots a real coordinator (the serving API on an ephemeral port) and drives it
+with in-process ``repro-worker`` loops over real HTTP, reporting:
+
+1. ``cold 1w``  -- a cold distributed grid executed by a single worker;
+2. ``warm 1w``  -- the same grid rerun against the warm cluster store;
+3. ``cold 2w``  -- the same grid cold again (fresh coordinator + workers),
+   leased to two workers pulling concurrently.
+
+Invariants asserted (the script exits non-zero on violation, so CI smokes it):
+
+* every distributed run is bit-identical to the serial ``GridEngine.run()``;
+* the warm rerun performs **zero** new trainings on any worker;
+* no embedding pair is trained twice cluster-wide (the coordinator's
+  ancestry gate), with 1 worker or with 2.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster_grid.py --quick
+    PYTHONPATH=src python benchmarks/bench_cluster_grid.py --output BENCH_cluster.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import http.client
+import json
+import sys
+import threading
+import time
+import warnings
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.reporting import format_table  # noqa: E402
+from repro.cluster import ClusterWorker  # noqa: E402
+from repro.corpus.synthetic import SyntheticCorpusConfig  # noqa: E402
+from repro.engine import GridEngine  # noqa: E402
+from repro.instability.pipeline import PipelineConfig  # noqa: E402
+from repro.serving import ServiceConfig, StabilityService  # noqa: E402
+from repro.serving.api import StabilityAPIServer  # noqa: E402
+from repro.utils.io import save_json  # noqa: E402
+
+
+def bench_config(quick: bool) -> PipelineConfig:
+    """Two seeds = two independent ancestries, so two workers can overlap."""
+    if quick:
+        return PipelineConfig(
+            corpus=SyntheticCorpusConfig(
+                vocab_size=120, n_documents=60, doc_length_mean=30, seed=7
+            ),
+            algorithms=("svd",),
+            dimensions=(4, 6),
+            precisions=(1, 32),
+            seeds=(0, 1),
+            tasks=("sst2",),
+            embedding_epochs=2,
+            downstream_epochs=3,
+            ner_epochs=2,
+        )
+    return PipelineConfig(
+        corpus=SyntheticCorpusConfig(
+            vocab_size=250, n_documents=200, doc_length_mean=60, seed=0
+        ),
+        algorithms=("svd",),
+        dimensions=(8, 16),
+        precisions=(1, 4, 32),
+        seeds=(0, 1),
+        tasks=("sst2",),
+        embedding_epochs=6,
+        downstream_epochs=8,
+    )
+
+
+class LiveCluster:
+    """A coordinator on an ephemeral port plus N in-process worker loops."""
+
+    def __init__(self, config: PipelineConfig, n_workers: int) -> None:
+        self.service = StabilityService(config, config=ServiceConfig(lease_ttl=30))
+        self.api = StabilityAPIServer(self.service, port=0)
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run_server() -> None:
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.api.start())
+            started.set()
+            self.loop.run_forever()
+
+        self.server_thread = threading.Thread(target=run_server, daemon=True)
+        self.server_thread.start()
+        assert started.wait(timeout=30), "coordinator failed to start"
+        url = f"http://127.0.0.1:{self.api.port}"
+        self.workers = [
+            ClusterWorker(url, worker_id=f"bench-w{i}", poll_interval=0.02)
+            for i in range(n_workers)
+        ]
+        self.worker_threads = [
+            threading.Thread(target=w.run, daemon=True) for w in self.workers
+        ]
+        for thread in self.worker_threads:
+            thread.start()
+
+    def stream_grid(self) -> list[dict]:
+        conn = http.client.HTTPConnection("127.0.0.1", self.api.port, timeout=600)
+        conn.request("GET", "/grid?distributed=true")
+        response = conn.getresponse()
+        assert response.status == 200, response.status
+        rows = [json.loads(line) for line in response.read().decode().strip().splitlines()]
+        conn.close()
+        return rows
+
+    def trainings(self) -> tuple[int, int]:
+        embedding = sum(w.stats()["embedding_train_count"] for w in self.workers)
+        downstream = sum(w.stats()["downstream_train_count"] for w in self.workers)
+        return embedding, downstream
+
+    def close(self) -> None:
+        for worker in self.workers:
+            worker.stop()
+        for thread in self.worker_threads:
+            thread.join(timeout=30)
+        asyncio.run_coroutine_threadsafe(self.api.stop(), self.loop).result(timeout=10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.server_thread.join(timeout=10)
+        self.service.close()
+
+
+def run_benchmark(quick: bool):
+    config = bench_config(quick)
+    unique_pairs = len(config.algorithms) * len(config.dimensions) * len(config.seeds)
+    expected = GridEngine(config).run(with_measures=True)
+    expected_rows = [record.to_row() for record in expected]
+    rows = []
+
+    # -- one worker: cold, then warm against the same cluster store ------------
+    one = LiveCluster(config, n_workers=1)
+    try:
+        start = time.perf_counter()
+        cold_rows = one.stream_grid()
+        cold_1w = time.perf_counter() - start
+        assert cold_rows == expected_rows, "1-worker run diverged from the serial grid"
+        embedding_cold, downstream_cold = one.trainings()
+        assert embedding_cold == unique_pairs, (
+            f"duplicate trainings: {embedding_cold} != {unique_pairs} unique pairs"
+        )
+
+        start = time.perf_counter()
+        warm_rows = one.stream_grid()
+        warm_1w = time.perf_counter() - start
+        assert warm_rows == expected_rows, "warm rerun diverged"
+        assert one.trainings() == (embedding_cold, downstream_cold), (
+            "warm rerun trained something"
+        )
+        assert warm_1w < cold_1w, "warm distributed rerun was not faster than cold"
+    finally:
+        one.close()
+    rows.append({"mode": "cold 1 worker", "cells": len(expected),
+                 "total_s": round(cold_1w, 3)})
+    rows.append({"mode": "warm 1 worker", "cells": len(expected),
+                 "total_s": round(warm_1w, 3)})
+
+    # -- two workers: cold again, concurrent ancestries --------------------------
+    two = LiveCluster(config, n_workers=2)
+    try:
+        start = time.perf_counter()
+        cold2_rows = two.stream_grid()
+        cold_2w = time.perf_counter() - start
+        assert cold2_rows == expected_rows, "2-worker run diverged from the serial grid"
+        embedding_two, _ = two.trainings()
+        assert embedding_two == unique_pairs, (
+            f"duplicate trainings with 2 workers: {embedding_two} != {unique_pairs}"
+        )
+    finally:
+        two.close()
+    rows.append({"mode": "cold 2 workers", "cells": len(expected),
+                 "total_s": round(cold_2w, 3)})
+
+    summary = {
+        "cells": len(expected),
+        "unique_pairs": unique_pairs,
+        "cold_1w_s": round(cold_1w, 3),
+        "warm_1w_s": round(warm_1w, 3),
+        "cold_2w_s": round(cold_2w, 3),
+        "warm_speedup": round(cold_1w / max(warm_1w, 1e-9), 2),
+        "two_worker_speedup": round(cold_1w / max(cold_2w, 1e-9), 2),
+    }
+    return rows, summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized grid")
+    parser.add_argument("--output", default=None, help="write a JSON summary here")
+    args = parser.parse_args(argv)
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)
+        rows, summary = run_benchmark(args.quick)
+
+    print(format_table(rows))
+    print(
+        f"\nwarm speedup {summary['warm_speedup']}x, "
+        f"2-worker vs 1-worker cold {summary['two_worker_speedup']}x "
+        f"({summary['cells']} cells, {summary['unique_pairs']} unique pairs, "
+        f"zero duplicate trainings)"
+    )
+    if args.output:
+        save_json(summary, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

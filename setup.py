@@ -3,8 +3,9 @@
 ``pip install -e .`` uses PEP 660 editable wheels, which require ``wheel``;
 fully offline environments that lack it can fall back to
 ``python setup.py develop`` (or add ``src/`` to ``PYTHONPATH``).  The
-``repro-serve`` console script boots the serving layer; without an install it
-is equivalently ``python -m repro.serving.api``.
+``repro-serve`` console script boots the serving layer and ``repro-worker``
+a cluster worker; without an install they are equivalently
+``python -m repro.serving.api`` and ``python -m repro.cluster.worker``.
 """
 from setuptools import find_packages, setup
 
@@ -15,6 +16,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-serve=repro.serving.api:main",
+            "repro-worker=repro.cluster.worker:main",
         ],
     },
 )

@@ -1,0 +1,574 @@
+"""Cluster coordinator: leases grid cell-groups to pull-based workers.
+
+The coordinator is the server half of the distributed grid-execution
+subsystem.  It decomposes a grid into the scheduler's ancestry-aware
+:class:`~repro.engine.scheduler.CellGroup`\\ s (one
+:class:`~repro.engine.scheduler.GridPlan` per run), hands groups out as
+**leases** with a heartbeat-extended expiry, and commits the records workers
+push back through the engine's
+:class:`~repro.engine.streaming.OrderedCommitter` -- so a distributed run
+streams records in the canonical axis-product order, bit-identical to a
+serial :meth:`GridEngine.run`.
+
+Scheduling rules:
+
+* **anchor groups first** -- groups are leased in plan order, which puts the
+  anchor-dimension group of each (algorithm, seed) ancestry ahead of the
+  groups that consume its embeddings as EIS anchors;
+* **ancestry gating** -- while a measure-bearing run's ancestry has no
+  completed group, only its first pending group is leasable.  The first
+  group trains the shared anchor pair and pushes it into the coordinator's
+  artifact store (workers mount the coordinator as a remote store tier);
+  gating the siblings until that push lands is what makes every trained
+  pair unique cluster-wide instead of redundantly retrained per worker;
+* **at-least-once execution** -- a lease that misses its heartbeat expires
+  and the group returns to the pending pool.  Re-execution is safe because
+  every artifact and record is a deterministic function of its
+  configuration: whichever result arrives first is committed, later
+  arrivals are counted (``duplicate_results``) and dropped.
+
+The coordinator holds plain thread-safe state and speaks no HTTP itself;
+the serving layer mounts it as the ``/cluster/*`` endpoints (same
+unauthenticated trust model as ``/artifacts``).  ``clock`` injects a
+monotonic time source so lease expiry is testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Iterator
+
+from repro.engine.scheduler import CellGroup, GridPlan
+from repro.engine.streaming import OrderedCommitter, cell_key
+from repro.utils.io import to_jsonable
+from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.instability.grid import GridRecord
+    from repro.instability.pipeline import PipelineConfig
+
+logger = get_logger(__name__)
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterRunFailed",
+    "config_wire_payload",
+    "group_from_wire",
+    "group_wire_payload",
+]
+
+#: Group states in a run's lease table.
+_PENDING, _LEASED, _DONE = "pending", "leased", "done"
+
+#: Completed/cancelled runs retained for status queries before eviction.
+_MAX_FINISHED_RUNS = 64
+
+
+class ClusterRunFailed(RuntimeError):
+    """A run's group exhausted its attempts; raised to the record consumer."""
+
+
+def config_wire_payload(config: "PipelineConfig") -> dict:
+    """The JSON wire form of a pipeline config, with the kernel policy pinned.
+
+    A config field left ``None`` resolves against the *process-wide* default
+    policy, which may differ between the submitting host and a worker; the
+    wire form pins the resolved SVD method and dtype so every worker resolves
+    decompositions exactly as the submitter would (the cluster analogue of
+    the scheduler shipping ``default_policy()`` to pool workers).  Pinning
+    does not change artifact keys -- they are derived from the resolved
+    policy either way.
+    """
+    payload = to_jsonable(config)
+    policy = config.resolved_kernel_policy()
+    payload["kernel_policy"] = policy.svd
+    payload["measure_dtype"] = policy.dtype
+    return payload
+
+
+def group_wire_payload(group: CellGroup) -> dict:
+    """The JSON wire form of one cell group (a lease's work description)."""
+    return {
+        "algorithm": group.algorithm,
+        "dim": group.dim,
+        "seed": group.seed,
+        "precisions": list(group.precisions),
+        "tasks": list(group.tasks),
+        "with_measures": group.with_measures,
+        "model_type": group.model_type,
+    }
+
+
+def group_from_wire(payload: dict) -> CellGroup:
+    """Rebuild a :class:`CellGroup` from :func:`group_wire_payload`."""
+    return CellGroup(
+        algorithm=str(payload["algorithm"]),
+        dim=int(payload["dim"]),
+        seed=int(payload["seed"]),
+        precisions=tuple(int(p) for p in payload["precisions"]),
+        tasks=tuple(str(t) for t in payload["tasks"]),
+        with_measures=bool(payload.get("with_measures", False)),
+        model_type=str(payload.get("model_type", "bow")),
+    )
+
+
+class _ClusterRun:
+    """Lease table and ordered-commit state of one submitted grid."""
+
+    def __init__(self, run_id: str, plan: GridPlan, config_payload: dict) -> None:
+        self.run_id = run_id
+        self.plan = plan
+        self.config_payload = config_payload
+        self.committer = OrderedCommitter(plan.cell_keys())
+        #: Records released by the committer, in canonical order; consumers
+        #: (the /grid NDJSON stream) read a growing prefix of this list.
+        self.ready: list["GridRecord"] = []
+        self.states = [_PENDING] * len(plan.groups)
+        self.attempts = [0] * len(plan.groups)
+        self.cancelled = False
+        self.completed = False
+        self.failure: str | None = None
+
+    @property
+    def active(self) -> bool:
+        return not (self.completed or self.cancelled or self.failure)
+
+    def done_count(self) -> int:
+        return sum(1 for state in self.states if state is _DONE)
+
+    def summary(self) -> dict:
+        return {
+            "groups": len(self.states),
+            "done": self.done_count(),
+            "leased": sum(1 for s in self.states if s is _LEASED),
+            "pending": sum(1 for s in self.states if s is _PENDING),
+            "cells": self.plan.n_cells,
+            "committed": self.committer.committed,
+            "remaining": self.committer.remaining,
+            "completed": self.completed,
+            "cancelled": self.cancelled,
+            "failure": self.failure,
+        }
+
+
+class _Lease:
+    def __init__(
+        self, lease_id: str, run_id: str, group_index: int, worker: str, expires_at: float
+    ) -> None:
+        self.lease_id = lease_id
+        self.run_id = run_id
+        self.group_index = group_index
+        self.worker = worker
+        self.expires_at = expires_at
+
+
+class ClusterCoordinator:
+    """Thread-safe lease/commit state machine behind the ``/cluster/*`` API.
+
+    Parameters
+    ----------
+    default_config:
+        Wire payload (see :func:`config_wire_payload`) handed to workers for
+        runs submitted without an explicit config -- normally the hosting
+        service's own pipeline configuration.
+    lease_ttl:
+        Seconds a lease stays valid without a heartbeat; an expired lease
+        returns its group to the pending pool.
+    max_attempts:
+        Lease attempts per group before a reported execution *error* fails
+        the whole run (expiries also consume attempts).
+    clock:
+        Monotonic time source (injectable for the lease-lifecycle tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        default_config: dict | None = None,
+        lease_ttl: float = 60.0,
+        max_attempts: int = 3,
+        clock=time.monotonic,
+    ) -> None:
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
+        self.default_config = default_config or {}
+        self.lease_ttl = float(lease_ttl)
+        self.max_attempts = int(max_attempts)
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._runs: "OrderedDict[str, _ClusterRun]" = OrderedDict()
+        self._leases: dict[str, _Lease] = {}
+        self._ids = itertools.count(1)
+        self._workers: dict[str, dict] = {}
+        self.counters = {
+            "runs_created": 0,
+            "runs_completed": 0,
+            "runs_cancelled": 0,
+            "runs_failed": 0,
+            "leases_issued": 0,
+            "leases_expired": 0,
+            "leases_reassigned": 0,
+            "duplicate_results": 0,
+            "late_results": 0,
+            "group_failures": 0,
+            "records_committed": 0,
+            "cells_completed": 0,
+        }
+
+    # -- run lifecycle ---------------------------------------------------------
+
+    def create_run(self, plan: GridPlan, config_payload: dict | None = None) -> str:
+        """Register a grid for distributed execution; returns its run id."""
+        with self._cond:
+            run_id = f"run-{next(self._ids):04d}"
+            run = _ClusterRun(run_id, plan, config_payload or self.default_config)
+            self._runs[run_id] = run
+            self.counters["runs_created"] += 1
+            self._evict_finished_locked()
+            self._cond.notify_all()
+        logger.info(
+            "cluster run %s created: %d groups, %d cells",
+            run_id, len(plan.groups), plan.n_cells,
+        )
+        return run_id
+
+    def cancel(self, run_id: str) -> bool:
+        """Stop leasing a run's groups; outstanding results are dropped."""
+        with self._cond:
+            run = self._runs.get(run_id)
+            if run is None or not run.active:
+                return False
+            run.cancelled = True
+            self.counters["runs_cancelled"] += 1
+            self._cond.notify_all()
+        logger.info("cluster run %s cancelled", run_id)
+        return True
+
+    def run_status(self, run_id: str) -> dict | None:
+        with self._cond:
+            run = self._runs.get(run_id)
+            return None if run is None else {"run_id": run_id, **run.summary()}
+
+    # -- worker-facing API (the /cluster/* endpoints) --------------------------
+
+    def lease(self, worker: str) -> dict:
+        """Hand the next available group to ``worker``.
+
+        Returns a ``{"status": "lease", ...}`` payload carrying the group,
+        the run's pipeline config and the TTL; ``{"status": "wait"}`` when
+        runs exist but every eligible group is leased or ancestry-gated; and
+        ``{"status": "idle"}`` when there is nothing to execute at all.
+        """
+        worker = str(worker)
+        with self._cond:
+            now = self._clock()
+            self._expire_leases_locked(now)
+            self._touch_worker_locked(worker, now)
+            any_active = False
+            for run in self._runs.values():
+                if not run.active:
+                    continue
+                any_active = True
+                index = self._next_available_locked(run)
+                if index is None:
+                    continue
+                lease_id = f"{run.run_id}-lease-{next(self._ids):04d}"
+                run.states[index] = _LEASED
+                run.attempts[index] += 1
+                if run.attempts[index] > 1:
+                    self.counters["leases_reassigned"] += 1
+                self._leases[lease_id] = _Lease(
+                    lease_id, run.run_id, index, worker, now + self.lease_ttl
+                )
+                self.counters["leases_issued"] += 1
+                self._workers[worker]["leases"] += 1
+                return {
+                    "status": "lease",
+                    "lease_id": lease_id,
+                    "run_id": run.run_id,
+                    "group_index": index,
+                    "group": group_wire_payload(run.plan.groups[index]),
+                    "config": run.config_payload,
+                    "ttl": self.lease_ttl,
+                }
+            if any_active:
+                return {"status": "wait", "retry_after": min(1.0, self.lease_ttl / 4)}
+            return {"status": "idle", "retry_after": min(5.0, self.lease_ttl)}
+
+    def heartbeat(self, worker: str, lease_id: str) -> dict:
+        """Extend a lease; ``{"status": "gone"}`` tells the worker it expired."""
+        with self._cond:
+            now = self._clock()
+            self._expire_leases_locked(now)
+            self._touch_worker_locked(str(worker), now)
+            lease = self._leases.get(lease_id)
+            if lease is None or lease.worker != worker:
+                return {"status": "gone"}
+            lease.expires_at = now + self.lease_ttl
+            return {"status": "ok", "ttl": self.lease_ttl}
+
+    def complete(
+        self,
+        worker: str,
+        lease_id: str,
+        run_id: str,
+        group_index: int,
+        rows: list[dict] | None = None,
+        stats: dict | None = None,
+        error: str | None = None,
+    ) -> dict:
+        """Accept one group's results (or its failure report) from a worker.
+
+        Identified by ``(run_id, group_index)`` rather than the lease alone,
+        so a result that outlived its lease -- the worker stalled past the
+        TTL but did finish -- is still accepted if the group is not done yet
+        (``late_results``); a group that *is* done counts a duplicate and the
+        payload is dropped.  Both are safe: results are content-addressed
+        and deterministic, so every copy is identical.
+        """
+        from repro.instability.grid import GridRecord
+
+        worker = str(worker)
+        with self._cond:
+            now = self._clock()
+            self._expire_leases_locked(now)
+            self._touch_worker_locked(worker, now)
+            lease = self._leases.pop(lease_id, None)
+            if lease is not None and lease.worker == worker:
+                # Popping a lease must never strand its group: return it to
+                # the pending pool immediately (still under the lock), and
+                # let the success path below re-mark it done.  Without this,
+                # a completion whose run_id/group_index don't match its own
+                # lease (buggy or hostile worker) would leave the lease's
+                # real group _LEASED forever and wedge the run.
+                owner = self._runs.get(lease.run_id)
+                if owner is not None:
+                    self._release_group_locked(owner, lease.group_index)
+                    self._cond.notify_all()
+            if stats is not None:
+                self._workers[worker]["reported"] = dict(stats)
+            run = self._runs.get(run_id)
+            if run is None:
+                return {"status": "unknown-run"}
+            index = int(group_index)
+            if not 0 <= index < len(run.states):
+                return {"status": "rejected", "error": f"no group {index}"}
+            if run.states[index] is _DONE:
+                self.counters["duplicate_results"] += 1
+                return {"status": "duplicate"}
+            if not run.active:
+                return {"status": "cancelled"}
+            own_lease = (
+                lease is not None
+                and lease.worker == worker
+                and lease.run_id == run_id
+                and lease.group_index == index
+            )
+            if error is not None:
+                self._workers[worker]["failures"] += 1
+                if not own_lease:
+                    # A failure report from an expired/reassigned lease must
+                    # not reset a group another worker is actively computing,
+                    # nor consume the run's failure budget -- the current
+                    # owner is authoritative.
+                    return {"status": "stale"}
+                self.counters["group_failures"] += 1
+                if run.attempts[index] >= self.max_attempts:
+                    run.failure = (
+                        f"group {index} failed after {run.attempts[index]} attempts: {error}"
+                    )
+                    self.counters["runs_failed"] += 1
+                    self._cond.notify_all()
+                    return {"status": "failed"}
+                # The group already went back to pending when the lease was
+                # popped above; just wake waiting workers.
+                self._cond.notify_all()
+                return {"status": "retry"}
+            group = run.plan.groups[index]
+            rows = rows or []
+            rejection = None
+            records: list["GridRecord"] = []
+            if len(rows) != group.n_cells:
+                rejection = f"group {index} expects {group.n_cells} records, got {len(rows)}"
+            else:
+                try:
+                    records = [GridRecord.from_row(row) for row in rows]
+                except (KeyError, ValueError, TypeError) as bad:
+                    rejection = f"malformed record row: {bad}"
+            if rejection is None:
+                # Validate the whole batch against the group's cells BEFORE
+                # touching the committer: a partial push would poison every
+                # retry of this group ("pushed twice").
+                expected_keys = {
+                    (group.algorithm, group.dim, precision, group.seed, task)
+                    for precision in group.precisions
+                    for task in group.tasks
+                }
+                keys = [cell_key(record) for record in records]
+                if len(set(keys)) != len(keys) or set(keys) != expected_keys:
+                    rejection = f"records do not match the cells of group {index}"
+            if rejection is not None:
+                # The group already went back to pending when the lease was
+                # popped above, so a rejection cannot strand it.
+                return {"status": "rejected", "error": rejection}
+            released: list["GridRecord"] = []
+            for record in records:
+                released.extend(run.committer.push(record))
+            run.ready.extend(released)
+            run.states[index] = _DONE
+            self.counters["records_committed"] += len(records)
+            self.counters["cells_completed"] += len(records)
+            stats_row = self._workers[worker]
+            stats_row["groups_completed"] += 1
+            stats_row["cells_completed"] += len(records)
+            if lease is None or lease.worker != worker or lease.group_index != index:
+                self.counters["late_results"] += 1
+            if all(state is _DONE for state in run.states):
+                run.completed = True
+                self.counters["runs_completed"] += 1
+                logger.info("cluster run %s complete (%d cells)", run_id, run.plan.n_cells)
+            self._cond.notify_all()
+            return {"status": "ok", "accepted": len(records)}
+
+    # -- record consumption (the /grid NDJSON stream) --------------------------
+
+    def records(self, run_id: str, *, poll_interval: float = 0.5) -> Iterator["GridRecord"]:
+        """Yield a run's records in canonical order as workers commit them.
+
+        Blocks while the run is in progress (waking every ``poll_interval``
+        to sweep expired leases, so a crashed worker cannot stall a stream
+        whose other workers have all gone quiet).  Raises
+        :class:`ClusterRunFailed` when the run fails; ends silently when the
+        run is cancelled (the consumer initiated it).
+        """
+        emitted = 0
+        while True:
+            with self._cond:
+                run = self._runs.get(run_id)
+                if run is None:
+                    raise KeyError(f"unknown cluster run {run_id!r}")
+                while (
+                    emitted >= len(run.ready)
+                    and run.active
+                ):
+                    self._expire_leases_locked(self._clock())
+                    self._cond.wait(poll_interval)
+                batch = run.ready[emitted:]
+                failure = run.failure
+                finished = not run.active
+            for record in batch:
+                emitted += 1
+                yield record
+            if batch:
+                continue
+            if failure:
+                raise ClusterRunFailed(failure)
+            if finished:
+                return
+
+    # -- observability ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able counter/state snapshot for ``repro.engine.stats()``."""
+        with self._cond:
+            now = self._clock()
+            workers = {}
+            for name, row in self._workers.items():
+                active = max(now - row["first_seen"], 1e-9)
+                workers[name] = {
+                    "leases": row["leases"],
+                    "groups_completed": row["groups_completed"],
+                    "cells_completed": row["cells_completed"],
+                    "failures": row["failures"],
+                    "seconds_active": round(active, 3),
+                    "cells_per_second": round(row["cells_completed"] / active, 4),
+                    "reported": row["reported"],
+                }
+            return {
+                "counters": dict(self.counters),
+                "lease_ttl": self.lease_ttl,
+                "runs_active": sum(1 for run in self._runs.values() if run.active),
+                "leases_outstanding": len(self._leases),
+                "workers": workers,
+                "runs": {run_id: run.summary() for run_id, run in self._runs.items()},
+            }
+
+    # -- internals (all hold self._cond) ---------------------------------------
+
+    def _touch_worker_locked(self, worker: str, now: float) -> None:
+        row = self._workers.get(worker)
+        if row is None:
+            row = self._workers[worker] = {
+                "leases": 0,
+                "groups_completed": 0,
+                "cells_completed": 0,
+                "failures": 0,
+                "first_seen": now,
+                "reported": None,
+            }
+        row["last_seen"] = now
+
+    def _release_group_locked(self, run: _ClusterRun, index: int) -> None:
+        """Return a leased group to the pending pool, unless another worker
+        still holds a live lease on it (their result remains authoritative)."""
+        if run.states[index] is _LEASED and not any(
+            lease.run_id == run.run_id and lease.group_index == index
+            for lease in self._leases.values()
+        ):
+            run.states[index] = _PENDING
+
+    def _expire_leases_locked(self, now: float) -> None:
+        expired = [l for l in self._leases.values() if l.expires_at <= now]
+        for lease in expired:
+            del self._leases[lease.lease_id]
+            self.counters["leases_expired"] += 1
+            run = self._runs.get(lease.run_id)
+            if run is not None and run.states[lease.group_index] is _LEASED:
+                run.states[lease.group_index] = _PENDING
+            logger.warning(
+                "lease %s (worker %s, group %d of %s) expired; group returned "
+                "to the pending pool",
+                lease.lease_id, lease.worker, lease.group_index, lease.run_id,
+            )
+        if expired:
+            self._cond.notify_all()
+
+    def _next_available_locked(self, run: _ClusterRun) -> int | None:
+        """The first leasable group index of a run, honouring ancestry gates."""
+        if not run.plan.with_measures:
+            for index, state in enumerate(run.states):
+                if state is _PENDING:
+                    return index
+            return None
+        groups = run.plan.groups
+        done = {
+            (groups[i].algorithm, groups[i].seed)
+            for i, state in enumerate(run.states) if state is _DONE
+        }
+        busy = {
+            (groups[i].algorithm, groups[i].seed)
+            for i, state in enumerate(run.states) if state is _LEASED
+        }
+        claimed: set = set()
+        for index, state in enumerate(run.states):
+            if state is not _PENDING:
+                continue
+            ancestry = (groups[index].algorithm, groups[index].seed)
+            if ancestry in done:
+                return index
+            # No group of this ancestry has completed yet: admit only the
+            # first pending group (the anchor bearer, by plan order), and
+            # only while no sibling is already leased.
+            if ancestry not in busy and ancestry not in claimed:
+                return index
+            claimed.add(ancestry)
+        return None
+
+    def _evict_finished_locked(self) -> None:
+        finished = [rid for rid, run in self._runs.items() if not run.active]
+        while len(finished) > _MAX_FINISHED_RUNS:
+            oldest = finished.pop(0)
+            del self._runs[oldest]

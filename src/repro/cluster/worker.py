@@ -1,0 +1,399 @@
+"""Pull-based cluster worker: the ``repro-worker`` entrypoint.
+
+A worker polls a coordinator (any ``repro-serve`` instance) for leases over
+plain stdlib HTTP, executes each leased
+:class:`~repro.engine.scheduler.CellGroup` through a warm local
+:class:`~repro.instability.pipeline.InstabilityPipeline`, and pushes the
+resulting :class:`~repro.instability.grid.GridRecord`\\ s back.  Three
+properties make the fleet safe and fast:
+
+* **the coordinator is a store tier** -- each worker's
+  :class:`~repro.engine.store.ArtifactStore` mounts the coordinator's
+  ``/artifacts`` API as its remote tier, so trained pairs, anchor
+  decompositions and measure values are computed once cluster-wide and
+  fetched everywhere else; pushes ride the async replication queue and are
+  :meth:`~repro.engine.store.ArtifactStore.flush`\\ ed before a group is
+  reported complete, so dependants always find their ancestors;
+* **heartbeats** -- a background thread renews the lease while a group
+  executes; if the worker dies, the lease expires and the coordinator
+  re-leases the group (at-least-once is safe: results are deterministic and
+  content-addressed);
+* **warm pipelines** -- pipelines are cached per config hash, so every lease
+  of the same run (and every warm rerun) reuses the corpus, datasets and
+  store of the first.
+
+Run it::
+
+    repro-worker http://coordinator:8732            # or python -m repro.cluster.worker
+    repro-worker http://coordinator:8732 --cache-dir /data/cache --max-idle 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import sys
+import threading
+import time
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.cluster.coordinator import group_from_wire
+from repro.cluster.client import open_json_connection
+from repro.engine.scheduler import evaluate_group
+from repro.engine.store import ArtifactStore, config_hash
+from repro.utils.io import to_jsonable
+from repro.utils.logging import configure_logging, get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.instability.pipeline import InstabilityPipeline
+
+logger = get_logger(__name__)
+
+__all__ = ["ClusterWorker", "CoordinatorClient", "main"]
+
+
+class CoordinatorClient:
+    """Minimal JSON-over-HTTP client for the ``/cluster/*`` endpoints."""
+
+    def __init__(self, url: str, *, timeout: float = 30.0) -> None:
+        self.url = url
+        self.timeout = float(timeout)
+        self._local = threading.local()
+
+    def _post(self, path: str, payload: dict) -> dict:
+        """POST one JSON payload; reconnects once on a stale keep-alive."""
+        body = json.dumps(to_jsonable(payload)).encode("utf-8")
+        last_error: Exception | None = None
+        for _ in (0, 1):
+            conn = getattr(self._local, "conn", None)
+            if conn is None:
+                conn, base = open_json_connection(self.url, self.timeout)
+                self._local.conn = conn
+                self._local.base = base
+            try:
+                conn.request(
+                    "POST", f"{self._local.base}{path}", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                data = response.read()
+                if response.status != 200:
+                    raise ConnectionError(
+                        f"coordinator answered HTTP {response.status} on {path}: "
+                        f"{data.decode('utf-8', 'replace')[:200]}"
+                    )
+                return json.loads(data)
+            except (OSError, ConnectionError, ValueError) as error:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+                self._local.conn = None
+                last_error = error
+        raise ConnectionError(f"coordinator {self.url} unreachable: {last_error}")
+
+    def lease(self, worker: str) -> dict:
+        return self._post("/cluster/lease", {"worker": worker})
+
+    def heartbeat(self, worker: str, lease_id: str) -> dict:
+        return self._post("/cluster/heartbeat", {"worker": worker, "lease_id": lease_id})
+
+    def complete(
+        self,
+        worker: str,
+        lease_id: str,
+        run_id: str,
+        group_index: int,
+        rows: list[dict],
+        stats: dict | None = None,
+        error: str | None = None,
+    ) -> dict:
+        return self._post(
+            "/cluster/complete",
+            {
+                "worker": worker,
+                "lease_id": lease_id,
+                "run_id": run_id,
+                "group_index": group_index,
+                "records": rows,
+                "stats": stats,
+                "error": error,
+            },
+        )
+
+
+class ClusterWorker:
+    """Lease-execute-report loop against one coordinator.
+
+    Parameters
+    ----------
+    coordinator_url:
+        Base URL of the coordinator (``repro-serve``); also mounted as the
+        worker store's remote tier.
+    worker_id:
+        Stable identity reported with every request (defaults to host-pid).
+    cache_dir:
+        Optional local disk tier under the remote tier; gives the worker
+        warm restarts in addition to the cluster-wide store.
+    poll_interval:
+        Idle sleep between lease polls when the coordinator has no work.
+    max_idle:
+        Stop after this many consecutive idle seconds (``None`` = run until
+        :meth:`stop`); how CI and tests bound a worker's lifetime.
+    client:
+        Injectable transport (tests drive the worker against an in-process
+        coordinator without sockets).
+    flush_timeout:
+        Bound on the pre-report artifact replication barrier.
+    max_pipelines:
+        Warm pipelines kept alive at once (LRU by use).  A long-lived worker
+        serving many distinct configurations would otherwise pin a corpus,
+        datasets, store and replication thread per config forever.
+    """
+
+    def __init__(
+        self,
+        coordinator_url: str,
+        *,
+        worker_id: str | None = None,
+        cache_dir: str | None = None,
+        poll_interval: float = 0.5,
+        max_idle: float | None = None,
+        client: CoordinatorClient | None = None,
+        flush_timeout: float = 120.0,
+        max_pipelines: int = 4,
+    ) -> None:
+        if max_pipelines < 1:
+            raise ValueError(f"max_pipelines must be >= 1, got {max_pipelines}")
+        self.coordinator_url = coordinator_url
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.cache_dir = cache_dir
+        self.poll_interval = float(poll_interval)
+        self.max_idle = max_idle
+        self.flush_timeout = float(flush_timeout)
+        self.max_pipelines = int(max_pipelines)
+        self.client = client or CoordinatorClient(coordinator_url)
+        self._pipelines: "OrderedDict[str, InstabilityPipeline]" = OrderedDict()
+        self._stop = threading.Event()
+        self.groups_executed = 0
+        self.cells_executed = 0
+        #: Cumulative pipeline counters of evicted pipelines, so the stats
+        #: reported to the coordinator never go backwards.
+        self._retired = {
+            "corpus_build_count": 0,
+            "embedding_train_count": 0,
+            "downstream_train_count": 0,
+        }
+        #: Replication drops already warned about, per config hash.
+        self._drops_seen: dict[str, int] = {}
+
+    # -- pipeline cache --------------------------------------------------------
+
+    def _pipeline_for(self, config_payload: dict) -> "InstabilityPipeline":
+        """The warm pipeline executing this config (built once per config)."""
+        from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+
+        key = config_hash(config_payload)
+        pipeline = self._pipelines.get(key)
+        if pipeline is not None:
+            self._pipelines.move_to_end(key)
+        else:
+            config = PipelineConfig.from_jsonable(config_payload)
+            store = ArtifactStore(
+                self.cache_dir,
+                remote_url=self.coordinator_url,
+                async_replication=True,
+                # Generous bound: one group's artifacts (pairs, quantized
+                # pairs, decompositions, measures, downstream results) are
+                # far fewer than this, and the store flushes between groups
+                # -- so the lossy overflow path should never trigger; when
+                # it somehow does, the drop is detected after flush below.
+                replication_queue=1024,
+            )
+            pipeline = InstabilityPipeline(config, store=store)
+            self._pipelines[key] = pipeline
+            self._evict_stale_pipelines(keep=key)
+            logger.info(
+                "worker %s built pipeline for config %s", self.worker_id, key
+            )
+        return pipeline
+
+    def _evict_stale_pipelines(self, keep: str) -> None:
+        """LRU-bound the pipeline cache; evicted stores drain and stop."""
+        while len(self._pipelines) > self.max_pipelines:
+            old_key, old = next(iter(self._pipelines.items()))
+            if old_key == keep:  # pragma: no cover - max_pipelines >= 1
+                break
+            del self._pipelines[old_key]
+            for name in self._retired:
+                self._retired[name] += getattr(old, name)
+            old.store.close(timeout=self.flush_timeout)
+            logger.info("worker %s evicted pipeline %s", self.worker_id, old_key)
+
+    def stats(self) -> dict:
+        """Counters reported to the coordinator with every completion."""
+        totals = {
+            "groups_executed": self.groups_executed,
+            "cells_executed": self.cells_executed,
+            **self._retired,
+        }
+        for pipeline in self._pipelines.values():
+            totals["corpus_build_count"] += pipeline.corpus_build_count
+            totals["embedding_train_count"] += pipeline.embedding_train_count
+            totals["downstream_train_count"] += pipeline.downstream_train_count
+        return totals
+
+    # -- execution -------------------------------------------------------------
+
+    def _heartbeat_loop(self, lease: dict, done: threading.Event) -> None:
+        interval = max(float(lease.get("ttl", 60.0)) / 3.0, 0.05)
+        while not done.wait(interval):
+            try:
+                answer = self.client.heartbeat(self.worker_id, lease["lease_id"])
+            except ConnectionError as error:  # keep computing; complete() retries
+                logger.warning("heartbeat failed: %s", error)
+                continue
+            if answer.get("status") != "ok":
+                logger.warning(
+                    "lease %s no longer ours (%s); finishing the group anyway -- "
+                    "a late result is still accepted if nobody beat us to it",
+                    lease["lease_id"], answer.get("status"),
+                )
+                return
+
+    def _execute_lease(self, lease: dict) -> None:
+        group = group_from_wire(lease["group"])
+        done = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop, args=(lease, done),
+            name=f"heartbeat-{lease['lease_id']}", daemon=True,
+        )
+        beat.start()
+        rows: list[dict] = []
+        error: str | None = None
+        try:
+            pipeline = self._pipeline_for(lease["config"])
+            records = evaluate_group(pipeline, group)
+            rows = [to_jsonable(record.to_row()) for record in records]
+        except Exception as failure:  # reported, the coordinator decides retry/fail
+            logger.exception("group execution failed")
+            error = f"{type(failure).__name__}: {failure}"
+        finally:
+            done.set()
+            beat.join(timeout=5.0)
+        if error is None:
+            # Replication barrier: artifacts must reach the coordinator before
+            # the group is reported done, so ancestry-gated dependants always
+            # find their anchors remotely instead of retraining them.  A
+            # drained queue can still have *dropped* writes (overflow), which
+            # flush() cannot see -- surface those too, because a dropped
+            # anchor push silently downgrades "trained exactly once
+            # cluster-wide" to "recomputed by dependants" (correct but slow).
+            store = self._pipelines[config_hash(lease["config"])].store
+            if not store.flush(timeout=self.flush_timeout):
+                logger.warning(
+                    "artifact replication did not drain within %.0fs; "
+                    "dependants may recompute ancestors", self.flush_timeout,
+                )
+            replication = store.replication_stats()
+            if replication:
+                key = config_hash(lease["config"])
+                new_drops = replication["dropped"] - self._drops_seen.get(key, 0)
+                if new_drops:
+                    self._drops_seen[key] = replication["dropped"]
+                    logger.warning(
+                        "%d artifact push(es) were dropped by the replication "
+                        "queue; dependants may recompute ancestors", new_drops,
+                    )
+            self.groups_executed += 1
+            self.cells_executed += len(rows)
+        answer = self.client.complete(
+            self.worker_id, lease["lease_id"], lease["run_id"],
+            lease["group_index"], rows, stats=self.stats(), error=error,
+        )
+        logger.info(
+            "group %d of %s -> %s (%d records)",
+            lease["group_index"], lease["run_id"], answer.get("status"), len(rows),
+        )
+
+    # -- main loop -------------------------------------------------------------
+
+    def step(self) -> bool:
+        """One poll: execute a lease if one is available; True when work ran."""
+        answer = self.client.lease(self.worker_id)
+        if answer.get("status") != "lease":
+            return False
+        self._execute_lease(answer)
+        return True
+
+    def run(self) -> None:
+        """Poll until :meth:`stop` (or ``max_idle`` seconds without work)."""
+        idle_since: float | None = None
+        while not self._stop.is_set():
+            try:
+                worked = self.step()
+            except ConnectionError as error:
+                logger.warning("coordinator unreachable: %s", error)
+                worked = False
+            if worked:
+                idle_since = None
+                continue
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            if self.max_idle is not None and now - idle_since >= self.max_idle:
+                logger.info(
+                    "worker %s idle for %.0fs; exiting", self.worker_id, self.max_idle
+                )
+                return
+            self._stop.wait(self.poll_interval)
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "coordinator",
+        help="coordinator base URL (a repro-serve instance, e.g. http://host:8732)",
+    )
+    parser.add_argument(
+        "--worker-id", default=None, help="stable worker identity (default host-pid)"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="local disk store tier (in addition to the coordinator tier)",
+    )
+    parser.add_argument(
+        "--poll-interval", type=float, default=0.5,
+        help="seconds between lease polls when idle",
+    )
+    parser.add_argument(
+        "--max-idle", type=float, default=None,
+        help="exit after this many consecutive idle seconds (default: run forever)",
+    )
+    args = parser.parse_args(argv)
+    configure_logging()
+    worker = ClusterWorker(
+        args.coordinator,
+        worker_id=args.worker_id,
+        cache_dir=args.cache_dir,
+        poll_interval=args.poll_interval,
+        max_idle=args.max_idle,
+    )
+    print(f"repro-worker {worker.worker_id} polling {args.coordinator}", flush=True)
+    try:
+        worker.run()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    sys.exit(main())

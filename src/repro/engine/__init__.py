@@ -9,6 +9,7 @@ processes with a bit-identical serial fallback.
 """
 
 from repro.engine.backends import (
+    AsyncReplicator,
     DiskBackend,
     MemoryBackend,
     RemoteBackend,
@@ -23,19 +24,28 @@ from repro.engine.store import (
     configure_default_store,
     default_store,
 )
-from repro.engine.scheduler import CellGroup, GridEngine, evaluate_group, plan_groups
+from repro.engine.scheduler import (
+    CellGroup,
+    GridEngine,
+    GridPlan,
+    evaluate_group,
+    plan_grid,
+    plan_groups,
+)
 from repro.engine.stats import stats
 from repro.engine.streaming import OrderedCommitter, canonical_cell_keys, commit_in_order
 from repro.engine.warmup import CorpusShipment, EmbeddingShipment
 
 __all__ = [
     "ArtifactStore",
+    "AsyncReplicator",
     "CacheStats",
     "CellGroup",
     "CorpusShipment",
     "DiskBackend",
     "EmbeddingShipment",
     "GridEngine",
+    "GridPlan",
     "MemoryBackend",
     "OrderedCommitter",
     "RemoteBackend",
@@ -48,6 +58,7 @@ __all__ = [
     "configure_default_store",
     "default_store",
     "evaluate_group",
+    "plan_grid",
     "plan_groups",
     "stats",
 ]

@@ -30,6 +30,7 @@ import bisect
 import hashlib
 import http.client
 import os
+import queue
 import tempfile
 import threading
 import time
@@ -45,6 +46,7 @@ from repro.utils.logging import get_logger
 logger = get_logger(__name__)
 
 __all__ = [
+    "AsyncReplicator",
     "TierStats",
     "StoreBackend",
     "MemoryBackend",
@@ -69,6 +71,9 @@ class TierStats:
     errors: int = 0
     #: Entries dropped by an LRU bound (memory tiers only).
     evictions: int = 0
+    #: Write-backs discarded because an async replication queue was full
+    #: (see :class:`AsyncReplicator`); the payload never reached this tier.
+    dropped: int = 0
 
 
 def atomic_write_bytes(path: Path, payload: bytes) -> None:
@@ -358,7 +363,11 @@ class RemoteBackend(StoreBackend):
     remote tiers accelerate, they must never take the computation down.
     After a connection failure the backend cools down for
     ``failure_cooldown`` seconds, answering misses immediately instead of
-    paying the full socket timeout on every subsequent operation.
+    paying the full socket timeout on every subsequent operation.  Once the
+    cooldown elapses the breaker goes **half-open**: exactly one request is
+    let through to probe the peer while every other thread keeps failing
+    fast; a successful probe closes the breaker, a failed one restarts the
+    cooldown.  ``clock`` injects a monotonic time source for tests.
     """
 
     name = "remote"
@@ -366,7 +375,12 @@ class RemoteBackend(StoreBackend):
     remote_capable = True
 
     def __init__(
-        self, url: str, *, timeout: float = 10.0, failure_cooldown: float = 30.0
+        self,
+        url: str,
+        *,
+        timeout: float = 10.0,
+        failure_cooldown: float = 30.0,
+        clock=time.monotonic,
     ) -> None:
         super().__init__()
         if "://" not in url:
@@ -384,10 +398,13 @@ class RemoteBackend(StoreBackend):
         self._port = split.port
         self._base_path = split.path.rstrip("/")
         self._local = threading.local()
-        #: Monotonic deadline before which the peer is assumed still down.
-        #: Shared across threads without a lock: a racy read at worst costs
-        #: one extra probe or skips one, both harmless.
+        self._clock = clock
+        #: Breaker state, guarded by ``_state_lock``: ``_down_until`` is the
+        #: monotonic deadline of the cooldown (0.0 = closed, healthy), and
+        #: ``_probing`` marks the single half-open probe in flight.
+        self._state_lock = threading.Lock()
         self._down_until = 0.0
+        self._probing = False
 
     # -- connection management -------------------------------------------------
 
@@ -422,32 +439,61 @@ class RemoteBackend(StoreBackend):
 
         Circuit breaker: while the peer is cooling down after a failure,
         raise immediately -- otherwise every lookup of a busy grid run would
-        block for the full socket timeout against a dead peer.
+        block for the full socket timeout against a dead peer.  When the
+        cooldown has elapsed, exactly one caller is admitted as the
+        half-open probe; concurrent callers keep failing fast until the
+        probe settles, so a still-dead peer costs one socket timeout per
+        cooldown window instead of one per thread.
         """
-        if time.monotonic() < self._down_until:
-            raise ConnectionError(
-                f"remote store {self.url} cooling down after a failure"
-            )
+        probing = False
+        with self._state_lock:
+            if self._down_until:
+                if self._clock() < self._down_until:
+                    raise ConnectionError(
+                        f"remote store {self.url} cooling down after a failure"
+                    )
+                if self._probing:
+                    raise ConnectionError(
+                        f"remote store {self.url} half-open: probe already in flight"
+                    )
+                self._probing = probing = True
         last_error: Exception | None = None
-        for attempt in (0, 1):
-            conn = self._connection()
-            try:
-                conn.request(
-                    method,
-                    self._artifact_path(kind, name),
-                    body=body,
-                    headers={"Content-Type": "application/octet-stream"} if body else {},
-                )
-                response = conn.getresponse()
-                payload = response.read()
-                self._down_until = 0.0
-                return response.status, payload
-            except (http.client.HTTPException, ConnectionError, OSError) as error:
-                # The peer may have closed an idle keep-alive connection;
-                # reconnect once before treating the peer as unreachable.
-                self._drop_connection()
-                last_error = error
-        self._down_until = time.monotonic() + self.failure_cooldown
+        try:
+            for attempt in (0, 1):
+                conn = self._connection()
+                try:
+                    conn.request(
+                        method,
+                        self._artifact_path(kind, name),
+                        body=body,
+                        headers={"Content-Type": "application/octet-stream"} if body else {},
+                    )
+                    response = conn.getresponse()
+                    payload = response.read()
+                    with self._state_lock:
+                        self._down_until = 0.0
+                        if probing:
+                            self._probing = False
+                    return response.status, payload
+                except (http.client.HTTPException, ConnectionError, OSError) as error:
+                    # The peer may have closed an idle keep-alive connection;
+                    # reconnect once before treating the peer as unreachable.
+                    self._drop_connection()
+                    last_error = error
+        except BaseException:
+            # Unexpected exit (KeyboardInterrupt mid-request): release the
+            # probe slot without closing the breaker.
+            if probing:
+                with self._state_lock:
+                    self._probing = False
+            raise
+        with self._state_lock:
+            # Re-arm the cooldown and release the probe slot in ONE critical
+            # section: releasing first would let a concurrent caller slip in
+            # as a second probe against the still-expired deadline.
+            self._down_until = self._clock() + self.failure_cooldown
+            if probing:
+                self._probing = False
         raise ConnectionError(f"remote store {self.url} unreachable: {last_error}")
 
     # -- raw operations --------------------------------------------------------
@@ -505,6 +551,126 @@ class RemoteBackend(StoreBackend):
 
     def describe(self) -> dict:
         return {**super().describe(), "url": self.url}
+
+
+class AsyncReplicator:
+    """Background fan-out queue for best-effort tier replication.
+
+    The artifact store's write-back normally replicates to every tier
+    synchronously; against a remote tier that puts a network round trip on
+    the training hot path.  The replicator instead queues ``(tier, kind,
+    name, payload)`` writes and drains them on one daemon thread, so the
+    producer returns immediately.
+
+    Semantics are deliberately *lossy but observable*: when the bounded
+    queue is full the write is dropped and counted on the target tier's
+    :class:`TierStats` (``dropped``) -- replication to a peer accelerates
+    the cluster, it must never stall or grow without bound.  Callers that
+    need the writes to have landed (a cluster worker about to report a
+    group complete, so the coordinator can serve the artifacts to the next
+    worker) call :meth:`flush`, a barrier that waits until the queue is
+    empty and the in-flight write finished.
+    """
+
+    def __init__(self, max_queue: int = 256) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.max_queue = int(max_queue)
+        self._queue: "queue.Queue[tuple[StoreBackend, str, str, bytes] | None]" = (
+            queue.Queue(maxsize=self.max_queue)
+        )
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._pending = 0
+        self._submitted = 0
+        self._written = 0
+        self._dropped = 0
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    def _ensure_thread(self) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._drain, name="store-replicator", daemon=True
+            )
+            self._thread.start()
+
+    def submit(self, tier: StoreBackend, kind: str, name: str, payload: bytes) -> bool:
+        """Queue one write; returns ``False`` (and counts a drop) when full."""
+        with self._lock:
+            if self._closed:
+                tier.stats.dropped += 1
+                self._dropped += 1
+                return False
+            self._ensure_thread()
+            try:
+                self._queue.put_nowait((tier, kind, name, payload))
+            except queue.Full:
+                tier.stats.dropped += 1
+                self._dropped += 1
+                return False
+            self._pending += 1
+            self._submitted += 1
+            return True
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            tier, kind, name, payload = item
+            try:
+                tier.put(kind, name, payload)
+                with self._lock:
+                    self._written += 1
+            except Exception as error:  # pragma: no cover - backend dependent
+                # Backends already degrade gracefully; this guards custom ones.
+                logger.warning(
+                    "async replication of %s/%s to %s failed: %s",
+                    kind, name, tier.name, error,
+                )
+                tier.stats.errors += 1
+            finally:
+                with self._idle:
+                    self._pending -= 1
+                    if self._pending == 0:
+                        self._idle.notify_all()
+
+    def flush(self, timeout: float | None = None) -> bool:
+        """Block until every queued write has been attempted.
+
+        Returns ``False`` if ``timeout`` elapsed with writes still pending.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._pending > 0:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    def close(self) -> None:
+        """Stop accepting writes and let the drain thread exit (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+        if thread is not None:
+            self._queue.put(None)
+            thread.join(timeout=10.0)
+
+    def describe(self) -> dict:
+        """JSON-able counter snapshot (surfaced by ``ArtifactStore``)."""
+        with self._lock:
+            return {
+                "max_queue": self.max_queue,
+                "pending": self._pending,
+                "submitted": self._submitted,
+                "written": self._written,
+                "dropped": self._dropped,
+            }
 
 
 def backend_from_spec(spec: dict) -> StoreBackend:

@@ -60,7 +60,7 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid import cycles
 
 logger = get_logger(__name__)
 
-__all__ = ["CellGroup", "GridEngine", "evaluate_group", "plan_groups"]
+__all__ = ["CellGroup", "GridEngine", "GridPlan", "evaluate_group", "plan_grid", "plan_groups"]
 
 
 @dataclass(frozen=True)
@@ -114,6 +114,77 @@ def plan_groups(
     if with_measures and anchor_dim is not None:
         groups.sort(key=lambda g: (g.algorithm, g.seed, g.dim != anchor_dim))
     return groups
+
+
+@dataclass(frozen=True)
+class GridPlan:
+    """One grid execution, fully resolved: axes plus the ordered group plan.
+
+    The plan is the part of an execution that is independent of *where* the
+    cells run: the local scheduler fans ``groups`` out over processes, and
+    the cluster coordinator (:mod:`repro.cluster.coordinator`) hands the very
+    same groups out as leases to remote workers.  Both paths commit records
+    against :meth:`cell_keys`, which is why they are bit-identical.
+    """
+
+    algorithms: tuple[str, ...]
+    dimensions: tuple[int, ...]
+    precisions: tuple[int, ...]
+    seeds: tuple[int, ...]
+    tasks: tuple[str, ...]
+    with_measures: bool
+    model_type: str
+    anchor_dim: int | None
+    groups: tuple[CellGroup, ...]
+
+    @property
+    def n_cells(self) -> int:
+        return sum(group.n_cells for group in self.groups)
+
+    def cell_keys(self) -> list:
+        """Every cell key in the canonical axis-product order (commit order)."""
+        return canonical_cell_keys(
+            self.algorithms, self.dimensions, self.precisions, self.seeds, self.tasks
+        )
+
+
+def plan_grid(
+    config: "PipelineConfig",
+    *,
+    algorithms: tuple[str, ...] | None = None,
+    tasks: tuple[str, ...] | None = None,
+    dimensions: tuple[int, ...] | None = None,
+    precisions: tuple[int, ...] | None = None,
+    seeds: tuple[int, ...] | None = None,
+    with_measures: bool = False,
+    model_type: str = "bow",
+) -> GridPlan:
+    """Resolve grid axes against a pipeline config and plan the cell groups.
+
+    Any axis left as ``None`` defaults to the configuration; the group order
+    is the ancestry-aware order of :func:`plan_groups` (anchor groups first).
+    """
+    algorithms = tuple(algorithms or config.algorithms)
+    tasks = tuple(tasks or config.tasks)
+    dimensions = tuple(int(d) for d in (dimensions or config.dimensions))
+    precisions = tuple(int(p) for p in (precisions or config.precisions))
+    seeds = tuple(int(s) for s in (seeds or config.seeds))
+    anchor_dim = config.resolved_anchor_dim
+    groups = plan_groups(
+        algorithms, dimensions, precisions, seeds, tasks,
+        anchor_dim=anchor_dim, with_measures=with_measures, model_type=model_type,
+    )
+    return GridPlan(
+        algorithms=algorithms,
+        dimensions=dimensions,
+        precisions=precisions,
+        seeds=seeds,
+        tasks=tasks,
+        with_measures=with_measures,
+        model_type=model_type,
+        anchor_dim=anchor_dim,
+        groups=tuple(groups),
+    )
 
 
 def evaluate_group(pipeline: "InstabilityPipeline", group: CellGroup) -> list["GridRecord"]:
@@ -210,6 +281,12 @@ class GridEngine:
         (ignored when a ready pipeline is passed -- it already owns one).
     n_workers:
         Default process fan-out for :meth:`run`; ``0`` or ``1`` means serial.
+    coordinator_url:
+        Base URL of a cluster coordinator (a ``repro-serve`` instance).  When
+        set -- explicitly or process-wide via
+        :func:`repro.cluster.configure_default_coordinator` -- grid runs are
+        shipped to the coordinator and executed by its ``repro-worker`` fleet
+        instead of locally; the record stream stays bit-identical.
     """
 
     def __init__(
@@ -218,6 +295,7 @@ class GridEngine:
         *,
         store: ArtifactStore | None = None,
         n_workers: int = 0,
+        coordinator_url: str | None = None,
     ) -> None:
         from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
 
@@ -227,6 +305,7 @@ class GridEngine:
             pipeline = InstabilityPipeline(pipeline, store=store)
         self.pipeline: "InstabilityPipeline" = pipeline
         self.n_workers = int(n_workers)
+        self.coordinator_url = coordinator_url
         #: Warm-up telemetry of the most recent parallel run: whether the
         #: corpus pair shipped to workers, how, and how many bytes travelled.
         self.last_warmup: dict | None = None
@@ -290,19 +369,34 @@ class GridEngine:
         yielded the moment their group finishes (nondeterministic order under
         parallel execution, lowest latency to first record).
         """
-        cfg = self.pipeline.config
-        algorithms = tuple(algorithms or cfg.algorithms)
-        tasks = tuple(tasks or cfg.tasks)
-        dimensions = tuple(dimensions or cfg.dimensions)
-        precisions = tuple(precisions or cfg.precisions)
-        seeds = tuple(seeds or cfg.seeds)
-        workers = self.n_workers if n_workers is None else int(n_workers)
-
-        groups = plan_groups(
-            algorithms, dimensions, precisions, seeds, tasks,
-            anchor_dim=cfg.resolved_anchor_dim,
+        plan = plan_grid(
+            self.pipeline.config,
+            algorithms=algorithms, tasks=tasks, dimensions=dimensions,
+            precisions=precisions, seeds=seeds,
             with_measures=with_measures, model_type=model_type,
         )
+        workers = self.n_workers if n_workers is None else int(n_workers)
+
+        coordinator = self.coordinator_url
+        if coordinator is None:
+            from repro.cluster.client import default_coordinator_url
+
+            coordinator = default_coordinator_url()
+        if coordinator:
+            if self.pipeline.reconstructible:
+                yield from self._iter_distributed(coordinator, plan)
+                return
+            warnings.warn(
+                "pipeline was built from a custom corpus source and cannot be "
+                "reconstructed on cluster workers; running locally instead",
+                UserWarning,
+                stacklevel=2,
+            )
+            # Local parallel fan-out would hit the same reconstruction limit
+            # (and warn again); go straight to serial.
+            workers = 0
+
+        groups = list(plan.groups)
         if workers > 1 and not self.pipeline.reconstructible:
             warnings.warn(
                 "pipeline was built from a custom corpus source and cannot be "
@@ -320,8 +414,7 @@ class GridEngine:
 
         count = 0
         if ordered:
-            keys = canonical_cell_keys(algorithms, dimensions, precisions, seeds, tasks)
-            for record in commit_in_order(batches, keys):
+            for record in commit_in_order(batches, plan.cell_keys()):
                 count += 1
                 yield record
         else:
@@ -333,6 +426,26 @@ class GridEngine:
             "grid done: %d records from %d groups (%s, %s)",
             count, len(groups), f"{workers} workers" if workers > 1 else "serial",
             "ordered" if ordered else "arrival order",
+        )
+
+    def _iter_distributed(self, coordinator: str, plan: GridPlan) -> Iterator["GridRecord"]:
+        """Ship the plan to a cluster coordinator and stream its records back.
+
+        The coordinator leases the plan's groups to ``repro-worker`` processes
+        and commits their results through the same ordered-commit path as the
+        local scheduler, so the yielded stream is bit-identical to a local
+        ``run()``; the coordinator's artifact store makes warm reruns train
+        nothing cluster-wide.
+        """
+        from repro.cluster.client import stream_remote_grid
+
+        count = 0
+        for record in stream_remote_grid(coordinator, self.pipeline.config, plan):
+            count += 1
+            yield record
+        logger.info(
+            "distributed grid done: %d records from %d groups via %s",
+            count, len(plan.groups), coordinator,
         )
 
     def _iter_parallel(

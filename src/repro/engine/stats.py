@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Mapping
 from repro.engine.store import ArtifactStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.coordinator import ClusterCoordinator
     from repro.engine.scheduler import GridEngine
     from repro.instability.pipeline import InstabilityPipeline
     from repro.measures.base import DecompositionCache
@@ -30,6 +31,7 @@ def stats(
     pipeline: "InstabilityPipeline | None" = None,
     engine: "GridEngine | None" = None,
     caches: "Mapping[str, DecompositionCache] | None" = None,
+    coordinator: "ClusterCoordinator | None" = None,
 ) -> dict:
     """Aggregate engine counters into one JSON-able snapshot.
 
@@ -40,11 +42,12 @@ def stats(
     implies its store).  Keyword arguments override or extend the resolution;
     ``caches`` maps display names to
     :class:`~repro.measures.base.DecompositionCache` instances (e.g. a
-    serving process's long-lived cache).
+    serving process's long-lived cache); ``coordinator`` adds a cluster
+    section (leases issued/expired/reassigned, per-worker throughput).
 
     The snapshot always contains the keys ``store``, ``pipeline``,
-    ``decomposition_caches`` and ``warmup`` (empty/None when the component is
-    absent), so consumers can index without existence checks.
+    ``decomposition_caches``, ``warmup`` and ``cluster`` (empty/None when the
+    component is absent), so consumers can index without existence checks.
     """
     if source is not None:
         if isinstance(source, ArtifactStore):
@@ -63,6 +66,7 @@ def stats(
         "pipeline": {},
         "decomposition_caches": {},
         "warmup": None,
+        "cluster": None,
     }
     if store is not None:
         snapshot["store"] = {
@@ -70,6 +74,7 @@ def stats(
         }
         snapshot["store_persistent"] = store.persistent
         snapshot["store_tiers"] = store.tier_stats()
+        snapshot["store_replication"] = store.replication_stats()
     if pipeline is not None:
         snapshot["pipeline"] = {
             "corpus_build_count": pipeline.corpus_build_count,
@@ -82,4 +87,6 @@ def stats(
         }
     if engine is not None:
         snapshot["warmup"] = engine.last_warmup
+    if coordinator is not None:
+        snapshot["cluster"] = coordinator.snapshot()
     return snapshot

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.embeddings.base import Embedding
 from repro.engine.backends import (
+    AsyncReplicator,
     DiskBackend,
     RemoteBackend,
     ShardedBackend,
@@ -119,6 +120,18 @@ class ArtifactStore:
         misses are fetched from the peer and promoted into the tiers above.
     remote_timeout:
         Per-request socket timeout of the remote tier, in seconds.
+    async_replication:
+        Replicate write-backs to **remote-capable** tiers through a
+        background :class:`~repro.engine.backends.AsyncReplicator` instead
+        of synchronously, taking the network round trip off the training
+        hot path.  Local tiers always stay synchronous.  Overflowing the
+        bounded queue drops the write (counted per tier in
+        ``TierStats.dropped``); :meth:`flush` is the barrier that waits for
+        queued writes to land -- the cluster's workers call it before
+        reporting a group complete so the coordinator can serve the pushed
+        artifacts to the next worker.
+    replication_queue:
+        Entry bound of the async replication queue.
     """
 
     def __init__(
@@ -129,6 +142,8 @@ class ArtifactStore:
         shards: int | None = None,
         remote_url: str | None = None,
         remote_timeout: float = 10.0,
+        async_replication: bool = False,
+        replication_queue: int = 256,
     ) -> None:
         self.root = Path(root) if root is not None else None
         if backends is not None:
@@ -144,6 +159,9 @@ class ArtifactStore:
                     self.tiers.append(DiskBackend(self.root))
             if remote_url:
                 self.tiers.append(RemoteBackend(remote_url, timeout=remote_timeout))
+        self._replicator: AsyncReplicator | None = (
+            AsyncReplicator(max_queue=replication_queue) if async_replication else None
+        )
         self._memory: dict[tuple[str, str], Any] = {}
         #: Codec each memory entry was stored/decoded with.  The byte-level
         #: peer API needs it to encode memory-only artifacts under the same
@@ -204,6 +222,10 @@ class ArtifactStore:
     def tier_stats(self) -> list[dict]:
         """Per-tier counter snapshots, upper tier first (JSON-able)."""
         return [tier.describe() for tier in self.tiers]
+
+    def replication_stats(self) -> dict | None:
+        """Counters of the async replication queue (``None`` when synchronous)."""
+        return self._replicator.describe() if self._replicator is not None else None
 
     # -- reconstruction (scheduler workers) ----------------------------------
 
@@ -271,7 +293,27 @@ class ArtifactStore:
         if self.tiers:
             payload = codec.encode(value)
             for tier in self.tiers:
-                tier.put(kind, key + codec.suffix, payload)
+                if self._replicator is not None and tier.remote_capable:
+                    self._replicator.submit(tier, kind, key + codec.suffix, payload)
+                else:
+                    tier.put(kind, key + codec.suffix, payload)
+
+    def flush(self, timeout: float | None = None) -> bool:
+        """Barrier for async replication; a no-op ``True`` when synchronous."""
+        if self._replicator is None:
+            return True
+        return self._replicator.flush(timeout)
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Drain and stop the async replication thread (no-op when synchronous).
+
+        The store stays usable afterwards -- writes to remote tiers simply
+        become drops (counted) -- so this is for retiring a store whose
+        lifetime is bounded, e.g. an evicted cluster-worker pipeline.
+        """
+        if self._replicator is not None:
+            self._replicator.flush(timeout)
+            self._replicator.close()
 
     # -- typed artifact families ---------------------------------------------
 

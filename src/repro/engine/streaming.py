@@ -91,6 +91,11 @@ class OrderedCommitter:
         """How many records arrived early and are waiting for their turn."""
         return len(self._pending)
 
+    @property
+    def remaining(self) -> int:
+        """How many expected cells have not been released yet (buffered or absent)."""
+        return len(self._keys) - self._cursor
+
     def push(self, record: "GridRecord") -> Iterator["GridRecord"]:
         """Accept one record; yield it plus any buffered successors now due."""
         key = cell_key(record)

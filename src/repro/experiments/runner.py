@@ -110,6 +110,12 @@ def main(argv: list[str] | None = None) -> int:
              "warm artifacts are fetched instead of recomputed",
     )
     parser.add_argument(
+        "--coordinator", default=None,
+        help="cluster coordinator base URL (a repro-serve instance); grid "
+             "sweeps are executed by its repro-worker fleet instead of "
+             "locally, streaming back bit-identical records",
+    )
+    parser.add_argument(
         "--kernel-policy", choices=SVD_METHODS, default=None,
         help="SVD kernel selection for every decomposition (default: exact; "
              "'auto' switches large truncated decompositions to randomized)",
@@ -162,6 +168,10 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.kernel_policy is not None or args.dtype is not None:
         configure_default_policy(svd=args.kernel_policy, dtype=args.dtype)
+    if args.coordinator is not None:
+        from repro.cluster import configure_default_coordinator
+
+        configure_default_coordinator(args.coordinator)
 
     out_dir = Path(args.output_dir)
     for name in names:

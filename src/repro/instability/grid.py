@@ -45,6 +45,33 @@ class GridRecord:
     def mean_accuracy(self) -> float:
         return 0.5 * (self.accuracy_a + self.accuracy_b)
 
+    @classmethod
+    def from_row(cls, row: dict) -> "GridRecord":
+        """Rebuild a record from its :meth:`to_row` dictionary.
+
+        The inverse of :meth:`to_row` up to the derived ``memory`` field (it
+        is recomputed from dim and precision).  Records survive a JSON round
+        trip bit-identically -- ``json`` serialises floats via ``repr`` -- so
+        the cluster's workers can ship records to the coordinator as plain
+        rows and the reassembled stream still compares equal to a local run.
+        """
+        prefix = "measure_"
+        return cls(
+            algorithm=str(row["algorithm"]),
+            task=str(row["task"]),
+            dim=int(row["dim"]),
+            precision=int(row["precision"]),
+            seed=int(row["seed"]),
+            disagreement=float(row["disagreement"]),
+            accuracy_a=float(row["accuracy_a"]),
+            accuracy_b=float(row["accuracy_b"]),
+            measures={
+                key[len(prefix):]: float(value)
+                for key, value in row.items()
+                if key.startswith(prefix)
+            },
+        )
+
     def to_row(self) -> dict:
         row = {
             "algorithm": self.algorithm,

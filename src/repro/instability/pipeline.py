@@ -144,6 +144,27 @@ class PipelineConfig:
                 f"measure_dtype must be one of {KERNEL_DTYPES} or None, got {self.measure_dtype!r}"
             )
 
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "PipelineConfig":
+        """Rebuild a config from its :func:`~repro.utils.io.to_jsonable` form.
+
+        The cluster ships pipeline configurations between hosts as plain JSON
+        (never pickle -- coordinator and workers are mutually untrusted
+        network peers), so this is the deserialisation half of that wire
+        format.  Nested dataclasses are reconstructed, JSON lists return to
+        tuples, and unknown or invalid fields raise (``TypeError`` from the
+        constructor, or the usual ``__post_init__`` validation errors).
+        """
+        data = dict(payload)
+        if isinstance(data.get("corpus"), dict):
+            data["corpus"] = SyntheticCorpusConfig(**data["corpus"])
+        if isinstance(data.get("ner_config"), dict):
+            data["ner_config"] = NERTaskConfig(**data["ner_config"])
+        for name in ("algorithms", "dimensions", "precisions", "seeds", "tasks"):
+            if isinstance(data.get(name), list):
+                data[name] = tuple(data[name])
+        return cls(**data)
+
     @property
     def resolved_anchor_dim(self) -> int:
         return self.anchor_dim if self.anchor_dim is not None else max(self.dimensions)

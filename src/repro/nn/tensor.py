@@ -10,29 +10,33 @@ broadcasting support so the layer code stays natural.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable
 
 import numpy as np
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread: the serving layer evaluates models on its worker
+# pool and in-process cluster workers train concurrently, so a process-global
+# flag would let one thread's ``no_grad`` evaluation silently strip another
+# thread's training graph (backward() then fails mid-fit).
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager disabling graph construction (used for evaluation)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -66,7 +70,7 @@ class Tensor:
     ) -> None:
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._prev = _prev if self.requires_grad or _prev else ()
         self._backward = _backward
         self.name = name
@@ -117,7 +121,7 @@ class Tensor:
     # -- graph construction ----------------------------------------------------
 
     def _make(self, data: np.ndarray, parents: tuple["Tensor", ...], backward) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._prev = parents
@@ -349,7 +353,7 @@ class Tensor:
             for tensor, piece in zip(tensors, np.split(grad, splits, axis=axis)):
                 tensor._accumulate(piece)
 
-        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
         out = Tensor(out_data, requires_grad=requires)
         if requires:
             out._prev = tuple(tensors)
@@ -366,7 +370,7 @@ class Tensor:
             for tensor, piece in zip(tensors, pieces):
                 tensor._accumulate(np.squeeze(piece, axis=axis))
 
-        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
         out = Tensor(out_data, requires_grad=requires)
         if requires:
             out._prev = tuple(tensors)

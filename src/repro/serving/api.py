@@ -10,7 +10,15 @@ Endpoints (GET query parameters and/or a JSON request body; body wins):
   recommendation under a memory budget (bits per word).
 * ``GET|POST /grid?dims=8,16&precisions=1,32&stream=...`` -- executes a grid
   and **streams one NDJSON record per line as each cell completes**
-  (chunked transfer encoding; ``ordered=false`` for arrival order).
+  (chunked transfer encoding; ``ordered=false`` for arrival order;
+  ``distributed=true`` leases the grid to the ``repro-worker`` fleet
+  instead of executing in-process, with an optional JSON ``config`` from a
+  remote submitter).  Disconnecting mid-stream cancels the computation at
+  the next cell boundary.
+* ``POST /cluster/lease|heartbeat|complete``, ``GET /cluster/status`` -- the
+  cluster coordinator's worker-facing API (see
+  :mod:`repro.cluster.coordinator`): any running instance can lease grid
+  cell groups to pull-based workers.
 * ``GET|PUT|HEAD|DELETE /artifacts/<kind>/<name>`` -- raw byte access to the
   service's artifact store, so **any running instance is a remote storage
   tier** for other nodes (see
@@ -271,6 +279,10 @@ class StabilityAPIServer:
             "/metrics": self._handle_metrics,
             "/measure": self._handle_measure,
             "/select": self._handle_select,
+            "/cluster/lease": self._handle_cluster_lease,
+            "/cluster/heartbeat": self._handle_cluster_heartbeat,
+            "/cluster/complete": self._handle_cluster_complete,
+            "/cluster/status": self._handle_cluster_status,
         }
 
     # -- lifecycle -------------------------------------------------------------
@@ -341,7 +353,7 @@ class StabilityAPIServer:
                 if request is None:
                     break
                 keep_alive = request.keep_alive and request.path != "/grid"
-                await self._dispatch(request, writer, keep_alive=keep_alive)
+                await self._dispatch(request, reader, writer, keep_alive=keep_alive)
                 # A handler may force the connection shut (e.g. a 504).
                 if not (keep_alive and request.keep_alive):
                     break
@@ -366,7 +378,12 @@ class StabilityAPIServer:
                 pass
 
     async def _dispatch(
-        self, request: _Request, writer: asyncio.StreamWriter, *, keep_alive: bool = False
+        self,
+        request: _Request,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        keep_alive: bool = False,
     ) -> None:
         close = not keep_alive
         if request.path.startswith("/artifacts/"):
@@ -380,7 +397,7 @@ class StabilityAPIServer:
             await writer.drain()
             return
         if request.path == "/grid":
-            await self._handle_grid_stream(request, writer)
+            await self._handle_grid_stream(request, reader, writer)
             return
         handler = self._routes.get(request.path)
         if handler is None:
@@ -571,20 +588,84 @@ class StabilityAPIServer:
             ),
         )
 
+    # -- /cluster: the coordinator's worker-facing API ---------------------------
+    #
+    # Same trust model as /artifacts: unauthenticated, so bind --host to
+    # loopback or a trusted network.  Payloads are plain JSON (never pickle);
+    # a hostile worker can at worst feed wrong values into a run, not execute
+    # code on the coordinator.
+
+    def _cluster_str(self, params: dict, name: str) -> str:
+        value = params.get(name)
+        if not value or not isinstance(value, str):
+            raise APIError(400, f"missing required string parameter {name!r}")
+        return value
+
+    async def _handle_cluster_lease(self, request: _Request) -> dict:
+        worker = self._cluster_str(request.params, "worker")
+        return self.service.coordinator.lease(worker)
+
+    async def _handle_cluster_heartbeat(self, request: _Request) -> dict:
+        params = request.params
+        return self.service.coordinator.heartbeat(
+            self._cluster_str(params, "worker"), self._cluster_str(params, "lease_id")
+        )
+
+    async def _handle_cluster_complete(self, request: _Request) -> dict:
+        params = request.params
+        rows = params.get("records") or []
+        if not isinstance(rows, list):
+            raise APIError(400, "parameter 'records' must be a list of record rows")
+        stats = params.get("stats")
+        if stats is not None and not isinstance(stats, dict):
+            raise APIError(400, "parameter 'stats' must be an object")
+        error = params.get("error")
+        worker = self._cluster_str(params, "worker")
+        lease_id = self._cluster_str(params, "lease_id")
+        run_id = self._cluster_str(params, "run_id")
+        group_index = _int_param(params, "group_index", required=True)
+        # Record parsing + committer pushes are O(group cells) under the
+        # coordinator lock: run them on the bounded worker pool so a big
+        # completion cannot stall the event loop (and every other
+        # lease/heartbeat/artifact request) while it commits.
+        return await self._offload(
+            lambda: self.service.coordinator.complete(
+                worker, lease_id, run_id, group_index,
+                rows=rows, stats=stats,
+                error=str(error) if error is not None else None,
+            )
+        )
+
+    async def _handle_cluster_status(self, request: _Request) -> dict:
+        run_id = request.params.get("run_id")
+        if run_id:
+            status = self.service.coordinator.run_status(str(run_id))
+            if status is None:
+                raise APIError(404, f"unknown cluster run {run_id!r}")
+            return status
+        return self.service.coordinator.snapshot()
+
     # -- streaming /grid ---------------------------------------------------------
 
     async def _handle_grid_stream(
-        self, request: _Request, writer: asyncio.StreamWriter
+        self, request: _Request, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         """Run a grid and stream NDJSON records as cells complete.
 
         The blocking record generator runs on a dedicated thread feeding an
         asyncio queue; each record becomes one chunked-transfer NDJSON line
-        the moment its cell finishes.  A client disconnect sets a cancel
-        event, stopping the producer at the next record boundary.
+        the moment its cell finishes.  A watchdog task reads the (otherwise
+        silent) connection: EOF means the client abandoned the stream, which
+        cancels the grid -- the producer stops at the next record boundary,
+        the record iterator is closed (releasing the service's stream slot
+        and, for distributed runs, cancelling the run at the coordinator),
+        and no further cells are submitted.
         """
         params = request.params
         try:
+            config = params.get("config")
+            if config is not None and not isinstance(config, dict):
+                raise APIError(400, "parameter 'config' must be a JSON object")
             kwargs = {
                 "algorithms": _tuple_param(params, "algorithms", cast=str),
                 "tasks": _tuple_param(params, "tasks", cast=str),
@@ -595,6 +676,9 @@ class StabilityAPIServer:
                 "with_measures": _bool_param(params, "with_measures", True),
                 "ordered": _bool_param(params, "ordered", True),
                 "n_workers": _int_param(params, "workers", None),
+                "model_type": str(params.get("model_type", "bow")),
+                "distributed": _bool_param(params, "distributed", False),
+                "config": config,
             }
             # grid_iter validates axes eagerly, so a bad request is rejected
             # with a clean 400 *before* the streaming 200 is committed.
@@ -603,7 +687,7 @@ class StabilityAPIServer:
             self._write_json(writer, error.status, {"error": str(error)})
             await writer.drain()
             return
-        except (ValueError, KeyError) as error:
+        except (ValueError, KeyError, TypeError) as error:
             message = error.args[0] if error.args else str(error)
             self._write_json(writer, 400, {"error": str(message)})
             await writer.drain()
@@ -621,13 +705,34 @@ class StabilityAPIServer:
         queue: asyncio.Queue[tuple[str, object]] = asyncio.Queue()
         cancelled = threading.Event()
 
+        def cancel_stream() -> None:
+            """Stop the grid for this request (thread-safe, idempotent).
+
+            Sets the flag the producer checks at every record boundary and
+            closes the record iterator: the service releases the stream's
+            slot, a distributed run is cancelled at the coordinator, and a
+            local parallel run tears its worker pool down.  A plain
+            generator refuses ``close()`` while the producer thread is
+            inside it -- the boundary check covers that case.
+            """
+            cancelled.set()
+            try:
+                records.close()
+            except ValueError:
+                pass
+
         def produce() -> None:
             outcome: tuple[str, object] = ("done", None)
             try:
-                for record in records:
-                    if cancelled.is_set():
-                        return
-                    loop.call_soon_threadsafe(queue.put_nowait, ("record", record.to_row()))
+                try:
+                    for record in records:
+                        if cancelled.is_set():
+                            break
+                        loop.call_soon_threadsafe(
+                            queue.put_nowait, ("record", record.to_row())
+                        )
+                finally:
+                    records.close()
             except Exception as error:  # surfaced as a terminal NDJSON line
                 outcome = ("error", f"{type(error).__name__}: {error}")
             try:
@@ -637,6 +742,20 @@ class StabilityAPIServer:
 
         thread = threading.Thread(target=produce, name="grid-stream", daemon=True)
         thread.start()
+        # Abandoned-stream detection: /grid connections are Connection:close,
+        # so the client sends nothing after its request -- a readable EOF
+        # (or stray bytes) means it hung up.  Without this watch a client
+        # disconnect would only surface once enough unread records
+        # back-pressured a write, cells after cells burning compute for a
+        # stream nobody reads.
+        watchdog = asyncio.ensure_future(reader.read(1))
+
+        def on_watchdog_done(task: "asyncio.Task") -> None:
+            if not task.cancelled():
+                task.exception()      # retrieve, e.g. a connection reset
+            cancel_stream()           # idempotent; benign after a clean finish
+
+        watchdog.add_done_callback(on_watchdog_done)
         try:
             while True:
                 kind, item = await queue.get()
@@ -652,7 +771,10 @@ class StabilityAPIServer:
                 await writer.drain()
             await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
-            cancelled.set()
+            cancel_stream()
+        finally:
+            if not watchdog.done():
+                watchdog.cancel()
 
     @staticmethod
     def _write_chunk(writer: asyncio.StreamWriter, text: str) -> None:
@@ -697,7 +819,8 @@ async def _serve(args: argparse.Namespace) -> int:
         config,
         store=store,
         config=ServiceConfig(
-            max_concurrency=args.max_concurrency, grid_workers=args.workers
+            max_concurrency=args.max_concurrency, grid_workers=args.workers,
+            lease_ttl=args.lease_ttl,
         ),
     )
     server = StabilityAPIServer(
@@ -766,6 +889,11 @@ def main(argv: list[str] | None = None) -> int:
         "--request-timeout", type=float, default=300.0,
         help="per-request timeout in seconds for non-streaming endpoints "
              "(0 disables)",
+    )
+    parser.add_argument(
+        "--lease-ttl", type=float, default=60.0,
+        help="seconds a cluster lease survives without a worker heartbeat "
+             "before its cell group is re-leased",
     )
     parser.add_argument(
         "--kernel-policy", choices=SVD_METHODS, default=None,

@@ -43,8 +43,9 @@ from typing import TYPE_CHECKING, Callable, Iterator
 
 import numpy as np
 
+from repro.cluster.coordinator import ClusterCoordinator, config_wire_payload
 from repro.compression.memory import bits_per_word
-from repro.engine import ArtifactStore, GridEngine
+from repro.engine import ArtifactStore, GridEngine, plan_grid
 from repro.engine import stats as engine_stats
 from repro.instability.grid import GridRecord
 from repro.measures.base import DEFAULT_CACHE_ENTRIES, MEASURES, DecompositionCache
@@ -80,10 +81,15 @@ class ServiceConfig:
     grid_workers: int = 0
     #: Entry bound of the long-lived decomposition cache.
     decomposition_cache_entries: int | None = DEFAULT_CACHE_ENTRIES
+    #: Seconds a cluster lease survives without a heartbeat (see
+    #: :class:`~repro.cluster.coordinator.ClusterCoordinator`).
+    lease_ttl: float = 60.0
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
             raise ValueError(f"max_concurrency must be >= 1, got {self.max_concurrency}")
+        if self.lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {self.lease_ttl}")
 
 
 class StabilityService:
@@ -121,6 +127,13 @@ class StabilityService:
             max_entries=self.config.decomposition_cache_entries,
         )
         self.started_at = time.time()
+        #: Every repro-serve instance is also a cluster coordinator: grids
+        #: submitted with ``distributed=true`` are leased to the
+        #: ``repro-worker`` fleet instead of executed in-process.
+        self.coordinator = ClusterCoordinator(
+            default_config=config_wire_payload(self.pipeline.config),
+            lease_ttl=self.config.lease_ttl,
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.max_concurrency, thread_name_prefix="stability"
         )
@@ -133,6 +146,8 @@ class StabilityService:
             "requests_grid": 0,
             "coalesced_total": 0,
             "records_streamed": 0,
+            "grids_inflight": 0,
+            "grids_cancelled": 0,
         }
         self._closed = False
         logger.info(
@@ -331,6 +346,9 @@ class StabilityService:
         with_measures: bool = True,
         ordered: bool = True,
         n_workers: int | None = None,
+        model_type: str = "bow",
+        distributed: bool = False,
+        config: dict | None = None,
     ) -> Iterator[GridRecord]:
         """Stream grid records as cells complete (see ``GridEngine.run_iter``).
 
@@ -338,16 +356,59 @@ class StabilityService:
         axis values) so callers -- the HTTP layer in particular -- can reject
         a bad request before committing to a streaming response; only the
         record production itself is lazy.
-        """
-        from repro.embeddings.base import EMBEDDING_ALGORITHMS
-        from repro.instability.pipeline import NER_TASK_NAME, SENTIMENT_TASK_NAMES
 
-        cfg = self.pipeline.config
+        With ``distributed=True`` the grid is not executed in-process: it is
+        registered with this instance's cluster coordinator and leased to
+        ``repro-worker`` processes, and the returned iterator blocks until
+        workers deliver each record (in canonical order).  ``config``
+        optionally carries a JSON pipeline configuration from a remote
+        submitter (``GridEngine --coordinator``); axes left unset then
+        default to *that* configuration.  The iterator's ``close()`` is
+        thread-safe and cancels the underlying run, so an abandoned stream
+        stops consuming the cluster.
+        """
+        run_config = self.pipeline.config
+        config_payload = None
+        if config is not None:
+            from repro.instability.pipeline import PipelineConfig
+
+            if not isinstance(config, dict):
+                raise ValueError("'config' must be a JSON object")
+            if not distributed:
+                raise ValueError("a custom 'config' requires distributed=true")
+            run_config = PipelineConfig.from_jsonable(config)   # validates fields
+            config_payload = config_wire_payload(run_config)
+
+        cfg = run_config
         algorithms = tuple(algorithms or cfg.algorithms)
         tasks = tuple(tasks or cfg.tasks)
         dimensions = tuple(int(d) for d in (dimensions or cfg.dimensions))
         precisions = tuple(int(p) for p in (precisions or cfg.precisions))
         seeds = tuple(int(s) for s in (seeds or cfg.seeds))
+        self._validate_axes(algorithms, tasks, dimensions, precisions, seeds)
+        self._count("requests_grid")
+        if distributed:
+            plan = plan_grid(
+                run_config,
+                algorithms=algorithms, tasks=tasks, dimensions=dimensions,
+                precisions=precisions, seeds=seeds,
+                with_measures=with_measures, model_type=model_type,
+            )
+            run_id = self.coordinator.create_run(plan, config_payload)
+            return _CancellableStream(
+                self._stream_cluster(run_id),
+                cancel=lambda: self._cancel_cluster_run(run_id),
+            )
+        return self._stream_records(
+            algorithms, tasks, dimensions, precisions, seeds,
+            with_measures, ordered, n_workers, model_type,
+        )
+
+    @staticmethod
+    def _validate_axes(algorithms, tasks, dimensions, precisions, seeds) -> None:
+        from repro.embeddings.base import EMBEDDING_ALGORITHMS
+        from repro.instability.pipeline import NER_TASK_NAME, SENTIMENT_TASK_NAMES
+
         for algorithm in algorithms:
             if algorithm not in EMBEDDING_ALGORITHMS:
                 raise KeyError(
@@ -363,17 +424,12 @@ class StabilityService:
         ):
             if len(set(axis)) != len(axis):
                 raise ValueError(f"duplicate values in {axis_name}: {axis}")
-        self._count("requests_grid")
-        return self._stream_records(
-            algorithms, tasks, dimensions, precisions, seeds,
-            with_measures, ordered, n_workers,
-        )
 
     def _stream_records(
         self, algorithms, tasks, dimensions, precisions, seeds,
-        with_measures, ordered, n_workers,
+        with_measures, ordered, n_workers, model_type="bow",
     ) -> Iterator[GridRecord]:
-        for record in self.engine.run_iter(
+        iterator = self.engine.run_iter(
             algorithms=algorithms,
             tasks=tasks,
             dimensions=dimensions,
@@ -382,9 +438,38 @@ class StabilityService:
             with_measures=with_measures,
             ordered=ordered,
             n_workers=n_workers,
-        ):
-            self._count("records_streamed")
-            yield record
+            model_type=model_type,
+        )
+        self._count("grids_inflight")
+        try:
+            for record in iterator:
+                self._count("records_streamed")
+                yield record
+        except GeneratorExit:
+            # Abandoned stream (client disconnected): close the engine
+            # iterator so it stops submitting cells -- under parallel
+            # execution this tears the worker pool down mid-grid.
+            self._count("grids_cancelled")
+            iterator.close()
+            raise
+        finally:
+            self._count("grids_inflight", -1)
+
+    def _stream_cluster(self, run_id: str) -> Iterator[GridRecord]:
+        self._count("grids_inflight")
+        try:
+            for record in self.coordinator.records(run_id):
+                self._count("records_streamed")
+                yield record
+        except GeneratorExit:
+            self._cancel_cluster_run(run_id)
+            raise
+        finally:
+            self._count("grids_inflight", -1)
+
+    def _cancel_cluster_run(self, run_id: str) -> None:
+        if self.coordinator.cancel(run_id):
+            self._count("grids_cancelled")
 
     # -- observability ---------------------------------------------------------
 
@@ -401,18 +486,52 @@ class StabilityService:
             "tasks": list(self.pipeline.config.tasks),
             "store_persistent": self.pipeline.store.persistent,
             "store_tiers": [tier.name for tier in self.pipeline.store.tiers],
+            "cluster_workers": len(self.coordinator.snapshot()["workers"]),
         }
 
     def metrics(self) -> dict:
         """Counter snapshot: engine stats plus the serving-layer counters."""
         snapshot = engine_stats(
-            engine=self.engine, caches={"serving": self.decomposition_cache}
+            engine=self.engine,
+            caches={"serving": self.decomposition_cache},
+            coordinator=self.coordinator,
         )
         with self._lock:
             serving = dict(self._counters)
             serving["inflight_now"] = len(self._inflight)
         snapshot["serving"] = serving
         return snapshot
+
+
+class _CancellableStream:
+    """A record iterator whose ``close()`` is safe from another thread.
+
+    A plain generator refuses ``close()`` while its frame is executing --
+    exactly the state a distributed stream is in when it blocks waiting for
+    worker results and the HTTP layer notices the client is gone.  This
+    wrapper routes ``close()`` through a thread-safe ``cancel`` callback
+    first (the coordinator wakes and ends the underlying generator), then
+    best-effort closes the generator itself.
+    """
+
+    def __init__(self, iterator: Iterator[GridRecord], cancel: Callable[[], None]) -> None:
+        self._iterator = iterator
+        self._cancel = cancel
+
+    def __iter__(self) -> "_CancellableStream":
+        return self
+
+    def __next__(self) -> GridRecord:
+        return next(self._iterator)
+
+    def close(self) -> None:
+        self._cancel()
+        try:
+            self._iterator.close()
+        except ValueError:
+            # The producer thread is inside __next__; the cancel above makes
+            # it return, and the generator's finally blocks run there.
+            pass
 
 
 def _finite_or_none(value: float) -> float | None:

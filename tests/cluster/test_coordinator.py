@@ -1,0 +1,409 @@
+"""Lease-lifecycle tests of the cluster coordinator (fake clock, no sockets).
+
+The coordinator is a plain thread-safe state machine, so everything the
+distributed path relies on -- anchor-first leasing, ancestry gating, expiry
+and reassignment after a worker crash, duplicate-result idempotence, ordered
+record commit -- is pinned here deterministically, without booting servers
+or sleeping through real TTLs.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    ClusterRunFailed,
+    config_wire_payload,
+    group_from_wire,
+    group_wire_payload,
+)
+from repro.engine import plan_grid
+from repro.instability.grid import GridRecord
+from repro.instability.pipeline import PipelineConfig
+from repro.serving.api import quick_serve_config
+
+
+class FakeClock:
+    def __init__(self, now: float = 1.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_plan(
+    *, dimensions=(4, 6), seeds=(0,), precisions=(1, 32), with_measures=True
+):
+    return plan_grid(
+        quick_serve_config(),
+        dimensions=dimensions, seeds=seeds, precisions=precisions,
+        with_measures=with_measures,
+    )
+
+
+def make_record(key, value: float = 0.5) -> GridRecord:
+    algorithm, dim, precision, seed, task = key
+    return GridRecord(
+        algorithm=algorithm, task=task, dim=dim, precision=precision, seed=seed,
+        disagreement=value, accuracy_a=0.9, accuracy_b=0.8,
+        measures={"eis": value},
+    )
+
+
+def rows_for_group(plan, index):
+    group = plan.groups[index]
+    return [
+        make_record((group.algorithm, group.dim, precision, group.seed, task)).to_row()
+        for precision in group.precisions
+        for task in group.tasks
+    ]
+
+
+def make_coordinator(clock=None, **kwargs):
+    return ClusterCoordinator(clock=clock or FakeClock(), **kwargs)
+
+
+class TestWireFormats:
+    def test_group_round_trip(self):
+        plan = make_plan()
+        for group in plan.groups:
+            assert group_from_wire(json.loads(json.dumps(group_wire_payload(group)))) == group
+
+    def test_config_round_trip_preserves_artifact_keys(self):
+        config = quick_serve_config()
+        payload = json.loads(json.dumps(config_wire_payload(config)))
+        rebuilt = PipelineConfig.from_jsonable(payload)
+        # The wire form pins the resolved kernel policy, so the raw dataclass
+        # differs -- but every value that reaches an artifact key is equal.
+        assert rebuilt.dimensions == config.dimensions
+        assert rebuilt.corpus == config.corpus
+        assert rebuilt.ner_config == config.ner_config
+        assert rebuilt.resolved_kernel_policy() == config.resolved_kernel_policy()
+
+    def test_config_wire_pins_the_resolved_policy(self):
+        payload = config_wire_payload(quick_serve_config())
+        assert payload["kernel_policy"] == "exact"
+        assert payload["measure_dtype"] == "float64"
+
+    def test_from_jsonable_rejects_unknown_fields(self):
+        payload = config_wire_payload(quick_serve_config())
+        payload["not_a_field"] = 1
+        with pytest.raises(TypeError):
+            PipelineConfig.from_jsonable(payload)
+
+    def test_record_row_round_trip(self):
+        record = make_record(("svd", 4, 1, 0, "sst2"), value=1 / 3)
+        assert GridRecord.from_row(json.loads(json.dumps(record.to_row()))) == record
+
+
+class TestLeasing:
+    def test_anchor_group_leases_first_and_gates_its_ancestry(self):
+        coordinator = make_coordinator()
+        plan = make_plan()                       # anchor dim 6 first, then 4
+        coordinator.create_run(plan)
+        lease = coordinator.lease("w1")
+        assert lease["status"] == "lease"
+        assert lease["group"]["dim"] == 6        # the anchor group
+        # The sibling shares the (algorithm, seed) ancestry and its anchor
+        # pair is not in the cluster store yet: gate it.
+        assert coordinator.lease("w2")["status"] == "wait"
+
+    def test_ancestry_gate_opens_once_the_anchor_completes(self):
+        coordinator = make_coordinator()
+        plan = make_plan()
+        run_id = coordinator.create_run(plan)
+        lease = coordinator.lease("w1")
+        answer = coordinator.complete(
+            "w1", lease["lease_id"], run_id, lease["group_index"],
+            rows_for_group(plan, lease["group_index"]),
+        )
+        assert answer == {"status": "ok", "accepted": 2}
+        follow = coordinator.lease("w2")
+        assert follow["status"] == "lease" and follow["group"]["dim"] == 4
+
+    def test_distinct_ancestries_lease_concurrently(self):
+        coordinator = make_coordinator()
+        coordinator.create_run(make_plan(seeds=(0, 1)))
+        first = coordinator.lease("w1")
+        second = coordinator.lease("w2")
+        assert first["status"] == second["status"] == "lease"
+        assert first["group"]["seed"] != second["group"]["seed"]
+        assert {first["group"]["dim"], second["group"]["dim"]} == {6}  # both anchors
+
+    def test_no_gating_without_measures(self):
+        coordinator = make_coordinator()
+        coordinator.create_run(make_plan(with_measures=False))
+        assert coordinator.lease("w1")["status"] == "lease"
+        assert coordinator.lease("w2")["status"] == "lease"
+
+    def test_idle_when_no_runs(self):
+        coordinator = make_coordinator()
+        assert coordinator.lease("w1")["status"] == "idle"
+
+    def test_lease_carries_the_run_config(self):
+        coordinator = make_coordinator(
+            default_config=config_wire_payload(quick_serve_config())
+        )
+        coordinator.create_run(make_plan())
+        lease = coordinator.lease("w1")
+        assert lease["config"]["algorithms"] == ["svd"]
+
+
+class TestExpiryAndReassignment:
+    def test_expired_lease_is_reassigned_to_another_worker(self):
+        clock = FakeClock()
+        coordinator = make_coordinator(clock, lease_ttl=30.0)
+        plan = make_plan()
+        run_id = coordinator.create_run(plan)
+        first = coordinator.lease("w1")
+        assert first["status"] == "lease"
+        clock.advance(31.0)                      # w1 "crashed": no heartbeat
+        second = coordinator.lease("w2")
+        assert second["status"] == "lease"
+        assert second["group_index"] == first["group_index"]
+        assert coordinator.counters["leases_expired"] == 1
+        assert coordinator.counters["leases_reassigned"] == 1
+        # The crashed worker's lease is dead.
+        assert coordinator.heartbeat("w1", first["lease_id"])["status"] == "gone"
+        # The second worker completes the group normally.
+        answer = coordinator.complete(
+            "w2", second["lease_id"], run_id, second["group_index"],
+            rows_for_group(plan, second["group_index"]),
+        )
+        assert answer["status"] == "ok"
+
+    def test_heartbeat_extends_the_lease(self):
+        clock = FakeClock()
+        coordinator = make_coordinator(clock, lease_ttl=30.0)
+        coordinator.create_run(make_plan())
+        lease = coordinator.lease("w1")
+        clock.advance(20.0)
+        assert coordinator.heartbeat("w1", lease["lease_id"])["status"] == "ok"
+        clock.advance(20.0)                      # 40s total, but renewed at 20
+        assert coordinator.heartbeat("w1", lease["lease_id"])["status"] == "ok"
+        assert coordinator.counters["leases_expired"] == 0
+
+    def test_late_result_from_the_crashed_worker_is_accepted_once(self):
+        clock = FakeClock()
+        coordinator = make_coordinator(clock, lease_ttl=30.0)
+        plan = make_plan()
+        run_id = coordinator.create_run(plan)
+        first = coordinator.lease("w1")
+        clock.advance(31.0)
+        second = coordinator.lease("w2")         # reassigned
+        # w1 was only stalled, not dead: its result arrives after expiry but
+        # before w2 finishes.  Deterministic results make it safe to accept.
+        answer = coordinator.complete(
+            "w1", first["lease_id"], run_id, first["group_index"],
+            rows_for_group(plan, first["group_index"]),
+        )
+        assert answer["status"] == "ok"
+        assert coordinator.counters["late_results"] == 1
+        # w2's copy of the same group is a duplicate and is dropped.
+        duplicate = coordinator.complete(
+            "w2", second["lease_id"], run_id, second["group_index"],
+            rows_for_group(plan, second["group_index"]),
+        )
+        assert duplicate["status"] == "duplicate"
+        assert coordinator.counters["duplicate_results"] == 1
+
+
+class TestCompletion:
+    def test_duplicate_complete_is_idempotent(self):
+        coordinator = make_coordinator()
+        plan = make_plan()
+        run_id = coordinator.create_run(plan)
+        lease = coordinator.lease("w1")
+        rows = rows_for_group(plan, lease["group_index"])
+        assert coordinator.complete(
+            "w1", lease["lease_id"], run_id, lease["group_index"], rows
+        )["status"] == "ok"
+        assert coordinator.complete(
+            "w1", lease["lease_id"], run_id, lease["group_index"], rows
+        )["status"] == "duplicate"
+        # Records accounted exactly once (the anchor group's records buffer
+        # in the committer until the canonically-earlier dim-4 group lands).
+        assert coordinator.counters["records_committed"] == 2
+        assert coordinator.counters["duplicate_results"] == 1
+
+    def test_wrong_record_count_is_rejected_and_group_re_leasable(self):
+        coordinator = make_coordinator()
+        plan = make_plan()
+        run_id = coordinator.create_run(plan)
+        lease = coordinator.lease("w1")
+        answer = coordinator.complete(
+            "w1", lease["lease_id"], run_id, lease["group_index"],
+            rows_for_group(plan, lease["group_index"])[:1],
+        )
+        assert answer["status"] == "rejected"
+        # A rejected payload must not strand the group in the leased state:
+        # another worker picks it up and the run can still finish.
+        retry = coordinator.lease("w2")
+        assert retry["status"] == "lease"
+        assert retry["group_index"] == lease["group_index"]
+        assert coordinator.complete(
+            "w2", retry["lease_id"], run_id, retry["group_index"],
+            rows_for_group(plan, retry["group_index"]),
+        )["status"] == "ok"
+
+    def test_foreign_cells_are_rejected_not_committed(self):
+        coordinator = make_coordinator()
+        plan = make_plan()
+        run_id = coordinator.create_run(plan)
+        lease = coordinator.lease("w1")
+        bad_rows = [
+            make_record(("svd", 99, precision, 0, "sst2")).to_row()
+            for precision in (1, 32)
+        ]
+        answer = coordinator.complete(
+            "w1", lease["lease_id"], run_id, lease["group_index"], bad_rows
+        )
+        assert answer["status"] == "rejected"
+        assert coordinator.run_status(run_id)["committed"] == 0
+        # The committer was not partially mutated: a clean retry commits fine.
+        retry = coordinator.lease("w1")
+        assert retry["group_index"] == lease["group_index"]
+        assert coordinator.complete(
+            "w1", retry["lease_id"], run_id, retry["group_index"],
+            rows_for_group(plan, retry["group_index"]),
+        )["status"] == "ok"
+
+    def test_partially_foreign_batch_does_not_poison_retries(self):
+        coordinator = make_coordinator()
+        plan = make_plan()
+        run_id = coordinator.create_run(plan)
+        lease = coordinator.lease("w1")
+        index = lease["group_index"]
+        good = rows_for_group(plan, index)
+        mixed = [good[0], make_record(("svd", 99, 32, 0, "sst2")).to_row()]
+        assert coordinator.complete(
+            "w1", lease["lease_id"], run_id, index, mixed
+        )["status"] == "rejected"
+        # The valid half of the batch must NOT have reached the committer;
+        # otherwise this retry would raise "pushed twice" forever.
+        retry = coordinator.lease("w1")
+        assert coordinator.complete(
+            "w1", retry["lease_id"], run_id, retry["group_index"], good
+        )["status"] == "ok"
+
+    def test_stale_error_report_does_not_unseat_the_active_lease(self):
+        clock = FakeClock()
+        coordinator = make_coordinator(clock, lease_ttl=30.0)
+        plan = make_plan()
+        run_id = coordinator.create_run(plan)
+        first = coordinator.lease("w1")
+        clock.advance(31.0)                      # w1's lease expires
+        second = coordinator.lease("w2")         # reassigned to w2
+        # w1's delayed failure report must neither reset w2's group to
+        # pending (double execution) nor consume the run's failure budget.
+        answer = coordinator.complete(
+            "w1", first["lease_id"], run_id, first["group_index"], error="late boom"
+        )
+        assert answer["status"] == "stale"
+        assert coordinator.counters["group_failures"] == 0
+        assert coordinator.lease("w3")["status"] == "wait"   # group still w2's
+        assert coordinator.complete(
+            "w2", second["lease_id"], run_id, second["group_index"],
+            rows_for_group(plan, second["group_index"]),
+        )["status"] == "ok"
+
+    def test_unknown_run_is_reported(self):
+        coordinator = make_coordinator()
+        assert coordinator.complete("w1", "x", "run-9999", 0, [])["status"] == "unknown-run"
+
+    def test_mismatched_completion_does_not_strand_the_leased_group(self):
+        # A completion that names the wrong run or group must still return
+        # the lease's real group to the pending pool -- otherwise one buggy
+        # worker request wedges the run forever.
+        coordinator = make_coordinator()
+        plan = make_plan()
+        run_id = coordinator.create_run(plan)
+        lease = coordinator.lease("w1")
+        for bad_run, bad_index in (("run-9999", 0), (run_id, 99)):
+            answer = coordinator.complete(
+                "w1", lease["lease_id"], bad_run, bad_index, []
+            )
+            assert answer["status"] in ("unknown-run", "rejected")
+            retry = coordinator.lease("w1")
+            assert retry["status"] == "lease"
+            assert retry["group_index"] == lease["group_index"]
+            lease = retry
+        assert coordinator.complete(
+            "w1", lease["lease_id"], run_id, lease["group_index"],
+            rows_for_group(plan, lease["group_index"]),
+        )["status"] == "ok"
+
+    def test_reported_error_retries_then_fails_the_run(self):
+        coordinator = make_coordinator(max_attempts=2)
+        plan = make_plan()
+        run_id = coordinator.create_run(plan)
+        lease = coordinator.lease("w1")
+        answer = coordinator.complete(
+            "w1", lease["lease_id"], run_id, lease["group_index"], error="boom"
+        )
+        assert answer["status"] == "retry"
+        retry = coordinator.lease("w1")
+        assert retry["group_index"] == lease["group_index"]
+        answer = coordinator.complete(
+            "w1", retry["lease_id"], run_id, retry["group_index"], error="boom again"
+        )
+        assert answer["status"] == "failed"
+        with pytest.raises(ClusterRunFailed, match="boom again"):
+            list(coordinator.records(run_id, poll_interval=0.01))
+
+
+class TestRecordsStream:
+    def test_out_of_order_submission_streams_in_canonical_order(self):
+        coordinator = make_coordinator()
+        plan = make_plan(seeds=(0, 1), with_measures=False)
+        run_id = coordinator.create_run(plan)
+        leases = {}
+        for worker in ("w1", "w2", "w3", "w4"):
+            lease = coordinator.lease(worker)
+            assert lease["status"] == "lease"
+            leases[worker] = lease
+        # Complete in reverse lease order: the stream must still be canonical.
+        for worker in ("w4", "w3", "w2", "w1"):
+            lease = leases[worker]
+            coordinator.complete(
+                worker, lease["lease_id"], run_id, lease["group_index"],
+                rows_for_group(plan, lease["group_index"]),
+            )
+        records = list(coordinator.records(run_id, poll_interval=0.01))
+        assert [
+            (r.algorithm, r.dim, r.precision, r.seed, r.task) for r in records
+        ] == plan.cell_keys()
+
+    def test_cancelled_run_stops_leasing_and_ends_the_stream(self):
+        coordinator = make_coordinator()
+        plan = make_plan()
+        run_id = coordinator.create_run(plan)
+        assert coordinator.cancel(run_id) is True
+        assert coordinator.cancel(run_id) is False       # idempotent
+        assert coordinator.lease("w1")["status"] == "idle"
+        assert list(coordinator.records(run_id, poll_interval=0.01)) == []
+        assert coordinator.counters["runs_cancelled"] == 1
+
+    def test_snapshot_reports_workers_and_runs(self):
+        coordinator = make_coordinator()
+        plan = make_plan()
+        run_id = coordinator.create_run(plan)
+        lease = coordinator.lease("w1")
+        coordinator.complete(
+            "w1", lease["lease_id"], run_id, lease["group_index"],
+            rows_for_group(plan, lease["group_index"]),
+            stats={"embedding_train_count": 1},
+        )
+        snapshot = coordinator.snapshot()
+        assert snapshot["counters"]["leases_issued"] == 1
+        worker = snapshot["workers"]["w1"]
+        assert worker["groups_completed"] == 1 and worker["cells_completed"] == 2
+        assert worker["cells_per_second"] >= 0
+        assert worker["reported"] == {"embedding_train_count": 1}
+        run = snapshot["runs"][run_id]
+        assert run["done"] == 1 and run["groups"] == 2
+        assert json.dumps(snapshot)              # JSON-able end to end

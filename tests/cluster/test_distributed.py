@@ -1,0 +1,242 @@
+"""End-to-end distributed execution: a live coordinator + two workers.
+
+Boots the real serving API on an ephemeral port, runs two in-process
+:class:`~repro.cluster.worker.ClusterWorker` loops against it over real HTTP,
+and pins the acceptance criteria: a two-worker distributed grid is
+bit-identical to the serial ``GridEngine.run()``, a warm rerun trains
+nothing anywhere in the cluster, and no embedding pair is ever trained
+twice cluster-wide (the ancestry gate).  Worker mechanics that need no
+sockets (error reporting, heartbeats, idle exit) run against a scripted
+client.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+import warnings
+
+import pytest
+
+from repro.cluster import ClusterWorker, config_wire_payload
+from repro.engine import GridEngine
+from repro.serving import ServiceConfig, StabilityService
+from repro.serving.api import StabilityAPIServer, quick_serve_config
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    """A live coordinator (real HTTP server) plus two polling workers."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)
+        service = StabilityService(quick_serve_config(), config=ServiceConfig(lease_ttl=30))
+    api = StabilityAPIServer(service, port=0)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run_server() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(api.start())
+        started.set()
+        loop.run_forever()
+
+    server_thread = threading.Thread(target=run_server, daemon=True)
+    server_thread.start()
+    assert started.wait(timeout=30), "server failed to start"
+    url = f"http://127.0.0.1:{api.port}"
+
+    workers = [
+        ClusterWorker(url, worker_id=f"worker-{index}", poll_interval=0.05)
+        for index in range(2)
+    ]
+    threads = [threading.Thread(target=worker.run, daemon=True) for worker in workers]
+    for thread in threads:
+        thread.start()
+    try:
+        yield api, url, workers
+    finally:
+        for worker in workers:
+            worker.stop()
+        for thread in threads:
+            thread.join(timeout=30)
+        asyncio.run_coroutine_threadsafe(api.stop(), loop).result(timeout=10)
+        loop.call_soon_threadsafe(loop.stop)
+        server_thread.join(timeout=10)
+        service.close()
+
+
+def stream_grid(port: int, query: str = "") -> list[dict]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=300)
+    conn.request("GET", f"/grid?distributed=true{query}")
+    response = conn.getresponse()
+    assert response.status == 200
+    rows = [json.loads(line) for line in response.read().decode().strip().splitlines()]
+    conn.close()
+    return rows
+
+
+def get_json(port: int, path: str) -> dict:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    conn.request("GET", path)
+    payload = json.loads(conn.getresponse().read())
+    conn.close()
+    return payload
+
+
+def total_trainings(workers) -> tuple[int, int]:
+    embedding = sum(w.stats()["embedding_train_count"] for w in workers)
+    downstream = sum(w.stats()["downstream_train_count"] for w in workers)
+    return embedding, downstream
+
+
+class TestDistributedGrid:
+    def test_two_workers_bit_identical_and_warm_rerun_trains_nothing(self, cluster):
+        api, url, workers = cluster
+
+        # Cold distributed run, leased to the two-worker fleet.
+        rows = stream_grid(api.port)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", UserWarning)
+            expected = GridEngine(quick_serve_config()).run(with_measures=True)
+        assert rows == [record.to_row() for record in expected]
+
+        # Zero duplicate trainings cluster-wide: the quick grid has exactly
+        # two unique embedding pairs (dims 4 and 6); the ancestry gate plus
+        # the coordinator store tier guarantee each is trained exactly once
+        # across both workers, no matter who got which lease.
+        embedding_cold, downstream_cold = total_trainings(workers)
+        assert embedding_cold == 2
+        assert downstream_cold == len(expected) * 2   # two models per cell, once
+
+        # Warm rerun: bit-identical records, zero new trainings anywhere.
+        warm_rows = stream_grid(api.port)
+        assert warm_rows == rows
+        assert total_trainings(workers) == (embedding_cold, downstream_cold)
+
+        # The coordinator observed all of it.
+        metrics = get_json(api.port, "/metrics")
+        cluster_stats = metrics["cluster"]
+        assert cluster_stats["counters"]["runs_completed"] >= 2
+        assert cluster_stats["counters"]["duplicate_results"] == 0
+        assert cluster_stats["counters"]["group_failures"] == 0
+        reported = [
+            row["reported"]["embedding_train_count"]
+            for row in cluster_stats["workers"].values()
+            if row["reported"] is not None
+        ]
+        assert sum(reported) == embedding_cold
+
+    def test_engine_client_streams_bit_identical_records(self, cluster):
+        api, url, workers = cluster
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", UserWarning)
+            expected = GridEngine(quick_serve_config()).run(with_measures=True)
+            remote = GridEngine(quick_serve_config(), coordinator_url=url).run(
+                with_measures=True
+            )
+        assert remote == expected
+
+    def test_cluster_status_endpoint(self, cluster):
+        api, url, workers = cluster
+        status = get_json(api.port, "/cluster/status")
+        assert status["counters"]["leases_issued"] >= 2
+        assert set(status["workers"]) >= {"worker-0", "worker-1"}
+
+
+class ScriptedClient:
+    """In-memory stand-in for :class:`CoordinatorClient` (no sockets)."""
+
+    def __init__(self, leases):
+        self.leases = list(leases)
+        self.completions = []
+        self.heartbeats = []
+
+    def lease(self, worker):
+        return self.leases.pop(0) if self.leases else {"status": "idle", "retry_after": 0.0}
+
+    def heartbeat(self, worker, lease_id):
+        self.heartbeats.append(lease_id)
+        return {"status": "ok", "ttl": 0.15}
+
+    def complete(self, worker, lease_id, run_id, group_index, rows, stats=None, error=None):
+        self.completions.append(
+            {"lease_id": lease_id, "rows": rows, "stats": stats, "error": error}
+        )
+        return {"status": "ok", "accepted": len(rows)}
+
+
+def scripted_lease(config_payload, *, ttl=30.0, group=None):
+    return {
+        "status": "lease",
+        "lease_id": "run-0001-lease-0001",
+        "run_id": "run-0001",
+        "group_index": 0,
+        "group": group or {
+            "algorithm": "svd", "dim": 4, "seed": 0,
+            "precisions": [1], "tasks": ["sst2"],
+            "with_measures": False, "model_type": "bow",
+        },
+        "config": config_payload,
+        "ttl": ttl,
+    }
+
+
+class TestWorkerMechanics:
+    def test_step_executes_a_lease_and_reports_rows_and_stats(self):
+        payload = config_wire_payload(quick_serve_config())
+        client = ScriptedClient([scripted_lease(payload, ttl=0.15)])
+        worker = ClusterWorker("http://127.0.0.1:9", worker_id="t", client=client)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", UserWarning)
+            assert worker.step() is True
+        (completion,) = client.completions
+        assert completion["error"] is None
+        assert len(completion["rows"]) == 1
+        assert completion["rows"][0]["algorithm"] == "svd"
+        assert completion["stats"]["cells_executed"] == 1
+        # The heartbeat thread renewed the short lease during execution.
+        assert len(client.heartbeats) >= 1
+        assert worker.step() is False            # queue drained -> idle
+
+    def test_execution_failure_is_reported_not_swallowed(self):
+        bad_config = {"algorithms": ["not-an-algorithm"]}
+        client = ScriptedClient([scripted_lease(bad_config)])
+        worker = ClusterWorker("http://127.0.0.1:9", worker_id="t", client=client)
+        assert worker.step() is True
+        (completion,) = client.completions
+        assert completion["rows"] == []
+        assert "not-an-algorithm" in completion["error"]
+
+    def test_run_exits_after_max_idle(self):
+        client = ScriptedClient([])
+        worker = ClusterWorker(
+            "http://127.0.0.1:9", worker_id="t", client=client,
+            poll_interval=0.01, max_idle=0.05,
+        )
+        worker.run()                             # returns instead of spinning
+
+    def test_pipeline_cache_is_lru_bounded_and_stats_survive_eviction(self):
+        from dataclasses import replace
+
+        base = quick_serve_config()
+        payloads = [
+            config_wire_payload(replace(base, embedding_epochs=epochs))
+            for epochs in (1, 2, 3)
+        ]
+        leases = [
+            dict(scripted_lease(payload), lease_id=f"l{i}", group_index=0)
+            for i, payload in enumerate(payloads)
+        ]
+        client = ScriptedClient(leases)
+        worker = ClusterWorker(
+            "http://127.0.0.1:9", worker_id="t", client=client, max_pipelines=2
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", UserWarning)
+            for _ in payloads:
+                assert worker.step() is True
+        # Only the two most recent pipelines stay warm...
+        assert len(worker._pipelines) == 2
+        # ...but the reported counters keep the evicted pipeline's work.
+        assert client.completions[-1]["stats"]["corpus_build_count"] == 3
+        assert client.completions[-1]["stats"]["cells_executed"] == 3

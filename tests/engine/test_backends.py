@@ -1,9 +1,12 @@
 """Unit tests of the storage backends, codecs, and the store's tier stack."""
 
+import threading
+
 import numpy as np
 import pytest
 
 from repro.engine.backends import (
+    AsyncReplicator,
     DiskBackend,
     MemoryBackend,
     RemoteBackend,
@@ -184,6 +187,199 @@ class TestRemoteBackendOffline:
         assert RemoteBackend("localhost:8732").url == "http://localhost:8732"
         with pytest.raises(ValueError):
             RemoteBackend("ftp://host/")
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class FailingConnection:
+    """Stand-in for ``http.client.HTTPConnection`` that always errors.
+
+    Counts connection *attempts* so the breaker tests can assert exactly how
+    many requests were let through to the (dead) peer; ``gate`` optionally
+    blocks inside the attempt so a second thread can race the half-open slot
+    deterministically.
+    """
+
+    def __init__(self, attempts: list, gate: threading.Event | None = None) -> None:
+        self.attempts = attempts
+        self.gate = gate
+
+    def request(self, *args, **kwargs) -> None:
+        self.attempts.append(threading.current_thread().name)
+        if self.gate is not None:
+            assert self.gate.wait(timeout=30)
+        raise ConnectionError("synthetic failure")
+
+    def close(self) -> None:
+        pass
+
+
+class TestRemoteBackendHalfOpenProbe:
+    """Fake-clock pins of the breaker's half-open behaviour."""
+
+    def make_backend(self, clock, attempts, gate=None, cooldown=30.0):
+        backend = RemoteBackend(
+            "http://127.0.0.1:9", timeout=0.1, failure_cooldown=cooldown, clock=clock
+        )
+        backend._connection = lambda: FailingConnection(attempts, gate)  # type: ignore[method-assign]
+        return backend
+
+    def test_cooldown_blocks_then_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        attempts: list = []
+        backend = self.make_backend(clock, attempts)
+        # Initial failure opens the breaker (2 attempts: request + reconnect).
+        assert backend.get("measures", "a.json") is None
+        assert len(attempts) == 2
+        # During the cooldown nothing reaches the peer.
+        for _ in range(5):
+            assert backend.get("measures", "a.json") is None
+        assert len(attempts) == 2
+        # Cooldown elapsed: the next call is the single half-open probe...
+        clock.advance(31.0)
+        assert backend.get("measures", "a.json") is None
+        assert len(attempts) == 4
+        # ...whose failure restarts the cooldown.
+        assert backend.get("measures", "a.json") is None
+        assert len(attempts) == 4
+
+    def test_concurrent_callers_do_not_pile_onto_the_probe(self):
+        clock = FakeClock()
+        attempts: list = []
+        gate = threading.Event()
+        backend = self.make_backend(clock, attempts)
+        assert backend.get("measures", "a.json") is None      # open the breaker
+        attempts.clear()
+        clock.advance(31.0)
+        # Thread A becomes the probe and blocks inside the connection...
+        blocked_backend_gate = gate
+        backend._connection = lambda: FailingConnection(attempts, blocked_backend_gate)  # type: ignore[method-assign]
+        prober = threading.Thread(
+            target=lambda: backend.get("measures", "a.json"), name="prober"
+        )
+        prober.start()
+        deadline = threading.Event()
+        for _ in range(100):
+            if attempts:
+                break
+            deadline.wait(0.01)
+        assert attempts == ["prober"]
+        # ...while a concurrent caller fails fast without a second attempt.
+        assert backend.get("measures", "b.json") is None
+        assert attempts == ["prober"]
+        gate.set()
+        prober.join(timeout=30)
+        # The probe's two attempts are both the prober's; nobody piled on.
+        assert set(attempts) == {"prober"} and len(attempts) == 2
+
+    def test_successful_probe_closes_the_breaker(self):
+        clock = FakeClock()
+        backend = RemoteBackend(
+            "http://127.0.0.1:9", timeout=0.1, failure_cooldown=30.0, clock=clock
+        )
+
+        class HappyConnection:
+            def request(self, *args, **kwargs):
+                pass
+
+            def getresponse(self):
+                class R:
+                    status = 404
+
+                    def read(self):
+                        return b""
+
+                return R()
+
+        attempts: list = []
+        backend._connection = lambda: FailingConnection(attempts)  # type: ignore[method-assign]
+        assert backend.get("measures", "a.json") is None      # open
+        clock.advance(31.0)
+        backend._connection = lambda: HappyConnection()  # type: ignore[method-assign]
+        assert backend.get("measures", "a.json") is None      # probe: 404 = miss
+        assert backend._down_until == 0.0                     # breaker closed
+        assert not backend._probing
+
+
+class SlowBackend(StoreBackend):
+    """Remote-like backend whose puts block on an event (replicator tests)."""
+
+    name = "slow-remote"
+    persistent = True
+    remote_capable = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.release = threading.Event()
+        self.written: list[tuple[str, str]] = []
+
+    def _get(self, kind, name):
+        return None
+
+    def _put(self, kind, name, payload):
+        assert self.release.wait(timeout=30)
+        self.written.append((kind, name))
+
+    def _contains(self, kind, name):
+        return False
+
+    def _delete(self, kind, name):
+        pass
+
+
+class TestAsyncReplicator:
+    def test_submit_returns_immediately_and_flush_waits(self):
+        backend = SlowBackend()
+        replicator = AsyncReplicator(max_queue=8)
+        assert replicator.submit(backend, "measures", "a.json", b"{}")
+        assert backend.written == []                  # producer did not block
+        assert replicator.flush(timeout=0.05) is False  # barrier sees it pending
+        backend.release.set()
+        assert replicator.flush(timeout=30) is True
+        assert backend.written == [("measures", "a.json")]
+        assert backend.stats.puts == 1
+        replicator.close()
+
+    def test_overflow_drops_and_counts_on_the_tier(self):
+        backend = SlowBackend()
+        replicator = AsyncReplicator(max_queue=1)
+        # First write occupies the drain thread (blocked), second fills the
+        # queue, the rest must drop -- producers never block on replication.
+        assert replicator.submit(backend, "k", "a.json", b"1")
+        deadline = threading.Event()
+        for _ in range(200):                          # wait for the drain pop
+            if replicator.describe()["pending"] and replicator._queue.empty():
+                break
+            deadline.wait(0.01)
+        assert replicator.submit(backend, "k", "b.json", b"2")
+        assert replicator.submit(backend, "k", "c.json", b"3") is False
+        assert replicator.submit(backend, "k", "d.json", b"4") is False
+        assert backend.stats.dropped == 2
+        assert replicator.describe()["dropped"] == 2
+        backend.release.set()
+        assert replicator.flush(timeout=30)
+        assert [name for _, name in backend.written] == ["a.json", "b.json"]
+        replicator.close()
+
+    def test_close_is_idempotent_and_rejects_new_writes(self):
+        backend = SlowBackend()
+        backend.release.set()
+        replicator = AsyncReplicator()
+        replicator.submit(backend, "k", "a.json", b"1")
+        assert replicator.flush(timeout=30)
+        replicator.close()
+        replicator.close()
+        assert replicator.submit(backend, "k", "b.json", b"2") is False
+        assert backend.stats.dropped == 1
 
 
 class TestSpecs:

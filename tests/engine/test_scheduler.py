@@ -177,3 +177,60 @@ class TestDeterminism:
                 warnings.simplefilter("ignore", UserWarning)
                 values.append(pipeline.compute_measures("svd", 4, 1, 0))
         assert values[0] == values[1]
+
+
+class TestGridPlan:
+    """The extracted group plan shared by local and distributed execution."""
+
+    def test_axes_default_to_the_config(self):
+        from repro.engine import plan_grid
+        from repro.instability.pipeline import PipelineConfig
+
+        config = PipelineConfig(
+            algorithms=("svd",), dimensions=(4, 8), precisions=(1, 32),
+            seeds=(0, 1), tasks=("sst2",),
+        )
+        plan = plan_grid(config, with_measures=True)
+        assert plan.dimensions == (4, 8) and plan.seeds == (0, 1)
+        assert plan.anchor_dim == 8
+        assert plan.n_cells == 2 * 2 * 2        # dims x precisions x seeds
+        assert len(plan.groups) == 4
+
+    def test_explicit_axes_override_and_coerce(self):
+        from repro.engine import plan_grid
+        from repro.instability.pipeline import PipelineConfig
+
+        plan = plan_grid(
+            PipelineConfig(algorithms=("svd",), dimensions=(4,), precisions=(1,),
+                           seeds=(0,), tasks=("sst2",)),
+            dimensions=("4", "6"), precisions=("32",),
+        )
+        assert plan.dimensions == (4, 6) and plan.precisions == (32,)
+
+    def test_groups_match_plan_groups_and_anchor_order(self):
+        from repro.engine import plan_grid, plan_groups
+        from repro.instability.pipeline import PipelineConfig
+
+        config = PipelineConfig(
+            algorithms=("svd",), dimensions=(4, 8, 6), precisions=(1,),
+            seeds=(0,), tasks=("sst2",),
+        )
+        plan = plan_grid(config, with_measures=True)
+        assert list(plan.groups) == plan_groups(
+            ("svd",), (4, 8, 6), (1,), (0,), ("sst2",),
+            anchor_dim=8, with_measures=True,
+        )
+        assert plan.groups[0].dim == 8          # the anchor group leads
+
+    def test_cell_keys_are_the_canonical_product_order(self):
+        from repro.engine import canonical_cell_keys, plan_grid
+        from repro.instability.pipeline import PipelineConfig
+
+        config = PipelineConfig(
+            algorithms=("svd",), dimensions=(4, 6), precisions=(1, 32),
+            seeds=(0,), tasks=("sst2",),
+        )
+        plan = plan_grid(config)
+        assert plan.cell_keys() == canonical_cell_keys(
+            ("svd",), (4, 6), (1, 32), (0,), ("sst2",)
+        )

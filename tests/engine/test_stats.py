@@ -13,6 +13,7 @@ class TestStats:
         snapshot = stats()
         assert snapshot == {
             "store": {}, "pipeline": {}, "decomposition_caches": {}, "warmup": None,
+            "cluster": None,
         }
 
     def test_bare_store_positional(self):
@@ -69,3 +70,20 @@ class TestStats:
         engine = GridEngine()
         cache = DecompositionCache()
         json.dumps(stats(engine, caches={"c": cache}))
+
+
+class TestClusterSection:
+    def test_coordinator_snapshot_is_included_and_jsonable(self):
+        from repro.cluster.coordinator import ClusterCoordinator
+        from repro.engine import plan_grid
+        from repro.serving.api import quick_serve_config
+
+        coordinator = ClusterCoordinator()
+        coordinator.create_run(plan_grid(quick_serve_config(), with_measures=True))
+        coordinator.lease("w1")
+        snapshot = stats(coordinator=coordinator)
+        cluster = snapshot["cluster"]
+        assert cluster["counters"]["leases_issued"] == 1
+        assert cluster["runs_active"] == 1
+        assert "w1" in cluster["workers"]
+        json.dumps(snapshot)

@@ -380,3 +380,118 @@ class TestMetricsAndErrors:
             data += chunk
         assert b" 431 " in data.split(b"\r\n", 1)[0]
         sock.close()
+
+
+class TestClusterEndpoints:
+    """HTTP surface of the coordinator (full protocol in tests/cluster/)."""
+
+    def test_lease_answers_idle_without_runs(self, server):
+        status, payload = get_json(
+            server, "/cluster/lease", method="POST", body={"worker": "w1"}
+        )
+        assert status == 200
+        assert payload["status"] == "idle" and payload["retry_after"] > 0
+
+    def test_lease_without_worker_is_400(self, server):
+        status, payload = get_json(server, "/cluster/lease", method="POST", body={})
+        assert status == 400
+        assert "worker" in payload["error"]
+
+    def test_heartbeat_for_unknown_lease_is_gone(self, server):
+        status, payload = get_json(
+            server, "/cluster/heartbeat", method="POST",
+            body={"worker": "w1", "lease_id": "nope"},
+        )
+        assert status == 200 and payload["status"] == "gone"
+
+    def test_complete_for_unknown_run_is_reported(self, server):
+        status, payload = get_json(
+            server, "/cluster/complete", method="POST",
+            body={"worker": "w1", "lease_id": "x", "run_id": "run-9999",
+                  "group_index": 0, "records": []},
+        )
+        assert status == 200 and payload["status"] == "unknown-run"
+
+    def test_status_snapshot_and_unknown_run_404(self, server):
+        status, payload = get_json(server, "/cluster/status")
+        assert status == 200
+        assert "counters" in payload and "workers" in payload
+        status, _ = get_json(server, "/cluster/status?run_id=run-9999")
+        assert status == 404
+
+    def test_grid_config_requires_distributed(self, server):
+        status, payload = get_json(
+            server, "/grid", method="POST",
+            body={"config": {"algorithms": ["svd"]}, "distributed": False},
+        )
+        assert status == 400
+        assert "distributed" in payload["error"]
+
+    def test_grid_config_must_be_an_object(self, server):
+        status, payload = get_json(server, "/grid?distributed=true&config=notjson")
+        assert status == 400
+        assert "config" in payload["error"]
+
+    def test_grid_bad_config_field_is_400(self, server):
+        status, payload = get_json(
+            server, "/grid", method="POST",
+            body={"distributed": True, "config": {"not_a_field": 1}},
+        )
+        assert status == 400
+
+
+class TestAbandonedGridCancellation:
+    """A client hanging up mid-/grid stops the computation (ROADMAP item)."""
+
+    def test_socket_close_cancels_the_stream_at_a_record_boundary(
+        self, server, monkeypatch
+    ):
+        import time as time_module
+
+        from repro.instability.grid import GridRecord
+
+        total = 500
+        produced: list[int] = []
+        closed = threading.Event()
+
+        def fake_run_iter(**kwargs):
+            def gen():
+                try:
+                    for index in range(total):
+                        produced.append(index)
+                        yield GridRecord(
+                            algorithm="svd", task="sst2", dim=4, precision=1,
+                            seed=index, disagreement=0.1,
+                            accuracy_a=0.9, accuracy_b=0.9, measures={},
+                        )
+                        time_module.sleep(0.02)
+                finally:
+                    closed.set()
+            return gen()
+
+        monkeypatch.setattr(server.service.engine, "run_iter", fake_run_iter)
+        before = server.service.metrics()["serving"]["grids_cancelled"]
+
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=30)
+        sock.sendall(b"GET /grid?dims=4&precisions=1 HTTP/1.1\r\nHost: t\r\n\r\n")
+        sock.settimeout(30)
+        data = b""
+        while b"\r\n\r\n" not in data or b"algorithm" not in data:
+            data += sock.recv(4096)              # headers + at least one record
+        sock.close()                             # abandon the stream
+
+        # The EOF watchdog cancels the grid: the producer stops at the next
+        # record boundary and the generator's cleanup runs -- long before all
+        # 500 paced records (10s of compute) would have been produced.
+        assert closed.wait(timeout=15), "record generator was never closed"
+        assert len(produced) < total
+        serving = server.service.metrics()["serving"]
+        assert serving["grids_cancelled"] == before + 1
+        assert serving["grids_inflight"] == 0
+
+    def test_completed_stream_is_not_counted_cancelled(self, server):
+        before = server.service.metrics()["serving"]["grids_cancelled"]
+        response, data = request(server, "/grid?dims=4&precisions=1")
+        assert response.status == 200
+        assert data.decode().strip().splitlines()
+        assert server.service.metrics()["serving"]["grids_cancelled"] == before
