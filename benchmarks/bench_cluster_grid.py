@@ -44,7 +44,8 @@ from repro.engine import GridEngine  # noqa: E402
 from repro.instability.pipeline import PipelineConfig  # noqa: E402
 from repro.serving import ServiceConfig, StabilityService  # noqa: E402
 from repro.serving.api import StabilityAPIServer  # noqa: E402
-from repro.utils.io import save_json  # noqa: E402
+
+from conftest import write_benchmark_results  # noqa: E402
 
 
 def bench_config(quick: bool) -> PipelineConfig:
@@ -210,8 +211,10 @@ def main(argv: list[str] | None = None) -> int:
         f"({summary['cells']} cells, {summary['unique_pairs']} unique pairs, "
         f"zero duplicate trainings)"
     )
-    if args.output:
-        save_json(summary, args.output)
+    results = write_benchmark_results(
+        "cluster", summary=summary, rows=rows, output=args.output
+    )
+    print(f"results -> {results}")
     return 0
 
 

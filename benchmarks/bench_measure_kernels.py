@@ -42,7 +42,8 @@ from repro.measures.eigenspace_overlap import EigenspaceOverlapDistance  # noqa:
 from repro.measures.knn import KNNDistance, _top_k_neighbors, knn_overlap  # noqa: E402
 from repro.measures.pip_loss import PIPLoss  # noqa: E402
 from repro.measures.semantic_displacement import SemanticDisplacement  # noqa: E402
-from repro.utils.io import save_json  # noqa: E402
+
+from conftest import write_benchmark_results  # noqa: E402
 
 #: Float32 tolerance contract, mirrored from tests/measures/test_precision_policy.py.
 FLOAT32_ABS_TOL = {
@@ -260,8 +261,8 @@ def main(argv: list[str] | None = None) -> int:
     print()
     print(format_table([summary["knn"]], title="k-NN overlap (vectorised vs loop)"))
 
-    if args.output:
-        save_json(summary, args.output)
+    results = write_benchmark_results("kernels", summary=summary, output=args.output)
+    print(f"results -> {results}")
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

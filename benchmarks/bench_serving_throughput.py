@@ -40,7 +40,8 @@ from repro.corpus.synthetic import SyntheticCorpusConfig  # noqa: E402
 from repro.engine import stats as engine_stats  # noqa: E402
 from repro.instability.pipeline import PipelineConfig  # noqa: E402
 from repro.serving import ServiceConfig, StabilityService  # noqa: E402
-from repro.utils.io import save_json  # noqa: E402
+
+from conftest import write_benchmark_results  # noqa: E402
 
 
 def bench_config(quick: bool) -> PipelineConfig:
@@ -185,8 +186,10 @@ def main(argv: list[str] | None = None) -> int:
 
     print(format_table(rows, title="stability-service throughput"))
     print("summary:", summary)
-    if args.output:
-        save_json(summary, args.output)
+    results = write_benchmark_results(
+        "serving", summary=summary, rows=rows, output=args.output
+    )
+    print(f"results -> {results}")
     return 0
 
 

@@ -45,7 +45,8 @@ from repro.engine.backends import (  # noqa: E402
     RemoteBackend,
     ShardedBackend,
 )
-from repro.utils.io import save_json  # noqa: E402
+
+from conftest import write_benchmark_results  # noqa: E402
 
 
 def _time_ops(fn, names: list[str]) -> list[float]:
@@ -166,8 +167,8 @@ def main(argv: list[str] | None = None) -> int:
     n_ops = args.ops if args.ops is not None else (32 if args.quick else 200)
     rows = run_benchmark(args.quick, n_ops, not args.no_remote)
     print(format_table(rows, title="artifact-store backend latency"))
-    if args.output:
-        save_json({"rows": rows}, args.output)
+    results = write_benchmark_results("store", rows=rows, output=args.output)
+    print(f"results -> {results}")
     print("store backend invariants hold")
     return 0
 

@@ -52,3 +52,41 @@ def engine(pipeline) -> GridEngine:
 def grid_records(engine):
     """The fully evaluated dimension-precision grid (with distance measures)."""
     return engine.run(with_measures=True)
+
+
+# -- shared results writer (used by the CLI benchmarks, uploaded by CI) --------
+
+def write_benchmark_results(name, *, summary=None, rows=None, output=None):
+    """Persist one benchmark's results as ``BENCH_<name>.json``.
+
+    Every CLI benchmark funnels its output through here so the files CI
+    uploads all carry the same envelope: the benchmark name, the exact
+    revision that produced the numbers, a UTC timestamp, and the payload
+    (``summary`` for scalar timings/counters, ``rows`` for per-case tables).
+    ``output`` overrides the default path.  Returns the written path.
+    """
+    import datetime
+    import json
+    import subprocess
+    from pathlib import Path
+
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10, cwd=Path(__file__).resolve().parent,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        rev = "unknown"
+    payload = {
+        "benchmark": name,
+        "git_rev": rev,
+        "written_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    }
+    if summary is not None:
+        payload["summary"] = summary
+    if rows is not None:
+        payload["rows"] = rows
+    path = Path(output) if output else Path(f"BENCH_{name}.json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n")
+    return path

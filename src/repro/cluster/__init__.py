@@ -28,6 +28,8 @@ from repro.cluster.coordinator import (
     config_wire_payload,
     group_from_wire,
     group_wire_payload,
+    plan_from_wire,
+    plan_wire_payload,
 )
 from repro.cluster.worker import ClusterWorker, CoordinatorClient
 
@@ -41,5 +43,7 @@ __all__ = [
     "default_coordinator_url",
     "group_from_wire",
     "group_wire_payload",
+    "plan_from_wire",
+    "plan_wire_payload",
     "stream_remote_grid",
 ]

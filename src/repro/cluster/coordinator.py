@@ -25,7 +25,20 @@ Scheduling rules:
   and the group returns to the pending pool.  Re-execution is safe because
   every artifact and record is a deterministic function of its
   configuration: whichever result arrives first is committed, later
-  arrivals are counted (``duplicate_results``) and dropped.
+  arrivals are counted (``duplicate_results``) and dropped;
+* **speculative re-execution** -- when a run has no pending work left but a
+  leased group has run well past the duration of its completed siblings,
+  the coordinator issues a *second* lease on it to another worker.
+  First-result-commits makes the race idempotent, and speculative leases
+  never consume the group's ``max_attempts`` failure budget.
+
+Crash safety: when constructed with an :class:`ArtifactStore`, the
+coordinator checkpoints every run's durable state (plan wire form, config
+payload, group states/attempts, committed rows) as ``cluster-run`` JSON
+artifacts on each state transition, and :meth:`resume_runs` rebuilds the
+lease tables from those checkpoints after a restart -- committed records
+replay through a fresh :class:`OrderedCommitter` so a resumed stream stays
+bit-identical, and only unfinished groups re-lease.
 
 The coordinator holds plain thread-safe state and speaks no HTTP itself;
 the serving layer mounts it as the ``/cluster/*`` endpoints (same
@@ -35,7 +48,6 @@ monotonic time source so lease expiry is testable without sleeping.
 
 from __future__ import annotations
 
-import itertools
 import threading
 import time
 from collections import OrderedDict
@@ -47,6 +59,7 @@ from repro.utils.io import to_jsonable
 from repro.utils.logging import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.store import ArtifactStore
     from repro.instability.grid import GridRecord
     from repro.instability.pipeline import PipelineConfig
 
@@ -58,13 +71,21 @@ __all__ = [
     "config_wire_payload",
     "group_from_wire",
     "group_wire_payload",
+    "plan_from_wire",
+    "plan_wire_payload",
 ]
 
 #: Group states in a run's lease table.
 _PENDING, _LEASED, _DONE = "pending", "leased", "done"
 
-#: Completed/cancelled runs retained for status queries before eviction.
+#: Count backstop on finished-run retention (age GC is the primary policy).
 _MAX_FINISHED_RUNS = 64
+
+#: Artifact kind of coordinator checkpoints (stored via the JSON codec).
+CHECKPOINT_KIND = "cluster-run"
+
+#: Store key of the checkpoint index (the list of checkpointed run ids).
+_INDEX_KEY = "runs-index"
 
 
 class ClusterRunFailed(RuntimeError):
@@ -115,10 +136,43 @@ def group_from_wire(payload: dict) -> CellGroup:
     )
 
 
+def plan_wire_payload(plan: GridPlan) -> dict:
+    """The JSON wire form of a full grid plan (a run checkpoint's work spec)."""
+    return {
+        "algorithms": list(plan.algorithms),
+        "dimensions": list(plan.dimensions),
+        "precisions": list(plan.precisions),
+        "seeds": list(plan.seeds),
+        "tasks": list(plan.tasks),
+        "with_measures": plan.with_measures,
+        "model_type": plan.model_type,
+        "anchor_dim": plan.anchor_dim,
+        "groups": [group_wire_payload(group) for group in plan.groups],
+    }
+
+
+def plan_from_wire(payload: dict) -> GridPlan:
+    """Rebuild a :class:`GridPlan` from :func:`plan_wire_payload`."""
+    anchor = payload.get("anchor_dim")
+    return GridPlan(
+        algorithms=tuple(str(a) for a in payload["algorithms"]),
+        dimensions=tuple(int(d) for d in payload["dimensions"]),
+        precisions=tuple(int(p) for p in payload["precisions"]),
+        seeds=tuple(int(s) for s in payload["seeds"]),
+        tasks=tuple(str(t) for t in payload["tasks"]),
+        with_measures=bool(payload.get("with_measures", False)),
+        model_type=str(payload.get("model_type", "bow")),
+        anchor_dim=None if anchor is None else int(anchor),
+        groups=tuple(group_from_wire(g) for g in payload["groups"]),
+    )
+
+
 class _ClusterRun:
     """Lease table and ordered-commit state of one submitted grid."""
 
-    def __init__(self, run_id: str, plan: GridPlan, config_payload: dict) -> None:
+    def __init__(
+        self, run_id: str, plan: GridPlan, config_payload: dict, created_at: float = 0.0
+    ) -> None:
         self.run_id = run_id
         self.plan = plan
         self.config_payload = config_payload
@@ -131,6 +185,16 @@ class _ClusterRun:
         self.cancelled = False
         self.completed = False
         self.failure: str | None = None
+        self.created_at = created_at
+        self.finished_at: float | None = None
+        #: Wall-clock runtimes of completed leases, feeding the speculation
+        #: threshold (a percentile of finished siblings).
+        self.durations: list[float] = []
+        #: Attached record streams; a run with consumers is never GC'd.
+        self.consumers = 0
+        #: True once the finished run's ready list was released to save
+        #: memory -- the records remain recoverable from the checkpoint.
+        self.ready_dropped = False
 
     @property
     def active(self) -> bool:
@@ -156,13 +220,22 @@ class _ClusterRun:
 
 class _Lease:
     def __init__(
-        self, lease_id: str, run_id: str, group_index: int, worker: str, expires_at: float
+        self,
+        lease_id: str,
+        run_id: str,
+        group_index: int,
+        worker: str,
+        expires_at: float,
+        started_at: float = 0.0,
+        speculative: bool = False,
     ) -> None:
         self.lease_id = lease_id
         self.run_id = run_id
         self.group_index = group_index
         self.worker = worker
         self.expires_at = expires_at
+        self.started_at = started_at
+        self.speculative = speculative
 
 
 class ClusterCoordinator:
@@ -179,7 +252,24 @@ class ClusterCoordinator:
         returns its group to the pending pool.
     max_attempts:
         Lease attempts per group before a reported execution *error* fails
-        the whole run (expiries also consume attempts).
+        the whole run (expiries also consume attempts; speculative leases
+        do not).
+    store:
+        Optional :class:`ArtifactStore` for run checkpoints.  With a
+        persistent store, :meth:`resume_runs` can rebuild every run after a
+        coordinator restart; without one, checkpointing is disabled.
+    run_gc_age:
+        Seconds a finished run (and its checkpoints) is retained after it
+        finished, once no record stream is attached; ``0`` disables age GC
+        (the ``_MAX_FINISHED_RUNS`` count backstop still applies).
+    worker_ttl:
+        Seconds of inactivity after which a worker holding no lease is
+        evicted from the status table; its counters retire into monotonic
+        fleet aggregates.  ``0`` disables eviction.
+    speculation_factor:
+        A leased group becomes a speculation candidate once its runtime
+        exceeds ``speculation_factor`` times the ``speculation_percentile``
+        duration of the run's completed leases; ``0`` disables speculation.
     clock:
         Monotonic time source (injectable for the lease-lifecycle tests).
     """
@@ -190,32 +280,71 @@ class ClusterCoordinator:
         default_config: dict | None = None,
         lease_ttl: float = 60.0,
         max_attempts: int = 3,
+        store: "ArtifactStore | None" = None,
+        run_gc_age: float = 3600.0,
+        worker_ttl: float = 300.0,
+        speculation_factor: float = 2.0,
+        speculation_percentile: float = 0.75,
+        speculation_min_done: int = 2,
         clock=time.monotonic,
     ) -> None:
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
+        if run_gc_age < 0:
+            raise ValueError(f"run_gc_age must be >= 0, got {run_gc_age}")
+        if worker_ttl < 0:
+            raise ValueError(f"worker_ttl must be >= 0, got {worker_ttl}")
+        if not 0.0 < speculation_percentile <= 1.0:
+            raise ValueError(
+                f"speculation_percentile must be in (0, 1], got {speculation_percentile}"
+            )
         self.default_config = default_config or {}
         self.lease_ttl = float(lease_ttl)
         self.max_attempts = int(max_attempts)
+        self.store = store
+        self.run_gc_age = float(run_gc_age)
+        self.worker_ttl = float(worker_ttl)
+        self.speculation_factor = float(speculation_factor)
+        self.speculation_percentile = float(speculation_percentile)
+        self.speculation_min_done = int(speculation_min_done)
         self._clock = clock
         self._cond = threading.Condition()
         self._runs: "OrderedDict[str, _ClusterRun]" = OrderedDict()
         self._leases: dict[str, _Lease] = {}
-        self._ids = itertools.count(1)
+        self._serial = 0
+        self._draining = False
         self._workers: dict[str, dict] = {}
+        #: Monotonic aggregates of evicted workers, so fleet-level totals in
+        #: the snapshot never shrink when the worker table is pruned (same
+        #: retired-counter pattern as the worker's pipeline cache).
+        self._retired_workers = {
+            "workers_evicted": 0,
+            "leases": 0,
+            "groups_completed": 0,
+            "cells_completed": 0,
+            "failures": 0,
+        }
         self.counters = {
             "runs_created": 0,
             "runs_completed": 0,
             "runs_cancelled": 0,
             "runs_failed": 0,
+            "runs_resumed": 0,
+            "runs_gced": 0,
             "leases_issued": 0,
             "leases_expired": 0,
             "leases_reassigned": 0,
+            "leases_speculative": 0,
             "duplicate_results": 0,
             "late_results": 0,
             "group_failures": 0,
             "records_committed": 0,
+            "records_replayed": 0,
             "cells_completed": 0,
+            "checkpoints_written": 0,
+            "ready_records_dropped": 0,
+            "workers_evicted": 0,
+            "drains_started": 0,
         }
 
     # -- run lifecycle ---------------------------------------------------------
@@ -223,11 +352,15 @@ class ClusterCoordinator:
     def create_run(self, plan: GridPlan, config_payload: dict | None = None) -> str:
         """Register a grid for distributed execution; returns its run id."""
         with self._cond:
-            run_id = f"run-{next(self._ids):04d}"
-            run = _ClusterRun(run_id, plan, config_payload or self.default_config)
+            run_id = f"run-{self._next_serial_locked():04d}"
+            run = _ClusterRun(
+                run_id, plan, config_payload or self.default_config, self._clock()
+            )
             self._runs[run_id] = run
             self.counters["runs_created"] += 1
-            self._evict_finished_locked()
+            self._gc_finished_locked(self._clock())
+            self._checkpoint_run_locked(run)
+            self._checkpoint_index_locked()
             self._cond.notify_all()
         logger.info(
             "cluster run %s created: %d groups, %d cells",
@@ -242,8 +375,10 @@ class ClusterCoordinator:
             if run is None or not run.active:
                 return False
             run.cancelled = True
-            self.counters["runs_cancelled"] += 1
+            run.finished_at = self._clock()
+            self._checkpoint_run_locked(run)
             self._cond.notify_all()
+            self.counters["runs_cancelled"] += 1
         logger.info("cluster run %s cancelled", run_id)
         return True
 
@@ -252,6 +387,141 @@ class ClusterCoordinator:
             run = self._runs.get(run_id)
             return None if run is None else {"run_id": run_id, **run.summary()}
 
+    def resume_runs(self) -> int:
+        """Rebuild runs from store checkpoints after a coordinator restart.
+
+        Every checkpointed run in the index comes back: committed groups
+        replay their rows through a fresh :class:`OrderedCommitter` (so the
+        resumed stream is bit-identical and the records are immediately
+        consumable), unfinished groups return to the pending pool with
+        their attempt counts intact, and finished runs resume for status
+        queries until age GC collects them.  Returns the number of runs
+        resumed; safe to call with no store or no checkpoints (returns 0).
+        """
+        from repro.instability.grid import GridRecord
+
+        if self.store is None:
+            return 0
+        try:
+            index = self.store.get_json(CHECKPOINT_KIND, _INDEX_KEY)
+        except Exception as err:  # pragma: no cover - defensive
+            logger.warning("could not read the cluster-run checkpoint index: %s", err)
+            return 0
+        if not index:
+            return 0
+        resumed = 0
+        with self._cond:
+            now = self._clock()
+            for run_id in index.get("runs", []):
+                if run_id in self._runs:
+                    continue
+                try:
+                    meta = self.store.get_json(CHECKPOINT_KIND, run_id)
+                except Exception as err:  # pragma: no cover - defensive
+                    logger.warning("checkpoint of %s unreadable: %s", run_id, err)
+                    continue
+                if not meta:
+                    continue
+                try:
+                    run = self._rebuild_run_locked(run_id, meta, now, GridRecord)
+                except (KeyError, ValueError, TypeError) as err:
+                    logger.warning("checkpoint of %s malformed, skipping: %s", run_id, err)
+                    continue
+                self._runs[run_id] = run
+                self.counters["runs_resumed"] += 1
+                resumed += 1
+                try:
+                    serial = int(run_id.rsplit("-", 1)[1])
+                except (IndexError, ValueError):
+                    serial = 0
+                self._serial = max(self._serial, serial)
+                logger.info(
+                    "cluster run %s resumed from checkpoint: %d/%d groups done, "
+                    "%d records replayed",
+                    run_id, run.done_count(), len(run.states), len(run.ready),
+                )
+            if resumed:
+                self._cond.notify_all()
+        return resumed
+
+    def _rebuild_run_locked(
+        self, run_id: str, meta: dict, now: float, record_cls
+    ) -> _ClusterRun:
+        plan = plan_from_wire(meta["plan"])
+        run = _ClusterRun(run_id, plan, dict(meta.get("config") or {}), now)
+        attempts = meta.get("attempts") or []
+        for index, count in enumerate(attempts[: len(run.attempts)]):
+            run.attempts[index] = int(count)
+        states = meta.get("states") or []
+        for index, state in enumerate(states[: len(run.states)]):
+            if state != _DONE:
+                continue
+            rows_payload = None
+            try:
+                rows_payload = self.store.get_json(
+                    CHECKPOINT_KIND, _group_key(run_id, index)
+                )
+            except Exception as err:  # pragma: no cover - defensive
+                logger.warning(
+                    "rows checkpoint of %s group %d unreadable: %s", run_id, index, err
+                )
+            if not rows_payload or "rows" not in rows_payload:
+                # The meta checkpoint said done but the rows are gone: the
+                # group falls back to pending and simply re-executes (the
+                # artifacts are still warm, so the re-run is cheap).
+                logger.warning(
+                    "rows of %s group %d missing; group returns to pending",
+                    run_id, index,
+                )
+                continue
+            records = [record_cls.from_row(row) for row in rows_payload["rows"]]
+            for record in records:
+                run.ready.extend(run.committer.push(record))
+            run.states[index] = _DONE
+            self.counters["records_replayed"] += len(records)
+        run.cancelled = bool(meta.get("cancelled", False))
+        run.failure = meta.get("failure")
+        run.completed = bool(meta.get("completed", False)) and all(
+            state is _DONE for state in run.states
+        )
+        if not run.active:
+            run.finished_at = now
+        return run
+
+    # -- drain -----------------------------------------------------------------
+
+    def drain(self, draining: bool = True) -> dict:
+        """Toggle drain mode: stop issuing leases, let in-flight work finish.
+
+        Heartbeats and completions are still accepted while draining, so
+        every outstanding lease can land its result; only *new* leases are
+        refused (workers get ``{"status": "drain"}`` and back off).  Returns
+        the same payload as :meth:`drain_status`.
+        """
+        with self._cond:
+            draining = bool(draining)
+            if draining and not self._draining:
+                self.counters["drains_started"] += 1
+                logger.info("cluster coordinator draining: no new leases")
+            elif not draining and self._draining:
+                logger.info("cluster coordinator drain lifted")
+            self._draining = draining
+            self._cond.notify_all()
+            return self._drain_status_locked()
+
+    def drain_status(self) -> dict:
+        with self._cond:
+            self._sweep_locked(self._clock())
+            return self._drain_status_locked()
+
+    def _drain_status_locked(self) -> dict:
+        return {
+            "draining": self._draining,
+            "leases_outstanding": len(self._leases),
+            "runs_active": sum(1 for run in self._runs.values() if run.active),
+            "drained": self._draining and not self._leases,
+        }
+
     # -- worker-facing API (the /cluster/* endpoints) --------------------------
 
     def lease(self, worker: str) -> dict:
@@ -259,14 +529,18 @@ class ClusterCoordinator:
 
         Returns a ``{"status": "lease", ...}`` payload carrying the group,
         the run's pipeline config and the TTL; ``{"status": "wait"}`` when
-        runs exist but every eligible group is leased or ancestry-gated; and
-        ``{"status": "idle"}`` when there is nothing to execute at all.
+        runs exist but every eligible group is leased or ancestry-gated
+        (after considering a speculative re-lease of a straggler);
+        ``{"status": "drain"}`` while draining; and ``{"status": "idle"}``
+        when there is nothing to execute at all.
         """
         worker = str(worker)
         with self._cond:
             now = self._clock()
-            self._expire_leases_locked(now)
+            self._sweep_locked(now)
             self._touch_worker_locked(worker, now)
+            if self._draining:
+                return {"status": "drain", "retry_after": min(5.0, self.lease_ttl)}
             any_active = False
             for run in self._runs.values():
                 if not run.active:
@@ -275,16 +549,18 @@ class ClusterCoordinator:
                 index = self._next_available_locked(run)
                 if index is None:
                     continue
-                lease_id = f"{run.run_id}-lease-{next(self._ids):04d}"
+                lease_id = f"{run.run_id}-lease-{self._next_serial_locked():04d}"
                 run.states[index] = _LEASED
                 run.attempts[index] += 1
                 if run.attempts[index] > 1:
                     self.counters["leases_reassigned"] += 1
                 self._leases[lease_id] = _Lease(
-                    lease_id, run.run_id, index, worker, now + self.lease_ttl
+                    lease_id, run.run_id, index, worker, now + self.lease_ttl,
+                    started_at=now,
                 )
                 self.counters["leases_issued"] += 1
                 self._workers[worker]["leases"] += 1
+                self._checkpoint_run_locked(run)
                 return {
                     "status": "lease",
                     "lease_id": lease_id,
@@ -295,6 +571,9 @@ class ClusterCoordinator:
                     "ttl": self.lease_ttl,
                 }
             if any_active:
+                speculative = self._speculative_lease_locked(worker, now)
+                if speculative is not None:
+                    return speculative
                 return {"status": "wait", "retry_after": min(1.0, self.lease_ttl / 4)}
             return {"status": "idle", "retry_after": min(5.0, self.lease_ttl)}
 
@@ -302,7 +581,7 @@ class ClusterCoordinator:
         """Extend a lease; ``{"status": "gone"}`` tells the worker it expired."""
         with self._cond:
             now = self._clock()
-            self._expire_leases_locked(now)
+            self._sweep_locked(now)
             self._touch_worker_locked(str(worker), now)
             lease = self._leases.get(lease_id)
             if lease is None or lease.worker != worker:
@@ -334,20 +613,24 @@ class ClusterCoordinator:
         worker = str(worker)
         with self._cond:
             now = self._clock()
-            self._expire_leases_locked(now)
+            self._sweep_locked(now)
             self._touch_worker_locked(worker, now)
-            lease = self._leases.pop(lease_id, None)
+            lease = self._leases.get(lease_id)
             if lease is not None and lease.worker == worker:
                 # Popping a lease must never strand its group: return it to
                 # the pending pool immediately (still under the lock), and
-                # let the success path below re-mark it done.  Without this,
-                # a completion whose run_id/group_index don't match its own
-                # lease (buggy or hostile worker) would leave the lease's
-                # real group _LEASED forever and wedge the run.
+                # let the success path below re-mark it done.
+                del self._leases[lease_id]
                 owner = self._runs.get(lease.run_id)
                 if owner is not None:
                     self._release_group_locked(owner, lease.group_index)
                     self._cond.notify_all()
+            else:
+                # A lease id the caller does not own stays where it is: a
+                # buggy or hostile worker quoting someone else's lease must
+                # not pop it out from under the real owner (that would leave
+                # the owner's group _LEASED with no lease to ever expire).
+                lease = None
             if stats is not None:
                 self._workers[worker]["reported"] = dict(stats)
             run = self._runs.get(run_id)
@@ -363,24 +646,26 @@ class ClusterCoordinator:
                 return {"status": "cancelled"}
             own_lease = (
                 lease is not None
-                and lease.worker == worker
                 and lease.run_id == run_id
                 and lease.group_index == index
             )
             if error is not None:
                 self._workers[worker]["failures"] += 1
-                if not own_lease:
+                if not own_lease or lease.speculative:
                     # A failure report from an expired/reassigned lease must
                     # not reset a group another worker is actively computing,
                     # nor consume the run's failure budget -- the current
-                    # owner is authoritative.
+                    # owner is authoritative.  A *speculative* failure is
+                    # equally non-authoritative: the primary lease lives on.
                     return {"status": "stale"}
                 self.counters["group_failures"] += 1
                 if run.attempts[index] >= self.max_attempts:
                     run.failure = (
                         f"group {index} failed after {run.attempts[index]} attempts: {error}"
                     )
+                    run.finished_at = now
                     self.counters["runs_failed"] += 1
+                    self._checkpoint_run_locked(run)
                     self._cond.notify_all()
                     return {"status": "failed"}
                 # The group already went back to pending when the lease was
@@ -424,50 +709,83 @@ class ClusterCoordinator:
             stats_row = self._workers[worker]
             stats_row["groups_completed"] += 1
             stats_row["cells_completed"] += len(records)
-            if lease is None or lease.worker != worker or lease.group_index != index:
+            if own_lease:
+                run.durations.append(max(now - lease.started_at, 0.0))
+            else:
                 self.counters["late_results"] += 1
             if all(state is _DONE for state in run.states):
                 run.completed = True
+                run.finished_at = now
                 self.counters["runs_completed"] += 1
                 logger.info("cluster run %s complete (%d cells)", run_id, run.plan.n_cells)
+            self._checkpoint_group_locked(run, index, rows)
+            self._checkpoint_run_locked(run)
             self._cond.notify_all()
             return {"status": "ok", "accepted": len(records)}
 
     # -- record consumption (the /grid NDJSON stream) --------------------------
 
-    def records(self, run_id: str, *, poll_interval: float = 0.5) -> Iterator["GridRecord"]:
+    def records(
+        self,
+        run_id: str,
+        *,
+        poll_interval: float = 0.5,
+        stop: threading.Event | None = None,
+    ) -> Iterator["GridRecord"]:
         """Yield a run's records in canonical order as workers commit them.
 
         Blocks while the run is in progress (waking every ``poll_interval``
         to sweep expired leases, so a crashed worker cannot stall a stream
         whose other workers have all gone quiet).  Raises
         :class:`ClusterRunFailed` when the run fails; ends silently when the
-        run is cancelled (the consumer initiated it).
+        run is cancelled (the consumer initiated it) or ``stop`` is set (a
+        detaching consumer that does *not* want to cancel the run).  While
+        a stream is attached the run is pinned against GC; when the last
+        consumer of a finished run detaches, the in-memory ``ready`` list
+        is released (the records stay recoverable from the checkpoint).
         """
+        with self._cond:
+            run = self._runs.get(run_id)
+            if run is None:
+                raise KeyError(f"unknown cluster run {run_id!r}")
+            if run.ready_dropped:
+                raise KeyError(
+                    f"records of finished run {run_id!r} were already released"
+                )
+            run.consumers += 1
         emitted = 0
-        while True:
+        try:
+            while True:
+                with self._cond:
+                    while (
+                        emitted >= len(run.ready)
+                        and run.active
+                        and not (stop is not None and stop.is_set())
+                    ):
+                        self._sweep_locked(self._clock())
+                        self._cond.wait(poll_interval)
+                    batch = run.ready[emitted:]
+                    failure = run.failure
+                    finished = not run.active
+                    stopped = stop is not None and stop.is_set()
+                for record in batch:
+                    emitted += 1
+                    yield record
+                if batch:
+                    continue
+                if stopped:
+                    return
+                if failure:
+                    raise ClusterRunFailed(failure)
+                if finished:
+                    return
+        finally:
             with self._cond:
-                run = self._runs.get(run_id)
-                if run is None:
-                    raise KeyError(f"unknown cluster run {run_id!r}")
-                while (
-                    emitted >= len(run.ready)
-                    and run.active
-                ):
-                    self._expire_leases_locked(self._clock())
-                    self._cond.wait(poll_interval)
-                batch = run.ready[emitted:]
-                failure = run.failure
-                finished = not run.active
-            for record in batch:
-                emitted += 1
-                yield record
-            if batch:
-                continue
-            if failure:
-                raise ClusterRunFailed(failure)
-            if finished:
-                return
+                run.consumers -= 1
+                if run.consumers == 0 and not run.active and not run.ready_dropped:
+                    run.ready_dropped = True
+                    self.counters["ready_records_dropped"] += len(run.ready)
+                    run.ready = []
 
     # -- observability ---------------------------------------------------------
 
@@ -487,16 +805,30 @@ class ClusterCoordinator:
                     "cells_per_second": round(row["cells_completed"] / active, 4),
                     "reported": row["reported"],
                 }
+            retired = dict(self._retired_workers)
+            fleet = {
+                "workers_live": len(workers),
+                "workers_evicted": retired["workers_evicted"],
+            }
+            for field in ("leases", "groups_completed", "cells_completed", "failures"):
+                fleet[field] = retired[field] + sum(w[field] for w in workers.values())
             return {
                 "counters": dict(self.counters),
                 "lease_ttl": self.lease_ttl,
+                "draining": self._draining,
                 "runs_active": sum(1 for run in self._runs.values() if run.active),
                 "leases_outstanding": len(self._leases),
                 "workers": workers,
+                "retired_workers": retired,
+                "fleet": fleet,
                 "runs": {run_id: run.summary() for run_id, run in self._runs.items()},
             }
 
     # -- internals (all hold self._cond) ---------------------------------------
+
+    def _next_serial_locked(self) -> int:
+        self._serial += 1
+        return self._serial
 
     def _touch_worker_locked(self, worker: str, now: float) -> None:
         row = self._workers.get(worker)
@@ -520,21 +852,118 @@ class ClusterCoordinator:
         ):
             run.states[index] = _PENDING
 
+    def _sweep_locked(self, now: float) -> None:
+        """One housekeeping pass: expiries, worker eviction, finished-run GC."""
+        self._expire_leases_locked(now)
+        self._evict_idle_workers_locked(now)
+        self._gc_finished_locked(now)
+
     def _expire_leases_locked(self, now: float) -> None:
         expired = [l for l in self._leases.values() if l.expires_at <= now]
         for lease in expired:
             del self._leases[lease.lease_id]
             self.counters["leases_expired"] += 1
             run = self._runs.get(lease.run_id)
-            if run is not None and run.states[lease.group_index] is _LEASED:
-                run.states[lease.group_index] = _PENDING
+            if run is not None:
+                # Via _release_group_locked, NOT an unconditional reset: when
+                # a second (speculative) lease on the group is still alive,
+                # its holder keeps working and the group must stay _LEASED --
+                # a third lease on an already-raced group would be waste.
+                self._release_group_locked(run, lease.group_index)
+                self._checkpoint_run_locked(run)
             logger.warning(
-                "lease %s (worker %s, group %d of %s) expired; group returned "
+                "lease %s (worker %s, group %d of %s%s) expired; group returned "
                 "to the pending pool",
                 lease.lease_id, lease.worker, lease.group_index, lease.run_id,
+                ", speculative" if lease.speculative else "",
             )
         if expired:
             self._cond.notify_all()
+
+    def _evict_idle_workers_locked(self, now: float) -> None:
+        if self.worker_ttl <= 0:
+            return
+        held = {lease.worker for lease in self._leases.values()}
+        idle = [
+            name
+            for name, row in self._workers.items()
+            if name not in held and now - row["last_seen"] >= self.worker_ttl
+        ]
+        for name in idle:
+            row = self._workers.pop(name)
+            retired = self._retired_workers
+            retired["workers_evicted"] += 1
+            for field in ("leases", "groups_completed", "cells_completed", "failures"):
+                retired[field] += row[field]
+            self.counters["workers_evicted"] += 1
+            logger.info(
+                "worker %s idle for %.0fs, evicted from the status table",
+                name, now - row["last_seen"],
+            )
+
+    def _speculative_lease_locked(self, worker: str, now: float) -> dict | None:
+        """A second lease on a straggling group, for an otherwise-idle worker.
+
+        A group qualifies when it is held by exactly one non-speculative
+        lease owned by a *different* worker, and that lease has been running
+        longer than ``speculation_factor`` times the
+        ``speculation_percentile`` duration of the run's completed leases
+        (needing at least ``speculation_min_done`` samples).  The attempt
+        counter is untouched: speculation is a hedge, not a retry.
+        """
+        if self.speculation_factor <= 0:
+            return None
+        for run in self._runs.values():
+            if not run.active or len(run.durations) < self.speculation_min_done:
+                continue
+            durations = sorted(run.durations)
+            position = min(
+                len(durations) - 1,
+                int(self.speculation_percentile * len(durations)),
+            )
+            threshold = self.speculation_factor * durations[position]
+            for index, state in enumerate(run.states):
+                if state is not _LEASED:
+                    continue
+                live = [
+                    lease
+                    for lease in self._leases.values()
+                    if lease.run_id == run.run_id and lease.group_index == index
+                ]
+                if len(live) != 1:
+                    continue
+                (current,) = live
+                if (
+                    current.speculative
+                    or current.worker == worker
+                    or now - current.started_at < threshold
+                ):
+                    continue
+                lease_id = f"{run.run_id}-lease-{self._next_serial_locked():04d}"
+                self._leases[lease_id] = _Lease(
+                    lease_id, run.run_id, index, worker, now + self.lease_ttl,
+                    started_at=now, speculative=True,
+                )
+                self.counters["leases_issued"] += 1
+                self.counters["leases_speculative"] += 1
+                self._workers[worker]["leases"] += 1
+                logger.info(
+                    "speculative lease %s: group %d of %s re-leased to %s "
+                    "(straggling on %s for %.1fs, threshold %.1fs)",
+                    lease_id, index, run.run_id, worker, current.worker,
+                    now - current.started_at, threshold,
+                )
+                return {
+                    "status": "lease",
+                    "lease_id": lease_id,
+                    "run_id": run.run_id,
+                    "group_index": index,
+                    "group": group_wire_payload(run.plan.groups[index]),
+                    "config": run.config_payload,
+                    "ttl": self.lease_ttl,
+                    "speculative": True,
+                }
+        return None
 
     def _next_available_locked(self, run: _ClusterRun) -> int | None:
         """The first leasable group index of a run, honouring ancestry gates."""
@@ -567,8 +996,106 @@ class ClusterCoordinator:
             claimed.add(ancestry)
         return None
 
-    def _evict_finished_locked(self) -> None:
-        finished = [rid for rid, run in self._runs.items() if not run.active]
-        while len(finished) > _MAX_FINISHED_RUNS:
-            oldest = finished.pop(0)
-            del self._runs[oldest]
+    def _gc_finished_locked(self, now: float) -> None:
+        """Age-based GC of finished runs and their checkpoints.
+
+        A finished run lingers for ``run_gc_age`` seconds so late status
+        queries and re-attaching streams still find it, then both the
+        in-memory state and the store checkpoints go.  Runs with attached
+        consumers are pinned.  ``_MAX_FINISHED_RUNS`` stays as a count
+        backstop against burst submission on a quiet coordinator.
+        """
+        removed = False
+        collectable = [
+            (run_id, run)
+            for run_id, run in self._runs.items()
+            if not run.active and run.consumers == 0
+        ]
+        if self.run_gc_age > 0:
+            for run_id, run in collectable:
+                finished_at = run.finished_at if run.finished_at is not None else run.created_at
+                if now - finished_at >= self.run_gc_age:
+                    del self._runs[run_id]
+                    self._delete_checkpoints_locked(run)
+                    self.counters["runs_gced"] += 1
+                    removed = True
+                    logger.info("cluster run %s GC'd after %.0fs", run_id, now - finished_at)
+        remaining = [
+            run_id
+            for run_id, run in self._runs.items()
+            if not run.active and run.consumers == 0
+        ]
+        while len(remaining) > _MAX_FINISHED_RUNS:
+            run_id = remaining.pop(0)
+            run = self._runs.pop(run_id)
+            self._delete_checkpoints_locked(run)
+            self.counters["runs_gced"] += 1
+            removed = True
+        if removed:
+            self._checkpoint_index_locked()
+
+    # -- checkpointing (all hold self._cond; never raises) ---------------------
+
+    def _checkpoint_index_locked(self) -> None:
+        if self.store is None:
+            return
+        try:
+            self.store.put_json(CHECKPOINT_KIND, _INDEX_KEY, {"runs": list(self._runs)})
+            self.counters["checkpoints_written"] += 1
+        except Exception as err:  # pragma: no cover - defensive
+            logger.warning("cluster-run index checkpoint failed: %s", err)
+
+    def _checkpoint_run_locked(self, run: _ClusterRun) -> None:
+        if self.store is None:
+            return
+        payload = {
+            "run_id": run.run_id,
+            "plan": plan_wire_payload(run.plan),
+            "config": run.config_payload,
+            # A _LEASED group checkpoints as pending: after a restart its
+            # lease is gone, so the group must re-lease either way.
+            "states": [_DONE if s is _DONE else _PENDING for s in run.states],
+            "attempts": list(run.attempts),
+            "completed": run.completed,
+            "cancelled": run.cancelled,
+            "failure": run.failure,
+            "counters": {
+                "committed": run.committer.committed,
+                "remaining": run.committer.remaining,
+            },
+        }
+        try:
+            self.store.put_json(CHECKPOINT_KIND, run.run_id, payload)
+            self.counters["checkpoints_written"] += 1
+        except Exception as err:  # pragma: no cover - defensive
+            logger.warning("checkpoint of cluster run %s failed: %s", run.run_id, err)
+
+    def _checkpoint_group_locked(self, run: _ClusterRun, index: int, rows: list[dict]) -> None:
+        if self.store is None:
+            return
+        try:
+            self.store.put_json(
+                CHECKPOINT_KIND, _group_key(run.run_id, index), {"rows": rows}
+            )
+            self.counters["checkpoints_written"] += 1
+        except Exception as err:  # pragma: no cover - defensive
+            logger.warning(
+                "rows checkpoint of %s group %d failed: %s", run.run_id, index, err
+            )
+
+    def _delete_checkpoints_locked(self, run: _ClusterRun) -> None:
+        if self.store is None:
+            return
+        names = [run.run_id + ".json"]
+        names.extend(
+            _group_key(run.run_id, index) + ".json" for index in range(len(run.states))
+        )
+        for name in names:
+            try:
+                self.store.delete_bytes(CHECKPOINT_KIND, name)
+            except Exception as err:  # pragma: no cover - defensive
+                logger.warning("checkpoint delete of %s/%s failed: %s", CHECKPOINT_KIND, name, err)
+
+
+def _group_key(run_id: str, index: int) -> str:
+    return f"{run_id}-group-{index:04d}"

@@ -33,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import random
 import socket
 import sys
 import threading
@@ -62,6 +63,27 @@ class CoordinatorClient:
         self.url = url
         self.timeout = float(timeout)
         self._local = threading.local()
+        # Every open connection, across all threads.  Connections are
+        # per-thread (http.client is not thread-safe) but abort() must reach
+        # them from *outside* their owning thread -- e.g. the worker closing
+        # a heartbeat thread's socket so its blocked send fails fast.
+        self._conns_lock = threading.Lock()
+        self._conns: set = set()
+
+    def abort(self) -> None:
+        """Close every open connection, unblocking threads stuck in I/O.
+
+        Safe to call from any thread: ``http.client`` transparently reopens
+        a closed connection on the next request, so surviving threads just
+        pay one reconnect.
+        """
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
 
     def _post(self, path: str, payload: dict) -> dict:
         """POST one JSON payload; reconnects once on a stale keep-alive."""
@@ -73,6 +95,8 @@ class CoordinatorClient:
                 conn, base = open_json_connection(self.url, self.timeout)
                 self._local.conn = conn
                 self._local.base = base
+                with self._conns_lock:
+                    self._conns.add(conn)
             try:
                 conn.request(
                     "POST", f"{self._local.base}{path}", body=body,
@@ -91,6 +115,8 @@ class CoordinatorClient:
                     conn.close()
                 except OSError:  # pragma: no cover - best effort
                     pass
+                with self._conns_lock:
+                    self._conns.discard(conn)
                 self._local.conn = None
                 last_error = error
         raise ConnectionError(f"coordinator {self.url} unreachable: {last_error}")
@@ -139,7 +165,8 @@ class ClusterWorker:
         Optional local disk tier under the remote tier; gives the worker
         warm restarts in addition to the cluster-wide store.
     poll_interval:
-        Idle sleep between lease polls when the coordinator has no work.
+        Baseline sleep between lease polls when the coordinator has no work
+        (also the backoff floor).
     max_idle:
         Stop after this many consecutive idle seconds (``None`` = run until
         :meth:`stop`); how CI and tests bound a worker's lifetime.
@@ -152,6 +179,24 @@ class ClusterWorker:
         Warm pipelines kept alive at once (LRU by use).  A long-lived worker
         serving many distinct configurations would otherwise pin a corpus,
         datasets, store and replication thread per config forever.
+    backoff_max:
+        Cap on the exponential backoff applied to consecutive
+        ``ConnectionError`` polls.  Each failure doubles the sleep from
+        ``poll_interval`` up to this cap, jittered by a uniform 50-100%
+        factor so a fleet that lost its coordinator together does not
+        rejoin as a thundering herd; one success resets the sequence.
+    idle_backoff_max:
+        Cap on the sleep honoured from the coordinator's ``retry_after``
+        hint on idle/wait/drain answers (jittered like the failure
+        backoff).  Kept small so a worker notices freshly submitted work
+        quickly.
+    heartbeat_join_timeout:
+        Bound on waiting for the heartbeat thread after a group finishes;
+        past it the client connections are aborted (failing the thread's
+        blocked send) and the join retried, so a stuck socket cannot make
+        a heartbeat outlive its lease.
+    rng:
+        Injectable ``random.Random`` for the jitter (deterministic tests).
     """
 
     def __init__(
@@ -165,9 +210,15 @@ class ClusterWorker:
         client: CoordinatorClient | None = None,
         flush_timeout: float = 120.0,
         max_pipelines: int = 4,
+        backoff_max: float = 30.0,
+        idle_backoff_max: float = 2.0,
+        heartbeat_join_timeout: float = 5.0,
+        rng: random.Random | None = None,
     ) -> None:
         if max_pipelines < 1:
             raise ValueError(f"max_pipelines must be >= 1, got {max_pipelines}")
+        if backoff_max <= 0:
+            raise ValueError(f"backoff_max must be positive, got {backoff_max}")
         self.coordinator_url = coordinator_url
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
         self.cache_dir = cache_dir
@@ -175,6 +226,12 @@ class ClusterWorker:
         self.max_idle = max_idle
         self.flush_timeout = float(flush_timeout)
         self.max_pipelines = int(max_pipelines)
+        self.backoff_max = float(backoff_max)
+        self.idle_backoff_max = float(idle_backoff_max)
+        self.heartbeat_join_timeout = float(heartbeat_join_timeout)
+        self._rng = rng or random.Random()
+        #: Consecutive ConnectionError polls, driving the backoff exponent.
+        self._failures = 0
         self.client = client or CoordinatorClient(coordinator_url)
         self._pipelines: "OrderedDict[str, InstabilityPipeline]" = OrderedDict()
         self._stop = threading.Event()
@@ -283,7 +340,22 @@ class ClusterWorker:
             error = f"{type(failure).__name__}: {failure}"
         finally:
             done.set()
-            beat.join(timeout=5.0)
+            beat.join(timeout=self.heartbeat_join_timeout)
+            if beat.is_alive():
+                # The thread is stuck in a slow HTTP send; ignoring it would
+                # let a zombie heartbeat outlive this lease and beat against
+                # the next one's log context.  Abort the client's connections
+                # (the blocked send fails immediately, the loop sees done and
+                # exits) and give the join one more bounded chance.
+                abort = getattr(self.client, "abort", None)
+                if abort is not None:
+                    abort()
+                beat.join(timeout=self.heartbeat_join_timeout)
+                if beat.is_alive():
+                    logger.warning(
+                        "heartbeat thread of lease %s still alive after abort; "
+                        "abandoning it (daemon)", lease["lease_id"],
+                    )
         if error is None:
             # Replication barrier: artifacts must reach the coordinator before
             # the group is reported done, so ancestry-gated dependants always
@@ -323,20 +395,56 @@ class ClusterWorker:
 
     def step(self) -> bool:
         """One poll: execute a lease if one is available; True when work ran."""
+        worked, _ = self._poll()
+        return worked
+
+    def _poll(self) -> tuple[bool, float]:
+        """One poll returning (work ran, seconds to sleep before the next).
+
+        A successful poll -- lease executed, or a clean idle/wait/drain
+        answer -- resets the failure backoff; the idle sleep then honours
+        the coordinator's ``retry_after`` hint (jittered, capped at
+        ``idle_backoff_max``).  A ``ConnectionError`` escalates the failure
+        backoff instead.  Exceptions propagate to :meth:`run`.
+        """
         answer = self.client.lease(self.worker_id)
-        if answer.get("status") != "lease":
-            return False
-        self._execute_lease(answer)
-        return True
+        self._failures = 0
+        if answer.get("status") == "lease":
+            self._execute_lease(answer)
+            return True, 0.0
+        return False, self._idle_delay(answer.get("retry_after"))
+
+    def _backoff_delay(self, failures: int) -> float:
+        """Exponential backoff with jitter for ``failures`` consecutive errors."""
+        base = max(self.poll_interval, 0.05)
+        delay = min(self.backoff_max, base * (2.0 ** max(failures - 1, 0)))
+        return delay * (0.5 + 0.5 * self._rng.random())
+
+    def _idle_delay(self, retry_after: float | None) -> float:
+        """Sleep honoured on an idle/wait/drain answer, jittered and capped."""
+        ceiling = max(self.poll_interval, self.idle_backoff_max)
+        hint = self.poll_interval if retry_after is None else float(retry_after)
+        delay = min(max(hint, self.poll_interval), ceiling)
+        return delay * (0.5 + 0.5 * self._rng.random())
+
+    def _sleep(self, seconds: float) -> None:
+        """Interruptible sleep (a single point tests can observe/neutralise)."""
+        if seconds > 0:
+            self._stop.wait(seconds)
 
     def run(self) -> None:
         """Poll until :meth:`stop` (or ``max_idle`` seconds without work)."""
         idle_since: float | None = None
         while not self._stop.is_set():
             try:
-                worked = self.step()
+                worked, delay = self._poll()
             except ConnectionError as error:
-                logger.warning("coordinator unreachable: %s", error)
+                self._failures += 1
+                delay = self._backoff_delay(self._failures)
+                logger.warning(
+                    "coordinator unreachable (%d in a row, next poll in %.2fs): %s",
+                    self._failures, delay, error,
+                )
                 worked = False
             if worked:
                 idle_since = None
@@ -349,7 +457,7 @@ class ClusterWorker:
                     "worker %s idle for %.0fs; exiting", self.worker_id, self.max_idle
                 )
                 return
-            self._stop.wait(self.poll_interval)
+            self._sleep(delay)
 
     def stop(self) -> None:
         self._stop.set()
@@ -378,6 +486,10 @@ def main(argv: list[str] | None = None) -> int:
         "--max-idle", type=float, default=None,
         help="exit after this many consecutive idle seconds (default: run forever)",
     )
+    parser.add_argument(
+        "--backoff-max", type=float, default=30.0,
+        help="cap (seconds) on the exponential backoff after coordinator outages",
+    )
     args = parser.parse_args(argv)
     configure_logging()
     worker = ClusterWorker(
@@ -386,6 +498,7 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=args.cache_dir,
         poll_interval=args.poll_interval,
         max_idle=args.max_idle,
+        backoff_max=args.backoff_max,
     )
     print(f"repro-worker {worker.worker_id} polling {args.coordinator}", flush=True)
     try:

@@ -43,7 +43,9 @@ def stats(
     ``caches`` maps display names to
     :class:`~repro.measures.base.DecompositionCache` instances (e.g. a
     serving process's long-lived cache); ``coordinator`` adds a cluster
-    section (leases issued/expired/reassigned, per-worker throughput).
+    section (leases issued/expired/reassigned/speculative, checkpoint and
+    resume counters, drain state, per-worker throughput plus the monotonic
+    ``fleet`` aggregates that survive idle-worker eviction).
 
     The snapshot always contains the keys ``store``, ``pipeline``,
     ``decomposition_caches``, ``warmup`` and ``cluster`` (empty/None when the

@@ -130,6 +130,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--host", default="127.0.0.1", help="bind address for --serve")
     parser.add_argument("--port", type=int, default=8732, help="port for --serve (0 = ephemeral)")
+    parser.add_argument(
+        "--resume-runs", action="store_true",
+        help="with --serve: rebuild cluster runs from store checkpoints at boot",
+    )
     args = parser.parse_args(argv)
     if args.store_shards is not None and args.cache_dir is None:
         parser.error("--store-shards requires --cache-dir (it shards the local store)")
@@ -155,6 +159,8 @@ def main(argv: list[str] | None = None) -> int:
             serve_argv += ["--kernel-policy", args.kernel_policy]
         if args.dtype is not None:
             serve_argv += ["--dtype", args.dtype]
+        if args.resume_runs:
+            serve_argv += ["--resume-runs"]
         return serve_main(serve_argv)
 
     names = sorted(EXPERIMENTS) if args.all else ([args.experiment] if args.experiment else [])

@@ -18,7 +18,11 @@ Endpoints (GET query parameters and/or a JSON request body; body wins):
 * ``POST /cluster/lease|heartbeat|complete``, ``GET /cluster/status`` -- the
   cluster coordinator's worker-facing API (see
   :mod:`repro.cluster.coordinator`): any running instance can lease grid
-  cell groups to pull-based workers.
+  cell groups to pull-based workers.  ``GET|POST /cluster/drain`` toggles
+  and reports drain mode (no new leases; in-flight work finishes), and
+  ``/grid?distributed=true&run_id=...`` re-attaches to an existing run's
+  record stream (e.g. one resumed from checkpoints after a restart with
+  ``--resume-runs``).
 * ``GET|PUT|HEAD|DELETE /artifacts/<kind>/<name>`` -- raw byte access to the
   service's artifact store, so **any running instance is a remote storage
   tier** for other nodes (see
@@ -283,6 +287,7 @@ class StabilityAPIServer:
             "/cluster/heartbeat": self._handle_cluster_heartbeat,
             "/cluster/complete": self._handle_cluster_complete,
             "/cluster/status": self._handle_cluster_status,
+            "/cluster/drain": self._handle_cluster_drain,
         }
 
     # -- lifecycle -------------------------------------------------------------
@@ -645,6 +650,15 @@ class StabilityAPIServer:
             return status
         return self.service.coordinator.snapshot()
 
+    async def _handle_cluster_drain(self, request: _Request) -> dict:
+        # GET reports; POST toggles (default: start draining).  ``enable``
+        # lifts a drain again with enable=false.
+        if request.method == "GET":
+            return self.service.coordinator.drain_status()
+        return self.service.coordinator.drain(
+            _bool_param(request.params, "enable", True)
+        )
+
     # -- streaming /grid ---------------------------------------------------------
 
     async def _handle_grid_stream(
@@ -679,6 +693,7 @@ class StabilityAPIServer:
                 "model_type": str(params.get("model_type", "bow")),
                 "distributed": _bool_param(params, "distributed", False),
                 "config": config,
+                "run_id": str(params["run_id"]) if params.get("run_id") else None,
             }
             # grid_iter validates axes eagerly, so a bad request is rejected
             # with a clean 400 *before* the streaming 200 is committed.
@@ -820,9 +835,13 @@ async def _serve(args: argparse.Namespace) -> int:
         store=store,
         config=ServiceConfig(
             max_concurrency=args.max_concurrency, grid_workers=args.workers,
-            lease_ttl=args.lease_ttl,
+            lease_ttl=args.lease_ttl, run_gc_age=args.run_gc_age,
+            worker_ttl=args.worker_ttl,
         ),
     )
+    if args.resume_runs:
+        resumed = service.coordinator.resume_runs()
+        print(f"repro-serve resumed {resumed} cluster run(s) from checkpoints", flush=True)
     server = StabilityAPIServer(
         service, host=args.host, port=args.port,
         request_timeout=args.request_timeout if args.request_timeout > 0 else None,
@@ -894,6 +913,22 @@ def main(argv: list[str] | None = None) -> int:
         "--lease-ttl", type=float, default=60.0,
         help="seconds a cluster lease survives without a worker heartbeat "
              "before its cell group is re-leased",
+    )
+    parser.add_argument(
+        "--resume-runs", action="store_true",
+        help="rebuild cluster runs from store checkpoints at boot (needs a "
+             "persistent --cache-dir; unfinished groups re-lease, committed "
+             "records replay)",
+    )
+    parser.add_argument(
+        "--run-gc-age", type=float, default=3600.0,
+        help="seconds a finished cluster run (and its checkpoints) is kept "
+             "before age GC (0 disables)",
+    )
+    parser.add_argument(
+        "--worker-ttl", type=float, default=300.0,
+        help="seconds of silence before an idle cluster worker is evicted "
+             "from the status table (0 disables)",
     )
     parser.add_argument(
         "--kernel-policy", choices=SVD_METHODS, default=None,

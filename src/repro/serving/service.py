@@ -84,12 +84,25 @@ class ServiceConfig:
     #: Seconds a cluster lease survives without a heartbeat (see
     #: :class:`~repro.cluster.coordinator.ClusterCoordinator`).
     lease_ttl: float = 60.0
+    #: Seconds a finished cluster run (and its checkpoints) is retained
+    #: before age GC; 0 disables age GC.
+    run_gc_age: float = 3600.0
+    #: Seconds of silence before an idle cluster worker is evicted from the
+    #: status table; 0 disables eviction.
+    worker_ttl: float = 300.0
+    #: Straggler threshold multiplier for speculative re-leases; 0 disables
+    #: speculation.
+    speculation_factor: float = 2.0
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
             raise ValueError(f"max_concurrency must be >= 1, got {self.max_concurrency}")
         if self.lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be positive, got {self.lease_ttl}")
+        if self.run_gc_age < 0:
+            raise ValueError(f"run_gc_age must be >= 0, got {self.run_gc_age}")
+        if self.worker_ttl < 0:
+            raise ValueError(f"worker_ttl must be >= 0, got {self.worker_ttl}")
 
 
 class StabilityService:
@@ -129,10 +142,17 @@ class StabilityService:
         self.started_at = time.time()
         #: Every repro-serve instance is also a cluster coordinator: grids
         #: submitted with ``distributed=true`` are leased to the
-        #: ``repro-worker`` fleet instead of executed in-process.
+        #: ``repro-worker`` fleet instead of executed in-process.  It shares
+        #: the service's artifact store, so run checkpoints live next to the
+        #: artifacts they describe -- a disk-backed store makes runs survive
+        #: a coordinator restart (``repro-serve --resume-runs``).
         self.coordinator = ClusterCoordinator(
             default_config=config_wire_payload(self.pipeline.config),
             lease_ttl=self.config.lease_ttl,
+            store=self.pipeline.store,
+            run_gc_age=self.config.run_gc_age,
+            worker_ttl=self.config.worker_ttl,
+            speculation_factor=self.config.speculation_factor,
         )
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.max_concurrency, thread_name_prefix="stability"
@@ -349,6 +369,7 @@ class StabilityService:
         model_type: str = "bow",
         distributed: bool = False,
         config: dict | None = None,
+        run_id: str | None = None,
     ) -> Iterator[GridRecord]:
         """Stream grid records as cells complete (see ``GridEngine.run_iter``).
 
@@ -366,7 +387,24 @@ class StabilityService:
         default to *that* configuration.  The iterator's ``close()`` is
         thread-safe and cancels the underlying run, so an abandoned stream
         stops consuming the cluster.
+
+        ``run_id`` *attaches* to an existing distributed run instead of
+        submitting a new one -- the stream replays the run's records from
+        the beginning (canonical order) and follows it to completion.  How
+        a consumer picks a resumed run back up after a coordinator restart;
+        detaching from an attached stream does **not** cancel the run.
         """
+        if run_id is not None:
+            if not distributed:
+                raise ValueError("'run_id' requires distributed=true")
+            if self.coordinator.run_status(run_id) is None:
+                raise KeyError(f"unknown cluster run {run_id!r}")
+            self._count("requests_grid")
+            stop = threading.Event()
+            return _CancellableStream(
+                self._stream_cluster(run_id, stop=stop, cancel_on_exit=False),
+                cancel=stop.set,
+            )
         run_config = self.pipeline.config
         config_payload = None
         if config is not None:
@@ -455,14 +493,25 @@ class StabilityService:
         finally:
             self._count("grids_inflight", -1)
 
-    def _stream_cluster(self, run_id: str) -> Iterator[GridRecord]:
+    def _stream_cluster(
+        self,
+        run_id: str,
+        *,
+        stop: threading.Event | None = None,
+        cancel_on_exit: bool = True,
+    ) -> Iterator[GridRecord]:
         self._count("grids_inflight")
         try:
-            for record in self.coordinator.records(run_id):
+            for record in self.coordinator.records(run_id, stop=stop):
                 self._count("records_streamed")
                 yield record
         except GeneratorExit:
-            self._cancel_cluster_run(run_id)
+            # An attached stream (cancel_on_exit=False) only detaches: the
+            # run belongs to its original submitter, not to this reader.
+            if cancel_on_exit:
+                self._cancel_cluster_run(run_id)
+            elif stop is not None:
+                stop.set()
             raise
         finally:
             self._count("grids_inflight", -1)

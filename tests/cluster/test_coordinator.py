@@ -407,3 +407,262 @@ class TestRecordsStream:
         run = snapshot["runs"][run_id]
         assert run["done"] == 1 and run["groups"] == 2
         assert json.dumps(snapshot)              # JSON-able end to end
+
+
+class TestLeaseHygiene:
+    def test_foreign_lease_id_cannot_unseat_the_owner(self):
+        # A worker quoting someone ELSE's lease_id must not pop that lease:
+        # under the old code the owner's lease vanished while its group
+        # stayed leased, with no lease left to ever expire -- a wedged run.
+        coordinator = make_coordinator()
+        plan = make_plan()
+        run_id = coordinator.create_run(plan)
+        lease = coordinator.lease("w1")
+        hostile = coordinator.complete(
+            "w2", lease["lease_id"], run_id, lease["group_index"], []
+        )
+        assert hostile["status"] == "rejected"
+        # The owner's lease survived the hijack attempt...
+        assert coordinator.heartbeat("w1", lease["lease_id"])["status"] == "ok"
+        # ...and the owner completes normally, not as a late result.
+        assert coordinator.complete(
+            "w1", lease["lease_id"], run_id, lease["group_index"],
+            rows_for_group(plan, lease["group_index"]),
+        )["status"] == "ok"
+        assert coordinator.counters["late_results"] == 0
+
+
+class TestDrain:
+    def test_drain_refuses_new_leases_but_lands_inflight_work(self):
+        coordinator = make_coordinator()
+        plan = make_plan(with_measures=False)
+        run_id = coordinator.create_run(plan)
+        lease = coordinator.lease("w1")
+        status = coordinator.drain()
+        assert status["draining"] is True
+        assert status["drained"] is False            # w1's lease is in flight
+        assert coordinator.lease("w2")["status"] == "drain"
+        # The in-flight lease still heartbeats and completes.
+        assert coordinator.heartbeat("w1", lease["lease_id"])["status"] == "ok"
+        assert coordinator.complete(
+            "w1", lease["lease_id"], run_id, lease["group_index"],
+            rows_for_group(plan, lease["group_index"]),
+        )["status"] == "ok"
+        assert coordinator.drain_status()["drained"] is True
+        assert coordinator.counters["drains_started"] == 1
+        # Lifting the drain resumes leasing where it left off.
+        assert coordinator.drain(False)["draining"] is False
+        assert coordinator.lease("w2")["status"] == "lease"
+
+    def test_drain_is_visible_in_the_snapshot(self):
+        coordinator = make_coordinator()
+        coordinator.drain()
+        assert coordinator.snapshot()["draining"] is True
+
+
+class TestSpeculation:
+    def _run_with_straggler(self, clock, coordinator):
+        """Four no-measure groups: three complete in 2s, one straggles."""
+        plan = make_plan(seeds=(0, 1), with_measures=False)
+        run_id = coordinator.create_run(plan)
+        leases = [coordinator.lease(f"w{i}") for i in range(4)]
+        assert all(l["status"] == "lease" for l in leases)
+        clock.advance(2.0)
+        for i, lease in enumerate(leases[:3]):
+            assert coordinator.complete(
+                f"w{i}", lease["lease_id"], run_id,
+                lease["group_index"], rows_for_group(plan, lease["group_index"]),
+            )["status"] == "ok"
+        return plan, run_id, leases[3]
+
+    def test_straggler_gets_a_second_lease_without_consuming_attempts(self):
+        clock = FakeClock()
+        coordinator = make_coordinator(clock, lease_ttl=60.0)
+        plan, run_id, straggler = self._run_with_straggler(clock, coordinator)
+        # Sibling durations are all 2s; the threshold is 2.0 * 2s = 4s.  At
+        # 2s of runtime the straggler is not yet speculation-worthy.
+        assert coordinator.lease("spare")["status"] == "wait"
+        coordinator.heartbeat("w3", straggler["lease_id"])
+        clock.advance(3.0)                           # 5s of runtime > 4s
+        speculative = coordinator.lease("spare")
+        assert speculative["status"] == "lease"
+        assert speculative.get("speculative") is True
+        assert speculative["group_index"] == straggler["group_index"]
+        assert coordinator.counters["leases_speculative"] == 1
+        # Speculation is a hedge, not a retry: the attempt budget is intact
+        # and no reassignment was counted.
+        status = coordinator.run_status(run_id)
+        assert status["leased"] == 1
+        assert coordinator.counters["leases_reassigned"] == 0
+        # Only one speculative copy at a time.
+        assert coordinator.lease("spare2")["status"] == "wait"
+        # First result commits; the loser is a duplicate, not a failure.
+        assert coordinator.complete(
+            "spare", speculative["lease_id"], run_id, speculative["group_index"],
+            rows_for_group(plan, speculative["group_index"]),
+        )["status"] == "ok"
+        assert coordinator.complete(
+            "w3", straggler["lease_id"], run_id, straggler["group_index"],
+            rows_for_group(plan, straggler["group_index"]),
+        )["status"] == "duplicate"
+        assert coordinator.run_status(run_id)["completed"] is True
+        assert coordinator.counters["group_failures"] == 0
+
+    def test_speculative_failure_is_stale_and_spares_the_primary(self):
+        clock = FakeClock()
+        coordinator = make_coordinator(clock, lease_ttl=60.0, max_attempts=1)
+        plan, run_id, straggler = self._run_with_straggler(clock, coordinator)
+        coordinator.heartbeat("w3", straggler["lease_id"])
+        clock.advance(5.0)
+        speculative = coordinator.lease("spare")
+        assert speculative["status"] == "lease" and speculative.get("speculative")
+        # The speculative copy blows up -- with max_attempts=1 an authoritative
+        # failure would kill the run; a speculative one must not.
+        answer = coordinator.complete(
+            "spare", speculative["lease_id"], run_id,
+            speculative["group_index"], error="spec boom",
+        )
+        assert answer["status"] == "stale"
+        assert coordinator.counters["group_failures"] == 0
+        assert coordinator.run_status(run_id)["failure"] is None
+        # The primary still owns the group and finishes the run.
+        assert coordinator.complete(
+            "w3", straggler["lease_id"], run_id, straggler["group_index"],
+            rows_for_group(plan, straggler["group_index"]),
+        )["status"] == "ok"
+        assert coordinator.run_status(run_id)["completed"] is True
+
+    def test_expired_speculative_lease_does_not_release_a_held_group(self):
+        clock = FakeClock()
+        coordinator = make_coordinator(clock, lease_ttl=10.0)
+        plan, run_id, straggler = self._run_with_straggler(clock, coordinator)
+        coordinator.heartbeat("w3", straggler["lease_id"])
+        clock.advance(5.0)
+        coordinator.heartbeat("w3", straggler["lease_id"])
+        speculative = coordinator.lease("spare")
+        assert speculative["status"] == "lease" and speculative.get("speculative")
+        # The speculative worker dies; the primary keeps heartbeating.  When
+        # the speculative lease expires the group must stay leased to the
+        # primary -- releasing it would hand a THIRD copy to the next poller.
+        clock.advance(8.0)
+        coordinator.heartbeat("w3", straggler["lease_id"])
+        clock.advance(3.0)                           # spec lease now expired
+        coordinator.heartbeat("w3", straggler["lease_id"])
+        assert coordinator.counters["leases_expired"] == 1
+        assert coordinator.run_status(run_id)["pending"] == 0
+        assert coordinator.complete(
+            "w3", straggler["lease_id"], run_id, straggler["group_index"],
+            rows_for_group(plan, straggler["group_index"]),
+        )["status"] == "ok"
+
+    def test_speculation_disabled_with_zero_factor(self):
+        clock = FakeClock()
+        coordinator = make_coordinator(clock, lease_ttl=60.0, speculation_factor=0.0)
+        plan, run_id, straggler = self._run_with_straggler(clock, coordinator)
+        for _ in range(4):                           # 200s of runtime, renewed
+            coordinator.heartbeat("w3", straggler["lease_id"])
+            clock.advance(50.0)
+        coordinator.heartbeat("w3", straggler["lease_id"])
+        assert coordinator.lease("spare")["status"] == "wait"
+        assert coordinator.counters["leases_speculative"] == 0
+
+
+class TestWorkerEviction:
+    def test_idle_worker_is_evicted_and_fleet_totals_stay_monotonic(self):
+        clock = FakeClock()
+        coordinator = make_coordinator(clock, worker_ttl=100.0)
+        plan = make_plan(with_measures=False)
+        run_id = coordinator.create_run(plan)
+        lease = coordinator.lease("old")
+        coordinator.complete(
+            "old", lease["lease_id"], run_id, lease["group_index"],
+            rows_for_group(plan, lease["group_index"]),
+        )
+        before = coordinator.snapshot()["fleet"]
+        assert before["cells_completed"] == 2 and before["workers_live"] == 1
+        clock.advance(101.0)
+        coordinator.lease("fresh")                   # any request sweeps
+        snapshot = coordinator.snapshot()
+        assert "old" not in snapshot["workers"]
+        assert coordinator.counters["workers_evicted"] == 1
+        # The evicted worker's work retired into the monotonic aggregates.
+        assert snapshot["retired_workers"]["cells_completed"] == 2
+        fleet = snapshot["fleet"]
+        assert fleet["cells_completed"] == before["cells_completed"]
+        assert fleet["leases"] >= before["leases"]
+        assert fleet["workers_evicted"] == 1
+
+    def test_worker_holding_a_lease_is_never_evicted(self):
+        clock = FakeClock()
+        coordinator = make_coordinator(clock, worker_ttl=5.0, lease_ttl=100.0)
+        coordinator.create_run(make_plan(with_measures=False))
+        lease = coordinator.lease("busy")
+        clock.advance(50.0)
+        coordinator.heartbeat("busy", lease["lease_id"])
+        assert "busy" in coordinator.snapshot()["workers"]
+        assert coordinator.counters["workers_evicted"] == 0
+
+    def test_eviction_disabled_with_zero_ttl(self):
+        clock = FakeClock()
+        coordinator = make_coordinator(clock, worker_ttl=0.0)
+        coordinator.lease("w1")                      # registers the worker
+        clock.advance(1e6)
+        coordinator.lease("w2")
+        assert "w1" in coordinator.snapshot()["workers"]
+
+
+class TestRunGC:
+    def _finish_run(self, coordinator, plan, run_id):
+        while True:
+            lease = coordinator.lease("w")
+            if lease["status"] != "lease":
+                break
+            coordinator.complete(
+                "w", lease["lease_id"], run_id, lease["group_index"],
+                rows_for_group(plan, lease["group_index"]),
+            )
+
+    def test_finished_run_is_gced_by_age(self):
+        clock = FakeClock()
+        coordinator = make_coordinator(clock, run_gc_age=100.0)
+        plan = make_plan(with_measures=False)
+        run_id = coordinator.create_run(plan)
+        self._finish_run(coordinator, plan, run_id)
+        assert coordinator.run_status(run_id)["completed"] is True
+        clock.advance(50.0)
+        coordinator.lease("w")                       # sweeps; too young to GC
+        assert coordinator.run_status(run_id) is not None
+        clock.advance(51.0)
+        coordinator.lease("w")
+        assert coordinator.run_status(run_id) is None
+        assert coordinator.counters["runs_gced"] == 1
+
+    def test_attached_consumer_pins_a_finished_run_against_gc(self):
+        clock = FakeClock()
+        coordinator = make_coordinator(clock, run_gc_age=100.0)
+        plan = make_plan(with_measures=False)
+        run_id = coordinator.create_run(plan)
+        self._finish_run(coordinator, plan, run_id)
+        stream = coordinator.records(run_id, poll_interval=0.01)
+        first = next(stream)
+        assert first is not None
+        clock.advance(1000.0)
+        coordinator.lease("w")                       # sweep: run is pinned
+        assert coordinator.run_status(run_id) is not None
+        remaining = list(stream)                     # detach cleanly
+        assert len(remaining) == plan.n_cells - 1
+        coordinator.lease("w")                       # now collectable
+        assert coordinator.run_status(run_id) is None
+
+    def test_ready_records_drop_when_the_last_consumer_detaches(self):
+        coordinator = make_coordinator(run_gc_age=0.0)
+        plan = make_plan(with_measures=False)
+        run_id = coordinator.create_run(plan)
+        self._finish_run(coordinator, plan, run_id)
+        records = list(coordinator.records(run_id, poll_interval=0.01))
+        assert len(records) == plan.n_cells
+        assert coordinator.counters["ready_records_dropped"] == plan.n_cells
+        # The dropped stream cannot be replayed from memory; a re-attach is
+        # told so instead of silently yielding nothing.
+        with pytest.raises(KeyError, match="already released"):
+            next(coordinator.records(run_id, poll_interval=0.01))

@@ -240,3 +240,109 @@ class TestWorkerMechanics:
         # ...but the reported counters keep the evicted pipeline's work.
         assert client.completions[-1]["stats"]["corpus_build_count"] == 3
         assert client.completions[-1]["stats"]["cells_executed"] == 3
+
+
+class FlakySequenceClient:
+    """Scripted lease answers where an Exception entry raises instead."""
+
+    def __init__(self, answers):
+        self.answers = list(answers)
+
+    def lease(self, worker):
+        if not self.answers:
+            return {"status": "idle", "retry_after": 0.0}
+        answer = self.answers.pop(0)
+        if isinstance(answer, Exception):
+            raise answer
+        return answer
+
+    def heartbeat(self, worker, lease_id):
+        return {"status": "ok", "ttl": 30.0}
+
+    def complete(self, worker, lease_id, run_id, group_index, rows, stats=None, error=None):
+        return {"status": "ok", "accepted": len(rows)}
+
+
+class TestWorkerBackoff:
+    """Satellite: exponential backoff with jitter on coordinator outages."""
+
+    def _worker(self, client, **kwargs):
+        import random
+
+        defaults = dict(
+            worker_id="t", client=client, poll_interval=0.1,
+            backoff_max=2.0, idle_backoff_max=2.0, rng=random.Random(0),
+        )
+        defaults.update(kwargs)
+        return ClusterWorker("http://127.0.0.1:9", **defaults)
+
+    def test_connection_errors_back_off_exponentially_then_reset(self):
+        # Seven straight outages, then a clean idle poll.  The run loop must
+        # sleep 0.1, 0.2, 0.4, ... seconds (jittered down by at most half,
+        # capped at backoff_max) and reset the streak on the first success.
+        client = FlakySequenceClient([ConnectionError("down")] * 7)
+        worker = self._worker(client)
+        delays = []
+
+        def observing_sleep(seconds):
+            delays.append(seconds)
+            if len(delays) >= 8:                 # 7 outages + 1 idle poll
+                worker.stop()
+
+        worker._sleep = observing_sleep
+        worker.run()
+
+        failure_delays, idle_delay = delays[:7], delays[7]
+        for attempt, delay in enumerate(failure_delays, start=1):
+            raw = min(2.0, 0.1 * 2.0 ** (attempt - 1))
+            assert raw / 2.0 <= delay <= raw, (attempt, delay)
+        # The streak capped: attempts 6 and 7 both saw the 2s ceiling.
+        assert failure_delays[5] >= 1.0 and failure_delays[6] >= 1.0
+        # The successful idle poll reset the failure streak and its sleep
+        # fell back to the (jittered) poll interval, not the backoff.
+        assert worker._failures == 0
+        assert 0.05 <= idle_delay <= 0.1
+
+    def test_idle_delay_honours_retry_after_hint_within_bounds(self):
+        worker = self._worker(FlakySequenceClient([]))
+        for _ in range(20):
+            assert 1.0 <= worker._idle_delay(5.0) <= 2.0      # clamped to the cap
+            assert 0.05 <= worker._idle_delay(None) <= 0.1    # poll-interval floor
+            assert 0.05 <= worker._idle_delay(0.0) <= 0.1     # hints below the floor
+            assert 1.0 <= worker._backoff_delay(50) <= 2.0    # deep streaks stay capped
+
+
+class BlockedHeartbeatClient(ScriptedClient):
+    """A heartbeat that hangs in I/O until ``abort()`` cuts the connection."""
+
+    def __init__(self, leases):
+        super().__init__(leases)
+        self.unblock = threading.Event()
+        self.abort_called = threading.Event()
+
+    def heartbeat(self, worker, lease_id):
+        self.unblock.wait(timeout=10.0)
+        return super().heartbeat(worker, lease_id)
+
+    def abort(self):
+        self.abort_called.set()
+        self.unblock.set()
+
+
+class TestHeartbeatShutdown:
+    def test_stuck_heartbeat_is_aborted_not_awaited_forever(self):
+        # The short TTL makes the heartbeat fire during execution and hang;
+        # the bounded join must give up and abort the client's connections
+        # instead of blocking the lease (and the whole worker) for 10s.
+        payload = config_wire_payload(quick_serve_config())
+        client = BlockedHeartbeatClient([scripted_lease(payload, ttl=0.15)])
+        worker = ClusterWorker(
+            "http://127.0.0.1:9", worker_id="t", client=client,
+            heartbeat_join_timeout=0.2,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", UserWarning)
+            assert worker.step() is True
+        assert client.abort_called.is_set()
+        (completion,) = client.completions
+        assert completion["error"] is None and len(completion["rows"]) == 1
