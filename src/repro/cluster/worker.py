@@ -164,6 +164,12 @@ class ClusterWorker:
     cache_dir:
         Optional local disk tier under the remote tier; gives the worker
         warm restarts in addition to the cluster-wide store.
+    store_replicas:
+        Replica targets (peer URLs and/or directories) mounted as one
+        N-way replicated store tier **instead of** the coordinator tier:
+        the storage fabric is then separate from the control plane, and the
+        fleet survives the loss of any single replica (reads fall through
+        to the survivors, missed writes queue as hints).
     poll_interval:
         Baseline sleep between lease polls when the coordinator has no work
         (also the backoff floor).
@@ -205,6 +211,7 @@ class ClusterWorker:
         *,
         worker_id: str | None = None,
         cache_dir: str | None = None,
+        store_replicas: "list[str] | None" = None,
         poll_interval: float = 0.5,
         max_idle: float | None = None,
         client: CoordinatorClient | None = None,
@@ -222,6 +229,7 @@ class ClusterWorker:
         self.coordinator_url = coordinator_url
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
         self.cache_dir = cache_dir
+        self.store_replicas = list(store_replicas) if store_replicas else None
         self.poll_interval = float(poll_interval)
         self.max_idle = max_idle
         self.flush_timeout = float(flush_timeout)
@@ -244,6 +252,13 @@ class ClusterWorker:
             "embedding_train_count": 0,
             "downstream_train_count": 0,
         }
+        #: Same, for evicted stores' replication-health counters.
+        self._retired_store = {
+            "store_repairs": 0,
+            "store_hints_queued": 0,
+            "store_hints_drained": 0,
+            "store_hints_dropped": 0,
+        }
         #: Replication drops already warned about, per config hash.
         self._drops_seen: dict[str, int] = {}
 
@@ -261,7 +276,11 @@ class ClusterWorker:
             config = PipelineConfig.from_jsonable(config_payload)
             store = ArtifactStore(
                 self.cache_dir,
-                remote_url=self.coordinator_url,
+                # A replica fabric replaces the coordinator-as-store-tier:
+                # storage then lives on its own peers, decoupled from the
+                # control plane and replicated against single-peer loss.
+                remote_url=None if self.store_replicas else self.coordinator_url,
+                replicas=self.store_replicas,
                 async_replication=True,
                 # Generous bound: one group's artifacts (pairs, quantized
                 # pairs, decompositions, measures, downstream results) are
@@ -287,20 +306,34 @@ class ClusterWorker:
             del self._pipelines[old_key]
             for name in self._retired:
                 self._retired[name] += getattr(old, name)
+            for name, value in old.store.replica_counters().items():
+                key = f"store_{name}"
+                if key in self._retired_store:
+                    self._retired_store[key] += value
             old.store.close(timeout=self.flush_timeout)
             logger.info("worker %s evicted pipeline %s", self.worker_id, old_key)
 
     def stats(self) -> dict:
-        """Counters reported to the coordinator with every completion."""
+        """Counters reported to the coordinator with every completion.
+
+        Includes the store's replication-health counters (``store_repairs``,
+        ``store_hints_*``) so the coordinator's ``/metrics`` shows a fleet's
+        degraded-storage activity without scraping every worker.
+        """
         totals = {
             "groups_executed": self.groups_executed,
             "cells_executed": self.cells_executed,
             **self._retired,
+            **self._retired_store,
         }
         for pipeline in self._pipelines.values():
             totals["corpus_build_count"] += pipeline.corpus_build_count
             totals["embedding_train_count"] += pipeline.embedding_train_count
             totals["downstream_train_count"] += pipeline.downstream_train_count
+            for name, value in pipeline.store.replica_counters().items():
+                key = f"store_{name}"
+                if key in totals:
+                    totals[key] += value
         return totals
 
     # -- execution -------------------------------------------------------------
@@ -479,6 +512,12 @@ def main(argv: list[str] | None = None) -> int:
         help="local disk store tier (in addition to the coordinator tier)",
     )
     parser.add_argument(
+        "--store-replicas", default=None,
+        help="comma-separated replica targets (peer URLs and/or directories) "
+             "mounted as one N-way replicated store tier instead of the "
+             "coordinator tier (read-repair + hinted handoff)",
+    )
+    parser.add_argument(
         "--poll-interval", type=float, default=0.5,
         help="seconds between lease polls when idle",
     )
@@ -492,10 +531,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     configure_logging()
+    replicas = [entry for entry in (args.store_replicas or "").split(",") if entry]
     worker = ClusterWorker(
         args.coordinator,
         worker_id=args.worker_id,
         cache_dir=args.cache_dir,
+        store_replicas=replicas or None,
         poll_interval=args.poll_interval,
         max_idle=args.max_idle,
         backoff_max=args.backoff_max,

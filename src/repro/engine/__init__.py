@@ -10,13 +10,17 @@ processes with a bit-identical serial fallback.
 
 from repro.engine.backends import (
     AsyncReplicator,
+    CircuitOpenError,
     DiskBackend,
     MemoryBackend,
     RemoteBackend,
+    ReplicatedBackend,
     ShardedBackend,
     StoreBackend,
     TierStats,
+    payload_intact,
 )
+from repro.engine.faults import FaultyBackend
 from repro.engine.store import (
     ArtifactStore,
     CacheStats,
@@ -41,14 +45,17 @@ __all__ = [
     "AsyncReplicator",
     "CacheStats",
     "CellGroup",
+    "CircuitOpenError",
     "CorpusShipment",
     "DiskBackend",
     "EmbeddingShipment",
+    "FaultyBackend",
     "GridEngine",
     "GridPlan",
     "MemoryBackend",
     "OrderedCommitter",
     "RemoteBackend",
+    "ReplicatedBackend",
     "ShardedBackend",
     "StoreBackend",
     "TierStats",
@@ -58,6 +65,7 @@ __all__ = [
     "configure_default_store",
     "default_store",
     "evaluate_group",
+    "payload_intact",
     "plan_grid",
     "plan_groups",
     "stats",

@@ -19,6 +19,12 @@ Backends:
 * :class:`RemoteBackend` -- stdlib HTTP client speaking the serving layer's
   ``/artifacts/<kind>/<name>`` endpoints, with per-thread keep-alive
   connections; any running ``repro-serve`` instance is a valid peer.
+* :class:`ReplicatedBackend` -- N-way replication over any mix of the above:
+  writes fan out to every replica, reads are served first-success with
+  **read-repair** (a hit found on one replica is written back to the
+  replicas that missed or held a corrupt copy), and writes that cannot
+  reach a replica are queued as **hinted handoff** entries, drained when
+  the replica looks healthy again.
 
 Every backend counts its traffic (:class:`TierStats`); the store surfaces the
 counters through ``repro.engine.stats()`` as ``store_tiers``.
@@ -29,11 +35,15 @@ from __future__ import annotations
 import bisect
 import hashlib
 import http.client
+import io
+import json
 import os
 import queue
+import random
 import tempfile
 import threading
 import time
+import zipfile
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -47,14 +57,17 @@ logger = get_logger(__name__)
 
 __all__ = [
     "AsyncReplicator",
+    "CircuitOpenError",
     "TierStats",
     "StoreBackend",
     "MemoryBackend",
     "DiskBackend",
     "ShardedBackend",
     "RemoteBackend",
+    "ReplicatedBackend",
     "atomic_write_bytes",
     "backend_from_spec",
+    "payload_intact",
 ]
 
 
@@ -74,6 +87,10 @@ class TierStats:
     #: Write-backs discarded because an async replication queue was full
     #: (see :class:`AsyncReplicator`); the payload never reached this tier.
     dropped: int = 0
+    #: Payloads that failed byte-level validation (unparsable JSON, zip CRC
+    #: mismatch); the tier answered as a miss and the replication layer
+    #: schedules a read-repair from a healthy replica.
+    corrupt: int = 0
 
 
 def atomic_write_bytes(path: Path, payload: bytes) -> None:
@@ -109,6 +126,26 @@ def atomic_write_bytes(path: Path, payload: bytes) -> None:
         os.close(dir_fd)
 
 
+def payload_intact(name: str, payload: bytes) -> bool:
+    """Cheap byte-level integrity check keyed off the codec suffix.
+
+    ``.json`` payloads must parse; ``.npz`` payloads must be a valid zip
+    whose member CRCs check out (``testzip``).  Unknown suffixes are trusted
+    -- integrity validation exists to catch torn or bit-flipped replicas,
+    not to gatekeep new codecs.
+    """
+    try:
+        if name.endswith(".json"):
+            json.loads(payload.decode("utf-8"))
+        elif name.endswith(".npz"):
+            with zipfile.ZipFile(io.BytesIO(payload)) as archive:
+                if archive.testzip() is not None:
+                    return False
+        return True
+    except Exception:
+        return False
+
+
 class StoreBackend:
     """Byte-level storage of ``(kind, name) -> payload`` with counters.
 
@@ -126,6 +163,16 @@ class StoreBackend:
 
     def __init__(self) -> None:
         self.stats = TierStats()
+
+    @property
+    def available(self) -> bool:
+        """Whether the backend is currently willing to accept operations.
+
+        Local backends are always available; remote backends report their
+        circuit-breaker state, and the replication layer uses this to queue
+        hinted handoff instead of paying a known-doomed write.
+        """
+        return True
 
     # -- public API (counted) --------------------------------------------------
 
@@ -352,6 +399,14 @@ class ShardedBackend(StoreBackend):
         }
 
 
+class CircuitOpenError(ConnectionError):
+    """Fail-fast rejection because a peer's circuit breaker is open.
+
+    Distinguished from a real transport failure so retry logic never burns
+    an attempt against a breaker that would reject it instantly anyway.
+    """
+
+
 class RemoteBackend(StoreBackend):
     """HTTP peer backend speaking the serving layer's ``/artifacts`` API.
 
@@ -380,7 +435,10 @@ class RemoteBackend(StoreBackend):
         *,
         timeout: float = 10.0,
         failure_cooldown: float = 30.0,
+        put_retry_delay: float = 0.1,
         clock=time.monotonic,
+        rng: random.Random | None = None,
+        sleep=time.sleep,
     ) -> None:
         super().__init__()
         if "://" not in url:
@@ -393,6 +451,9 @@ class RemoteBackend(StoreBackend):
         self.url = url
         self.timeout = float(timeout)
         self.failure_cooldown = float(failure_cooldown)
+        self.put_retry_delay = float(put_retry_delay)
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
         self._scheme = split.scheme
         self._host = split.hostname
         self._port = split.port
@@ -433,30 +494,39 @@ class RemoteBackend(StoreBackend):
         return f"{self._base_path}/artifacts/{quote(kind, safe='')}/{quote(name, safe='')}"
 
     def _request(
-        self, method: str, kind: str, name: str, body: bytes | None = None
+        self,
+        method: str,
+        kind: str,
+        name: str,
+        body: bytes | None = None,
+        *,
+        force: bool = False,
     ) -> tuple[int, bytes]:
         """One keep-alive request; retries once on a stale pooled connection.
 
         Circuit breaker: while the peer is cooling down after a failure,
-        raise immediately -- otherwise every lookup of a busy grid run would
-        block for the full socket timeout against a dead peer.  When the
-        cooldown has elapsed, exactly one caller is admitted as the
-        half-open probe; concurrent callers keep failing fast until the
-        probe settles, so a still-dead peer costs one socket timeout per
-        cooldown window instead of one per thread.
+        raise :class:`CircuitOpenError` immediately -- otherwise every lookup
+        of a busy grid run would block for the full socket timeout against a
+        dead peer.  When the cooldown has elapsed, exactly one caller is
+        admitted as the half-open probe; concurrent callers keep failing fast
+        until the probe settles, so a still-dead peer costs one socket
+        timeout per cooldown window instead of one per thread.  ``force``
+        bypasses the breaker gate (used by the single deliberate write
+        retry); success still closes the breaker and failure re-arms it.
         """
         probing = False
-        with self._state_lock:
-            if self._down_until:
-                if self._clock() < self._down_until:
-                    raise ConnectionError(
-                        f"remote store {self.url} cooling down after a failure"
-                    )
-                if self._probing:
-                    raise ConnectionError(
-                        f"remote store {self.url} half-open: probe already in flight"
-                    )
-                self._probing = probing = True
+        if not force:
+            with self._state_lock:
+                if self._down_until:
+                    if self._clock() < self._down_until:
+                        raise CircuitOpenError(
+                            f"remote store {self.url} cooling down after a failure"
+                        )
+                    if self._probing:
+                        raise CircuitOpenError(
+                            f"remote store {self.url} half-open: probe already in flight"
+                        )
+                    self._probing = probing = True
         last_error: Exception | None = None
         try:
             for attempt in (0, 1):
@@ -513,14 +583,45 @@ class RemoteBackend(StoreBackend):
         return None
 
     def _put(self, kind: str, name: str, payload: bytes) -> None:
+        """Best-effort replication write with one jittered retry.
+
+        Transient failures -- a dropped connection or a 5xx from a peer that
+        is restarting -- get a single retry after a short jittered sleep
+        (breaker bypassed: this is the deliberate second attempt).  Breaker
+        fail-fasts and 4xx responses are not retried; they would fail the
+        same way again.  Only writes that stay failed count an error.
+        """
+        error_detail: object
         try:
             status, _ = self._request("PUT", kind, name, body=payload)
-        except ConnectionError as error:
+            if status < 300:
+                return
+            error_detail = f"HTTP {status}"
+            transient = status >= 500
+        except CircuitOpenError as error:
             logger.warning("remote tier PUT %s/%s failed: %s", kind, name, error)
             self.stats.errors += 1
             return
+        except ConnectionError as error:
+            error_detail = error
+            transient = True
+        if not transient:
+            logger.warning("remote tier PUT %s/%s: %s", kind, name, error_detail)
+            self.stats.errors += 1
+            return
+        self._sleep(self.put_retry_delay * (0.5 + self._rng.random()))
+        try:
+            status, _ = self._request("PUT", kind, name, body=payload, force=True)
+        except ConnectionError as error:
+            logger.warning(
+                "remote tier PUT %s/%s failed after retry: %s", kind, name, error
+            )
+            self.stats.errors += 1
+            return
         if status >= 300:
-            logger.warning("remote tier PUT %s/%s: HTTP %d", kind, name, status)
+            logger.warning(
+                "remote tier PUT %s/%s: HTTP %d after retry", kind, name, status
+            )
             self.stats.errors += 1
 
     def _contains(self, kind: str, name: str) -> bool:
@@ -541,16 +642,260 @@ class RemoteBackend(StoreBackend):
         """Drop this thread's pooled connection (other threads drop lazily)."""
         self._drop_connection()
 
+    @property
+    def breaker_open(self) -> bool:
+        """Whether the circuit breaker currently rejects requests fast."""
+        with self._state_lock:
+            return bool(self._down_until) and self._clock() < self._down_until
+
+    @property
+    def available(self) -> bool:
+        return not self.breaker_open
+
     def spec(self) -> dict:
         return {
             "backend": "remote",
             "url": self.url,
             "timeout": self.timeout,
             "failure_cooldown": self.failure_cooldown,
+            "put_retry_delay": self.put_retry_delay,
         }
 
     def describe(self) -> dict:
-        return {**super().describe(), "url": self.url}
+        return {**super().describe(), "url": self.url, "breaker_open": self.breaker_open}
+
+
+class ReplicatedBackend(StoreBackend):
+    """N-way replication over child backends with read-repair and hints.
+
+    Writes fan out to every replica.  Reads walk the replicas in order and
+    return the first intact payload; replicas probed before the hit that
+    missed, errored, or held a corrupt copy are **read-repaired** -- the
+    healthy payload is written back to them so one surviving copy is enough
+    to restore full coverage.  A write (or repair) aimed at a replica that
+    is unavailable (circuit breaker open) or whose put fails is queued as a
+    **hinted handoff** entry instead of being lost; hints are drained
+    opportunistically on later operations once the replica looks healthy
+    again, so a peer that restarts converges without operator action.
+
+    Degraded-mode contract: as long as one replica answers, reads succeed
+    and writes land somewhere -- replica loss never raises to the caller.
+    The hint queue is bounded and deduplicated per ``(replica, kind,
+    name)``; overflow drops the oldest hint and counts it (``dropped`` on
+    the target replica, ``hints_dropped`` here), keeping degradation
+    observable rather than unbounded.
+
+    ``validate`` enables byte-level integrity checks (:func:`payload_intact`)
+    on every replica read, turning a bit-flipped copy into a repairable miss
+    instead of a poisoned artifact.
+    """
+
+    name = "replicated"
+
+    def __init__(
+        self,
+        replicas: Sequence[StoreBackend],
+        *,
+        max_hints: int = 512,
+        validate: bool = True,
+    ) -> None:
+        super().__init__()
+        if not replicas:
+            raise ValueError("ReplicatedBackend needs at least one replica")
+        if max_hints < 1:
+            raise ValueError(f"max_hints must be >= 1, got {max_hints}")
+        self.replicas = list(replicas)
+        self.max_hints = int(max_hints)
+        self.validate = bool(validate)
+        self.persistent = any(replica.persistent for replica in self.replicas)
+        self.remote_capable = any(replica.remote_capable for replica in self.replicas)
+        self.repairs = 0
+        self.hints_queued = 0
+        self.hints_drained = 0
+        self.hints_dropped = 0
+        #: Pending handoff payloads keyed ``(replica_index, kind, name)``;
+        #: insertion-ordered so overflow evicts the oldest hint first.
+        self._hints: OrderedDict[tuple[int, str, str], bytes] = OrderedDict()
+        self._hint_lock = threading.Lock()
+
+    # -- hinted handoff --------------------------------------------------------
+
+    def _queue_hint(self, index: int, kind: str, name: str, payload: bytes) -> None:
+        key = (index, kind, name)
+        with self._hint_lock:
+            if key in self._hints:
+                self._hints[key] = payload
+                self._hints.move_to_end(key)
+                return
+            while len(self._hints) >= self.max_hints:
+                (old_index, old_kind, old_name), _ = self._hints.popitem(last=False)
+                self.hints_dropped += 1
+                self.replicas[old_index].stats.dropped += 1
+                logger.warning(
+                    "hint queue full: dropped %s/%s for replica %d (%s)",
+                    old_kind, old_name, old_index, self.replicas[old_index].name,
+                )
+            self._hints[key] = payload
+            self.hints_queued += 1
+
+    def drain_hints(self) -> int:
+        """Deliver queued hints to replicas that look available again.
+
+        Called opportunistically before every operation (cheap no-op while
+        the queue is empty) and exposed publicly so tests and shutdown paths
+        can force a drain.  A replica whose delivery fails gets its hint
+        re-queued and is skipped for the rest of this pass -- the next
+        successful breaker probe will trigger another attempt.
+        """
+        if not self._hints:
+            return 0
+        with self._hint_lock:
+            batch = list(self._hints.items())
+        drained = 0
+        skipped: set[int] = set()
+        for (index, kind, name), payload in batch:
+            replica = self.replicas[index]
+            if index in skipped or not replica.available:
+                continue
+            with self._hint_lock:
+                if self._hints.pop((index, kind, name), None) is None:
+                    continue  # another thread delivered it concurrently
+            if self._safe_put(replica, kind, name, payload):
+                drained += 1
+                self.hints_drained += 1
+            else:
+                skipped.add(index)
+                with self._hint_lock:
+                    self._hints.setdefault((index, kind, name), payload)
+        if drained:
+            logger.info("hinted handoff drained %d write(s)", drained)
+        return drained
+
+    @property
+    def hints_pending(self) -> int:
+        return len(self._hints)
+
+    # -- replica write with failure detection ----------------------------------
+
+    def _safe_put(self, replica: StoreBackend, kind: str, name: str, payload: bytes) -> bool:
+        """Write to one replica; ``False`` when the write did not land.
+
+        Backends degrade silently (they count ``errors`` instead of
+        raising), so failure is detected via the errors-counter delta; an
+        exception from a custom backend counts the same way.
+        """
+        before = replica.stats.errors
+        try:
+            replica.put(kind, name, payload)
+        except Exception as error:
+            logger.warning(
+                "replica %s rejected write %s/%s: %s", replica.name, kind, name, error
+            )
+            replica.stats.errors += 1
+            return False
+        return replica.stats.errors == before
+
+    def _intact(self, replica: StoreBackend, name: str, payload: bytes) -> bool:
+        if not self.validate or payload_intact(name, payload):
+            return True
+        replica.stats.corrupt += 1
+        self.stats.corrupt += 1
+        logger.warning("replica %s returned a corrupt copy of %s", replica.name, name)
+        return False
+
+    # -- raw operations --------------------------------------------------------
+
+    def _get(self, kind: str, name: str) -> bytes | None:
+        self.drain_hints()
+        behind: list[int] = []
+        for index, replica in enumerate(self.replicas):
+            if not replica.available:
+                behind.append(index)
+                continue
+            try:
+                payload = replica.get(kind, name)
+            except Exception as error:
+                logger.warning(
+                    "replica %s failed reading %s/%s: %s", replica.name, kind, name, error
+                )
+                replica.stats.errors += 1
+                behind.append(index)
+                continue
+            if payload is None or not self._intact(replica, name, payload):
+                behind.append(index)
+                continue
+            for lagging in behind:
+                self._repair(lagging, kind, name, payload)
+            return payload
+        return None
+
+    def _repair(self, index: int, kind: str, name: str, payload: bytes) -> None:
+        """Write a healthy copy back to a replica that missed or was corrupt."""
+        replica = self.replicas[index]
+        if not replica.available:
+            self._queue_hint(index, kind, name, payload)
+            return
+        if self._safe_put(replica, kind, name, payload):
+            self.repairs += 1
+            logger.info("read-repaired %s/%s onto replica %s", kind, name, replica.name)
+        else:
+            self._queue_hint(index, kind, name, payload)
+
+    def _put(self, kind: str, name: str, payload: bytes) -> None:
+        self.drain_hints()
+        for index, replica in enumerate(self.replicas):
+            if not replica.available:
+                self._queue_hint(index, kind, name, payload)
+                continue
+            if not self._safe_put(replica, kind, name, payload):
+                self._queue_hint(index, kind, name, payload)
+
+    def _contains(self, kind: str, name: str) -> bool:
+        self.drain_hints()
+        for replica in self.replicas:
+            if not replica.available:
+                continue
+            try:
+                if replica.contains(kind, name):
+                    return True
+            except Exception:
+                replica.stats.errors += 1
+        return False
+
+    def _delete(self, kind: str, name: str) -> None:
+        for replica in self.replicas:
+            try:
+                replica.delete(kind, name)
+            except Exception:
+                replica.stats.errors += 1
+        with self._hint_lock:
+            for key in [k for k in self._hints if k[1] == kind and k[2] == name]:
+                del self._hints[key]
+
+    # -- reconstruction / observability ---------------------------------------
+
+    def spec(self) -> dict | None:
+        replica_specs = [replica.spec() for replica in self.replicas]
+        if any(spec is None for spec in replica_specs):
+            return None
+        return {
+            "backend": "replicated",
+            "replicas": replica_specs,
+            "max_hints": self.max_hints,
+            "validate": self.validate,
+        }
+
+    def describe(self) -> dict:
+        return {
+            **super().describe(),
+            "n_replicas": len(self.replicas),
+            "repairs": self.repairs,
+            "hints_queued": self.hints_queued,
+            "hints_drained": self.hints_drained,
+            "hints_dropped": self.hints_dropped,
+            "hints_pending": self.hints_pending,
+            "replicas": [replica.describe() for replica in self.replicas],
+        }
 
 
 class AsyncReplicator:
@@ -690,5 +1035,12 @@ def backend_from_spec(spec: dict) -> StoreBackend:
             spec["url"],
             timeout=spec.get("timeout", 10.0),
             failure_cooldown=spec.get("failure_cooldown", 30.0),
+            put_retry_delay=spec.get("put_retry_delay", 0.1),
+        )
+    if backend == "replicated":
+        return ReplicatedBackend(
+            [backend_from_spec(child) for child in spec["replicas"]],
+            max_hints=spec.get("max_hints", 512),
+            validate=spec.get("validate", True),
         )
     raise ValueError(f"unknown backend spec {spec!r}")

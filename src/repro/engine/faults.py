@@ -1,0 +1,196 @@
+"""Fault injection for storage backends: :class:`FaultyBackend`.
+
+Replication is only trustworthy if it is exercised against the failures it
+claims to survive.  ``FaultyBackend`` wraps any
+:class:`~repro.engine.backends.StoreBackend` and injects faults on the way
+through:
+
+* **scripted errors** -- :meth:`fail_next` makes the next N matching
+  operations fail deterministically (the workhorse for unit tests);
+* **probabilistic errors** -- ``error_rate`` fails a seeded-random fraction
+  of operations (soak/chaos style);
+* **latency** -- ``latency`` sleeps before every operation (slow-disk /
+  slow-network emulation; ``sleep`` is injectable so tests stay instant);
+* **corruption** -- :meth:`corrupt_next` / ``corrupt_rate`` bit-flip the
+  payload returned by ``get``, emulating a torn write or rotted disk block;
+* **partition** -- :meth:`partition` makes the backend unreachable (every
+  operation fails and :attr:`available` reports ``False``, like a remote
+  peer with an open circuit breaker) until :meth:`heal`.
+
+Failure semantics mirror the real degraded backends: a failed ``get``
+answers ``None`` and counts an error, a failed ``put`` drops the write and
+counts an error, a failed ``contains`` answers ``False`` -- faults never
+raise into the caller, because the production backends never do either.
+
+Every operation is appended to :attr:`log` as ``(time, op, kind, name,
+outcome)`` with the injectable ``clock`` (monotonic by default), so chaos
+tests can assert *when* faults fired relative to the run timeline.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+
+from repro.engine.backends import StoreBackend
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = ["FaultyBackend"]
+
+#: Operations a scripted failure can target; ``*`` matches any of them.
+_OPS = ("get", "put", "contains", "delete", "*")
+
+
+class FaultyBackend(StoreBackend):
+    """Wrap a backend and inject scripted or probabilistic faults."""
+
+    def __init__(
+        self,
+        inner: StoreBackend,
+        *,
+        error_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        latency: float = 0.0,
+        rng: random.Random | None = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        super().__init__()
+        self.inner = inner
+        self.name = f"faulty({inner.name})"
+        self.persistent = inner.persistent
+        self.remote_capable = inner.remote_capable
+        self.error_rate = float(error_rate)
+        self.corrupt_rate = float(corrupt_rate)
+        self.latency = float(latency)
+        self._rng = rng if rng is not None else random.Random()
+        self._clock = clock
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._partitioned = False
+        self._scripted_failures: deque[str] = deque()
+        self._scripted_corruptions = 0
+        self.log: list[tuple[float, str, str, str, str]] = []
+
+    # -- fault scripting -------------------------------------------------------
+
+    def fail_next(self, op: str = "*", times: int = 1) -> None:
+        """Fail the next ``times`` operations matching ``op`` (or any, ``*``)."""
+        if op not in _OPS:
+            raise ValueError(f"unknown op {op!r}; expected one of {_OPS}")
+        with self._lock:
+            self._scripted_failures.extend([op] * times)
+
+    def corrupt_next(self, times: int = 1) -> None:
+        """Bit-flip the payload of the next ``times`` successful ``get``\\ s."""
+        with self._lock:
+            self._scripted_corruptions += times
+
+    def partition(self) -> None:
+        """Cut the backend off: every operation fails until :meth:`heal`."""
+        with self._lock:
+            self._partitioned = True
+        logger.info("fault injection: %s partitioned", self.name)
+
+    def heal(self) -> None:
+        """End a partition; operations flow through to the inner backend again."""
+        with self._lock:
+            self._partitioned = False
+        logger.info("fault injection: %s healed", self.name)
+
+    @property
+    def partitioned(self) -> bool:
+        with self._lock:
+            return self._partitioned
+
+    @property
+    def available(self) -> bool:
+        return not self.partitioned and self.inner.available
+
+    # -- fault evaluation ------------------------------------------------------
+
+    def _inject(self, op: str, kind: str, name: str) -> bool:
+        """Decide one operation's fate; ``True`` means it must fail."""
+        if self.latency > 0:
+            self._sleep(self.latency)
+        with self._lock:
+            if self._partitioned:
+                outcome = "partitioned"
+            else:
+                outcome = "ok"
+                for index, target in enumerate(self._scripted_failures):
+                    if target == op or target == "*":
+                        del self._scripted_failures[index]
+                        outcome = "error"
+                        break
+                if outcome == "ok" and self.error_rate > 0:
+                    if self._rng.random() < self.error_rate:
+                        outcome = "error"
+            self.log.append((self._clock(), op, kind, name, outcome))
+        return outcome != "ok"
+
+    def _maybe_corrupt(self, kind: str, name: str, payload: bytes) -> bytes:
+        with self._lock:
+            corrupt = self._scripted_corruptions > 0
+            if corrupt:
+                self._scripted_corruptions -= 1
+            elif self.corrupt_rate > 0 and self._rng.random() < self.corrupt_rate:
+                corrupt = True
+        if not corrupt:
+            return payload
+        with self._lock:
+            self.log.append((self._clock(), "corrupt", kind, name, "injected"))
+        # Invert the leading bytes: garbles a JSON document and destroys a
+        # zip local-file header, so payload validation is guaranteed to trip.
+        prefix = bytes(byte ^ 0xFF for byte in payload[:64])
+        return prefix + payload[64:]
+
+    # -- raw operations --------------------------------------------------------
+
+    def _get(self, kind: str, name: str) -> bytes | None:
+        if self._inject("get", kind, name):
+            self.stats.errors += 1
+            return None
+        payload = self.inner.get(kind, name)
+        if payload is None:
+            return None
+        return self._maybe_corrupt(kind, name, payload)
+
+    def _put(self, kind: str, name: str, payload: bytes) -> None:
+        if self._inject("put", kind, name):
+            self.stats.errors += 1
+            return
+        self.inner.put(kind, name, payload)
+
+    def _contains(self, kind: str, name: str) -> bool:
+        if self._inject("contains", kind, name):
+            self.stats.errors += 1
+            return False
+        return self.inner.contains(kind, name)
+
+    def _delete(self, kind: str, name: str) -> None:
+        if self._inject("delete", kind, name):
+            self.stats.errors += 1
+            return
+        self.inner.delete(kind, name)
+
+    # -- observability ---------------------------------------------------------
+
+    def spec(self) -> dict | None:
+        # A fault layer is a test harness; it is never rebuilt in another
+        # process, so the spec degrades to "not reconstructable".
+        return None
+
+    def describe(self) -> dict:
+        return {
+            **super().describe(),
+            "partitioned": self.partitioned,
+            "error_rate": self.error_rate,
+            "corrupt_rate": self.corrupt_rate,
+            "latency": self.latency,
+            "inner": self.inner.describe(),
+        }

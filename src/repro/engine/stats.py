@@ -77,6 +77,8 @@ def stats(
         snapshot["store_persistent"] = store.persistent
         snapshot["store_tiers"] = store.tier_stats()
         snapshot["store_replication"] = store.replication_stats()
+        snapshot["store_replicas"] = store.replica_counters()
+        snapshot["store_peers"] = store.peer_health()
     if pipeline is not None:
         snapshot["pipeline"] = {
             "corpus_build_count": pipeline.corpus_build_count,

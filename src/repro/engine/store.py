@@ -20,7 +20,9 @@ The store is layered:
 ``ArtifactStore(root)`` keeps the original behaviour and on-disk layout:
 one memory tier plus one disk tier at ``root/<kind>/<key>.{json,npz}``.
 ``shards=N`` replaces the disk tier with N consistent-hashed shard
-directories; ``remote_url=...`` appends an HTTP peer tier.  Because keys are
+directories; ``remote_url=...`` appends an HTTP peer tier;
+``replicas=[...]`` appends an N-way replicated tier (first-success reads
+with read-repair, fan-out writes with hinted handoff).  Because keys are
 content hashes, they are location-independent: any tier on any host serves
 the same bytes for the same key.
 
@@ -46,6 +48,7 @@ from repro.engine.backends import (
     AsyncReplicator,
     DiskBackend,
     RemoteBackend,
+    ReplicatedBackend,
     ShardedBackend,
     StoreBackend,
     backend_from_spec,
@@ -118,8 +121,17 @@ class ArtifactStore:
     remote_url:
         A peer ``repro-serve`` base URL appended as the lowest tier; local
         misses are fetched from the peer and promoted into the tiers above.
+    replicas:
+        N replica targets appended as one
+        :class:`~repro.engine.backends.ReplicatedBackend` tier below the
+        root tier.  Each entry is either a peer base URL (contains
+        ``://`` -> :class:`~repro.engine.backends.RemoteBackend`) or a
+        local directory (:class:`~repro.engine.backends.DiskBackend`).
+        Writes fan out to every replica; reads are first-success with
+        read-repair and hinted handoff.  Mutually exclusive with
+        ``remote_url``.
     remote_timeout:
-        Per-request socket timeout of the remote tier, in seconds.
+        Per-request socket timeout of the remote tier(s), in seconds.
     async_replication:
         Replicate write-backs to **remote-capable** tiers through a
         background :class:`~repro.engine.backends.AsyncReplicator` instead
@@ -141,16 +153,21 @@ class ArtifactStore:
         backends: Sequence[StoreBackend] | None = None,
         shards: int | None = None,
         remote_url: str | None = None,
+        replicas: Sequence[str | Path] | None = None,
         remote_timeout: float = 10.0,
         async_replication: bool = False,
         replication_queue: int = 256,
     ) -> None:
         self.root = Path(root) if root is not None else None
         if backends is not None:
-            if shards or remote_url:
-                raise ValueError("pass either explicit backends or shards/remote_url")
+            if shards or remote_url or replicas:
+                raise ValueError(
+                    "pass either explicit backends or shards/remote_url/replicas"
+                )
             self.tiers: list[StoreBackend] = list(backends)
         else:
+            if remote_url and replicas:
+                raise ValueError("pass either remote_url or replicas, not both")
             self.tiers = []
             if self.root is not None:
                 if shards is not None and shards > 1:
@@ -159,6 +176,15 @@ class ArtifactStore:
                     self.tiers.append(DiskBackend(self.root))
             if remote_url:
                 self.tiers.append(RemoteBackend(remote_url, timeout=remote_timeout))
+            if replicas:
+                self.tiers.append(
+                    ReplicatedBackend(
+                        [
+                            self._replica_backend(entry, remote_timeout)
+                            for entry in replicas
+                        ]
+                    )
+                )
         self._replicator: AsyncReplicator | None = (
             AsyncReplicator(max_queue=replication_queue) if async_replication else None
         )
@@ -226,6 +252,63 @@ class ArtifactStore:
     def replication_stats(self) -> dict | None:
         """Counters of the async replication queue (``None`` when synchronous)."""
         return self._replicator.describe() if self._replicator is not None else None
+
+    @staticmethod
+    def _replica_backend(entry: str | Path, timeout: float) -> StoreBackend:
+        """One ``replicas=`` entry: a peer URL or a local directory."""
+        text = str(entry)
+        if "://" in text:
+            return RemoteBackend(text, timeout=timeout)
+        return DiskBackend(entry)
+
+    def _walk_tiers(self):
+        """Every backend in the stack, depth-first through shards/replicas."""
+        def walk(backend: StoreBackend):
+            yield backend
+            for child in getattr(backend, "shards", ()):
+                yield from walk(child)
+            for child in getattr(backend, "replicas", ()):
+                yield from walk(child)
+        for tier in self.tiers:
+            yield from walk(tier)
+
+    def remote_peers(self) -> "list[RemoteBackend]":
+        """Every remote peer backend in the stack (direct or nested)."""
+        return [b for b in self._walk_tiers() if isinstance(b, RemoteBackend)]
+
+    def peer_health(self) -> list[dict]:
+        """Breaker state per remote peer (the ``/healthz`` degraded signal)."""
+        return [
+            {"url": peer.url, "breaker_open": peer.breaker_open}
+            for peer in self.remote_peers()
+        ]
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any remote peer's circuit breaker is currently open."""
+        return any(peer["breaker_open"] for peer in self.peer_health())
+
+    def replica_counters(self) -> dict:
+        """Replication health counters aggregated over replicated tiers.
+
+        All-zero when the stack has no replicated tier, so consumers (worker
+        stats, ``/metrics``) can read the keys unconditionally.
+        """
+        totals = {
+            "repairs": 0,
+            "hints_queued": 0,
+            "hints_drained": 0,
+            "hints_dropped": 0,
+            "hints_pending": 0,
+        }
+        for backend in self._walk_tiers():
+            if isinstance(backend, ReplicatedBackend):
+                totals["repairs"] += backend.repairs
+                totals["hints_queued"] += backend.hints_queued
+                totals["hints_drained"] += backend.hints_drained
+                totals["hints_dropped"] += backend.hints_dropped
+                totals["hints_pending"] += backend.hints_pending
+        return totals
 
     # -- reconstruction (scheduler workers) ----------------------------------
 
@@ -467,6 +550,7 @@ class ArtifactStore:
 _DEFAULT_ROOT: Path | None = None
 _DEFAULT_SHARDS: int | None = None
 _DEFAULT_REMOTE_URL: str | None = None
+_DEFAULT_REPLICAS: tuple[str, ...] | None = None
 
 
 def configure_default_store(
@@ -474,21 +558,26 @@ def configure_default_store(
     *,
     shards: int | None = None,
     remote_url: str | None = None,
+    replicas: Sequence[str] | None = None,
 ) -> None:
     """Set (or clear, with all-``None``) the process-wide store construction."""
-    global _DEFAULT_ROOT, _DEFAULT_SHARDS, _DEFAULT_REMOTE_URL
+    global _DEFAULT_ROOT, _DEFAULT_SHARDS, _DEFAULT_REMOTE_URL, _DEFAULT_REPLICAS
     _DEFAULT_ROOT = Path(root) if root is not None else None
     _DEFAULT_SHARDS = shards
     _DEFAULT_REMOTE_URL = remote_url
-    if _DEFAULT_ROOT is not None or remote_url is not None:
+    _DEFAULT_REPLICAS = tuple(replicas) if replicas else None
+    if _DEFAULT_ROOT is not None or remote_url is not None or replicas:
         logger.info(
-            "default artifact store: root=%s shards=%s remote=%s",
-            _DEFAULT_ROOT, shards, remote_url,
+            "default artifact store: root=%s shards=%s remote=%s replicas=%s",
+            _DEFAULT_ROOT, shards, remote_url, _DEFAULT_REPLICAS,
         )
 
 
 def default_store() -> ArtifactStore:
     """A store built from the configured defaults, or a fresh in-memory store."""
     return ArtifactStore(
-        _DEFAULT_ROOT, shards=_DEFAULT_SHARDS, remote_url=_DEFAULT_REMOTE_URL
+        _DEFAULT_ROOT,
+        shards=_DEFAULT_SHARDS,
+        remote_url=_DEFAULT_REMOTE_URL,
+        replicas=_DEFAULT_REPLICAS,
     )

@@ -110,6 +110,12 @@ def main(argv: list[str] | None = None) -> int:
              "warm artifacts are fetched instead of recomputed",
     )
     parser.add_argument(
+        "--store-replicas", default=None,
+        help="comma-separated replica targets (peer URLs and/or directories) "
+             "used as one N-way replicated store tier with read-repair and "
+             "hinted handoff; mutually exclusive with --store-url",
+    )
+    parser.add_argument(
         "--coordinator", default=None,
         help="cluster coordinator base URL (a repro-serve instance); grid "
              "sweeps are executed by its repro-worker fleet instead of "
@@ -137,6 +143,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.store_shards is not None and args.cache_dir is None:
         parser.error("--store-shards requires --cache-dir (it shards the local store)")
+    if args.store_url and args.store_replicas:
+        parser.error("--store-url and --store-replicas are mutually exclusive")
+    replicas = [entry for entry in (args.store_replicas or "").split(",") if entry]
 
     configure_logging()
     if args.list:
@@ -155,6 +164,8 @@ def main(argv: list[str] | None = None) -> int:
             serve_argv += ["--store-shards", str(args.store_shards)]
         if args.store_url is not None:
             serve_argv += ["--store-url", args.store_url]
+        if args.store_replicas is not None:
+            serve_argv += ["--store-replicas", args.store_replicas]
         if args.kernel_policy is not None:
             serve_argv += ["--kernel-policy", args.kernel_policy]
         if args.dtype is not None:
@@ -168,9 +179,12 @@ def main(argv: list[str] | None = None) -> int:
         parser.print_help()
         return 1
 
-    if args.cache_dir is not None or args.store_url is not None:
+    if args.cache_dir is not None or args.store_url is not None or replicas:
         configure_default_store(
-            args.cache_dir, shards=args.store_shards, remote_url=args.store_url
+            args.cache_dir,
+            shards=args.store_shards,
+            remote_url=args.store_url,
+            replicas=replicas or None,
         )
     if args.kernel_policy is not None or args.dtype is not None:
         configure_default_policy(svd=args.kernel_policy, dtype=args.dtype)

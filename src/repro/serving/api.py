@@ -826,9 +826,13 @@ def quick_serve_config() -> "PipelineConfig":
 async def _serve(args: argparse.Namespace) -> int:
     config = quick_serve_config() if args.quick else None
     store = None
-    if args.cache_dir or args.store_url:
+    replicas = [entry for entry in (args.store_replicas or "").split(",") if entry]
+    if args.cache_dir or args.store_url or replicas:
         store = ArtifactStore(
-            args.cache_dir, shards=args.store_shards, remote_url=args.store_url
+            args.cache_dir,
+            shards=args.store_shards,
+            remote_url=args.store_url,
+            replicas=replicas or None,
         )
     service = StabilityService(
         config,
@@ -905,6 +909,12 @@ def main(argv: list[str] | None = None) -> int:
              "(local misses are fetched from the peer's /artifacts API)",
     )
     parser.add_argument(
+        "--store-replicas", default=None,
+        help="comma-separated replica targets (peer URLs and/or directories) "
+             "used as one N-way replicated store tier with read-repair and "
+             "hinted handoff; mutually exclusive with --store-url",
+    )
+    parser.add_argument(
         "--request-timeout", type=float, default=300.0,
         help="per-request timeout in seconds for non-streaming endpoints "
              "(0 disables)",
@@ -945,6 +955,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.store_shards is not None and args.cache_dir is None:
         parser.error("--store-shards requires --cache-dir (it shards the local store)")
+    if args.store_url and args.store_replicas:
+        parser.error("--store-url and --store-replicas are mutually exclusive")
 
     configure_logging()
     if args.kernel_policy is not None or args.dtype is not None:

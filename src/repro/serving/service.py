@@ -523,7 +523,14 @@ class StabilityService:
     # -- observability ---------------------------------------------------------
 
     def healthz(self) -> dict:
-        """Liveness payload: cheap, touches no numerical state."""
+        """Liveness payload: cheap, touches no numerical state.
+
+        ``store_peers`` lists every remote storage peer with its circuit
+        breaker state; ``degraded`` is true while any breaker is open, so a
+        load balancer can route around storage-degraded instances without
+        parsing the full ``/metrics`` snapshot.
+        """
+        peers = self.pipeline.store.peer_health()
         return {
             "status": "ok",
             "uptime_seconds": round(time.time() - self.started_at, 3),
@@ -535,6 +542,8 @@ class StabilityService:
             "tasks": list(self.pipeline.config.tasks),
             "store_persistent": self.pipeline.store.persistent,
             "store_tiers": [tier.name for tier in self.pipeline.store.tiers],
+            "store_peers": peers,
+            "degraded": any(peer["breaker_open"] for peer in peers),
             "cluster_workers": len(self.coordinator.snapshot()["workers"]),
         }
 
