@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Perf-regression gate: diff a fresh benchmark envelope against a baseline.
+
+Every CLI benchmark writes a ``BENCH_<name>.json`` envelope (see
+``write_benchmark_results`` in ``benchmarks/conftest.py``).  This script
+compares the *timing leaves* of a freshly produced envelope against a
+committed baseline and **fails (exit 1) when any timing regressed by more
+than the threshold** (default 25%).
+
+A timing leaf is any numeric value in the ``summary`` or ``rows`` payloads
+whose key names a duration: ``seconds``, ``*_s``, ``*_ms`` or ``*_seconds``
+(``mean_ms``, ``cold_mean_ms``, ``total_s``, ...).  Rows are addressed by
+their ``mode``/``name`` label when they carry one, so reordering rows never
+misaligns the diff.  Counters, speedup ratios and everything else are
+ignored -- more work per second is not a regression.  Tiny timings are
+noise: leaves where *both* sides sit under ``--min-ms`` are skipped, so a
+0.4ms -> 0.6ms jitter cannot flap CI.
+
+Usage::
+
+    python benchmarks/compare_bench.py \
+        --baseline benchmarks/baselines/BENCH_engine_grid.json \
+        --fresh BENCH_engine_grid.json [--threshold 0.25] [--min-ms 20]
+
+Thresholds are deliberately generous: shared CI runners are noisy, and the
+gate exists to catch step-function regressions (an accidentally quadratic
+loop, a lost cache), not single-digit drift.  ``--threshold`` and
+``--min-ms`` can be overridden per invocation (CI reads
+``BENCH_REGRESSION_THRESHOLD`` / ``BENCH_MIN_MS`` env vars if set).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+__all__ = ["timing_leaves", "compare", "main"]
+
+#: Key suffixes/names identifying a duration leaf, and their scale to ms.
+_SECONDS_KEYS = ("seconds",)
+_SECONDS_SUFFIXES = ("_s", "_seconds")
+_MS_SUFFIXES = ("_ms",)
+
+
+def _is_timing_key(key: str) -> float | None:
+    """The to-milliseconds scale factor of a timing key, or None."""
+    if key in _SECONDS_KEYS or key.endswith(_SECONDS_SUFFIXES):
+        return 1000.0
+    if key.endswith(_MS_SUFFIXES):
+        return 1.0
+    return None
+
+
+def timing_leaves(payload, prefix: str = "") -> dict[str, float]:
+    """Flatten every timing leaf of a JSON payload to ``path -> milliseconds``."""
+    leaves: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            scale = _is_timing_key(str(key))
+            if scale is not None and isinstance(value, (int, float)) \
+                    and not isinstance(value, bool):
+                leaves[path] = float(value) * scale
+            else:
+                leaves.update(timing_leaves(value, path))
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            label = None
+            if isinstance(value, dict):
+                for field in ("mode", "name"):
+                    if isinstance(value.get(field), str):
+                        label = value[field]
+                        break
+            segment = f"[{label}]" if label is not None else f"[{index}]"
+            leaves.update(timing_leaves(value, f"{prefix}{segment}"))
+    return leaves
+
+
+def compare(
+    baseline: dict, fresh: dict, *, threshold: float = 0.25, min_ms: float = 20.0
+) -> tuple[list[str], list[str]]:
+    """Compare two envelopes; returns (report_lines, regression_lines)."""
+    sections = lambda env: {
+        "summary": env.get("summary") or {}, "rows": env.get("rows") or []
+    }
+    base_leaves = timing_leaves(sections(baseline))
+    fresh_leaves = timing_leaves(sections(fresh))
+    report: list[str] = []
+    regressions: list[str] = []
+    for path in sorted(base_leaves):
+        if path not in fresh_leaves:
+            report.append(f"  ~ {path}: in baseline only (skipped)")
+            continue
+        base_ms, fresh_ms = base_leaves[path], fresh_leaves[path]
+        if base_ms < min_ms and fresh_ms < min_ms:
+            report.append(
+                f"  . {path}: {base_ms:.2f}ms -> {fresh_ms:.2f}ms (under "
+                f"{min_ms:.0f}ms floor, skipped)"
+            )
+            continue
+        ratio = fresh_ms / base_ms if base_ms > 0 else float("inf")
+        line = f"{path}: {base_ms:.2f}ms -> {fresh_ms:.2f}ms ({ratio:.2f}x baseline)"
+        if fresh_ms > base_ms * (1.0 + threshold):
+            regressions.append(f"  ! {line}  exceeds +{threshold:.0%}")
+            report.append(f"  ! {line}  REGRESSION")
+        else:
+            report.append(f"  ok {line}")
+    for path in sorted(set(fresh_leaves) - set(base_leaves)):
+        report.append(f"  + {path}: new timing (no baseline, skipped)")
+    return report, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="committed BENCH_*.json")
+    parser.add_argument("--fresh", required=True, help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("BENCH_REGRESSION_THRESHOLD", "0.25")),
+        help="allowed fractional slowdown before failing (default 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--min-ms",
+        type=float,
+        default=float(os.environ.get("BENCH_MIN_MS", "20.0")),
+        help="skip leaves where both sides are under this many ms (noise floor)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(Path(args.baseline).read_text())
+        fresh = json.loads(Path(args.fresh).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"compare_bench: cannot load envelopes: {error}", file=sys.stderr)
+        return 2
+    name = fresh.get("benchmark", "?")
+    if baseline.get("benchmark") not in (None, name):
+        print(
+            f"compare_bench: baseline is {baseline.get('benchmark')!r} but fresh "
+            f"is {name!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    report, regressions = compare(
+        baseline, fresh, threshold=args.threshold, min_ms=args.min_ms
+    )
+    print(f"benchmark {name}: baseline {baseline.get('git_rev', '?')[:12]} vs "
+          f"fresh {fresh.get('git_rev', '?')[:12]} "
+          f"(threshold +{args.threshold:.0%}, floor {args.min_ms:.0f}ms)")
+    for line in report:
+        print(line)
+    if regressions:
+        print(f"\n{len(regressions)} timing regression(s) over +{args.threshold:.0%}:")
+        for line in regressions:
+            print(line)
+        return 1
+    print("\nno timing regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,12 @@ import scipy.sparse as sp
 
 from repro.corpus.vocabulary import Vocabulary
 
-__all__ = ["CooccurrenceMatrix", "build_cooccurrence", "ppmi_matrix"]
+__all__ = [
+    "CooccurrenceMatrix",
+    "CooccurrenceAccumulator",
+    "build_cooccurrence",
+    "ppmi_matrix",
+]
 
 
 @dataclass
@@ -95,11 +100,27 @@ def build_cooccurrence(
         raise ValueError("vocab_size must be positive")
     if window_size < 1:
         raise ValueError("window_size must be >= 1")
+    counts = _offset_counts(documents, n, window_size)
+    return _materialize(
+        counts, n, distance_weighting=distance_weighting, symmetric=symmetric
+    )
 
-    rows: list[np.ndarray] = []
-    cols: list[np.ndarray] = []
-    vals: list[np.ndarray] = []
 
+def _offset_counts(
+    documents: Iterable[Sequence[int] | np.ndarray], n: int, window_size: int
+) -> list[sp.csr_matrix]:
+    """Exact directional pair counts per window offset.
+
+    ``counts[d - 1][i, j]`` is the number of times word ``j`` follows word
+    ``i`` at distance ``d``, as an int64 CSR matrix.  Integer counts are
+    order-independent (unlike float accumulation), which is what makes the
+    incremental :class:`CooccurrenceAccumulator` bit-identical to a
+    from-scratch build: however the counts were accumulated, the weighted
+    float materialisation in :func:`_materialize` runs the same operations
+    in the same order.
+    """
+    rows: list[list[np.ndarray]] = [[] for _ in range(window_size)]
+    cols: list[list[np.ndarray]] = [[] for _ in range(window_size)]
     for doc in documents:
         ids = np.asarray(doc, dtype=np.int64)
         ids = ids[(ids >= 0) & (ids < n)]
@@ -107,26 +128,150 @@ def build_cooccurrence(
         if length < 2:
             continue
         for offset in range(1, min(window_size, length - 1) + 1):
-            left = ids[:-offset]
-            right = ids[offset:]
-            weight = (1.0 / offset) if distance_weighting else 1.0
-            w = np.full(len(left), weight, dtype=np.float64)
-            rows.append(left)
-            cols.append(right)
-            vals.append(w)
-            if symmetric:
-                rows.append(right)
-                cols.append(left)
-                vals.append(w)
+            rows[offset - 1].append(ids[:-offset])
+            cols[offset - 1].append(ids[offset:])
+    counts: list[sp.csr_matrix] = []
+    for offset in range(window_size):
+        if not rows[offset]:
+            counts.append(sp.csr_matrix((n, n), dtype=np.int64))
+            continue
+        row_idx = np.concatenate(rows[offset])
+        col_idx = np.concatenate(cols[offset])
+        data = np.ones(len(row_idx), dtype=np.int64)
+        mat = sp.coo_matrix((data, (row_idx, col_idx)), shape=(n, n), dtype=np.int64)
+        counts.append(mat.tocsr())
+    return counts
 
-    if not rows:
-        return sp.csr_matrix((n, n), dtype=np.float64)
 
-    row_idx = np.concatenate(rows)
-    col_idx = np.concatenate(cols)
-    data = np.concatenate(vals)
-    mat = sp.coo_matrix((data, (row_idx, col_idx)), shape=(n, n), dtype=np.float64)
-    return mat.tocsr()
+def _materialize(
+    counts: Sequence[sp.csr_matrix],
+    n: int,
+    *,
+    distance_weighting: bool,
+    symmetric: bool,
+) -> sp.csr_matrix:
+    """Weighted float64 co-occurrence matrix from per-offset integer counts.
+
+    The only float operations are ``count * (1/d)`` and the sum over offsets
+    in ascending ``d`` order, so any two count sets that are numerically
+    equal materialise to bit-identical matrices.
+    """
+    total = sp.csr_matrix((n, n), dtype=np.float64)
+    for offset, mat in enumerate(counts, start=1):
+        if mat.nnz == 0:
+            continue
+        directional = (mat + mat.T) if symmetric else mat
+        weight = (1.0 / offset) if distance_weighting else 1.0
+        total = total + directional.astype(np.float64) * weight
+    total.sum_duplicates()
+    return total
+
+
+class CooccurrenceAccumulator:
+    """Incrementally-updated sparse co-occurrence counts over a growing corpus.
+
+    The monitor's ingestion path feeds document batches in as they arrive;
+    the accumulator keeps **exact integer pair counts per window offset**, so
+    merging deltas is plain int64 addition and :meth:`materialize` yields a
+    matrix bit-identical to :func:`build_cooccurrence` over the concatenated
+    corpus (pinned in ``tests/corpus/test_cooccurrence.py``).
+
+    Vocabulary growth reorders word ids (:class:`Vocabulary` keeps frequency
+    order); :meth:`remap` migrates the accumulated counts onto the new id
+    space through an explicit old-id -> new-id table, which is exact for
+    integer counts.
+
+    Parameters
+    ----------
+    vocab_size:
+        Current vocabulary size (rows/cols of the accumulated matrix).
+    window_size, distance_weighting, symmetric:
+        As in :func:`build_cooccurrence`; fixed for the accumulator's life
+        so every materialisation is comparable.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        *,
+        window_size: int = 8,
+        distance_weighting: bool = True,
+        symmetric: bool = True,
+    ) -> None:
+        if vocab_size <= 0:
+            raise ValueError("vocab_size must be positive")
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        self.window_size = int(window_size)
+        self.distance_weighting = bool(distance_weighting)
+        self.symmetric = bool(symmetric)
+        self._n = int(vocab_size)
+        self._counts: list[sp.csr_matrix] = [
+            sp.csr_matrix((self._n, self._n), dtype=np.int64)
+            for _ in range(self.window_size)
+        ]
+        #: Documents and tokens accumulated so far (observability).
+        self.documents_added = 0
+        self.tokens_added = 0
+
+    @property
+    def vocab_size(self) -> int:
+        return self._n
+
+    @property
+    def nnz(self) -> int:
+        """Stored directional pair entries across all offsets."""
+        return int(sum(mat.nnz for mat in self._counts))
+
+    def add(self, documents: Iterable[Sequence[int] | np.ndarray]) -> int:
+        """Merge a batch of id-encoded documents into the counts.
+
+        Returns the number of documents merged.  Ids outside
+        ``[0, vocab_size)`` are skipped, matching :func:`build_cooccurrence`.
+        """
+        batch = [np.asarray(doc, dtype=np.int64) for doc in documents]
+        delta = _offset_counts(batch, self._n, self.window_size)
+        self._counts = [have + new for have, new in zip(self._counts, delta)]
+        self.documents_added += len(batch)
+        self.tokens_added += int(sum(len(doc) for doc in batch))
+        return len(batch)
+
+    def remap(self, old_to_new: Sequence[int] | np.ndarray, new_size: int) -> None:
+        """Migrate counts onto a grown (re-ordered) vocabulary id space.
+
+        ``old_to_new[i]`` is the new id of the word that had id ``i``; every
+        old id must map somewhere (vocabulary growth never drops words).
+        """
+        table = np.asarray(old_to_new, dtype=np.int64)
+        if table.shape != (self._n,):
+            raise ValueError(
+                f"old_to_new must have length {self._n}, got {table.shape}"
+            )
+        if new_size < self._n:
+            raise ValueError("new_size must not shrink the accumulator")
+        if (table < 0).any() or (table >= new_size).any():
+            raise ValueError("old_to_new entries must be valid new ids")
+        if len(np.unique(table)) != len(table):
+            raise ValueError("old_to_new must be injective")
+        remapped: list[sp.csr_matrix] = []
+        for mat in self._counts:
+            coo = mat.tocoo()
+            remapped.append(
+                sp.coo_matrix(
+                    (coo.data, (table[coo.row], table[coo.col])),
+                    shape=(new_size, new_size),
+                    dtype=np.int64,
+                ).tocsr()
+            )
+        self._counts = remapped
+        self._n = int(new_size)
+
+    def materialize(self) -> sp.csr_matrix:
+        """The weighted float64 co-occurrence matrix of everything added."""
+        return _materialize(
+            self._counts, self._n,
+            distance_weighting=self.distance_weighting, symmetric=self.symmetric,
+        )
 
 
 def ppmi_matrix(counts: sp.spmatrix | np.ndarray, *, shift: float = 0.0) -> sp.csr_matrix:

@@ -1,0 +1,128 @@
+"""Content-addressed corpus snapshots: a corpus frozen into the artifact store.
+
+The paper's core scenario is embeddings retrained as the corpus *grows*; the
+monitor subsystem (:mod:`repro.monitor`) makes that a live workload by
+cutting the ingested corpus into immutable **snapshots**.  A snapshot is a
+:class:`~repro.corpus.synthetic.Corpus` serialised into two artifacts keyed
+by a hash of the corpus content:
+
+* ``corpus-snapshot/<key>.npz`` -- the token stream (one concatenated int64
+  array plus per-document lengths) and per-document topics;
+* ``corpus-snapshot-meta/<key>.json`` -- the word list and human-readable
+  metadata.
+
+Because the key is a content hash, snapshots are location-independent like
+every other artifact: a pipeline configured with
+``snapshot_pair=(key_a, key_b)`` can be rebuilt on any host whose store
+fabric can reach the bytes (cluster workers fetch them through their remote
+tier), which is what makes snapshot retrains distributable over the fleet.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.corpus.synthetic import Corpus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.store import ArtifactStore
+
+__all__ = [
+    "SNAPSHOT_KIND",
+    "SNAPSHOT_META_KIND",
+    "snapshot_key",
+    "store_snapshot",
+    "load_snapshot",
+    "snapshot_exists",
+]
+
+SNAPSHOT_KIND = "corpus-snapshot"
+SNAPSHOT_META_KIND = "corpus-snapshot-meta"
+
+
+def _flatten(corpus: Corpus) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    tokens = (
+        np.concatenate([np.asarray(d, dtype=np.int64) for d in corpus.documents])
+        if corpus.documents
+        else np.empty(0, dtype=np.int64)
+    )
+    lengths = np.array([len(d) for d in corpus.documents], dtype=np.int64)
+    topics = np.asarray(corpus.document_topics, dtype=np.int64)
+    return tokens, lengths, topics
+
+
+def snapshot_key(corpus: Corpus) -> str:
+    """Content hash of a corpus (word list, token stream, topics, name).
+
+    Matches the store's 24-hex key idiom (:func:`repro.engine.store.config_hash`)
+    so snapshot keys serve directly as ``/artifacts`` names and grid-axis
+    values.
+    """
+    tokens, lengths, topics = _flatten(corpus)
+    digest = hashlib.sha256()
+    digest.update("\x00".join(corpus.word_list).encode("utf-8"))
+    digest.update(b"\x01")
+    digest.update(corpus.name.encode("utf-8"))
+    digest.update(b"\x01")
+    digest.update(lengths.tobytes())
+    digest.update(tokens.tobytes())
+    digest.update(topics.tobytes())
+    return digest.hexdigest()[:24]
+
+
+def store_snapshot(store: "ArtifactStore", corpus: Corpus) -> str:
+    """Freeze ``corpus`` into ``store``; returns its content-addressed key.
+
+    Idempotent: re-storing identical content lands on the same key (and the
+    same bytes), so repeated cuts of an unchanged corpus cost nothing new.
+    """
+    key = snapshot_key(corpus)
+    tokens, lengths, topics = _flatten(corpus)
+    store.put_arrays(
+        SNAPSHOT_KIND, key, {"tokens": tokens, "lengths": lengths, "topics": topics}
+    )
+    store.put_json(
+        SNAPSHOT_META_KIND, key,
+        {
+            "words": list(corpus.word_list),
+            "name": corpus.name,
+            "n_documents": len(corpus.documents),
+            "n_tokens": int(tokens.size),
+        },
+    )
+    return key
+
+
+def load_snapshot(store: "ArtifactStore", key: str) -> Corpus:
+    """Rebuild the :class:`Corpus` frozen under ``key``.
+
+    Raises ``KeyError`` when either artifact is missing -- a snapshot is only
+    usable when both its token stream and its word list are reachable.
+    """
+    arrays = store.get_arrays(SNAPSHOT_KIND, key)
+    meta = store.get_json(SNAPSHOT_META_KIND, key)
+    if arrays is None or meta is None:
+        raise KeyError(f"corpus snapshot {key!r} is not in the artifact store")
+    lengths = np.asarray(arrays["lengths"], dtype=np.int64)
+    tokens = np.asarray(arrays["tokens"], dtype=np.int64)
+    documents = [
+        np.ascontiguousarray(piece)
+        for piece in np.split(tokens, np.cumsum(lengths)[:-1])
+    ] if lengths.size else []
+    return Corpus(
+        word_list=[str(w) for w in meta["words"]],
+        documents=documents,
+        document_topics=np.asarray(arrays["topics"], dtype=np.int64),
+        name=str(meta["name"]),
+    )
+
+
+def snapshot_exists(store: "ArtifactStore", key: str) -> bool:
+    """Whether both snapshot artifacts are reachable through ``store``."""
+    return (
+        store.get_arrays(SNAPSHOT_KIND, key) is not None
+        and store.get_json(SNAPSHOT_META_KIND, key) is not None
+    )

@@ -20,6 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.scheduler import GridEngine
     from repro.instability.pipeline import InstabilityPipeline
     from repro.measures.base import DecompositionCache
+    from repro.monitor.scheduler import InstabilityMonitor
 
 __all__ = ["stats"]
 
@@ -32,6 +33,7 @@ def stats(
     engine: "GridEngine | None" = None,
     caches: "Mapping[str, DecompositionCache] | None" = None,
     coordinator: "ClusterCoordinator | None" = None,
+    monitor: "InstabilityMonitor | None" = None,
 ) -> dict:
     """Aggregate engine counters into one JSON-able snapshot.
 
@@ -45,11 +47,14 @@ def stats(
     serving process's long-lived cache); ``coordinator`` adds a cluster
     section (leases issued/expired/reassigned/speculative, checkpoint and
     resume counters, drain state, per-worker throughput plus the monotonic
-    ``fleet`` aggregates that survive idle-worker eviction).
+    ``fleet`` aggregates that survive idle-worker eviction); ``monitor``
+    adds the online instability monitor's snapshot (versions, ingest and
+    retrain counters, last drift report).
 
     The snapshot always contains the keys ``store``, ``pipeline``,
-    ``decomposition_caches``, ``warmup`` and ``cluster`` (empty/None when the
-    component is absent), so consumers can index without existence checks.
+    ``decomposition_caches``, ``warmup``, ``cluster`` and ``monitor``
+    (empty/None when the component is absent), so consumers can index
+    without existence checks.
     """
     if source is not None:
         if isinstance(source, ArtifactStore):
@@ -69,6 +74,7 @@ def stats(
         "decomposition_caches": {},
         "warmup": None,
         "cluster": None,
+        "monitor": None,
     }
     if store is not None:
         snapshot["store"] = {
@@ -93,4 +99,6 @@ def stats(
         snapshot["warmup"] = engine.last_warmup
     if coordinator is not None:
         snapshot["cluster"] = coordinator.snapshot()
+    if monitor is not None:
+        snapshot["monitor"] = monitor.snapshot()
     return snapshot

@@ -140,6 +140,16 @@ def main(argv: list[str] | None = None) -> int:
         "--resume-runs", action="store_true",
         help="with --serve: rebuild cluster runs from store checkpoints at boot",
     )
+    parser.add_argument(
+        "--monitor", action="store_true",
+        help="with --serve: enable the online instability monitor "
+             "(/monitor/ingest, /monitor/status, /monitor/events)",
+    )
+    parser.add_argument(
+        "--monitor-distributed", action="store_true",
+        help="with --serve: lease monitor retrains to the repro-worker fleet "
+             "(implies --monitor)",
+    )
     args = parser.parse_args(argv)
     if args.store_shards is not None and args.cache_dir is None:
         parser.error("--store-shards requires --cache-dir (it shards the local store)")
@@ -172,6 +182,10 @@ def main(argv: list[str] | None = None) -> int:
             serve_argv += ["--dtype", args.dtype]
         if args.resume_runs:
             serve_argv += ["--resume-runs"]
+        if args.monitor:
+            serve_argv += ["--monitor"]
+        if args.monitor_distributed:
+            serve_argv += ["--monitor-distributed"]
         return serve_main(serve_argv)
 
     names = sorted(EXPERIMENTS) if args.all else ([args.experiment] if args.experiment else [])

@@ -81,6 +81,14 @@ class PipelineConfig:
     vocab_min_count: int = 2
     #: The paper computes measures over the top-10k words; kept as a knob.
     measure_top_k: int = 10_000
+    #: Content-addressed keys of a (base, drifted) corpus-snapshot pair (see
+    #: :mod:`repro.corpus.snapshots`).  When set, the pipeline loads both
+    #: corpora from the artifact store instead of generating them from
+    #: ``corpus``; the keys join every artifact key, so each snapshot pair is
+    #: its own cache universe.  Snapshots are first-class grid inputs: the
+    #: pipeline stays reconstructible from JSON, so snapshot retrains
+    #: distribute over the cluster fleet like any other grid.
+    snapshot_pair: tuple[str, str] | None = None
 
     # Embeddings.
     algorithms: tuple[str, ...] = ("cbow", "glove", "mc")
@@ -143,6 +151,15 @@ class PipelineConfig:
             raise ValueError(
                 f"measure_dtype must be one of {KERNEL_DTYPES} or None, got {self.measure_dtype!r}"
             )
+        if self.snapshot_pair is not None:
+            if (
+                len(self.snapshot_pair) != 2
+                or not all(isinstance(k, str) and k for k in self.snapshot_pair)
+            ):
+                raise ValueError(
+                    "snapshot_pair must be a (base_key, drifted_key) pair of "
+                    f"non-empty strings, got {self.snapshot_pair!r}"
+                )
 
     @classmethod
     def from_jsonable(cls, payload: dict) -> "PipelineConfig":
@@ -160,7 +177,8 @@ class PipelineConfig:
             data["corpus"] = SyntheticCorpusConfig(**data["corpus"])
         if isinstance(data.get("ner_config"), dict):
             data["ner_config"] = NERTaskConfig(**data["ner_config"])
-        for name in ("algorithms", "dimensions", "precisions", "seeds", "tasks"):
+        for name in ("algorithms", "dimensions", "precisions", "seeds", "tasks",
+                     "snapshot_pair"):
             if isinstance(data.get(name), list):
                 data[name] = tuple(data[name])
         return cls(**data)
@@ -234,6 +252,19 @@ class InstabilityPipeline:
             self.corpus_pair = corpus_pair
         elif warm_corpus_pair is not None:
             self.corpus_pair = warm_corpus_pair
+        elif self.config.snapshot_pair is not None:
+            # A snapshot-configured pipeline stays reconstructible: the keys
+            # are content-addressed, so any host whose store fabric reaches
+            # the snapshot bytes (cluster workers fetch them through their
+            # remote tier) rebuilds the exact same corpora from JSON alone.
+            from repro.corpus.snapshots import load_snapshot
+
+            base_key, drifted_key = self.config.snapshot_pair
+            self.corpus_pair = CorpusPair(
+                base=load_snapshot(self.store, base_key),
+                drifted=load_snapshot(self.store, drifted_key),
+                config=self.config.corpus,
+            )
         else:
             self.corpus_pair = self.generator.generate_pair(seed=self.config.corpus.seed)
             self.corpus_build_count = 1
@@ -270,6 +301,7 @@ class InstabilityPipeline:
         return {
             "corpus": self.config.corpus,
             "vocab_min_count": self.config.vocab_min_count,
+            "snapshot_pair": self.config.snapshot_pair,
             "salt": self._key_salt,
         }
 

@@ -1,0 +1,157 @@
+"""Incremental corpus ingestion: growing vocabulary + co-occurrence deltas.
+
+The paper's scenario is a corpus that *accumulates* -- Wiki'17 grows into
+Wiki'18 -- and :class:`CorpusIngestor` is that accumulation made online.
+Document batches arrive as tokenised text; the ingestor maintains
+
+* a growing :class:`~repro.corpus.vocabulary.Vocabulary` (frequency-ordered,
+  so ids are re-derived as counts change -- **stable id remapping** migrates
+  all accumulated state across each re-ordering), and
+* an incrementally-updated sparse
+  :class:`~repro.corpus.cooccurrence.CooccurrenceAccumulator` whose
+  materialisation is bit-identical to a from-scratch
+  :func:`~repro.corpus.cooccurrence.build_cooccurrence` over the concatenated
+  corpus (the accumulator keeps exact integer counts per window offset, so
+  delta merges and id remaps are exact).
+
+:meth:`snapshot_corpus` freezes the ingested state into a
+:class:`~repro.corpus.synthetic.Corpus` whose word list is the current
+vocabulary; the monitor's scheduler stores it content-addressed
+(:mod:`repro.corpus.snapshots`) and retrains embedding versions over
+successive snapshot pairs.
+
+The ingestor's vocabulary uses ``min_count=1``: every ingested token is
+in-vocabulary, so encoding a document at batch time and remapping its ids
+later is exactly the same as encoding it against the final vocabulary --
+the invariant the bit-identity guarantee rests on.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.corpus.cooccurrence import CooccurrenceAccumulator
+from repro.corpus.synthetic import Corpus
+from repro.corpus.vocabulary import Vocabulary
+
+__all__ = ["CorpusIngestor"]
+
+
+class CorpusIngestor:
+    """Accumulates tokenised document batches into monitored corpus state.
+
+    Parameters
+    ----------
+    window_size, distance_weighting, symmetric:
+        Co-occurrence accumulation knobs (see
+        :func:`~repro.corpus.cooccurrence.build_cooccurrence`).
+    corpus_name:
+        ``name`` of every cut corpus.  Constant on purpose: the snapshot key
+        is a content hash, so an unchanged corpus cuts to the same key and
+        the scheduler can skip no-op snapshots.
+    """
+
+    def __init__(
+        self,
+        *,
+        window_size: int = 8,
+        distance_weighting: bool = True,
+        symmetric: bool = True,
+        corpus_name: str = "monitor",
+    ) -> None:
+        self.window_size = int(window_size)
+        self.distance_weighting = bool(distance_weighting)
+        self.symmetric = bool(symmetric)
+        self.corpus_name = str(corpus_name)
+        self.vocab = Vocabulary(min_count=1)
+        self._accumulator: CooccurrenceAccumulator | None = None
+        self._documents: list[list[str]] = []
+        self._lock = threading.Lock()
+        self.batches_ingested = 0
+
+    # -- ingestion -----------------------------------------------------------
+
+    def add_batch(self, documents: Sequence[Sequence[str]]) -> dict:
+        """Merge one batch of tokenised documents; returns ingest stats.
+
+        The vocabulary grows (and re-orders) first; the co-occurrence
+        accumulator is remapped onto the new id space through the stable
+        old-id -> new-id table, then the batch's documents are encoded in the
+        *new* vocabulary and delta-merged in.
+        """
+        batch = [[str(token) for token in doc] for doc in documents]
+        if not batch or any(not doc for doc in batch):
+            raise ValueError("documents must be a non-empty list of non-empty token lists")
+        with self._lock:
+            old_words = self.vocab.words
+            self.vocab.update(token for doc in batch for token in doc)
+            if self._accumulator is None:
+                self._accumulator = CooccurrenceAccumulator(
+                    len(self.vocab),
+                    window_size=self.window_size,
+                    distance_weighting=self.distance_weighting,
+                    symmetric=self.symmetric,
+                )
+            elif old_words:
+                old_to_new = np.array(
+                    [self.vocab[word] for word in old_words], dtype=np.int64
+                )
+                self._accumulator.remap(old_to_new, len(self.vocab))
+            encoded = [self.vocab.encode(doc) for doc in batch]
+            self._accumulator.add(encoded)
+            self._documents.extend(batch)
+            self.batches_ingested += 1
+            return {
+                "batch_documents": len(batch),
+                "batch_tokens": int(sum(len(doc) for doc in batch)),
+                **self._stats_locked(),
+            }
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot_corpus(self) -> Corpus:
+        """Freeze everything ingested so far as a :class:`Corpus`.
+
+        The word list is the current vocabulary in id order and every
+        document is encoded against it, so the corpus is self-contained --
+        exactly what :func:`repro.corpus.snapshots.store_snapshot` needs.
+        Topic labels are zeros: ingested corpora carry no generator topics
+        (downstream task structure comes from the pipeline's config-derived
+        lexicons, not from the corpus).
+        """
+        with self._lock:
+            if not self._documents:
+                raise ValueError("no documents ingested yet")
+            documents = [self.vocab.encode(doc) for doc in self._documents]
+            return Corpus(
+                word_list=self.vocab.words,
+                documents=documents,
+                document_topics=np.zeros(len(documents), dtype=np.int64),
+                name=self.corpus_name,
+            )
+
+    def cooccurrence(self):
+        """Materialised co-occurrence matrix of everything ingested (csr)."""
+        with self._lock:
+            if self._accumulator is None:
+                raise ValueError("no documents ingested yet")
+            return self._accumulator.materialize()
+
+    # -- observability ---------------------------------------------------------
+
+    def _stats_locked(self) -> dict:
+        accumulator = self._accumulator
+        return {
+            "batches": self.batches_ingested,
+            "documents": len(self._documents),
+            "tokens": 0 if accumulator is None else accumulator.tokens_added,
+            "vocab_size": len(self.vocab),
+            "cooccurrence_nnz": 0 if accumulator is None else accumulator.nnz,
+        }
+
+    def stats(self) -> dict:
+        with self._lock:
+            return self._stats_locked()

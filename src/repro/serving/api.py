@@ -28,7 +28,17 @@ Endpoints (GET query parameters and/or a JSON request body; body wins):
   tier** for other nodes (see
   :class:`~repro.engine.backends.RemoteBackend`): ``GET`` serves a payload
   from any tier (encoding memory-only artifacts on the fly), ``PUT``
-  replicates one in, ``HEAD`` probes existence.
+  replicates one in, ``HEAD`` probes existence.  Artifact names are content
+  hashes, so ``GET``/``HEAD`` responses carry an ``ETag`` (the name) and
+  ``Cache-Control: public, max-age=31536000, immutable``, and an
+  ``If-None-Match`` hit answers ``304 Not Modified`` without a body --
+  artifacts are edge-cacheable by construction.
+* ``POST /monitor/ingest``, ``GET /monitor/status``, ``GET /monitor/events``
+  -- the online instability monitor (``--monitor``; see
+  :mod:`repro.monitor`): ingest tokenised document batches, read the
+  monitor's snapshot/retrain/drift state, and stream its lifecycle events
+  (snapshot cut, retrain started, measures ready, drift alert) as NDJSON --
+  ``since=<seq>`` replays buffered events, ``follow=true`` tails.
 
 Built on ``asyncio.start_server`` and nothing else -- no third-party web
 framework -- so the serving layer runs anywhere the reproduction runs.
@@ -74,7 +84,7 @@ logger = get_logger(__name__)
 __all__ = ["StabilityAPIServer", "quick_serve_config", "main"]
 
 _REASONS = {
-    200: "OK", 400: "Bad Request", 404: "Not Found",
+    200: "OK", 304: "Not Modified", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error", 503: "Service Unavailable",
@@ -239,6 +249,25 @@ def _tuple_param(params: dict, name: str, cast=int) -> tuple | None:
         raise APIError(400, f"parameter {name!r} has non-{cast.__name__} items") from None
 
 
+def _etag_matches(if_none_match: str | None, name: str) -> bool:
+    """Whether an ``If-None-Match`` header validates the entity tag ``name``.
+
+    Accepts the wildcard ``*``, a comma-separated candidate list, quoted or
+    bare tags, and weak validators (``W/"..."`` -- weak comparison is fine:
+    the tag is a content hash, so equal tags mean byte-equal payloads).
+    """
+    if not if_none_match:
+        return False
+    for candidate in if_none_match.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/") or candidate.startswith("w/"):
+            candidate = candidate[2:]
+        candidate = candidate.strip('"')
+        if candidate == "*" or candidate == name:
+            return True
+    return False
+
+
 class StabilityAPIServer:
     """Asyncio HTTP server routing requests to a :class:`StabilityService`.
 
@@ -288,6 +317,8 @@ class StabilityAPIServer:
             "/cluster/complete": self._handle_cluster_complete,
             "/cluster/status": self._handle_cluster_status,
             "/cluster/drain": self._handle_cluster_drain,
+            "/monitor/ingest": self._handle_monitor_ingest,
+            "/monitor/status": self._handle_monitor_status,
         }
 
     # -- lifecycle -------------------------------------------------------------
@@ -357,7 +388,9 @@ class StabilityAPIServer:
                     break
                 if request is None:
                     break
-                keep_alive = request.keep_alive and request.path != "/grid"
+                keep_alive = request.keep_alive and request.path not in (
+                    "/grid", "/monitor/events",
+                )
                 await self._dispatch(request, reader, writer, keep_alive=keep_alive)
                 # A handler may force the connection shut (e.g. a 504).
                 if not (keep_alive and request.keep_alive):
@@ -404,12 +437,17 @@ class StabilityAPIServer:
         if request.path == "/grid":
             await self._handle_grid_stream(request, reader, writer)
             return
+        if request.path == "/monitor/events":
+            await self._handle_monitor_events(request, reader, writer)
+            return
         handler = self._routes.get(request.path)
         if handler is None:
             self._write_json(
                 writer, 404,
                 {"error": f"unknown path {request.path!r}",
-                 "paths": sorted([*self._routes, "/artifacts", "/grid"])},
+                 "paths": sorted(
+                     [*self._routes, "/artifacts", "/grid", "/monitor/events"]
+                 )},
                 close=close,
             )
             await writer.drain()
@@ -459,11 +497,16 @@ class StabilityAPIServer:
         *,
         close: bool = False,
         include_body: bool = True,
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
+        extras = "".join(
+            f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extras}"
             f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n"
         ).encode("latin1")
         writer.write(head + body if include_body else head)
@@ -499,9 +542,29 @@ class StabilityAPIServer:
             return
         kind, name = match.group(1), match.group(2)
         store = self.service.store
+        # The name IS a content hash: any cached copy under it is current
+        # forever, so successful reads are immutable-cacheable and a matching
+        # If-None-Match validates without moving a byte.
+        cache_headers = {
+            "ETag": f'"{name}"',
+            "Cache-Control": "public, max-age=31536000, immutable",
+        }
         try:
             # Store tiers touch the disk: off the event loop, bounded.
-            if request.method == "GET":
+            if request.method in ("GET", "HEAD") and _etag_matches(
+                request.headers.get("if-none-match"), name
+            ):
+                found = await self._offload(store.contains_bytes, kind, name)
+                if found:
+                    self._write_response(
+                        writer, 304, b"", "application/octet-stream",
+                        close=close, extra_headers=cache_headers,
+                    )
+                else:
+                    self._write_json(
+                        writer, 404, {"error": f"no artifact {kind}/{name}"}, close=close
+                    )
+            elif request.method == "GET":
                 payload = await self._offload(store.get_bytes, kind, name)
                 if payload is None:
                     self._write_json(
@@ -509,13 +572,14 @@ class StabilityAPIServer:
                     )
                 else:
                     self._write_response(
-                        writer, 200, payload, "application/octet-stream", close=close
+                        writer, 200, payload, "application/octet-stream",
+                        close=close, extra_headers=cache_headers,
                     )
             elif request.method == "HEAD":
                 found = await self._offload(store.contains_bytes, kind, name)
                 self._write_response(
                     writer, 200 if found else 404, b"", "application/octet-stream",
-                    close=close,
+                    close=close, extra_headers=cache_headers if found else None,
                 )
             elif request.method == "PUT":
                 if not request.body:
@@ -658,6 +722,137 @@ class StabilityAPIServer:
         return self.service.coordinator.drain(
             _bool_param(request.params, "enable", True)
         )
+
+    # -- /monitor: the online instability monitor ---------------------------------
+
+    def _monitor(self):
+        monitor = self.service.monitor
+        if monitor is None:
+            raise APIError(
+                503, "monitor not enabled; start with repro-serve --monitor"
+            )
+        return monitor
+
+    async def _handle_monitor_ingest(self, request: _Request) -> dict:
+        """Ingest one tokenised document batch (POST only).
+
+        ``documents`` is a non-empty JSON array whose items are either token
+        arrays or plain strings (split on whitespace).  ``cut`` forces
+        (``true``) or suppresses (``false``) the snapshot cut this batch
+        would trigger per the monitor's cadence.
+        """
+        if request.method != "POST":
+            raise APIError(405, "ingestion mutates monitor state; POST /monitor/ingest")
+        monitor = self._monitor()
+        raw = request.params.get("documents")
+        if not isinstance(raw, list) or not raw:
+            raise APIError(
+                400,
+                "parameter 'documents' must be a non-empty list of token "
+                "lists (or strings, split on whitespace)",
+            )
+        documents = []
+        for doc in raw:
+            if isinstance(doc, str):
+                doc = doc.split()
+            if not isinstance(doc, list) or not doc or not all(
+                isinstance(token, str) for token in doc
+            ):
+                raise APIError(
+                    400, "each document must be a non-empty string or token list"
+                )
+            documents.append(doc)
+        cut = request.params.get("cut")
+        if cut is not None:
+            cut = _bool_param(request.params, "cut", False)
+        return await self._offload(lambda: monitor.ingest(documents, cut=cut))
+
+    async def _handle_monitor_status(self, request: _Request) -> dict:
+        return self._monitor().snapshot()
+
+    async def _handle_monitor_events(
+        self, request: _Request, reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Stream monitor lifecycle events as NDJSON (one event per line).
+
+        ``since=<seq>`` starts after that sequence number (default 0: replay
+        everything still buffered).  Without ``follow`` the buffered events
+        are dumped and the stream ends -- the curl-friendly poll; with
+        ``follow=true`` the connection tails new events until the client
+        disconnects (the same EOF watchdog as ``/grid``).
+        """
+        monitor = self.service.monitor
+        try:
+            if monitor is None:
+                raise APIError(
+                    503, "monitor not enabled; start with repro-serve --monitor"
+                )
+            since = _int_param(request.params, "since", 0) or 0
+            follow = _bool_param(request.params, "follow", False)
+        except APIError as error:
+            self._write_json(writer, error.status, {"error": str(error)})
+            await writer.drain()
+            return
+
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue[tuple[str, object]] = asyncio.Queue()
+        cancelled = threading.Event()
+
+        def produce() -> None:
+            last = since
+            try:
+                while not cancelled.is_set():
+                    fresh = (
+                        monitor.events.wait(last, 0.5)
+                        if follow
+                        else monitor.events.events(last)
+                    )
+                    for event in fresh:
+                        last = max(last, int(event["seq"]))
+                        loop.call_soon_threadsafe(queue.put_nowait, ("event", event))
+                    if not follow:
+                        break
+            finally:
+                try:
+                    loop.call_soon_threadsafe(queue.put_nowait, ("done", None))
+                except RuntimeError:  # pragma: no cover - loop already closed
+                    pass
+
+        thread = threading.Thread(target=produce, name="monitor-events", daemon=True)
+        thread.start()
+        watchdog = asyncio.ensure_future(reader.read(1))
+
+        def on_watchdog_done(task: "asyncio.Task") -> None:
+            if not task.cancelled():
+                task.exception()
+            cancelled.set()
+
+        watchdog.add_done_callback(on_watchdog_done)
+        try:
+            while True:
+                kind, item = await queue.get()
+                if kind == "event":
+                    self._write_chunk(writer, json.dumps(item, sort_keys=True) + "\n")
+                    await writer.drain()
+                else:  # done
+                    self._end_chunks(writer)
+                    break
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            cancelled.set()
+            if not watchdog.done():
+                watchdog.cancel()
 
     # -- streaming /grid ---------------------------------------------------------
 
@@ -846,6 +1041,32 @@ async def _serve(args: argparse.Namespace) -> int:
     if args.resume_runs:
         resumed = service.coordinator.resume_runs()
         print(f"repro-serve resumed {resumed} cluster run(s) from checkpoints", flush=True)
+    if args.monitor or args.monitor_distributed:
+        from repro.monitor.scheduler import MonitorConfig
+
+        thresholds: dict[str, float] = {}
+        for entry in args.monitor_threshold or []:
+            name, sep, value = entry.partition("=")
+            if not sep or not name:
+                raise SystemExit(
+                    f"--monitor-threshold wants measure=value, got {entry!r}"
+                )
+            try:
+                thresholds[name.strip()] = float(value)
+            except ValueError:
+                raise SystemExit(
+                    f"--monitor-threshold value must be a number, got {entry!r}"
+                ) from None
+        service.enable_monitor(
+            MonitorConfig(
+                snapshot_every_batches=args.monitor_every,
+                cadence_seconds=args.monitor_cadence,
+                distributed=args.monitor_distributed,
+                thresholds=thresholds,
+            )
+        )
+        mode = "distributed" if args.monitor_distributed else "local"
+        print(f"repro-serve monitor enabled ({mode} retrains)", flush=True)
     server = StabilityAPIServer(
         service, host=args.host, port=args.port,
         request_timeout=args.request_timeout if args.request_timeout > 0 else None,
@@ -951,6 +1172,32 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick", action="store_true",
         help="serve a tiny pipeline configuration (CI smoke / demos)",
+    )
+    parser.add_argument(
+        "--monitor", action="store_true",
+        help="enable the online instability monitor "
+             "(/monitor/ingest, /monitor/status, /monitor/events)",
+    )
+    parser.add_argument(
+        "--monitor-distributed", action="store_true",
+        help="lease monitor retrains to the repro-worker fleet through the "
+             "cluster coordinator instead of running them in-process "
+             "(implies --monitor)",
+    )
+    parser.add_argument(
+        "--monitor-every", type=int, default=1,
+        help="cut a corpus snapshot every N ingested batches",
+    )
+    parser.add_argument(
+        "--monitor-cadence", type=float, default=0.0,
+        help="also cut snapshots every N seconds when new documents arrived "
+             "(0 disables the wall-clock cadence)",
+    )
+    parser.add_argument(
+        "--monitor-threshold", action="append", default=None,
+        metavar="MEASURE=VALUE",
+        help="drift-alert threshold, e.g. 'eis=0.15' or 'disagreement=0.2' "
+             "(repeatable; no thresholds = observe without alerting)",
     )
     args = parser.parse_args(argv)
     if args.store_shards is not None and args.cache_dir is None:

@@ -60,6 +60,7 @@ from repro.utils.logging import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+    from repro.monitor.scheduler import InstabilityMonitor, MonitorConfig
 
 logger = get_logger(__name__)
 
@@ -170,6 +171,8 @@ class StabilityService:
             "grids_cancelled": 0,
         }
         self._closed = False
+        #: Online instability monitor; ``None`` until :meth:`enable_monitor`.
+        self.monitor: "InstabilityMonitor | None" = None
         logger.info(
             "stability service ready: %d-word vocabulary, %d-way concurrency",
             len(self.pipeline.vocab), self.config.max_concurrency,
@@ -178,10 +181,30 @@ class StabilityService:
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the monitor and worker pool down (idempotent)."""
         if not self._closed:
             self._closed = True
+            if self.monitor is not None:
+                self.monitor.close()
             self._executor.shutdown(wait=True, cancel_futures=True)
+
+    def enable_monitor(
+        self, config: "MonitorConfig | None" = None
+    ) -> "InstabilityMonitor":
+        """Attach (or return) the online instability monitor.
+
+        The monitor rides this service's store, pipeline configuration and
+        cluster coordinator; calling again returns the existing instance
+        (``config`` must then be omitted or it is an error).
+        """
+        from repro.monitor.scheduler import InstabilityMonitor
+
+        if self.monitor is not None:
+            if config is not None and config != self.monitor.config:
+                raise ValueError("monitor already enabled with a different config")
+            return self.monitor
+        self.monitor = InstabilityMonitor(self, config)
+        return self.monitor
 
     def __enter__(self) -> "StabilityService":
         return self
@@ -553,6 +576,7 @@ class StabilityService:
             engine=self.engine,
             caches={"serving": self.decomposition_cache},
             coordinator=self.coordinator,
+            monitor=self.monitor,
         )
         with self._lock:
             serving = dict(self._counters)

@@ -1,0 +1,124 @@
+"""Delta-merged co-occurrence accumulation is *bit-identical* to from-scratch.
+
+The online monitor's guarantee rests on :class:`CooccurrenceAccumulator`
+keeping exact integer counts per window offset: any batching of the same
+documents produces the same counts, and the shared materialisation then
+performs the same float operations in the same order.  These tests pin that
+equality exactly -- same ``data`` bytes, same ``indices``, same ``indptr``
+-- never approximately.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.cooccurrence import CooccurrenceAccumulator, build_cooccurrence
+
+
+def assert_bit_identical(a, b):
+    """csr equality at the byte level: structure and float payload exact."""
+    assert a.shape == b.shape
+    np.testing.assert_array_equal(a.indptr, b.indptr)
+    np.testing.assert_array_equal(a.indices, b.indices)
+    assert a.data.tobytes() == b.data.tobytes()
+
+
+DOCS = [
+    [0, 1, 2, 1, 0],
+    [3, 2, 2, 0],
+    [4, 0, 1],
+    [1, 1, 1, 1],
+    [2, 4],
+]
+
+
+class TestDeltaMergeBitIdentity:
+    @pytest.mark.parametrize("split", [1, 2, 3, 4])
+    @pytest.mark.parametrize("distance_weighting", [True, False])
+    def test_batched_equals_from_scratch(self, split, distance_weighting):
+        accumulator = CooccurrenceAccumulator(
+            5, window_size=3, distance_weighting=distance_weighting
+        )
+        for start in range(0, len(DOCS), split):
+            accumulator.add(DOCS[start:start + split])
+        expected = build_cooccurrence(
+            DOCS, 5, window_size=3, distance_weighting=distance_weighting
+        )
+        assert_bit_identical(accumulator.materialize(), expected)
+
+    def test_asymmetric_counts(self):
+        accumulator = CooccurrenceAccumulator(5, window_size=2, symmetric=False)
+        accumulator.add(DOCS[:2])
+        accumulator.add(DOCS[2:])
+        expected = build_cooccurrence(DOCS, 5, window_size=2, symmetric=False)
+        assert_bit_identical(accumulator.materialize(), expected)
+
+    def test_materialize_is_repeatable(self):
+        accumulator = CooccurrenceAccumulator(5, window_size=3)
+        accumulator.add(DOCS)
+        assert_bit_identical(accumulator.materialize(), accumulator.materialize())
+
+    def test_counters(self):
+        accumulator = CooccurrenceAccumulator(5, window_size=3)
+        accumulator.add(DOCS[:2])
+        accumulator.add(DOCS[2:])
+        assert accumulator.documents_added == len(DOCS)
+        assert accumulator.tokens_added == sum(len(d) for d in DOCS)
+        assert accumulator.nnz > 0
+
+
+class TestRemap:
+    def test_remap_then_add_equals_final_id_space(self):
+        # Two documents arrive under a 3-word id space, the vocabulary grows
+        # to 5 words with every old id moved, then two more documents arrive
+        # under the final space.  The result must equal accumulating all four
+        # documents under the final space from scratch.
+        old_to_new = np.array([4, 0, 2], dtype=np.int64)   # old id -> new id
+        early = [[0, 1, 2, 1], [2, 2, 0]]
+        late = [[3, 1, 4, 0], [1, 3]]
+        accumulator = CooccurrenceAccumulator(3, window_size=2)
+        accumulator.add(early)
+        accumulator.remap(old_to_new, 5)
+        accumulator.add(late)
+
+        early_final = [[int(old_to_new[i]) for i in doc] for doc in early]
+        expected = build_cooccurrence(early_final + late, 5, window_size=2)
+        assert_bit_identical(accumulator.materialize(), expected)
+        assert accumulator.vocab_size == 5
+
+    def test_identity_remap_is_noop(self):
+        accumulator = CooccurrenceAccumulator(5, window_size=3)
+        accumulator.add(DOCS)
+        before = accumulator.materialize()
+        accumulator.remap(np.arange(5, dtype=np.int64), 5)
+        assert_bit_identical(accumulator.materialize(), before)
+
+    def test_remap_validation(self):
+        accumulator = CooccurrenceAccumulator(3, window_size=2)
+        accumulator.add([[0, 1, 2]])
+        with pytest.raises(ValueError):
+            accumulator.remap(np.array([0, 1]), 3)          # wrong length
+        with pytest.raises(ValueError):
+            accumulator.remap(np.array([0, 1, 2]), 2)       # shrinking
+        with pytest.raises(ValueError):
+            accumulator.remap(np.array([0, 1, 3]), 3)       # out of range
+        with pytest.raises(ValueError):
+            accumulator.remap(np.array([0, 1, 1]), 3)       # not injective
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    docs=st.lists(
+        st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=20),
+        min_size=1, max_size=8,
+    ),
+    n_batches=st.integers(min_value=1, max_value=4),
+)
+def test_property_any_batching_is_bit_identical(docs, n_batches):
+    accumulator = CooccurrenceAccumulator(8, window_size=3)
+    for batch in np.array_split(np.arange(len(docs)), n_batches):
+        if len(batch):
+            accumulator.add([docs[i] for i in batch])
+    expected = build_cooccurrence(docs, 8, window_size=3)
+    assert_bit_identical(accumulator.materialize(), expected)

@@ -1,0 +1,82 @@
+"""Content-addressed corpus snapshots: round-trip, addressing, errors."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.snapshots import (
+    load_snapshot,
+    snapshot_exists,
+    snapshot_key,
+    store_snapshot,
+)
+from repro.corpus.synthetic import Corpus
+from repro.engine.store import ArtifactStore
+
+
+def make_corpus(name="c", shift=0):
+    return Corpus(
+        word_list=["alpha", "beta", "gamma"],
+        documents=[
+            np.array([0, 1, 2, 1], dtype=np.int64) + 0,
+            np.array([(2 + shift) % 3, 0], dtype=np.int64),
+        ],
+        document_topics=np.array([0, 1], dtype=np.int64),
+        name=name,
+    )
+
+
+class TestSnapshotKey:
+    def test_deterministic(self):
+        assert snapshot_key(make_corpus()) == snapshot_key(make_corpus())
+
+    def test_content_sensitive(self):
+        assert snapshot_key(make_corpus()) != snapshot_key(make_corpus(shift=1))
+        assert snapshot_key(make_corpus()) != snapshot_key(make_corpus(name="d"))
+
+    def test_key_shape(self):
+        key = snapshot_key(make_corpus())
+        assert len(key) == 24
+        assert all(c in "0123456789abcdef" for c in key)
+
+
+class TestStoreLoad:
+    def test_round_trip(self):
+        store = ArtifactStore()
+        corpus = make_corpus()
+        key = store_snapshot(store, corpus)
+        loaded = load_snapshot(store, key)
+        assert loaded.word_list == corpus.word_list
+        assert loaded.name == corpus.name
+        assert len(loaded.documents) == len(corpus.documents)
+        for a, b in zip(loaded.documents, corpus.documents):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(loaded.document_topics, corpus.document_topics)
+        # The round-tripped corpus re-addresses to the same key.
+        assert snapshot_key(loaded) == key
+
+    def test_store_is_idempotent(self):
+        store = ArtifactStore()
+        corpus = make_corpus()
+        assert store_snapshot(store, corpus) == store_snapshot(store, corpus)
+
+    def test_exists(self):
+        store = ArtifactStore()
+        key = store_snapshot(store, make_corpus())
+        assert snapshot_exists(store, key)
+        assert not snapshot_exists(store, "0" * 24)
+
+    def test_missing_key_raises(self):
+        store = ArtifactStore()
+        with pytest.raises(KeyError):
+            load_snapshot(store, "0" * 24)
+
+    def test_empty_corpus_round_trips(self):
+        store = ArtifactStore()
+        corpus = Corpus(
+            word_list=["only"], documents=[],
+            document_topics=np.zeros(0, dtype=np.int64), name="empty",
+        )
+        key = store_snapshot(store, corpus)
+        loaded = load_snapshot(store, key)
+        assert loaded.documents == []
+        assert loaded.word_list == ["only"]

@@ -92,6 +92,63 @@ class TestTruncateAndIntersect:
         assert Vocabulary({"a": 1}) != Vocabulary({"b": 1})
 
 
+class TestUpdate:
+    """Incremental growth with deterministic, remappable id re-derivation
+    (the online monitor's ingestion path)."""
+
+    def test_update_grows_and_reorders(self):
+        vocab = Vocabulary(min_count=1)
+        vocab.update(["b", "a", "b"])
+        assert vocab.words == ["b", "a"]
+        vocab.update(["a", "a", "c"])
+        # Counts now a=3, b=2, c=1: ids re-derive from the new ordering.
+        assert vocab.words == ["a", "b", "c"]
+
+    def test_update_equals_from_documents(self):
+        batches = [["a", "b", "a"], ["b", "c"], ["c", "c", "a"]]
+        incremental = Vocabulary(min_count=1)
+        for batch in batches:
+            incremental.update(batch)
+        assert incremental.words == Vocabulary.from_documents(batches).words
+
+    def test_remap_table_is_stable_and_injective(self):
+        # The old->new id table the monitor derives after an update must be a
+        # deterministic injection: every pre-update word keeps exactly one id
+        # in the grown vocabulary, identically on every run.
+        vocab = Vocabulary(min_count=1)
+        vocab.update("d a b a c b a".split())
+        old_words = vocab.words
+
+        def grow():
+            v = Vocabulary(min_count=1)
+            v.update("d a b a c b a".split())
+            v.update("e c c c b e".split())
+            return [v[word] for word in old_words]
+
+        table = grow()
+        assert table == grow()                      # deterministic
+        assert len(set(table)) == len(table)        # injective
+        # And the table really tracks the words across the re-ordering.
+        v = Vocabulary(min_count=1)
+        v.update("d a b a c b a".split())
+        v.update("e c c c b e".split())
+        for word, new_id in zip(old_words, table):
+            assert v.id_to_word(new_id) == word
+
+    def test_encode_then_remap_equals_encode_in_final_vocab(self):
+        # min_count=1 ingestion invariant: ids encoded against the old
+        # vocabulary, pushed through the remap table, equal ids encoded
+        # against the final vocabulary directly.
+        doc = "b a c a b".split()
+        vocab = Vocabulary(min_count=1)
+        vocab.update(doc)
+        old_words = vocab.words
+        encoded_old = vocab.encode(doc)
+        vocab.update("d d d a".split())
+        table = np.array([vocab[word] for word in old_words])
+        np.testing.assert_array_equal(table[encoded_old], vocab.encode(doc))
+
+
 @settings(max_examples=30, deadline=None)
 @given(st.dictionaries(st.text(alphabet="abcdefg", min_size=1, max_size=4),
                        st.integers(min_value=1, max_value=50), min_size=1, max_size=20))

@@ -13,7 +13,7 @@ class TestStats:
         snapshot = stats()
         assert snapshot == {
             "store": {}, "pipeline": {}, "decomposition_caches": {}, "warmup": None,
-            "cluster": None,
+            "cluster": None, "monitor": None,
         }
 
     def test_bare_store_positional(self):
@@ -87,3 +87,27 @@ class TestClusterSection:
         assert cluster["runs_active"] == 1
         assert "w1" in cluster["workers"]
         json.dumps(snapshot)
+
+
+class TestMonitorSection:
+    def test_monitor_snapshot_is_included_and_jsonable(self):
+        import warnings
+
+        from repro.monitor import InstabilityMonitor, MonitorConfig
+        from repro.serving import StabilityService
+        from repro.serving.api import quick_serve_config
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", UserWarning)
+            service = StabilityService(quick_serve_config())
+        try:
+            monitor = InstabilityMonitor(service, MonitorConfig(sync=True))
+            snapshot = stats(monitor=monitor)
+            section = snapshot["monitor"]
+            assert section["version"] == 0
+            assert section["counters"]["batches_ingested"] == 0
+            assert section["last_report"] is None
+            json.dumps(snapshot)
+            monitor.close()
+        finally:
+            service.close()

@@ -1,0 +1,91 @@
+"""CorpusIngestor: growing vocabulary, exact co-occurrence deltas, snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.cooccurrence import build_cooccurrence
+from repro.corpus.snapshots import snapshot_key
+from repro.monitor.ingest import CorpusIngestor
+
+BATCH_1 = [["the", "cat", "sat"], ["the", "dog", "sat", "down"]]
+BATCH_2 = [["a", "cat", "and", "a", "dog"], ["the", "the", "the"]]
+
+
+class TestAddBatch:
+    def test_stats_accumulate(self):
+        ingestor = CorpusIngestor(window_size=2)
+        first = ingestor.add_batch(BATCH_1)
+        assert first["batch_documents"] == 2
+        assert first["batch_tokens"] == 7
+        second = ingestor.add_batch(BATCH_2)
+        assert second["documents"] == 4
+        assert second["batches"] == 2
+        assert second["vocab_size"] == len({"the", "cat", "sat", "dog", "down", "a", "and"})
+
+    def test_rejects_empty(self):
+        ingestor = CorpusIngestor()
+        with pytest.raises(ValueError):
+            ingestor.add_batch([])
+        with pytest.raises(ValueError):
+            ingestor.add_batch([["ok"], []])
+
+    def test_empty_ingestor_has_no_snapshot(self):
+        ingestor = CorpusIngestor()
+        with pytest.raises(ValueError):
+            ingestor.snapshot_corpus()
+        with pytest.raises(ValueError):
+            ingestor.cooccurrence()
+
+
+class TestBitIdentity:
+    def test_accumulated_cooccurrence_equals_from_scratch(self):
+        # The accumulator's matrix -- built across batches, through vocabulary
+        # growth and id remaps -- must be bit-identical to building from
+        # scratch over the snapshot's final encoding.
+        ingestor = CorpusIngestor(window_size=3)
+        ingestor.add_batch(BATCH_1)
+        ingestor.add_batch(BATCH_2)
+        corpus = ingestor.snapshot_corpus()
+        expected = build_cooccurrence(
+            corpus.documents, len(corpus.word_list), window_size=3
+        )
+        actual = ingestor.cooccurrence()
+        np.testing.assert_array_equal(actual.indptr, expected.indptr)
+        np.testing.assert_array_equal(actual.indices, expected.indices)
+        assert actual.data.tobytes() == expected.data.tobytes()
+
+    def test_batched_equals_single_batch(self):
+        split = CorpusIngestor(window_size=2)
+        split.add_batch(BATCH_1)
+        split.add_batch(BATCH_2)
+        whole = CorpusIngestor(window_size=2)
+        whole.add_batch(BATCH_1 + BATCH_2)
+        a, b = split.cooccurrence(), whole.cooccurrence()
+        np.testing.assert_array_equal(a.indptr, b.indptr)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        assert a.data.tobytes() == b.data.tobytes()
+
+
+class TestSnapshots:
+    def test_snapshot_key_stable_when_unchanged(self):
+        ingestor = CorpusIngestor()
+        ingestor.add_batch(BATCH_1)
+        assert snapshot_key(ingestor.snapshot_corpus()) == snapshot_key(
+            ingestor.snapshot_corpus()
+        )
+
+    def test_snapshot_key_changes_with_content(self):
+        ingestor = CorpusIngestor()
+        ingestor.add_batch(BATCH_1)
+        before = snapshot_key(ingestor.snapshot_corpus())
+        ingestor.add_batch(BATCH_2)
+        assert snapshot_key(ingestor.snapshot_corpus()) != before
+
+    def test_snapshot_encodes_all_documents_in_final_vocab(self):
+        ingestor = CorpusIngestor()
+        ingestor.add_batch(BATCH_1)
+        ingestor.add_batch(BATCH_2)
+        corpus = ingestor.snapshot_corpus()
+        assert len(corpus.documents) == 4
+        decoded = [[corpus.word_list[i] for i in doc] for doc in corpus.documents]
+        assert decoded == BATCH_1 + BATCH_2
