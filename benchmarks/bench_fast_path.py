@@ -1,0 +1,212 @@
+"""Benchmark the fast numeric path: quantized-first serving and mmap decode.
+
+Three sections, each asserting its invariant so CI can smoke the numbers:
+
+1. ``exact`` vs ``fast`` measure evaluation of one grid cell (embeddings
+   pre-trained, measure caches cold): the quantized-first path must be at
+   least ``--min-speedup`` times faster than the exact float64 suite on the
+   largest shape, *and* every fast value must sit within its reported error
+   bound of the exact value -- speed without soundness does not count.
+2. ``escalation``: with a tolerance of zero every cell escalates, and the
+   escalated values are bit-identical to the exact path's.
+3. ``mmap``: a warm store in mmap mode decodes the cell's pair artifacts as
+   memory maps -- zero private copies (counter-asserted) -- and the decode
+   is compared against the copying path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fast_path.py --quick
+    PYTHONPATH=src python benchmarks/bench_fast_path.py --min-speedup 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+import warnings
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.reporting import format_table  # noqa: E402
+from repro.corpus.synthetic import SyntheticCorpusConfig  # noqa: E402
+from repro.engine.store import ArtifactStore  # noqa: E402
+from repro.instability.pipeline import InstabilityPipeline, PipelineConfig  # noqa: E402
+from repro.measures import FAST_MEASURES  # noqa: E402
+
+from conftest import write_benchmark_results  # noqa: E402
+
+
+def bench_config(quick: bool) -> PipelineConfig:
+    if quick:
+        return PipelineConfig(
+            corpus=SyntheticCorpusConfig(
+                vocab_size=240, n_documents=120, doc_length_mean=40, seed=7
+            ),
+            algorithms=("svd",),
+            dimensions=(8, 16),
+            precisions=(1, 32),
+            seeds=(0,),
+            tasks=("sst2",),
+            embedding_epochs=2,
+            downstream_epochs=3,
+            ner_epochs=2,
+        )
+    return PipelineConfig(
+        corpus=SyntheticCorpusConfig(
+            vocab_size=600, n_documents=400, doc_length_mean=80, seed=0
+        ),
+        algorithms=("svd",),
+        dimensions=(16, 64),
+        precisions=(1, 32),
+        seeds=(0,),
+        tasks=("sst2",),
+        embedding_epochs=4,
+        downstream_epochs=5,
+    )
+
+
+def _timed(fn, repeats: int) -> tuple[float, object]:
+    """Best-of-N wall time of ``fn`` (seconds) and its last return value."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_benchmark(quick: bool, min_speedup: float, repeats: int):
+    config = bench_config(quick)
+    rows, summary = [], {}
+    warnings.filterwarnings("ignore", category=UserWarning)
+
+    # -- 1. exact vs fast evaluation latency (largest shape) --------------------
+    # Both paths start from their cached pair representation (the exact path's
+    # compressed pair and the fast path's quantized fast-pair artifact are
+    # each built once and content-addressed); what is timed is the measure
+    # evaluation a cache-miss /measure request pays.
+    pipeline = InstabilityPipeline(config)
+    cell = (config.algorithms[0], config.dimensions[-1], config.precisions[0], 0)
+    pipeline.compressed_pair(*cell)          # pre-train: time measures, not SGD
+    pipeline.fast_pair(*cell)
+    pipeline.anchor_decomposition(cell[0], cell[3])  # both paths share anchors
+
+    def cold_exact():
+        pipeline.store.delete_bytes("measures", pipeline.measures_key(*cell) + ".json")
+        return pipeline.compute_measures(*cell)
+
+    def cold_fast():
+        pipeline.store.delete_bytes(
+            "fast_measures", pipeline.fast_measures_key(*cell) + ".json"
+        )
+        return pipeline.compute_measures_fast(*cell)
+
+    exact_seconds, exact = _timed(cold_exact, repeats)
+    fast_seconds, fast = _timed(cold_fast, repeats)
+    speedup = exact_seconds / fast_seconds if fast_seconds > 0 else float("inf")
+    rows.append({"mode": "exact measures (cold)", "mean_ms": round(1e3 * exact_seconds, 2)})
+    rows.append({"mode": "fast measures (cold)", "mean_ms": round(1e3 * fast_seconds, 2)})
+    summary["fast_speedup"] = round(speedup, 2)
+    assert speedup >= min_speedup, (
+        f"fast path is only {speedup:.2f}x faster than exact "
+        f"({1e3 * fast_seconds:.1f}ms vs {1e3 * exact_seconds:.1f}ms); "
+        f"wanted >= {min_speedup}x"
+    )
+
+    # -- soundness: |fast - exact| <= bound on EVERY cell of the grid -----------
+    checked = 0
+    for dim in config.dimensions:
+        for precision in config.precisions:
+            grid_cell = (config.algorithms[0], dim, precision, 0)
+            fast_cell = pipeline.compute_measures_fast(*grid_cell)
+            exact_cell = pipeline.compute_measures(*grid_cell)
+            for name in FAST_MEASURES:
+                error = abs(fast_cell["values"][name] - exact_cell[name])
+                assert error <= fast_cell["bounds"][name] + 1e-12, (
+                    f"{name} bound violated at dim={dim} precision={precision}: "
+                    f"|fast - exact| = {error} > {fast_cell['bounds'][name]}"
+                )
+                checked += 1
+    summary["soundness_checks"] = checked
+
+    # -- 2. escalation: zero tolerance must reproduce exact bit for bit ---------
+    from repro.serving import ServiceConfig, StabilityService
+
+    service = StabilityService(pipeline, config=ServiceConfig(max_concurrency=2))
+    try:
+        escalated = service.measure(*cell, fast=True, fast_tolerance=1e-300)
+        exact_response = service.measure(*cell)
+        assert escalated["escalated"] is True
+        assert escalated["measures"] == exact_response["measures"], (
+            "escalated fast response is not bit-identical to the exact path"
+        )
+        counters = service.metrics()["serving"]
+        summary["fast_escalations"] = counters["fast_escalations"]
+    finally:
+        service.close()
+
+    # -- 3. mmap decode: warm rereads make zero private copies ------------------
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench-fastpath-") as tmp:
+        writer = ArtifactStore(tmp, mmap=True)
+        key = pipeline.fast_pair_key(*cell)
+        writer.put_arrays("fast_pair", key, pipeline.fast_pair(*cell))
+
+        def decode(mmap: bool):
+            timings = []
+            for _ in range(max(3, repeats)):
+                fresh = ArtifactStore(tmp, mmap=mmap)
+                start = time.perf_counter()
+                fresh.get_arrays("fast_pair", key)
+                timings.append(time.perf_counter() - start)
+            probe = ArtifactStore(tmp, mmap=mmap)
+            probe.get_arrays("fast_pair", key)
+            return statistics.mean(timings), probe.io_counters()
+
+        mapped_mean, mapped_io = decode(mmap=True)
+        copied_mean, copied_io = decode(mmap=False)
+        assert mapped_io["copied_reads"] == 0, (
+            f"mmap-mode decode made private copies: {mapped_io}"
+        )
+        assert mapped_io["mapped_reads"] >= 1
+        assert copied_io["mapped_reads"] == 0
+        rows.append({"mode": "mmap decode (warm)", "mean_ms": round(1e3 * mapped_mean, 3)})
+        rows.append({"mode": "copy decode (warm)", "mean_ms": round(1e3 * copied_mean, 3)})
+        summary["mapped_bytes"] = mapped_io["mapped_bytes"]
+        summary["copied_bytes"] = copied_io["copied_bytes"]
+
+    return rows, summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small grid (CI smoke)")
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help="required exact/fast latency ratio on the largest shape",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repetitions"
+    )
+    parser.add_argument("--output", default=None, help="results JSON path override")
+    args = parser.parse_args(argv)
+
+    rows, summary = run_benchmark(args.quick, args.min_speedup, args.repeats)
+    print(format_table(rows))
+    print()
+    print("summary:", summary)
+    path = write_benchmark_results(
+        "fast_path", summary=summary, rows=rows, output=args.output
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -180,9 +180,15 @@ class Embedding:
         vocab = Vocabulary({w: int(c) for w, c in zip(words, counts)})
         index = {w: i for i, w in enumerate(words)}
         order = np.asarray([index[w] for w in vocab.words], dtype=np.int64)
+        vectors = np.asarray(vectors)
+        # Arrays saved in vocabulary order (the store codecs always are)
+        # re-gather as the identity; skipping the fancy-index copy then lets
+        # a memory-mapped vector matrix flow through still mapped.
+        if not np.array_equal(order, np.arange(len(order))):
+            vectors = vectors[order]
         return cls(
             vocab=vocab,
-            vectors=np.asarray(vectors)[order],
+            vectors=vectors,
             metadata=dict(metadata or {}),
         )
 

@@ -209,6 +209,16 @@ class StoreBackend:
     def _delete(self, kind: str, name: str) -> None:
         raise NotImplementedError
 
+    def open_path(self, kind: str, name: str) -> Path | None:
+        """On-disk location of a payload, for memory-mapped decoding.
+
+        ``None`` means the backend cannot expose one (memory, remote) or the
+        payload is absent; the store then falls back to :meth:`get`.  Probes
+        are not counted in :class:`TierStats` -- the store counts the hit
+        once a mapped decode actually succeeds.
+        """
+        return None
+
     # -- reconstruction / observability ---------------------------------------
 
     def spec(self) -> dict | None:
@@ -307,6 +317,10 @@ class DiskBackend(StoreBackend):
     def _delete(self, kind: str, name: str) -> None:
         self._path(kind, name).unlink(missing_ok=True)
 
+    def open_path(self, kind: str, name: str) -> Path | None:
+        path = self._path(kind, name)
+        return path if path.exists() else None
+
     def spec(self) -> dict:
         return {"backend": "disk", "root": str(self.root)}
 
@@ -378,6 +392,9 @@ class ShardedBackend(StoreBackend):
 
     def _delete(self, kind: str, name: str) -> None:
         self.shard_for(kind, name).delete(kind, name)
+
+    def open_path(self, kind: str, name: str) -> Path | None:
+        return self.shard_for(kind, name).open_path(kind, name)
 
     def spec(self) -> dict | None:
         shard_specs = [shard.spec() for shard in self.shards]
@@ -502,6 +519,19 @@ class RemoteBackend(StoreBackend):
         *,
         force: bool = False,
     ) -> tuple[int, bytes]:
+        return self._request_path(
+            method, self._artifact_path(kind, name), body, force=force
+        )
+
+    def _request_path(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        *,
+        force: bool = False,
+        content_type: str = "application/octet-stream",
+    ) -> tuple[int, bytes]:
         """One keep-alive request; retries once on a stale pooled connection.
 
         Circuit breaker: while the peer is cooling down after a failure,
@@ -534,9 +564,9 @@ class RemoteBackend(StoreBackend):
                 try:
                     conn.request(
                         method,
-                        self._artifact_path(kind, name),
+                        path,
                         body=body,
-                        headers={"Content-Type": "application/octet-stream"} if body else {},
+                        headers={"Content-Type": content_type} if body else {},
                     )
                     response = conn.getresponse()
                     payload = response.read()
@@ -581,6 +611,79 @@ class RemoteBackend(StoreBackend):
             logger.warning("remote tier GET %s/%s: HTTP %d", kind, name, status)
             self.stats.errors += 1
         return None
+
+    def get_many(
+        self, items: Sequence[tuple[str, str]]
+    ) -> dict[tuple[str, str], bytes | None]:
+        """Fetch many payloads in one ``POST /artifacts/batch`` round trip.
+
+        Returns ``{(kind, name): payload-or-None}`` for every requested item
+        (``None`` = the peer doesn't hold it).  Batches over the server's
+        per-request item cap are paginated client-side.  A failed or
+        malformed batch response degrades to per-item :meth:`get` calls --
+        the batch endpoint accelerates warm-up against a modern peer, but an
+        older peer (404 on the path) or a flaky one must never lose reads
+        the single-artifact API would have served.
+        """
+        requested = [(str(kind), str(name)) for kind, name in items]
+        results: dict[tuple[str, str], bytes | None] = {}
+        page_size = 256  # mirrors the server's _MAX_BATCH_ITEMS
+        for start in range(0, len(requested), page_size):
+            page = requested[start:start + page_size]
+            parsed = self._get_batch(page)
+            if parsed is None:
+                parsed = {key: self.get(*key) for key in page}
+            else:
+                for payload in parsed.values():
+                    if payload is None:
+                        self.stats.misses += 1
+                    else:
+                        self.stats.hits += 1
+            results.update(parsed)
+        return results
+
+    def _get_batch(
+        self, page: list[tuple[str, str]]
+    ) -> dict[tuple[str, str], bytes | None] | None:
+        """One batch round trip; ``None`` means fall back to per-item gets."""
+        manifest = json.dumps(
+            {"items": [{"kind": kind, "name": name} for kind, name in page]}
+        ).encode("utf-8")
+        try:
+            status, body = self._request_path(
+                "POST", f"{self._base_path}/artifacts/batch", manifest,
+                content_type="application/json",
+            )
+        except ConnectionError as error:
+            logger.warning("remote tier batch GET failed: %s", error)
+            self.stats.errors += 1
+            return None
+        if status != 200:
+            if status not in (404, 405):  # pre-batch peers: silent fallback
+                logger.warning("remote tier batch GET: HTTP %d", status)
+                self.stats.errors += 1
+            return None
+        try:
+            parsed: dict[tuple[str, str], bytes | None] = {}
+            offset = 0
+            while offset < len(body):
+                newline = body.index(b"\n", offset)
+                header = json.loads(body[offset:newline].decode("utf-8"))
+                offset = newline + 1
+                size = int(header["bytes"])
+                payload = body[offset:offset + size]
+                if len(payload) != size or body[offset + size:offset + size + 1] != b"\n":
+                    raise ValueError("truncated batch frame")
+                offset += size + 1
+                key = (str(header["kind"]), str(header["name"]))
+                parsed[key] = payload if header["found"] else None
+            if set(parsed) != set(page):
+                raise ValueError("batch response does not cover the manifest")
+        except (ValueError, KeyError, TypeError) as error:
+            logger.warning("remote tier batch response malformed: %s", error)
+            self.stats.errors += 1
+            return None
+        return parsed
 
     def _put(self, kind: str, name: str, payload: bytes) -> None:
         """Best-effort replication write with one jittered retry.
@@ -871,6 +974,19 @@ class ReplicatedBackend(StoreBackend):
         with self._hint_lock:
             for key in [k for k in self._hints if k[1] == kind and k[2] == name]:
                 del self._hints[key]
+
+    def open_path(self, kind: str, name: str) -> Path | None:
+        """First replica that can expose an on-disk copy (no read-repair).
+
+        Mapped reads bypass the repair machinery deliberately: they prove
+        nothing about the *other* replicas, and a mapped decode that later
+        fails falls back to :meth:`get`, which repairs as usual.
+        """
+        for replica in self.replicas:
+            path = replica.open_path(kind, name)
+            if path is not None:
+                return path
+        return None
 
     # -- reconstruction / observability ---------------------------------------
 

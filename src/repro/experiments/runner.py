@@ -116,6 +116,11 @@ def main(argv: list[str] | None = None) -> int:
              "hinted handoff; mutually exclusive with --store-url",
     )
     parser.add_argument(
+        "--store-mmap", action="store_true",
+        help="memory-map disk-tier npz artifacts on read instead of copying "
+             "them into private memory (warm reruns share page-cache pages)",
+    )
+    parser.add_argument(
         "--coordinator", default=None,
         help="cluster coordinator base URL (a repro-serve instance); grid "
              "sweeps are executed by its repro-worker fleet instead of "
@@ -155,6 +160,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--store-shards requires --cache-dir (it shards the local store)")
     if args.store_url and args.store_replicas:
         parser.error("--store-url and --store-replicas are mutually exclusive")
+    if args.store_mmap and not (args.cache_dir or args.store_url or args.store_replicas):
+        parser.error("--store-mmap requires a store to map (--cache-dir or replicas)")
     replicas = [entry for entry in (args.store_replicas or "").split(",") if entry]
 
     configure_logging()
@@ -176,6 +183,8 @@ def main(argv: list[str] | None = None) -> int:
             serve_argv += ["--store-url", args.store_url]
         if args.store_replicas is not None:
             serve_argv += ["--store-replicas", args.store_replicas]
+        if args.store_mmap:
+            serve_argv += ["--store-mmap"]
         if args.kernel_policy is not None:
             serve_argv += ["--kernel-policy", args.kernel_policy]
         if args.dtype is not None:
@@ -199,6 +208,7 @@ def main(argv: list[str] | None = None) -> int:
             shards=args.store_shards,
             remote_url=args.store_url,
             replicas=replicas or None,
+            mmap=args.store_mmap,
         )
     if args.kernel_policy is not None or args.dtype is not None:
         configure_default_policy(svd=args.kernel_policy, dtype=args.dtype)

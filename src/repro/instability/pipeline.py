@@ -43,6 +43,7 @@ from repro.measures.eigenspace_instability import (
     anchor_factors,
 )
 from repro.measures.eigenspace_overlap import EigenspaceOverlapDistance
+from repro.measures.fastpath import build_fast_pair, evaluate_fast
 from repro.measures.knn import KNNDistance
 from repro.measures.pip_loss import PIPLoss
 from repro.measures.semantic_displacement import SemanticDisplacement
@@ -124,6 +125,14 @@ class PipelineConfig:
     eis_alpha: float = 3.0
     knn_k: int = 5
     knn_num_queries: int = 300
+    #: Truncation rank of the EIS anchor factorization (``None`` = full-rank
+    #: thin SVD, the exact paper behaviour).  With a randomized kernel policy
+    #: this turns the anchor SVD into a seeded Halko sketch; the factors then
+    #: carry residual estimates that feed the fast path's error bounds.
+    anchor_rank: int | None = None
+    #: Bit width of the quantized "fast pair" representation the serving
+    #: layer's quantized-first mode evaluates measures from.
+    fast_bits: int = 8
 
     # Numerical kernels (see repro.linalg).  ``None`` defers to the
     # process-wide default policy (the runner's --kernel-policy/--dtype
@@ -151,6 +160,10 @@ class PipelineConfig:
             raise ValueError(
                 f"measure_dtype must be one of {KERNEL_DTYPES} or None, got {self.measure_dtype!r}"
             )
+        if self.anchor_rank is not None and self.anchor_rank < 1:
+            raise ValueError(f"anchor_rank must be >= 1 or None, got {self.anchor_rank}")
+        if self.fast_bits < 1:
+            raise ValueError(f"fast_bits must be >= 1, got {self.fast_bits}")
         if self.snapshot_pair is not None:
             if (
                 len(self.snapshot_pair) != 2
@@ -284,6 +297,10 @@ class InstabilityPipeline:
         self._datasets: dict[str, DatasetSplits] = {}
         self._downstream_results: dict[str, DownstreamResult] = {}
         self._measure_suites: dict[tuple[str, int], dict[str, object]] = {}
+        #: Artifact-key memo: hashing re-serialises the whole (frozen) config,
+        #: which at serving rates costs more than some measure evaluations.
+        #: Safe because PipelineConfig is frozen and the salt is fixed at init.
+        self._key_memo: dict[tuple, str] = {}
         #: Number of embedding pairs actually trained (cache misses) and of
         #: downstream models actually fit; warm-cache tests pin these to zero.
         self.embedding_train_count = 0
@@ -296,6 +313,13 @@ class InstabilityPipeline:
         )
 
     # -- artifact keys -----------------------------------------------------------
+
+    def _memoised_key(self, memo_key: tuple, fields_fn) -> str:
+        """Cache ``config_hash(fields_fn())`` under ``memo_key`` for this pipeline."""
+        key = self._key_memo.get(memo_key)
+        if key is None:
+            key = self._key_memo[memo_key] = config_hash(fields_fn())
+        return key
 
     def _corpus_fields(self) -> dict:
         return {
@@ -371,7 +395,10 @@ class InstabilityPipeline:
 
     def embedding_pair(self, algorithm: str, dim: int, seed: int) -> tuple[Embedding, Embedding]:
         """Full-precision (base, drifted) embedding pair, Procrustes-aligned."""
-        key = config_hash(self._embedding_fields(algorithm, dim, seed))
+        key = self._memoised_key(
+            ("embedding", algorithm, int(dim), int(seed)),
+            lambda: self._embedding_fields(algorithm, dim, seed),
+        )
         pair = self.store.get_embedding_pair("embedding_pair", key)
         if pair is None:
             model_a = self._make_algorithm(algorithm, dim, seed)
@@ -379,7 +406,13 @@ class InstabilityPipeline:
             emb_a = model_a.fit(self.corpus_pair.base, vocab=self.vocab)
             emb_b = model_b.fit(self.corpus_pair.drifted, vocab=self.vocab)
             if self.config.align:
-                emb_b = align_pair(emb_a, emb_b)
+                # The Procrustes rotation solve dispatches through the kernel
+                # policy (exact for the default/auto policies at embedding
+                # scale; seeded Halko under svd="randomized"), which is
+                # already part of the embedding key above.
+                emb_b = align_pair(
+                    emb_a, emb_b, policy=self.config.resolved_kernel_policy()
+                )
             pair = (emb_a, emb_b)
             self.embedding_train_count += 1
             self.store.put_embedding_pair("embedding_pair", key, pair)
@@ -392,7 +425,10 @@ class InstabilityPipeline:
         """Embedding pair quantized to ``precision`` bits (threshold shared)."""
         if precision >= FULL_PRECISION_BITS:
             return self.embedding_pair(algorithm, dim, seed)
-        key = config_hash(self._quantized_fields(algorithm, dim, precision, seed))
+        key = self._memoised_key(
+            ("quantized", algorithm, int(dim), int(precision), int(seed)),
+            lambda: self._quantized_fields(algorithm, dim, precision, seed),
+        )
         pair = self.store.get_embedding_pair("quantized_pair", key)
         if pair is None:
             emb_a, emb_b = self.embedding_pair(algorithm, dim, seed)
@@ -416,10 +452,17 @@ class InstabilityPipeline:
         (algorithm, seed); with a persistent store it also survives reruns.
         """
         policy = self.config.resolved_kernel_policy()
-        fields = self._embedding_fields(algorithm, self.config.resolved_anchor_dim, seed)
-        fields.update(kind="anchor-svd", alpha=self.config.eis_alpha,
-                      top_k=self.config.measure_top_k, dtype=policy.dtype)
-        key = config_hash(fields)
+
+        def fields_fn() -> dict:
+            fields = self._embedding_fields(algorithm, self.config.resolved_anchor_dim, seed)
+            fields.update(kind="anchor-svd", alpha=self.config.eis_alpha,
+                          top_k=self.config.measure_top_k, dtype=policy.dtype)
+            if self.config.anchor_rank is not None:
+                # Included only when set so default-config keys match the seed.
+                fields.update(anchor_rank=self.config.anchor_rank)
+            return fields
+
+        key = self._memoised_key(("anchor-svd", algorithm, int(seed)), fields_fn)
         # All pipeline embeddings share one vocabulary, so the aligned word
         # order of any pair is the vocabulary's frequency order.
         words = tuple(self.vocab.words[: self.config.measure_top_k])
@@ -430,15 +473,25 @@ class InstabilityPipeline:
             factors = anchor_factors(
                 ra.vectors, rb.vectors, alpha=self.config.eis_alpha,
                 words=tuple(ra.vocab.words), policy=policy,
+                rank=self.config.anchor_rank,
             )
-            self.store.put_arrays(
-                "decomposition", key,
-                {"P": factors.P, "Ra": factors.Ra, "P_t": factors.P_t, "Ra_t": factors.Ra_t},
-            )
+            payload = {
+                "P": factors.P, "Ra": factors.Ra,
+                "P_t": factors.P_t, "Ra_t": factors.Ra_t,
+            }
+            if self.config.anchor_rank is not None:
+                payload["residuals"] = np.array(
+                    [factors.residual, factors.residual_t], dtype=np.float64
+                )
+            self.store.put_arrays("decomposition", key, payload)
             return factors
+        # Older (full-rank) artifacts carry no residual member: exact factors
+        # have zero truncation residual by construction.
+        residuals = np.asarray(arrays.get("residuals", (0.0, 0.0)), dtype=np.float64)
         return AnchorFactors(
             P=arrays["P"], Ra=arrays["Ra"], P_t=arrays["P_t"], Ra_t=arrays["Ra_t"],
             words=words,
+            residual=float(residuals[0]), residual_t=float(residuals[1]),
         )
 
     def measure_suite(self, algorithm: str, seed: int) -> dict[str, object]:
@@ -451,6 +504,7 @@ class InstabilityPipeline:
                     anchor_a, anchor_b, alpha=self.config.eis_alpha,
                     factors=self.anchor_decomposition(algorithm, seed),
                     policy=self.config.resolved_kernel_policy(),
+                    rank=self.config.anchor_rank,
                 ),
                 "1-knn": KNNDistance(
                     k=self.config.knn_k, num_queries=self.config.knn_num_queries, seed=0
@@ -472,19 +526,29 @@ class InstabilityPipeline:
         store's caching: two requests with the same key are the same
         computation.
         """
-        policy = self.config.resolved_kernel_policy()
-        fields = self._quantized_fields(algorithm, dim, precision, seed)
-        fields.update(
-            kind="measures",
-            measures=sorted(measures) if measures is not None else None,
-            top_k=self.config.measure_top_k,
-            eis_alpha=self.config.eis_alpha,
-            knn_k=self.config.knn_k,
-            knn_num_queries=self.config.knn_num_queries,
-            anchor_dim=self.config.resolved_anchor_dim,
-            dtype=policy.dtype,
+        selected = tuple(sorted(measures)) if measures is not None else None
+
+        def fields_fn() -> dict:
+            policy = self.config.resolved_kernel_policy()
+            fields = self._quantized_fields(algorithm, dim, precision, seed)
+            fields.update(
+                kind="measures",
+                measures=list(selected) if selected is not None else None,
+                top_k=self.config.measure_top_k,
+                eis_alpha=self.config.eis_alpha,
+                knn_k=self.config.knn_k,
+                knn_num_queries=self.config.knn_num_queries,
+                anchor_dim=self.config.resolved_anchor_dim,
+                dtype=policy.dtype,
+            )
+            if self.config.anchor_rank is not None:
+                fields.update(anchor_rank=self.config.anchor_rank)
+            return fields
+
+        return self._memoised_key(
+            ("measures", algorithm, int(dim), int(precision), int(seed), selected),
+            fields_fn,
         )
-        return config_hash(fields)
 
     def compute_measures(
         self, algorithm: str, dim: int, precision: int, seed: int,
@@ -517,6 +581,116 @@ class InstabilityPipeline:
         )
         out = batch.values
         self.store.put_json("measures", key, out)
+        return out
+
+    # -- fast (quantized-first) measures ----------------------------------------
+
+    def fast_pair_key(self, algorithm: str, dim: int, precision: int, seed: int) -> str:
+        """Artifact key of the quantized fast-pair representation of one cell."""
+
+        def fields_fn() -> dict:
+            fields = self._quantized_fields(algorithm, dim, precision, seed)
+            fields.update(
+                kind="fast_pair",
+                fast_bits=self.config.fast_bits,
+                top_k=self.config.measure_top_k,
+                # The artifact embeds precomputed knn stats, so their
+                # parameters are part of its identity.
+                knn_k=self.config.knn_k,
+                knn_num_queries=self.config.knn_num_queries,
+            )
+            return fields
+
+        return self._memoised_key(
+            ("fast_pair", algorithm, int(dim), int(precision), int(seed)), fields_fn
+        )
+
+    def fast_pair(
+        self, algorithm: str, dim: int, precision: int, seed: int
+    ) -> dict[str, np.ndarray]:
+        """Quantized float32 snapshot of a cell's aligned pair (cached).
+
+        The snapshot (see :func:`~repro.measures.fastpath.build_fast_pair`)
+        bundles the ``fast_bits``-quantized matrices with exactly-computed
+        residual statistics; it is its own content-addressed artifact kind, so
+        warm serving processes evaluate fast measures without ever touching
+        the float64 pair.
+        """
+        key = self.fast_pair_key(algorithm, dim, precision, seed)
+        arrays = self.store.get_arrays("fast_pair", key)
+        if arrays is None:
+            emb_a, emb_b = self.compressed_pair(algorithm, dim, precision, seed)
+            arrays = build_fast_pair(
+                emb_a, emb_b,
+                top_k=self.config.measure_top_k,
+                bits=self.config.fast_bits,
+                share_threshold=self.config.share_clip_threshold,
+                knn_k=self.config.knn_k,
+                knn_num_queries=self.config.knn_num_queries,
+            )
+            self.store.put_arrays("fast_pair", key, arrays)
+        return arrays
+
+    def fast_measures_key(
+        self, algorithm: str, dim: int, precision: int, seed: int,
+        *, measures: tuple[str, ...] | None = None,
+    ) -> str:
+        """Artifact key of one fast (quantized-first) measure evaluation."""
+        selected = tuple(sorted(measures)) if measures is not None else None
+
+        def fields_fn() -> dict:
+            fields = self._quantized_fields(algorithm, dim, precision, seed)
+            fields.update(
+                kind="fast_measures",
+                measures=list(selected) if selected is not None else None,
+                fast_bits=self.config.fast_bits,
+                top_k=self.config.measure_top_k,
+                eis_alpha=self.config.eis_alpha,
+                knn_k=self.config.knn_k,
+                knn_num_queries=self.config.knn_num_queries,
+                anchor_dim=self.config.resolved_anchor_dim,
+            )
+            if self.config.anchor_rank is not None:
+                fields.update(anchor_rank=self.config.anchor_rank)
+            return fields
+
+        return self._memoised_key(
+            ("fast_measures", algorithm, int(dim), int(precision), int(seed), selected),
+            fields_fn,
+        )
+
+    def compute_measures_fast(
+        self, algorithm: str, dim: int, precision: int, seed: int,
+        *, measures: tuple[str, ...] | None = None,
+    ) -> dict[str, dict[str, float]]:
+        """Approximate measure values plus per-measure error bounds.
+
+        Evaluates the suite from the cell's quantized fast pair (see
+        :mod:`repro.measures.fastpath`); returns ``{"values": ..., "bounds":
+        ...}`` where every bound satisfies ``|fast - exact| <= bound`` against
+        :meth:`compute_measures` of the same cell.  The result is cached under
+        its own artifact kind -- it is tolerance-independent, so the serving
+        layer applies its escalation threshold on top without re-computing.
+        """
+        key = self.fast_measures_key(algorithm, dim, precision, seed, measures=measures)
+        cached = self.store.get_json("fast_measures", key)
+        if cached is not None:
+            return {k: dict(v) for k, v in cached.items()}
+        data = self.fast_pair(algorithm, dim, precision, seed)
+        selected = tuple(measures) if measures is not None else None
+        factors = None
+        if selected is None or "eis" in selected:
+            factors = self.anchor_decomposition(algorithm, seed)
+        values, bounds = evaluate_fast(
+            data,
+            measures=selected,
+            factors=factors,
+            alpha=self.config.eis_alpha,
+            knn_k=self.config.knn_k,
+            knn_num_queries=self.config.knn_num_queries,
+        )
+        out = {"values": values, "bounds": bounds}
+        self.store.put_json("fast_measures", key, out)
         return out
 
     # -- downstream models ----------------------------------------------------------

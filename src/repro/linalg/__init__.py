@@ -21,7 +21,12 @@ from repro.linalg.policy import (
     configure_default_policy,
     default_policy,
 )
-from repro.linalg.svd import compute_svd, exact_svd, randomized_svd
+from repro.linalg.svd import (
+    compute_svd,
+    exact_svd,
+    randomized_svd,
+    svd_residual_estimate,
+)
 from repro.linalg.kernels import (
     cosine_top_k,
     gram_frobenius_diff_sq,
@@ -42,4 +47,5 @@ __all__ = [
     "normalize_rows",
     "randomized_svd",
     "row_set_overlap",
+    "svd_residual_estimate",
 ]

@@ -109,13 +109,25 @@ class DecompositionCache:
 
     @property
     def stats(self) -> dict[str, int]:
-        """Counter snapshot (mirrors the artifact store's per-kind stats)."""
+        """Counter snapshot (mirrors the artifact store's per-kind stats).
+
+        ``bytes_in_memory`` gauges the private memory the cache itself holds
+        onto: the factor arrays of cached SVDs and the cross products.  The
+        keyed source arrays are excluded -- they are referenced for identity
+        pinning only and are owned (and accounted for) by their producers.
+        """
         with self._table_lock:
+            bytes_held = sum(
+                arr.nbytes
+                for _, decomposition in self._svd.values()
+                for arr in decomposition
+            ) + sum(entry[2].nbytes for entry in self._cross.values())
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "entries": len(self._svd) + len(self._cross),
+                "bytes_in_memory": int(bytes_held),
             }
 
     def _evict(self, table: OrderedDict) -> None:

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.embeddings.base import Embedding
-from repro.linalg import KernelPolicy, compute_svd
+from repro.linalg import KernelPolicy, compute_svd, svd_residual_estimate
 from repro.measures.base import (
     DEFAULT_TOP_K,
     MEASURES,
@@ -63,6 +63,11 @@ class AnchorFactors:
     ``P``/``P_t`` are the left singular vectors of ``E``/``E~`` and
     ``Ra``/``Ra_t`` the singular values raised to ``alpha``.  ``words`` names
     the vocabulary rows the factors were computed over (``None`` = positional).
+    ``residual``/``residual_t`` estimate the Frobenius truncation error
+    ``||E - P diag(R) W^T||_F`` of each factorization (0.0 for exact
+    full-rank factors); the fast serving path folds them into its EIS error
+    bound, since a truncated ``Sigma`` drops at most ``residual^(2 alpha)``
+    of spectral-trace mass per side.
     """
 
     P: np.ndarray
@@ -70,22 +75,44 @@ class AnchorFactors:
     P_t: np.ndarray
     Ra_t: np.ndarray
     words: tuple[str, ...] | None = None
+    residual: float = 0.0
+    residual_t: float = 0.0
 
     @property
     def n_words(self) -> int:
         return int(self.P.shape[0])
+
+    def sigma_trace_error(self, alpha: float) -> float:
+        """Upper estimate of the nuclear-norm error of the truncated ``Sigma``.
+
+        Every singular value beyond the kept rank satisfies
+        ``s_i <= residual`` and the tail ``s_i^2`` sum to ``residual^2``, so
+        for ``alpha >= 1`` each tail term ``s_i^(2 alpha) = s_i^2 *
+        s_i^(2 alpha - 2)`` is bounded by ``s_i^2 * residual^(2 alpha - 2)``
+        and the whole tail by ``residual^(2 alpha)`` per side.
+        """
+        exponent = 2.0 * max(float(alpha), 1.0)
+        return float(self.residual**exponent + self.residual_t**exponent)
 
 
 def anchor_factors(
     E: np.ndarray, E_tilde: np.ndarray, *, alpha: float = 3.0,
     words: tuple[str, ...] | None = None,
     policy: KernelPolicy | None = None,
+    rank: int | None = None,
 ) -> AnchorFactors:
     """Decompose an anchor pair once so many grid cells can share the factors.
 
     The decomposition is dispatched through the kernel ``policy``: its dtype
-    decides the working precision and its SVD method applies (the anchors are
-    tall and thin, so ``auto`` resolves to the exact path).
+    decides the working precision and its SVD method applies.  With
+    ``rank=None`` (the default, bit-identical to the seed path) the
+    factorization is the full-rank thin SVD, which every policy resolves to
+    exact LAPACK.  An explicit ``rank`` truncates the anchors to their top
+    ``rank`` directions -- the hook that lets ``svd="randomized"`` policies
+    engage the seeded Halko kernel on the dominant anchor subspace -- and the
+    returned factors then carry seeded Gaussian-probe estimates of each
+    side's Frobenius truncation residual, which downstream error bounds (the
+    fast serving path) fold into their escalation decisions.
     """
     if policy is not None:
         E, E_tilde = policy.cast(E), policy.cast(E_tilde)
@@ -93,9 +120,19 @@ def anchor_factors(
     E_tilde = check_array(E_tilde, name="E_tilde", ndim=2, dtype=float_dtype_of(E_tilde))
     if E.shape[0] != E_tilde.shape[0]:
         raise ValueError("anchor embeddings must share a vocabulary")
-    P, R, _ = compute_svd(E, policy=policy)
-    P_t, R_t, _ = compute_svd(E_tilde, policy=policy)
-    return AnchorFactors(P=P, Ra=R**alpha, P_t=P_t, Ra_t=R_t**alpha, words=words)
+    if rank is not None and rank < 1:
+        raise ValueError(f"rank must be >= 1 or None, got {rank}")
+    P, R, Vt = compute_svd(E, rank, policy=policy)
+    P_t, R_t, Vt_t = compute_svd(E_tilde, rank, policy=policy)
+    residual = residual_t = 0.0
+    if rank is not None and rank < min(E.shape + E_tilde.shape):
+        seed = policy.seed if policy is not None else 0
+        residual = svd_residual_estimate(E, P, R, Vt, seed=seed)
+        residual_t = svd_residual_estimate(E_tilde, P_t, R_t, Vt_t, seed=seed)
+    return AnchorFactors(
+        P=P, Ra=R**alpha, P_t=P_t, Ra_t=R_t**alpha, words=words,
+        residual=residual, residual_t=residual_t,
+    )
 
 
 def sigma_from_anchors(E: np.ndarray, E_tilde: np.ndarray, alpha: float = 3.0) -> np.ndarray:
@@ -227,6 +264,12 @@ class EigenspaceInstability(EmbeddingDistanceMeasure):
     policy:
         Kernel policy used when the measure has to derive anchor factors
         itself (dtype and SVD dispatch); ``None`` = process default.
+    rank:
+        Optional truncation rank of the anchor factorization (``None`` =
+        full-rank thin SVD, the seed behaviour).  Combined with a
+        ``svd="randomized"`` policy this turns the anchor SVD -- the dominant
+        setup cost of the measure -- into a seeded Halko sketch, and the
+        derived factors carry residual estimates for error accounting.
     """
 
     name = "eis"
@@ -239,12 +282,14 @@ class EigenspaceInstability(EmbeddingDistanceMeasure):
         alpha: float = 3.0,
         factors: AnchorFactors | None = None,
         policy: KernelPolicy | None = None,
+        rank: int | None = None,
     ) -> None:
         self.anchor_a = anchor_a
         self.anchor_b = anchor_b
         self.alpha = float(alpha)
         self.factors = factors
         self.policy = policy
+        self.rank = None if rank is None else int(rank)
         #: Anchor factors memoised per (vocabulary selection, policy dtype) so
         #: that one SVD of the (large) anchors serves every grid cell sharing
         #: them, without leaking factors across precisions when successive
@@ -255,8 +300,12 @@ class EigenspaceInstability(EmbeddingDistanceMeasure):
         """A construction-time policy wins over the per-batch one."""
         return self.policy if self.policy is not None else policy
 
-    @staticmethod
-    def _memo_key(selector, policy: KernelPolicy | None) -> tuple:
+    def _memo_key(self, selector, policy: KernelPolicy | None) -> tuple:
+        # Shape is (selector, dtype): callers (and tests) introspect the memo
+        # by unpacking two elements, so the truncation rank rides inside the
+        # selector element rather than widening the tuple.
+        if self.rank is not None:
+            selector = (selector, self.rank)
         return (selector, policy.dtype if policy is not None else "float64")
 
     def _anchor_matrices(self, n_words: int) -> tuple[np.ndarray, np.ndarray]:
@@ -284,7 +333,9 @@ class EigenspaceInstability(EmbeddingDistanceMeasure):
         memo = self._factor_memo.get(self._memo_key(n_words, policy))
         if memo is None:
             E, E_t = self._anchor_matrices(n_words)
-            memo = anchor_factors(E, E_t, alpha=self.alpha, policy=policy)
+            memo = anchor_factors(
+                E, E_t, alpha=self.alpha, policy=policy, rank=self.rank
+            )
             self._factor_memo[self._memo_key(n_words, policy)] = memo
         return memo
 
@@ -314,7 +365,8 @@ class EigenspaceInstability(EmbeddingDistanceMeasure):
                         )
                     anchors.append(mat[: len(words)])
             memo = anchor_factors(
-                anchors[0], anchors[1], alpha=self.alpha, words=key, policy=policy
+                anchors[0], anchors[1], alpha=self.alpha, words=key,
+                policy=policy, rank=self.rank,
             )
             self._factor_memo[self._memo_key(key, policy)] = memo
         return memo

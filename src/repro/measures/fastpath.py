@@ -1,0 +1,407 @@
+"""Quantized-first ("fast") evaluation of the measure suite with error bounds.
+
+The serving layer's dominant cost is the float64 decomposition work behind
+each measure evaluation.  This module trades precision for latency *soundly*:
+the aligned top-k pair is re-quantized once to a low bit width, cached as its
+own content-addressed artifact together with exactly-computed residual
+statistics, and every measure is then evaluated from the quantized float32
+representation together with a **conservative error bound** derived from
+classical matrix perturbation theory:
+
+* **pip loss** -- ``| ||AA^T - BB^T|| - ||XaXa^T - XbXb^T|| |`` is bounded via
+  ``||XX^T - AA^T||_F <= ||X - A||_F (||X||_2 + ||A||_2)`` per side;
+* **1 - eigenspace overlap** -- Wedin's ``sin(theta)`` theorem bounds the
+  Frobenius perturbation of each rank-restricted projector by
+  ``2 delta / gap`` (``gap`` = singular gap at the cut, Weyl-deflated);
+* **eis** -- the trace form ``tr((Pi_a + Pi_b - 2 Pi_b Pi_a) Sigma)/tr(Sigma)``
+  is ``3(||dPi_a||_2 + ||dPi_b||_2)``-Lipschitz in the projectors
+  (``|tr(M Sigma)| <= ||M||_2 tr(Sigma)`` for psd ``Sigma``), with
+  ``||dPi||_2 <= delta / gap`` by Davis--Kahan; anchor-truncation residuals
+  (:meth:`~repro.measures.eigenspace_instability.AnchorFactors.sigma_trace_error`)
+  add their share of spectral-trace mass;
+* **semantic displacement** -- Soederkvist's perturbation bound on the
+  orthogonal Procrustes rotation plus the 2-Lipschitz continuity of cosine
+  similarity under normalisation, applied per row with the exact per-row
+  quantization residuals;
+* **1 - knn** -- a margin argument: a query's top-k *set* is provably
+  unchanged when its k/(k+1) similarity margin exceeds twice the worst-case
+  cosine perturbation, so the unstable-query fraction bounds the overlap
+  change.
+
+All bounds hold against exact arithmetic and are inflated by a small relative
+and absolute slack covering float32 evaluation rounding; each is clipped to
+the measure's value range, so a meaningless bound degrades into "escalate",
+never into a false certificate.  Soundness (``|fast - exact| <= bound``) is
+pinned across the grid in ``tests/measures/test_fastpath.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.base import Embedding
+from repro.compression.uniform_quantization import optimal_clip_threshold, uniform_quantize
+from repro.linalg import normalize_rows, row_set_overlap
+from repro.measures.base import aligned_top_k_pair, rank_restricted
+from repro.measures.eigenspace_instability import AnchorFactors, _instability_from_factors
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_embedding_pair
+
+__all__ = ["FAST_MEASURES", "build_fast_pair", "evaluate_fast"]
+
+#: Measures the fast path can evaluate, in suite order.
+FAST_MEASURES = ("eis", "1-knn", "semantic-displacement", "pip", "1-eigenspace-overlap")
+
+#: Relative inflation applied to every analytic bound, covering float32
+#: evaluation rounding on top of the exact-arithmetic perturbation bounds.
+_REL_SLACK = 1.001
+#: Absolute cosine slack for float32 GEMMs over unit-normalised rows (the
+#: practical rounding of a length-d float32 dot product is ~sqrt(d) * eps).
+_COS_SLACK = 1e-4
+
+
+def _factorize_pair(xa: np.ndarray, xb: np.ndarray) -> dict[str, np.ndarray]:
+    """Build-time factorization of a quantized pair, in float64.
+
+    One SVD per side plus the Procrustes solve of the (d, d) cross product,
+    computed once when the fast pair is built so that
+    :func:`evaluate_fast` never runs an (n, d) factorization on the serving
+    path.  Left factors are stored in float32 (their storage rounding is
+    covered by the :func:`_fp_delta` allowance); singular values and the
+    rotation stay float64 because the pip trace expansion cancels.
+    """
+    xa64 = xa.astype(np.float64)
+    xb64 = xb.astype(np.float64)
+    Ua, Sa, _ = np.linalg.svd(xa64, full_matrices=False)
+    Ub, Sb, _ = np.linalg.svd(xb64, full_matrices=False)
+    M = xb64.T @ xa64
+    Um, Sm, Vmt = np.linalg.svd(M, full_matrices=False)
+    return {
+        "ua": Ua.astype(np.float32),
+        "ub": Ub.astype(np.float32),
+        "sa": Sa,
+        "sb": Sb,
+        "procrustes_r": Um @ Vmt,
+        "procrustes_s": Sm,
+    }
+
+
+def build_fast_pair(
+    emb_a: Embedding,
+    emb_b: Embedding,
+    *,
+    top_k: int | None,
+    bits: int = 8,
+    share_threshold: bool = True,
+    knn_k: int | None = None,
+    knn_num_queries: int | None = None,
+) -> dict[str, np.ndarray]:
+    """Quantized float32 snapshot of an aligned pair plus exact residual stats.
+
+    The pair is restricted to its common top-``k`` vocabulary (exactly like
+    the exact measure path), uniformly quantized to ``bits`` with a clipping
+    threshold fitted on the first embedding (shared with the second when
+    ``share_threshold``, mirroring
+    :func:`~repro.compression.uniform_quantization.compress_pair`), and cast
+    to float32.  The returned arrays are everything the values and bounds
+    need:
+
+    - ``xa``/``xb``: the float32 quantized matrices;
+    - ``rowres_a``/``rowres_b``: exact per-row ``||row - fast row||_2`` in
+      float64 (quantization *and* float32 cast error together);
+    - ``fro_residuals``: ``[||A - Xa||_F, ||B - Xb||_F]``;
+    - ``ua``/``ub``/``sa``/``sb``: per-side SVD factors of the quantized
+      matrices, and ``procrustes_r``/``procrustes_s`` the rotation and
+      singular values of their cross product (see :func:`_factorize_pair`);
+    - ``knn_stats`` (only when ``knn_k`` and ``knn_num_queries`` are given):
+      the precomputed ``1 - knn`` value and margin bound together with the
+      parameters they were computed under, so :func:`evaluate_fast` can skip
+      the similarity pass when its request matches.
+
+    Building is the slow part (it reads the full-precision pair and runs the
+    factorizations); it happens once per (pair, bits) and is
+    content-addressed by the pipeline, so serving amortises it across every
+    subsequent fast request.
+    """
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    ra, rb = aligned_top_k_pair(emb_a, emb_b, top_k=top_k)
+    A, B = check_embedding_pair(ra.vectors, rb.vectors, same_dim=True)
+
+    clip_a = optimal_clip_threshold(A, bits)
+    clip_b = clip_a if share_threshold else optimal_clip_threshold(B, bits)
+    xa = uniform_quantize(A, bits, clip=clip_a).astype(np.float32)
+    xb = uniform_quantize(B, bits, clip=clip_b).astype(np.float32)
+
+    res_a = A - xa.astype(np.float64)
+    res_b = B - xb.astype(np.float64)
+    rowres_a = np.linalg.norm(res_a, axis=1)
+    rowres_b = np.linalg.norm(res_b, axis=1)
+    data = {
+        "xa": xa,
+        "xb": xb,
+        "rowres_a": rowres_a,
+        "rowres_b": rowres_b,
+        "fro_residuals": np.array(
+            [np.linalg.norm(res_a), np.linalg.norm(res_b)], dtype=np.float64
+        ),
+    }
+    data.update(_factorize_pair(xa, xb))
+    if knn_k is not None and knn_num_queries is not None:
+        value, bound = _knn_value_and_bound(
+            xa, xb, rowres_a, rowres_b, k=knn_k, num_queries=knn_num_queries, seed=0
+        )
+        data["knn_stats"] = np.array(
+            [value, bound, float(knn_k), float(knn_num_queries)], dtype=np.float64
+        )
+    return data
+
+
+def _inflate(bound: float, cap: float) -> float:
+    """Apply the shared relative slack and clip to the measure's value range."""
+    if not np.isfinite(bound):
+        return float(cap)
+    return float(min(cap, bound * _REL_SLACK + 1e-9))
+
+
+def _fp_delta(S: np.ndarray, shape: tuple[int, ...]) -> float:
+    """Backward-error allowance of a float32 SVD: ``c * min(shape) * eps * s1``."""
+    if S.size == 0:
+        return 0.0
+    return float(S[0]) * min(shape) * float(np.finfo(np.float32).eps) * 8.0
+
+
+def _projector_perturbations(
+    S: np.ndarray, n_kept: int, delta: float
+) -> tuple[float, float]:
+    """Spectral and Frobenius bounds on the rank-``n_kept`` projector change.
+
+    Davis--Kahan / Wedin with the singular gap at the cut, deflated by
+    ``delta`` (Weyl: exact singular values live within ``delta`` of the fast
+    ones).  A closed gap means the subspace is not identifiable at this
+    precision; ``inf`` is returned and the caller's range cap turns it into
+    an escalation.
+    """
+    s_in = float(S[n_kept - 1])
+    s_out = float(S[n_kept]) if n_kept < S.size else 0.0
+    gap = s_in - s_out - delta
+    if gap <= 0.0:
+        return np.inf, np.inf
+    spectral = min(delta / gap, 1.0)
+    frobenius = 2.0 * delta / gap
+    return spectral, frobenius
+
+
+def _knn_value_and_bound(
+    xa: np.ndarray,
+    xb: np.ndarray,
+    rowres_a: np.ndarray,
+    rowres_b: np.ndarray,
+    *,
+    k: int,
+    num_queries: int,
+    seed: int,
+) -> tuple[float, float]:
+    """``1 - knn overlap`` of the fast pair plus its margin-argument bound.
+
+    Replicates :func:`~repro.measures.knn.knn_overlap`'s query sample exactly
+    (same rng construction, same draw), then derives *both* outputs from one
+    cosine-similarity pass per side: a single ``argpartition`` at the
+    ``(k, k+1)`` boundary yields the top-k neighbour set (the value) and the
+    k/(k+1) similarity margin (the bound) together, instead of partitioning
+    the same similarities twice.
+
+    A query counts as unstable unless, on both sides, its margin exceeds
+    twice the worst-case cosine perturbation ``2 rr_q/||x_q|| + 2 max_w
+    rr_w/||x_w||`` (the normalisation Lipschitz bound applied to both
+    arguments) plus a float32 GEMM slack.  Stable queries keep their
+    neighbour set verbatim under the exact computation, so only unstable ones
+    can move the mean overlap -- and a tie (zero margin) is always unstable,
+    making the bound independent of ``argpartition`` tie-breaking.
+    """
+    n = xa.shape[0]
+    rng = check_random_state(seed)
+    q = min(int(num_queries), n)
+    queries = rng.choice(n, size=q, replace=False)
+    k_eff = min(int(k), n - 1)
+
+    tops = []
+    unstable = np.zeros(q, dtype=bool)
+    rows = np.arange(q)
+    for x, rowres in ((xa, rowres_a), (xb, rowres_b)):
+        norms = np.linalg.norm(x.astype(np.float64), axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            per_row = np.where(norms > 0, 2.0 * rowres / norms, np.inf)
+        eps_q = per_row[queries] + float(np.max(per_row)) + _COS_SLACK
+
+        xn = normalize_rows(x)
+        sims = xn[queries] @ xn.T
+        sims[rows, queries] = -np.inf
+        if k_eff < n - 1:
+            # One single-kth introselect per side (same partition work as the
+            # exact path); the k-th largest similarity is recovered from a
+            # (q, k) gather instead of a second partition pass.
+            idx = np.argpartition(sims, n - k_eff - 1, axis=1)
+            top = idx[:, n - k_eff:]
+            margin = (
+                np.min(np.take_along_axis(sims, top, axis=1), axis=1)
+                - sims[rows, idx[:, n - k_eff - 1]]
+            )
+            tops.append(top)
+        else:
+            # Every other word is a neighbour; the set is trivially stable.
+            margin = np.full(q, np.inf)
+            all_idx = np.broadcast_to(np.arange(n), (q, n))
+            tops.append(all_idx[all_idx != queries[:, None]].reshape(q, n - 1))
+        unstable |= ~(margin > 2.0 * eps_q)
+
+    overlap = float(np.mean(row_set_overlap(tops[0], tops[1]), dtype=np.float64) / k_eff)
+    return 1.0 - overlap, float(np.mean(unstable))
+
+
+def evaluate_fast(
+    data: dict[str, np.ndarray],
+    *,
+    measures: tuple[str, ...] | None = None,
+    factors: AnchorFactors | None = None,
+    alpha: float = 3.0,
+    knn_k: int = 5,
+    knn_num_queries: int = 300,
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Evaluate measures from a fast pair, returning ``(values, bounds)``.
+
+    ``data`` is a :func:`build_fast_pair` artifact; ``factors`` are the anchor
+    SVD factors the exact EIS evaluation of the same cell would use (required
+    when ``"eis"`` is selected -- using the *same* ``Sigma`` is what makes the
+    fast-vs-exact bound a pure subspace-perturbation statement).  Each bound
+    satisfies ``|values[m] - exact value of m| <= bounds[m]`` and is clipped
+    to the measure's value range, so the caller can always compare it against
+    a tolerance to decide escalation.
+
+    Evaluation is factorization-free: the per-side SVDs and the Procrustes
+    rotation are read from the artifact (legacy artifacts without them are
+    factorized on the fly), leaving only small GEMMs, partitions and O(n)
+    reductions on the serving path.
+    """
+    selected = FAST_MEASURES if measures is None else tuple(measures)
+    unknown = [m for m in selected if m not in FAST_MEASURES]
+    if unknown:
+        raise KeyError(f"fast path cannot evaluate {unknown!r}; known: {FAST_MEASURES}")
+    xa = np.ascontiguousarray(data["xa"], dtype=np.float32)
+    xb = np.ascontiguousarray(data["xb"], dtype=np.float32)
+    rowres_a = np.asarray(data["rowres_a"], dtype=np.float64)
+    rowres_b = np.asarray(data["rowres_b"], dtype=np.float64)
+    delta_a, delta_b = (float(v) for v in np.asarray(data["fro_residuals"]))
+    n, d = xa.shape
+
+    if "ua" in data:
+        fac = data
+    else:  # legacy artifact: factorize here, exactly as the builder would
+        fac = _factorize_pair(xa, xb)
+    Sa = np.asarray(fac["sa"], dtype=np.float64)
+    Sb = np.asarray(fac["sb"], dtype=np.float64)
+    Sm = np.asarray(fac["procrustes_s"], dtype=np.float64)
+    s1a = float(Sa[0]) if Sa.size else 0.0
+    s1b = float(Sb[0]) if Sb.size else 0.0
+
+    values: dict[str, float] = {}
+    bounds: dict[str, float] = {}
+
+    if "pip" in selected:
+        # ||XaXa^T - XbXb^T||_F^2 = sum(sa^4) + sum(sb^4) - 2 ||Xb^T Xa||_F^2,
+        # and ||Xb^T Xa||_F^2 is exactly sum(sm^2) of the stored Procrustes
+        # singular values -- O(d) arithmetic on build-time float64 spectra.
+        pip_sq = (
+            float(np.sum(Sa**4) + np.sum(Sb**4)) - 2.0 * float(np.sum(Sm**2))
+        )
+        values["pip"] = float(np.sqrt(max(pip_sq, 0.0)))
+        bound = delta_a * (2.0 * s1a + delta_a) + delta_b * (2.0 * s1b + delta_b)
+        # pip is unbounded above, so its bound is never range-clipped.  The
+        # absolute slack floors at the sqrt-scale of float64 cancellation in
+        # both this trace expansion and the exact path's (their terms are of
+        # order ||X||_F^4 and cancel to the tiny result).
+        fro2 = float(np.sum(Sa**2) + np.sum(Sb**2))
+        bounds["pip"] = _inflate(bound + 1e-6 * fro2, cap=np.inf)
+
+    need_subspaces = "1-eigenspace-overlap" in selected or "eis" in selected
+    if need_subspaces:
+        Ua = np.asarray(fac["ua"], dtype=np.float32)
+        Ub = np.asarray(fac["ub"], dtype=np.float32)
+        Ua_k = rank_restricted(Ua, Sa, xa.shape)
+        Ub_k = rank_restricted(Ub, Sb, xb.shape)
+        ka, kb = Ua_k.shape[1], Ub_k.shape[1]
+        eff_a = delta_a + _fp_delta(Sa, xa.shape)
+        eff_b = delta_b + _fp_delta(Sb, xb.shape)
+        spec_a, frob_a = _projector_perturbations(Sa, ka, eff_a)
+        spec_b, frob_b = _projector_perturbations(Sb, kb, eff_b)
+
+    if "1-eigenspace-overlap" in selected:
+        cross = Ua_k.T @ Ub_k
+        overlap = float(np.sum(cross.astype(np.float64) ** 2) / max(ka, kb))
+        values["1-eigenspace-overlap"] = 1.0 - float(np.clip(overlap, 0.0, 1.0))
+        bound = (frob_a * np.sqrt(kb) + frob_b * np.sqrt(ka)) / max(ka, kb)
+        bounds["1-eigenspace-overlap"] = _inflate(bound, cap=1.0)
+
+    if "eis" in selected:
+        if factors is None:
+            raise ValueError("the fast eis evaluation requires anchor factors")
+        if factors.n_words != n:
+            raise ValueError(
+                f"anchor factors cover {factors.n_words} words but the fast pair has {n}"
+            )
+        values["eis"] = _instability_from_factors(Ua_k, Ub_k, factors)
+        trace = float(
+            np.sum(np.asarray(factors.Ra, dtype=np.float64) ** 2)
+            + np.sum(np.asarray(factors.Ra_t, dtype=np.float64) ** 2)
+        )
+        bound = 3.0 * (spec_a + spec_b)
+        if trace > 0:
+            bound += factors.sigma_trace_error(alpha) / trace
+        bounds["eis"] = _inflate(bound, cap=2.0)
+
+    if "semantic-displacement" in selected:
+        # The Procrustes rotation of the fast pair was solved at build time in
+        # float64 (so it only carries the quantization error, not GEMM
+        # rounding); here it is just applied.
+        R = np.asarray(fac["procrustes_r"], dtype=np.float64)
+        aligned = xb.astype(np.float64) @ R
+        norm_a = np.linalg.norm(xa.astype(np.float64), axis=1)
+        norm_al = np.linalg.norm(aligned, axis=1)
+        denom = norm_a * norm_al
+        safe = denom > 0
+        cos_sim = np.zeros(n)
+        cos_sim[safe] = (
+            np.einsum("nd,nd->n", xa.astype(np.float64)[safe], aligned[safe]) / denom[safe]
+        )
+        values["semantic-displacement"] = float(np.mean(1.0 - cos_sim))
+
+        dM = delta_b * (s1a + delta_a) + s1b * delta_a
+        if d == 1:
+            rbound = 0.0 if dM < float(Sm[0]) else 2.0
+        else:
+            sep = float(Sm[-2] + Sm[-1]) - 2.0 * dM
+            rbound = 2.0 * dM / sep if sep > 0 else 2.0 * np.sqrt(d)
+        rot = min(2.0, rbound)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            term_a = np.where(norm_a > 0, 2.0 * rowres_a / norm_a, np.inf)
+            norm_b = norm_al  # ||xb_i R|| = ||xb_i||: R is exactly orthogonal
+            term_b = np.where(
+                norm_b > 0, 2.0 * (rowres_b + norm_b * rot) / norm_b, np.inf
+            )
+        per_row = np.minimum(term_a + term_b + _COS_SLACK, 2.0)
+        bounds["semantic-displacement"] = _inflate(float(np.mean(per_row)), cap=2.0)
+
+    if "1-knn" in selected:
+        stats = np.asarray(data["knn_stats"]) if "knn_stats" in data else None
+        if stats is not None and (
+            float(stats[2]) == float(knn_k) and float(stats[3]) == float(knn_num_queries)
+        ):
+            value, bound = float(stats[0]), float(stats[1])
+        else:  # artifact built without (or with different) knn parameters
+            value, bound = _knn_value_and_bound(
+                xa, xb, rowres_a, rowres_b, k=knn_k, num_queries=knn_num_queries, seed=0
+            )
+        values["1-knn"] = value
+        bounds["1-knn"] = _inflate(bound, cap=1.0)
+
+    return values, bounds

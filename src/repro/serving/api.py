@@ -5,7 +5,14 @@ Endpoints (GET query parameters and/or a JSON request body; body wins):
 * ``GET /healthz`` -- liveness + the served grid configuration.
 * ``GET /metrics`` -- engine + serving counters (see ``repro.engine.stats``).
 * ``GET|POST /measure?algorithm=cbow&dim=16&precision=4&seed=0`` -- the
-  pairwise stability measures of one grid cell.
+  pairwise stability measures of one grid cell.  ``fast=true`` serves the
+  quantized-first approximation with per-measure error bounds, escalating
+  to the exact float64 path when any bound exceeds ``tolerance`` (default:
+  the service's ``fast_tolerance``).  Responses carry an ``ETag`` derived
+  from the cell's content-addressed measures key (plus the precision mode
+  and tolerance), so an ``If-None-Match`` revalidation answers ``304 Not
+  Modified`` *before any numerical work happens* -- the tag is computable
+  from keys alone.
 * ``GET|POST /select?budget=128&criterion=eis`` -- dimension-precision
   recommendation under a memory budget (bits per word).
 * ``GET|POST /grid?dims=8,16&precisions=1,32&stream=...`` -- executes a grid
@@ -32,7 +39,12 @@ Endpoints (GET query parameters and/or a JSON request body; body wins):
   hashes, so ``GET``/``HEAD`` responses carry an ``ETag`` (the name) and
   ``Cache-Control: public, max-age=31536000, immutable``, and an
   ``If-None-Match`` hit answers ``304 Not Modified`` without a body --
-  artifacts are edge-cacheable by construction.
+  artifacts are edge-cacheable by construction.  ``POST /artifacts/batch``
+  multi-gets many artifacts in one round trip: the JSON manifest
+  ``{"items": [{"kind": ..., "name": ...}, ...]}`` answers a framed stream
+  of one JSON header line (``{"kind", "name", "found", "bytes": N}``)
+  followed by the ``N`` raw payload bytes and a newline per item (see
+  :meth:`~repro.engine.backends.RemoteBackend.get_many`).
 * ``POST /monitor/ingest``, ``GET /monitor/status``, ``GET /monitor/events``
   -- the online instability monitor (``--monitor``; see
   :mod:`repro.monitor`): ingest tokenised document batches, read the
@@ -121,6 +133,21 @@ class _Request:
     body: bytes = b""
     #: Whether the client may reuse this connection for further requests.
     keep_alive: bool = True
+
+
+@dataclass
+class _JSONResponse:
+    """A handler result that controls status and headers, not just the body.
+
+    Handlers normally return a plain payload dict (written as a 200); ones
+    that need conditional-request semantics (``/measure``'s ``ETag`` /
+    ``If-None-Match`` revalidation) return this instead.  ``payload=None``
+    writes an empty body -- required for ``304 Not Modified``.
+    """
+
+    status: int
+    payload: dict | None
+    headers: dict[str, str] = field(default_factory=dict)
 
 
 async def _read_request(
@@ -219,6 +246,17 @@ def _int_param(
         return int(params[name])
     except (TypeError, ValueError):
         raise APIError(400, f"parameter {name!r} must be an integer") from None
+
+
+def _float_param(
+    params: dict, name: str, default: float | None = None
+) -> float | None:
+    if params.get(name) is None:
+        return default
+    try:
+        return float(params[name])
+    except (TypeError, ValueError):
+        raise APIError(400, f"parameter {name!r} must be a number") from None
 
 
 def _bool_param(params: dict, name: str, default: bool) -> bool:
@@ -476,16 +514,34 @@ class StabilityAPIServer:
                 writer, 500, {"error": f"{type(error).__name__}: {error}"}, close=close
             )
         else:
-            self._write_json(writer, 200, payload, close=close)
+            if isinstance(payload, _JSONResponse):
+                if payload.payload is None:
+                    self._write_response(
+                        writer, payload.status, b"", "application/json",
+                        close=close, extra_headers=payload.headers or None,
+                    )
+                else:
+                    self._write_json(
+                        writer, payload.status, payload.payload,
+                        close=close, extra_headers=payload.headers or None,
+                    )
+            else:
+                self._write_json(writer, 200, payload, close=close)
         await writer.drain()
 
     @staticmethod
     def _write_json(
-        writer: asyncio.StreamWriter, status: int, payload: dict, *, close: bool = False
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        *,
+        close: bool = False,
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         StabilityAPIServer._write_response(
-            writer, status, body, "application/json", close=close
+            writer, status, body, "application/json",
+            close=close, extra_headers=extra_headers,
         )
 
     @staticmethod
@@ -531,6 +587,9 @@ class StabilityAPIServer:
         self, request: _Request, writer: asyncio.StreamWriter, *, close: bool
     ) -> None:
         """Serve raw store payloads so peers can use this node as a tier."""
+        if unquote(request.path) == "/artifacts/batch":
+            await self._handle_artifacts_batch(request, writer, close=close)
+            return
         match = _ARTIFACT_PATH.match(unquote(request.path))
         if match is None:
             self._write_json(
@@ -610,6 +669,100 @@ class StabilityAPIServer:
             request.keep_alive = False
         await writer.drain()
 
+    #: Upper bound on one batch manifest; a peer warming a whole grid paginates.
+    _MAX_BATCH_ITEMS = 256
+
+    async def _handle_artifacts_batch(
+        self, request: _Request, writer: asyncio.StreamWriter, *, close: bool
+    ) -> None:
+        """Multi-get: one round trip for many artifacts (``POST`` a manifest).
+
+        The response is a framed byte stream, one frame per requested item in
+        manifest order: a JSON header line ``{"kind", "name", "found",
+        "bytes": N}`` followed by exactly ``N`` raw payload bytes and a
+        trailing newline.  Missing artifacts answer ``found: false`` with
+        zero payload bytes instead of failing the whole batch, so a peer can
+        split its fetches into found/missing in a single pass.
+        """
+        if request.method != "POST":
+            self._write_json(
+                writer, 405, {"error": "batch fetches POST a JSON manifest"},
+                close=close,
+            )
+            await writer.drain()
+            return
+        try:
+            manifest = json.loads(request.body or b"")
+        except json.JSONDecodeError as error:
+            self._write_json(
+                writer, 400, {"error": f"manifest is not valid JSON: {error}"},
+                close=close,
+            )
+            await writer.drain()
+            return
+        items = manifest.get("items") if isinstance(manifest, dict) else None
+        if not isinstance(items, list) or not items:
+            self._write_json(
+                writer, 400,
+                {"error": "manifest must be {'items': [{'kind', 'name'}, ...]}"},
+                close=close,
+            )
+            await writer.drain()
+            return
+        if len(items) > self._MAX_BATCH_ITEMS:
+            self._write_json(
+                writer, 413,
+                {"error": f"batch over {self._MAX_BATCH_ITEMS} items; paginate"},
+                close=close,
+            )
+            await writer.drain()
+            return
+        requested: list[tuple[str, str]] = []
+        for item in items:
+            kind = item.get("kind") if isinstance(item, dict) else None
+            name = item.get("name") if isinstance(item, dict) else None
+            # Reuse the single-artifact path grammar: same identifier-safe
+            # kinds and hex-ish codec-suffixed names, no traversal by
+            # construction.
+            if (
+                not isinstance(kind, str) or not isinstance(name, str)
+                or _ARTIFACT_PATH.match(f"/artifacts/{kind}/{name}") is None
+            ):
+                self._write_json(
+                    writer, 400,
+                    {"error": f"bad batch item {item!r}: wants "
+                              "{'kind': <identifier>, 'name': <key>.{json,npz}}"},
+                    close=close,
+                )
+                await writer.drain()
+                return
+            requested.append((kind, name))
+        store = self.service.store
+        frames: list[bytes] = []
+        try:
+            for kind, name in requested:
+                payload = await self._offload(store.get_bytes, kind, name)
+                found = payload is not None
+                header = json.dumps(
+                    {"kind": kind, "name": name, "found": found,
+                     "bytes": len(payload) if found else 0},
+                    sort_keys=True,
+                ).encode("utf-8")
+                frames.append(header + b"\n" + (payload or b"") + b"\n")
+        except asyncio.TimeoutError:
+            self._write_json(
+                writer, 504,
+                {"error": f"batch request exceeded {self.request_timeout:.0f}s"},
+                close=True,
+            )
+            request.keep_alive = False
+            await writer.drain()
+            return
+        self._write_response(
+            writer, 200, b"".join(frames), "application/octet-stream", close=close
+        )
+        await writer.drain()
+
     # -- plain JSON endpoints ----------------------------------------------------
 
     async def _handle_healthz(self, request: _Request) -> dict:
@@ -618,7 +771,7 @@ class StabilityAPIServer:
     async def _handle_metrics(self, request: _Request) -> dict:
         return self.service.metrics()
 
-    async def _handle_measure(self, request: _Request) -> dict:
+    async def _handle_measure(self, request: _Request) -> _JSONResponse:
         params = request.params
         algorithm = params.get("algorithm")
         if not algorithm:
@@ -629,12 +782,28 @@ class StabilityAPIServer:
         dim = _int_param(params, "dim", required=True)
         precision = _int_param(params, "precision", required=True)
         seed = _int_param(params, "seed", 0)
-        return await loop.run_in_executor(
+        fast = _bool_param(params, "fast", False)
+        tolerance = _float_param(params, "tolerance")
+        # The validator is a pure function of content-addressed keys, so a
+        # revalidation can 304 before any embedding trains or measure runs.
+        etag = await loop.run_in_executor(
             None,
-            lambda: self.service.measure(
-                str(algorithm), dim, precision, seed, measures=measures
+            lambda: self.service.measure_etag(
+                str(algorithm), dim, precision, seed,
+                measures=measures, fast=fast, fast_tolerance=tolerance,
             ),
         )
+        headers = {"ETag": f'"{etag}"'}
+        if _etag_matches(request.headers.get("if-none-match"), etag):
+            return _JSONResponse(304, None, headers)
+        payload = await loop.run_in_executor(
+            None,
+            lambda: self.service.measure(
+                str(algorithm), dim, precision, seed,
+                measures=measures, fast=fast, fast_tolerance=tolerance,
+            ),
+        )
+        return _JSONResponse(200, payload, headers)
 
     async def _handle_select(self, request: _Request) -> dict:
         params = request.params
@@ -1028,6 +1197,7 @@ async def _serve(args: argparse.Namespace) -> int:
             shards=args.store_shards,
             remote_url=args.store_url,
             replicas=replicas or None,
+            mmap=args.store_mmap,
         )
     service = StabilityService(
         config,
@@ -1130,6 +1300,12 @@ def main(argv: list[str] | None = None) -> int:
              "(local misses are fetched from the peer's /artifacts API)",
     )
     parser.add_argument(
+        "--store-mmap", action="store_true",
+        help="memory-map disk-tier npz artifacts on read instead of copying "
+             "them into private memory (warm reruns share page-cache pages; "
+             "see store_io in /metrics)",
+    )
+    parser.add_argument(
         "--store-replicas", default=None,
         help="comma-separated replica targets (peer URLs and/or directories) "
              "used as one N-way replicated store tier with read-repair and "
@@ -1202,6 +1378,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.store_shards is not None and args.cache_dir is None:
         parser.error("--store-shards requires --cache-dir (it shards the local store)")
+    if args.store_mmap and not (args.cache_dir or args.store_url or args.store_replicas):
+        parser.error("--store-mmap requires a store to map (--cache-dir or replicas)")
     if args.store_url and args.store_replicas:
         parser.error("--store-url and --store-replicas are mutually exclusive")
 

@@ -94,10 +94,18 @@ class ServiceConfig:
     #: Straggler threshold multiplier for speculative re-leases; 0 disables
     #: speculation.
     speculation_factor: float = 2.0
+    #: Escalation threshold of the quantized-first (``fast=true``) measure
+    #: mode: a fast answer is served only while every per-measure error bound
+    #: (normalised for unbounded measures, see ``StabilityService.measure``)
+    #: stays at or below this tolerance; otherwise the request escalates to
+    #: the exact float64 path.  Per-request override via ``tolerance=``.
+    fast_tolerance: float = 0.05
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
             raise ValueError(f"max_concurrency must be >= 1, got {self.max_concurrency}")
+        if not self.fast_tolerance > 0:
+            raise ValueError(f"fast_tolerance must be positive, got {self.fast_tolerance}")
         if self.lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be positive, got {self.lease_ttl}")
         if self.run_gc_age < 0:
@@ -169,6 +177,8 @@ class StabilityService:
             "records_streamed": 0,
             "grids_inflight": 0,
             "grids_cancelled": 0,
+            "fast_hits": 0,
+            "fast_escalations": 0,
         }
         self._closed = False
         #: Online instability monitor; ``None`` until :meth:`enable_monitor`.
@@ -262,17 +272,67 @@ class StabilityService:
         seed: int = 0,
         *,
         measures: tuple[str, ...] | None = None,
+        fast: bool = False,
+        fast_tolerance: float | None = None,
     ) -> dict:
         """Pairwise stability measures of one grid cell (coalesced, cached).
 
         A repeated query against a warm store is pure cache: zero trainings,
         zero decompositions (pinned in the serving tests).
+
+        With ``fast=True`` the cell is first evaluated from its quantized
+        fast-pair representation (:meth:`InstabilityPipeline.compute_measures_fast`),
+        which returns approximate values *plus* sound per-measure error
+        bounds.  The fast answer is served -- with the bounds attached --
+        only while every normalised bound stays within the tolerance
+        (``fast_tolerance`` argument, else ``ServiceConfig.fast_tolerance``);
+        otherwise the request escalates to the exact path, whose result is
+        bit-identical to a ``fast=False`` request.  Bounds of range-limited
+        measures compare directly against the tolerance; the unbounded pip
+        loss compares ``bound / (1 + |value|)``.
         """
         self._count("requests_measure")
         dim, precision, seed = int(dim), int(precision), int(seed)
         key = self.pipeline.measures_key(
             algorithm, dim, precision, seed, measures=measures
         )
+
+        if fast:
+            tolerance = float(
+                self.config.fast_tolerance if fast_tolerance is None else fast_tolerance
+            )
+            fast_key = self.pipeline.fast_measures_key(
+                algorithm, dim, precision, seed, measures=measures
+            )
+
+            def compute_fast() -> dict:
+                with self._ancestry_lock(algorithm, seed):
+                    return self.pipeline.compute_measures_fast(
+                        algorithm, dim, precision, seed, measures=measures
+                    )
+
+            result = self._single_flight(fast_key, compute_fast)
+            values, error_bounds = result["values"], result["bounds"]
+            if all(
+                _normalized_bound(name, bound, values[name]) <= tolerance
+                for name, bound in error_bounds.items()
+            ):
+                self._count("fast_hits")
+                return {
+                    "algorithm": algorithm,
+                    "dim": dim,
+                    "precision": precision,
+                    "seed": seed,
+                    "memory_bits_per_word": bits_per_word(dim, precision),
+                    "artifact_key": key,
+                    "fast_artifact_key": fast_key,
+                    "precision_mode": "fast",
+                    "escalated": False,
+                    "tolerance": tolerance,
+                    "measures": values,
+                    "error_bounds": error_bounds,
+                }
+            self._count("fast_escalations")
 
         def compute() -> dict:
             # Ancestry-aware batching: requests sharing the (algorithm, seed)
@@ -286,7 +346,7 @@ class StabilityService:
             return values
 
         values = self._single_flight(key, compute)
-        return {
+        response = {
             "algorithm": algorithm,
             "dim": dim,
             "precision": precision,
@@ -295,6 +355,44 @@ class StabilityService:
             "artifact_key": key,
             "measures": values,
         }
+        if fast:
+            # The fast attempt's bounds document *why* the request escalated.
+            response.update(precision_mode="exact", escalated=True)
+        return response
+
+    def measure_etag(
+        self,
+        algorithm: str,
+        dim: int,
+        precision: int,
+        seed: int = 0,
+        *,
+        measures: tuple[str, ...] | None = None,
+        fast: bool = False,
+        fast_tolerance: float | None = None,
+    ) -> str:
+        """Deterministic validator of a :meth:`measure` response, pre-compute.
+
+        A measure response is a pure function of its content-addressed
+        artifact key plus, in fast mode, the escalation tolerance (the same
+        cached values/bounds either pass or fail a given tolerance
+        deterministically).  The tag is therefore computable *without*
+        computing the measures, which is what lets the HTTP layer answer
+        ``If-None-Match`` revalidations with ``304`` before any numerical
+        work happens.
+        """
+        if not fast:
+            key = self.pipeline.measures_key(
+                algorithm, int(dim), int(precision), int(seed), measures=measures
+            )
+            return f"{key}:exact"
+        tolerance = float(
+            self.config.fast_tolerance if fast_tolerance is None else fast_tolerance
+        )
+        fast_key = self.pipeline.fast_measures_key(
+            algorithm, int(dim), int(precision), int(seed), measures=measures
+        )
+        return f"{fast_key}:fast:{tolerance!r}"
 
     def select(
         self,
@@ -618,3 +716,18 @@ class _CancellableStream:
 
 def _finite_or_none(value: float) -> float | None:
     return float(value) if np.isfinite(value) else None
+
+
+#: Measures whose values live in a bounded range, so their error bounds are
+#: absolute quantities directly comparable against the tolerance.
+_RANGE_BOUNDED_MEASURES = frozenset(
+    {"eis", "1-knn", "1-eigenspace-overlap", "semantic-displacement"}
+)
+
+
+def _normalized_bound(name: str, bound: float, value: float) -> float:
+    """Error bound in tolerance units: absolute for range-bounded measures,
+    relative (``bound / (1 + |value|)``) for the unbounded pip loss."""
+    if name in _RANGE_BOUNDED_MEASURES:
+        return float(bound)
+    return float(bound) / (1.0 + abs(float(value)))

@@ -1,0 +1,89 @@
+"""Memory-mapped disk-tier reads: warm reruns decode zero private copies.
+
+The acceptance invariant of the mmap tier: a second process (modelled by a
+fresh store over the same root) reading an uncompressed npz pair in mmap mode
+serves every array as a read-only memory map of the disk file -- the
+``copied_reads`` counter stays at zero and ``mapped_bytes`` accounts the
+arrays -- while copy mode and legacy compressed payloads keep working through
+the private-copy decode path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.store import ArtifactStore
+
+KEY = "a1b2c3d4e5f60718293a4b5c"
+
+
+def _pair_arrays() -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(0)
+    return {
+        "xa": rng.normal(size=(64, 8)).astype(np.float32),
+        "xb": rng.normal(size=(64, 8)).astype(np.float32),
+        "meta": np.array([1.0, 2.0]),
+    }
+
+
+def _memmap_backed(array: np.ndarray) -> bool:
+    base = array
+    while base is not None:
+        if isinstance(base, np.memmap):
+            return True
+        base = getattr(base, "base", None)
+    return False
+
+
+class TestMmapStore:
+    def test_warm_mapped_read_makes_zero_copies(self, tmp_path):
+        arrays = _pair_arrays()
+        ArtifactStore(tmp_path, mmap=True).put_arrays("pair", KEY, arrays)
+        warm = ArtifactStore(tmp_path, mmap=True)
+        out = warm.get_arrays("pair", KEY)
+        io = warm.io_counters()
+        assert io["copied_reads"] == 0
+        assert io["mapped_reads"] == 1
+        assert io["mapped_bytes"] >= sum(a.nbytes for a in arrays.values())
+        for name, expected in arrays.items():
+            assert np.array_equal(out[name], expected), name
+            assert _memmap_backed(out[name]), name
+
+    def test_mapped_arrays_are_read_only(self, tmp_path):
+        ArtifactStore(tmp_path, mmap=True).put_arrays("pair", KEY, _pair_arrays())
+        out = ArtifactStore(tmp_path, mmap=True).get_arrays("pair", KEY)
+        with pytest.raises((ValueError, OSError)):
+            out["xa"][0, 0] = 1.0
+
+    def test_copy_mode_counts_private_copies(self, tmp_path):
+        arrays = _pair_arrays()
+        ArtifactStore(tmp_path, mmap=False).put_arrays("pair", KEY, arrays)
+        cold = ArtifactStore(tmp_path, mmap=False)
+        out = cold.get_arrays("pair", KEY)
+        io = cold.io_counters()
+        assert io["mapped_reads"] == 0
+        assert io["copied_reads"] == 1
+        assert io["copied_bytes"] > 0
+        for name, expected in arrays.items():
+            assert np.array_equal(out[name], expected), name
+            assert not _memmap_backed(out[name]), name
+
+    def test_legacy_compressed_payload_decodes_the_copying_way(self, tmp_path):
+        # A payload written before mmap mode (compressed) must keep working
+        # under an mmap-enabled reader -- just through the copy path.
+        arrays = _pair_arrays()
+        ArtifactStore(tmp_path, mmap=False).put_arrays("pair", KEY, arrays)
+        warm = ArtifactStore(tmp_path, mmap=True)
+        out = warm.get_arrays("pair", KEY)
+        io = warm.io_counters()
+        assert io["copied_reads"] == 1
+        for name, expected in arrays.items():
+            assert np.array_equal(out[name], expected), name
+
+    def test_memoised_rereads_stay_zero_copy(self, tmp_path):
+        ArtifactStore(tmp_path, mmap=True).put_arrays("pair", KEY, _pair_arrays())
+        warm = ArtifactStore(tmp_path, mmap=True)
+        warm.get_arrays("pair", KEY)
+        warm.get_arrays("pair", KEY)
+        io = warm.io_counters()
+        assert io["copied_reads"] == 0
+        assert io["mapped_reads"] == 1  # second read is the memory memo

@@ -1,0 +1,132 @@
+"""Quantized fast-path measures: sound error bounds, caching, memory gauges.
+
+The bounds pinned here are the serving layer's escalation contract: a fast
+response is served only while every per-measure bound passes the tolerance,
+so a bound that under-covered would silently serve wrong numbers.  The grid
+test therefore checks ``|fast - exact| <= bound`` cell by cell against the
+exact float64 suite, across dimensions and compression precisions (including
+a cell whose stored pair is itself 1-bit quantized -- the near-identical-
+matrices regime that originally exposed float32 Gram cancellation).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.corpus.synthetic import SyntheticCorpusConfig
+from repro.instability.pipeline import InstabilityPipeline, PipelineConfig
+from repro.measures import FAST_MEASURES, build_fast_pair, evaluate_fast
+from repro.measures.base import DecompositionCache
+
+FAST_CONFIG = PipelineConfig(
+    corpus=SyntheticCorpusConfig(
+        vocab_size=120, n_documents=60, doc_length_mean=30, seed=7
+    ),
+    algorithms=("svd",),
+    dimensions=(4, 6),
+    precisions=(1, 32),
+    seeds=(0,),
+    tasks=("sst2",),
+    embedding_epochs=2,
+    downstream_epochs=3,
+    ner_epochs=2,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)
+        return InstabilityPipeline(FAST_CONFIG)
+
+
+@pytest.mark.filterwarnings("ignore::UserWarning")
+class TestFastBoundsSound:
+    @pytest.mark.parametrize("dim", (4, 6))
+    @pytest.mark.parametrize("precision", (1, 32))
+    def test_bound_covers_exact_gap(self, pipeline, dim, precision):
+        fast = pipeline.compute_measures_fast("svd", dim, precision, 0)
+        exact = pipeline.compute_measures("svd", dim, precision, 0)
+        for name in FAST_MEASURES:
+            error = abs(fast["values"][name] - exact[name])
+            assert error <= fast["bounds"][name] + 1e-12, (
+                f"{name}: |fast - exact| = {error} exceeds bound "
+                f"{fast['bounds'][name]} at dim={dim} precision={precision}"
+            )
+            assert fast["bounds"][name] >= 0.0
+
+    def test_fast_measures_cached(self, pipeline):
+        first = pipeline.compute_measures_fast("svd", 4, 1, 0)
+        second = pipeline.compute_measures_fast("svd", 4, 1, 0)
+        assert first == second
+
+    def test_fast_pair_cached(self, pipeline):
+        first = pipeline.fast_pair("svd", 4, 1, 0)
+        second = pipeline.fast_pair("svd", 4, 1, 0)
+        assert set(first) == set(second)
+        for name in first:
+            assert np.array_equal(first[name], second[name]), name
+
+    def test_fast_key_distinct_from_exact_key(self, pipeline):
+        assert pipeline.fast_measures_key("svd", 4, 1, 0) != pipeline.measures_key(
+            "svd", 4, 1, 0
+        )
+
+
+class TestFastPairUnit:
+    def test_full_precision_pair_has_tiny_residuals(self, embedding_pair):
+        emb_a, emb_b = embedding_pair
+        data = build_fast_pair(emb_a, emb_b, top_k=None, bits=32)
+        # 32 "bits" means a plain float32 cast: the only residual left is the
+        # cast's rounding, orders of magnitude below any quantization step.
+        scale = float(np.linalg.norm(np.asarray(emb_a.vectors, dtype=np.float64)))
+        assert float(np.asarray(data["fro_residuals"]).max()) <= 1e-5 * scale
+
+    def test_values_within_caps_and_bounds_finite(self, embedding_pair):
+        emb_a, emb_b = embedding_pair
+        data = build_fast_pair(emb_a, emb_b, top_k=None, bits=4)
+        selected = tuple(m for m in FAST_MEASURES if m != "eis")
+        values, bounds = evaluate_fast(
+            data, measures=selected, knn_k=3, knn_num_queries=50
+        )
+        assert set(values) == set(selected) == set(bounds)
+        for name in selected:
+            assert np.isfinite(values[name])
+            assert bounds[name] >= 0.0
+        assert bounds["1-knn"] <= 1.0 + 1e-9
+        assert bounds["1-eigenspace-overlap"] <= 1.0 + 1e-9
+        assert bounds["semantic-displacement"] <= 2.0 + 1e-9
+
+    def test_unknown_measure_rejected(self, embedding_pair):
+        emb_a, emb_b = embedding_pair
+        data = build_fast_pair(emb_a, emb_b, top_k=None)
+        with pytest.raises(KeyError, match="fast path"):
+            evaluate_fast(data, measures=("no-such-measure",))
+
+    def test_eis_needs_anchor_factors(self, embedding_pair):
+        emb_a, emb_b = embedding_pair
+        data = build_fast_pair(emb_a, emb_b, top_k=None)
+        with pytest.raises(ValueError, match="anchor factors"):
+            evaluate_fast(data, measures=("eis",))
+
+
+class TestDecompositionCacheGauge:
+    def test_bytes_in_memory_tracks_factor_arrays(self):
+        cache = DecompositionCache()
+        assert cache.stats["bytes_in_memory"] == 0
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 8))
+        U, S, Vt = cache.svd(X)
+        assert cache.stats["bytes_in_memory"] == U.nbytes + S.nbytes + Vt.nbytes
+
+    def test_bytes_in_memory_includes_cross_products(self):
+        cache = DecompositionCache()
+        rng = np.random.default_rng(1)
+        X, Y = rng.normal(size=(30, 6)), rng.normal(size=(30, 5))
+        before = cache.stats["bytes_in_memory"]
+        product = cache.cross(X, Y)
+        after = cache.stats["bytes_in_memory"]
+        # Two SVDs plus the cross product landed in the cache.
+        assert after > before
+        assert after >= product.nbytes

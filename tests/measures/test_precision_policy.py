@@ -218,4 +218,11 @@ class TestDecompositionCacheBounds:
         X = rng.standard_normal((6, 2))
         cache.svd(X)
         cache.svd(X)
-        assert cache.stats == {"hits": 1, "misses": 1, "evictions": 0, "entries": 1}
+        # bytes_in_memory: U (6x2) + S (2,) + Vt (2x2) float64 factors.
+        assert cache.stats == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "entries": 1,
+            "bytes_in_memory": 144,
+        }

@@ -50,9 +50,9 @@ def server():
     service.close()
 
 
-def request(server, path, *, method="GET", body=None):
+def request(server, path, *, method="GET", body=None, headers=None):
     conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=120)
-    headers = {}
+    headers = dict(headers or {})
     payload = None
     if body is not None:
         payload = json.dumps(body)
@@ -495,3 +495,161 @@ class TestAbandonedGridCancellation:
         assert response.status == 200
         assert data.decode().strip().splitlines()
         assert server.service.metrics()["serving"]["grids_cancelled"] == before
+
+
+class TestMeasureFastAndETag:
+    def test_fast_measure_served_with_bounds(self, server):
+        response, data = request(
+            server, "/measure?algorithm=svd&dim=4&precision=1&fast=true&tolerance=10"
+        )
+        payload = json.loads(data)
+        assert response.status == 200
+        assert payload["precision_mode"] == "fast"
+        assert payload["escalated"] is False
+        assert set(payload["error_bounds"]) == set(payload["measures"])
+        assert response.getheader("ETag")
+
+    def test_if_none_match_revalidates_304(self, server):
+        path = "/measure?algorithm=svd&dim=4&precision=1&fast=true&tolerance=10"
+        first, _ = request(server, path)
+        etag = first.getheader("ETag")
+        second, body = request(server, path, headers={"If-None-Match": etag})
+        assert second.status == 304
+        assert body == b""
+        assert second.getheader("ETag") == etag
+
+    def test_exact_mode_304_too(self, server):
+        path = "/measure?algorithm=svd&dim=4&precision=1"
+        first, _ = request(server, path)
+        etag = first.getheader("ETag")
+        second, body = request(server, path, headers={"If-None-Match": etag})
+        assert second.status == 304 and body == b""
+
+    def test_etag_distinguishes_precision_modes(self, server):
+        exact, _ = request(server, "/measure?algorithm=svd&dim=4&precision=1")
+        fast, _ = request(
+            server, "/measure?algorithm=svd&dim=4&precision=1&fast=true&tolerance=10"
+        )
+        assert exact.getheader("ETag") != fast.getheader("ETag")
+
+    def test_stale_etag_still_answers_200(self, server):
+        path = "/measure?algorithm=svd&dim=4&precision=1"
+        response, data = request(server, path, headers={"If-None-Match": '"stale"'})
+        assert response.status == 200
+        assert json.loads(data)["measures"]
+
+    def test_escalation_is_bit_identical_to_exact(self, server):
+        _, exact = get_json(server, "/measure?algorithm=svd&dim=4&precision=1")
+        status, escalated = get_json(
+            server, "/measure?algorithm=svd&dim=4&precision=1&fast=true&tolerance=1e-12"
+        )
+        assert status == 200
+        assert escalated["precision_mode"] == "exact"
+        assert escalated["escalated"] is True
+        assert escalated["measures"] == exact["measures"]
+        # The plain exact response is unchanged by the fast path's existence.
+        assert "precision_mode" not in exact
+
+    def test_fast_counters_in_metrics(self, server):
+        status, metrics = get_json(server, "/metrics")
+        assert status == 200
+        assert metrics["serving"]["fast_hits"] >= 1
+        assert metrics["serving"]["fast_escalations"] >= 1
+
+    def test_bad_tolerance_is_400(self, server):
+        status, payload = get_json(
+            server, "/measure?algorithm=svd&dim=4&precision=1&fast=true&tolerance=nope"
+        )
+        assert status == 400
+        assert "tolerance" in payload["error"]
+
+
+def _parse_batch_frames(data):
+    """Decode the /artifacts/batch framing into {(kind, name): bytes | None}."""
+    frames = {}
+    offset = 0
+    while offset < len(data):
+        newline = data.index(b"\n", offset)
+        header = json.loads(data[offset:newline])
+        offset = newline + 1
+        payload = data[offset:offset + header["bytes"]]
+        offset += header["bytes"]
+        assert data[offset:offset + 1] == b"\n"
+        offset += 1
+        frames[(header["kind"], header["name"])] = (
+            payload if header["found"] else None
+        )
+    return frames
+
+
+class TestArtifactBatch:
+    A = ("demo", "a" * 24 + ".json")
+    B = ("demo", "b" * 24 + ".json")
+    MISSING = ("demo", "f" * 24 + ".json")
+
+    @pytest.fixture(autouse=True)
+    def _seed_artifacts(self, server):
+        server.service.store.put_bytes(*self.A, b'{"which": "a"}')
+        server.service.store.put_bytes(*self.B, b'{"which": "b"}')
+
+    def test_batch_multi_get_round_trip(self, server):
+        manifest = {"items": [
+            {"kind": k, "name": n} for k, n in (self.A, self.B, self.MISSING)
+        ]}
+        response, data = request(
+            server, "/artifacts/batch", method="POST", body=manifest
+        )
+        assert response.status == 200
+        frames = _parse_batch_frames(data)
+        # The store may re-encode JSON payloads it memoised; compare to what
+        # the single-artifact API would have served.
+        assert frames[self.A] == server.service.store.get_bytes(*self.A)
+        assert frames[self.B] == server.service.store.get_bytes(*self.B)
+        assert json.loads(frames[self.A]) == {"which": "a"}
+        assert frames[self.MISSING] is None
+
+    def test_batch_rejects_malformed_manifests(self, server):
+        for body in ({}, {"items": []}, {"items": "nope"}):
+            status, payload = get_json(
+                server, "/artifacts/batch", method="POST", body=body
+            )
+            assert status == 400, body
+            assert "items" in payload["error"]
+
+    def test_batch_rejects_traversal_names(self, server):
+        status, payload = get_json(
+            server, "/artifacts/batch", method="POST",
+            body={"items": [{"kind": "demo", "name": "../../etc/passwd"}]},
+        )
+        assert status == 400
+        assert "bad batch item" in payload["error"]
+
+    def test_batch_get_is_post_only(self, server):
+        status, payload = get_json(server, "/artifacts/batch")
+        assert status == 405
+
+    def test_remote_backend_get_many(self, server):
+        from repro.engine.backends import RemoteBackend
+
+        remote = RemoteBackend(f"http://127.0.0.1:{server.port}")
+        try:
+            got = remote.get_many([self.A, self.B, self.MISSING])
+            assert got[self.A] == server.service.store.get_bytes(*self.A)
+            assert got[self.B] == server.service.store.get_bytes(*self.B)
+            assert got[self.MISSING] is None
+            assert remote.stats.hits == 2 and remote.stats.misses == 1
+            assert remote.stats.errors == 0
+        finally:
+            remote.close()
+
+    def test_get_many_falls_back_per_item_on_batch_failure(self, server, monkeypatch):
+        from repro.engine.backends import RemoteBackend
+
+        remote = RemoteBackend(f"http://127.0.0.1:{server.port}")
+        monkeypatch.setattr(remote, "_get_batch", lambda page: None)
+        try:
+            got = remote.get_many([self.A, self.MISSING])
+            assert got[self.A] == server.service.store.get_bytes(*self.A)
+            assert got[self.MISSING] is None
+        finally:
+            remote.close()
