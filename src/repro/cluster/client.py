@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Iterator
 from urllib.parse import urlsplit
 
 from repro.cluster.coordinator import config_wire_payload
+from repro.telemetry.trace import propagation_headers
 from repro.utils.logging import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -110,10 +111,9 @@ def stream_remote_grid(
     ).encode("utf-8")
     conn, base_path = open_json_connection(url, timeout)
     try:
-        conn.request(
-            "POST", f"{base_path}/grid", body=body,
-            headers={"Content-Type": "application/json"},
-        )
+        headers = {"Content-Type": "application/json"}
+        headers.update(propagation_headers())
+        conn.request("POST", f"{base_path}/grid", body=body, headers=headers)
         response = conn.getresponse()
         if response.status != 200:
             payload = response.read()

@@ -62,6 +62,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.store import ArtifactStore
     from repro.instability.grid import GridRecord
     from repro.instability.pipeline import PipelineConfig
+    from repro.telemetry.trace import TraceBuffer
 
 logger = get_logger(__name__)
 
@@ -171,7 +172,8 @@ class _ClusterRun:
     """Lease table and ordered-commit state of one submitted grid."""
 
     def __init__(
-        self, run_id: str, plan: GridPlan, config_payload: dict, created_at: float = 0.0
+        self, run_id: str, plan: GridPlan, config_payload: dict, created_at: float = 0.0,
+        trace: dict | None = None,
     ) -> None:
         self.run_id = run_id
         self.plan = plan
@@ -182,6 +184,13 @@ class _ClusterRun:
         self.ready: list["GridRecord"] = []
         self.states = [_PENDING] * len(plan.groups)
         self.attempts = [0] * len(plan.groups)
+        #: Trace context of the submitting request (``{"trace_id", "parent_span"}``
+        #: or ``None``); rides in every lease so worker spans stitch into the
+        #: submitter's trace.  Ephemeral: not checkpointed.
+        self.trace = trace
+        #: When each group last became leasable, feeding the per-group
+        #: ``cluster.lease_wait`` span.
+        self.pending_since = [created_at] * len(plan.groups)
         self.cancelled = False
         self.completed = False
         self.failure: str | None = None
@@ -287,6 +296,7 @@ class ClusterCoordinator:
         speculation_percentile: float = 0.75,
         speculation_min_done: int = 2,
         clock=time.monotonic,
+        trace_sink: "TraceBuffer | None" = None,
     ) -> None:
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
@@ -308,6 +318,10 @@ class ClusterCoordinator:
         self.speculation_percentile = float(speculation_percentile)
         self.speculation_min_done = int(speculation_min_done)
         self._clock = clock
+        #: Optional :class:`~repro.telemetry.trace.TraceBuffer` that receives
+        #: coordinator-side spans (lease wait) and worker-shipped span rows,
+        #: stitching distributed runs into their submitter's trace.
+        self.trace_sink = trace_sink
         self._cond = threading.Condition()
         self._runs: "OrderedDict[str, _ClusterRun]" = OrderedDict()
         self._leases: dict[str, _Lease] = {}
@@ -349,12 +363,29 @@ class ClusterCoordinator:
 
     # -- run lifecycle ---------------------------------------------------------
 
-    def create_run(self, plan: GridPlan, config_payload: dict | None = None) -> str:
-        """Register a grid for distributed execution; returns its run id."""
+    def create_run(
+        self,
+        plan: GridPlan,
+        config_payload: dict | None = None,
+        trace: dict | None = None,
+    ) -> str:
+        """Register a grid for distributed execution; returns its run id.
+
+        ``trace`` optionally carries the submitting request's trace context
+        (``{"trace_id": ..., "parent_span": ...}``); it rides in every lease
+        of the run so worker-side spans stitch into that trace.
+        """
+        if trace is not None:
+            trace_id = trace.get("trace_id") if isinstance(trace, dict) else None
+            trace = {
+                "trace_id": str(trace_id),
+                "parent_span": str(trace.get("parent_span") or ""),
+            } if trace_id else None
         with self._cond:
             run_id = f"run-{self._next_serial_locked():04d}"
             run = _ClusterRun(
-                run_id, plan, config_payload or self.default_config, self._clock()
+                run_id, plan, config_payload or self.default_config, self._clock(),
+                trace=trace,
             )
             self._runs[run_id] = run
             self.counters["runs_created"] += 1
@@ -561,7 +592,8 @@ class ClusterCoordinator:
                 self.counters["leases_issued"] += 1
                 self._workers[worker]["leases"] += 1
                 self._checkpoint_run_locked(run)
-                return {
+                self._record_lease_wait_locked(run, index, worker, now)
+                answer = {
                     "status": "lease",
                     "lease_id": lease_id,
                     "run_id": run.run_id,
@@ -570,6 +602,9 @@ class ClusterCoordinator:
                     "config": run.config_payload,
                     "ttl": self.lease_ttl,
                 }
+                if run.trace is not None:
+                    answer["trace"] = run.trace
+                return answer
             if any_active:
                 speculative = self._speculative_lease_locked(worker, now)
                 if speculative is not None:
@@ -598,8 +633,14 @@ class ClusterCoordinator:
         rows: list[dict] | None = None,
         stats: dict | None = None,
         error: str | None = None,
+        spans: list[dict] | None = None,
     ) -> dict:
         """Accept one group's results (or its failure report) from a worker.
+
+        ``spans`` optionally carries telemetry span rows recorded by the
+        worker while executing the lease; accepted results feed them into
+        the coordinator's trace sink, stitching the distributed execution
+        into the submitting request's trace.
 
         Identified by ``(run_id, group_index)`` rather than the lease alone,
         so a result that outlived its lease -- the worker stalled past the
@@ -721,6 +762,8 @@ class ClusterCoordinator:
             self._checkpoint_group_locked(run, index, rows)
             self._checkpoint_run_locked(run)
             self._cond.notify_all()
+            if spans and self.trace_sink is not None and isinstance(spans, list):
+                self.trace_sink.ingest(spans)
             return {"status": "ok", "accepted": len(records)}
 
     # -- record consumption (the /grid NDJSON stream) --------------------------
@@ -851,6 +894,20 @@ class ClusterCoordinator:
             for lease in self._leases.values()
         ):
             run.states[index] = _PENDING
+            run.pending_since[index] = self._clock()
+
+    def _record_lease_wait_locked(
+        self, run: _ClusterRun, index: int, worker: str, now: float
+    ) -> None:
+        """Span the time the group spent leasable before this grant."""
+        if run.trace is None or self.trace_sink is None:
+            return
+        wait_s = max(now - run.pending_since[index], 0.0)
+        self.trace_sink.add_span(
+            run.trace["trace_id"], "cluster.lease_wait",
+            time.time() - wait_s, wait_s * 1e3,
+            run_id=run.run_id, group_index=index, worker=worker,
+        )
 
     def _sweep_locked(self, now: float) -> None:
         """One housekeeping pass: expiries, worker eviction, finished-run GC."""
@@ -953,7 +1010,7 @@ class ClusterCoordinator:
                     lease_id, index, run.run_id, worker, current.worker,
                     now - current.started_at, threshold,
                 )
-                return {
+                answer = {
                     "status": "lease",
                     "lease_id": lease_id,
                     "run_id": run.run_id,
@@ -963,6 +1020,9 @@ class ClusterCoordinator:
                     "ttl": self.lease_ttl,
                     "speculative": True,
                 }
+                if run.trace is not None:
+                    answer["trace"] = run.trace
+                return answer
         return None
 
     def _next_available_locked(self, run: _ClusterRun) -> int | None:

@@ -45,6 +45,7 @@ from repro.cluster.coordinator import group_from_wire
 from repro.cluster.client import open_json_connection
 from repro.engine.scheduler import evaluate_group
 from repro.engine.store import ArtifactStore, config_hash
+from repro.telemetry.trace import Trace, propagation_headers
 from repro.utils.io import to_jsonable
 from repro.utils.logging import configure_logging, get_logger
 
@@ -98,9 +99,10 @@ class CoordinatorClient:
                 with self._conns_lock:
                     self._conns.add(conn)
             try:
+                headers = {"Content-Type": "application/json"}
+                headers.update(propagation_headers())
                 conn.request(
-                    "POST", f"{self._local.base}{path}", body=body,
-                    headers={"Content-Type": "application/json"},
+                    "POST", f"{self._local.base}{path}", body=body, headers=headers
                 )
                 response = conn.getresponse()
                 data = response.read()
@@ -136,19 +138,20 @@ class CoordinatorClient:
         rows: list[dict],
         stats: dict | None = None,
         error: str | None = None,
+        spans: list[dict] | None = None,
     ) -> dict:
-        return self._post(
-            "/cluster/complete",
-            {
-                "worker": worker,
-                "lease_id": lease_id,
-                "run_id": run_id,
-                "group_index": group_index,
-                "records": rows,
-                "stats": stats,
-                "error": error,
-            },
-        )
+        payload = {
+            "worker": worker,
+            "lease_id": lease_id,
+            "run_id": run_id,
+            "group_index": group_index,
+            "records": rows,
+            "stats": stats,
+            "error": error,
+        }
+        if spans:
+            payload["spans"] = spans
+        return self._post("/cluster/complete", payload)
 
 
 class ClusterWorker:
@@ -221,11 +224,17 @@ class ClusterWorker:
         idle_backoff_max: float = 2.0,
         heartbeat_join_timeout: float = 5.0,
         rng: random.Random | None = None,
+        trace_sample: float = 1.0,
+        trace_slow_ms: float = 0.0,
     ) -> None:
         if max_pipelines < 1:
             raise ValueError(f"max_pipelines must be >= 1, got {max_pipelines}")
         if backoff_max <= 0:
             raise ValueError(f"backoff_max must be positive, got {backoff_max}")
+        if not 0.0 <= trace_sample <= 1.0:
+            raise ValueError(f"trace_sample must be in [0, 1], got {trace_sample}")
+        if trace_slow_ms < 0:
+            raise ValueError(f"trace_slow_ms must be >= 0, got {trace_slow_ms}")
         self.coordinator_url = coordinator_url
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
         self.cache_dir = cache_dir
@@ -238,6 +247,12 @@ class ClusterWorker:
         self.idle_backoff_max = float(idle_backoff_max)
         self.heartbeat_join_timeout = float(heartbeat_join_timeout)
         self._rng = rng or random.Random()
+        #: Probability a traced lease's spans are shipped with its completion
+        #: (``repro-worker --trace-sample``); ``trace_slow_ms`` additionally
+        #: ships every group slower than the threshold even when sampled out.
+        self.trace_sample = float(trace_sample)
+        self.trace_slow_ms = float(trace_slow_ms)
+        self.spans_shipped = 0
         #: Consecutive ConnectionError polls, driving the backoff exponent.
         self._failures = 0
         self.client = client or CoordinatorClient(coordinator_url)
@@ -323,6 +338,7 @@ class ClusterWorker:
         totals = {
             "groups_executed": self.groups_executed,
             "cells_executed": self.cells_executed,
+            "spans_shipped": self.spans_shipped,
             **self._retired,
             **self._retired_store,
         }
@@ -337,6 +353,31 @@ class ClusterWorker:
         return totals
 
     # -- execution -------------------------------------------------------------
+
+    def _lease_trace(self, lease: dict) -> Trace | None:
+        """Span collector for a traced lease (``None`` when tracing is off).
+
+        The coordinator forwards the submitting request's trace context in
+        the lease; spans recorded here under :meth:`Trace.active` carry that
+        trace id, so shipping them back with the completion stitches this
+        worker's execution into the cluster-wide trace.
+        """
+        context = lease.get("trace")
+        if not isinstance(context, dict) or not context.get("trace_id"):
+            return None
+        if self.trace_sample <= 0.0 and self.trace_slow_ms <= 0.0:
+            return None
+        return Trace(
+            "worker.group",
+            trace_id=str(context["trace_id"]),
+            parent_id=str(context.get("parent_span") or "") or None,
+            attrs={
+                "worker": self.worker_id,
+                "run_id": lease.get("run_id"),
+                "group_index": lease.get("group_index"),
+                "speculative": bool(lease.get("speculative", False)),
+            },
+        )
 
     def _heartbeat_loop(self, lease: dict, done: threading.Event) -> None:
         interval = max(float(lease.get("ttl", 60.0)) / 3.0, 0.05)
@@ -356,6 +397,7 @@ class ClusterWorker:
 
     def _execute_lease(self, lease: dict) -> None:
         group = group_from_wire(lease["group"])
+        trace = self._lease_trace(lease)
         done = threading.Event()
         beat = threading.Thread(
             target=self._heartbeat_loop, args=(lease, done),
@@ -366,7 +408,11 @@ class ClusterWorker:
         error: str | None = None
         try:
             pipeline = self._pipeline_for(lease["config"])
-            records = evaluate_group(pipeline, group)
+            if trace is not None:
+                with trace.active():
+                    records = evaluate_group(pipeline, group)
+            else:
+                records = evaluate_group(pipeline, group)
             rows = [to_jsonable(record.to_row()) for record in records]
         except Exception as failure:  # reported, the coordinator decides retry/fail
             logger.exception("group execution failed")
@@ -398,7 +444,12 @@ class ClusterWorker:
             # anchor push silently downgrades "trained exactly once
             # cluster-wide" to "recomputed by dependants" (correct but slow).
             store = self._pipelines[config_hash(lease["config"])].store
-            if not store.flush(timeout=self.flush_timeout):
+            if trace is not None:
+                with trace.active():
+                    flushed = store.flush(timeout=self.flush_timeout)
+            else:
+                flushed = store.flush(timeout=self.flush_timeout)
+            if not flushed:
                 logger.warning(
                     "artifact replication did not drain within %.0fs; "
                     "dependants may recompute ancestors", self.flush_timeout,
@@ -415,9 +466,20 @@ class ClusterWorker:
                     )
             self.groups_executed += 1
             self.cells_executed += len(rows)
+        spans: list[dict] | None = None
+        if trace is not None:
+            trace.finish()
+            slow = (
+                self.trace_slow_ms > 0.0
+                and (trace.duration_ms or 0.0) >= self.trace_slow_ms
+            )
+            if slow or self._rng.random() < self.trace_sample:
+                spans = trace.span_rows()
+                self.spans_shipped += len(spans)
         answer = self.client.complete(
             self.worker_id, lease["lease_id"], lease["run_id"],
             lease["group_index"], rows, stats=self.stats(), error=error,
+            spans=spans,
         )
         logger.info(
             "group %d of %s -> %s (%d records)",
@@ -529,6 +591,16 @@ def main(argv: list[str] | None = None) -> int:
         "--backoff-max", type=float, default=30.0,
         help="cap (seconds) on the exponential backoff after coordinator outages",
     )
+    parser.add_argument(
+        "--trace-sample", type=float, default=1.0,
+        help="probability a traced lease ships its telemetry spans back with "
+             "its completion (0 disables span shipping)",
+    )
+    parser.add_argument(
+        "--slow-ms", type=float, default=0.0,
+        help="always ship spans of groups slower than this many milliseconds, "
+             "even when sampled out (0 disables the slow override)",
+    )
     args = parser.parse_args(argv)
     configure_logging()
     replicas = [entry for entry in (args.store_replicas or "").split(",") if entry]
@@ -540,6 +612,8 @@ def main(argv: list[str] | None = None) -> int:
         poll_interval=args.poll_interval,
         max_idle=args.max_idle,
         backoff_max=args.backoff_max,
+        trace_sample=args.trace_sample,
+        trace_slow_ms=args.slow_ms,
     )
     print(f"repro-worker {worker.worker_id} polling {args.coordinator}", flush=True)
     try:

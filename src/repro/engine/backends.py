@@ -50,6 +50,7 @@ from pathlib import Path
 from typing import Sequence
 from urllib.parse import quote, urlsplit
 
+from repro.telemetry.trace import propagation_headers
 from repro.utils.io import ensure_dir
 from repro.utils.logging import get_logger
 
@@ -562,12 +563,9 @@ class RemoteBackend(StoreBackend):
             for attempt in (0, 1):
                 conn = self._connection()
                 try:
-                    conn.request(
-                        method,
-                        path,
-                        body=body,
-                        headers={"Content-Type": content_type} if body else {},
-                    )
+                    headers = {"Content-Type": content_type} if body else {}
+                    headers.update(propagation_headers())
+                    conn.request(method, path, body=body, headers=headers)
                     response = conn.getresponse()
                     payload = response.read()
                     with self._state_lock:

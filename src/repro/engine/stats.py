@@ -14,6 +14,7 @@ from dataclasses import asdict
 from typing import TYPE_CHECKING, Mapping
 
 from repro.engine.store import ArtifactStore
+from repro.telemetry.metrics import telemetry_snapshot
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.coordinator import ClusterCoordinator
@@ -52,9 +53,10 @@ def stats(
     retrain counters, last drift report).
 
     The snapshot always contains the keys ``store``, ``pipeline``,
-    ``decomposition_caches``, ``warmup``, ``cluster`` and ``monitor``
-    (empty/None when the component is absent), so consumers can index
-    without existence checks.
+    ``decomposition_caches``, ``warmup``, ``cluster``, ``monitor`` and
+    ``telemetry`` (empty/None when the component is absent; ``telemetry``
+    summarises the process-wide latency histograms), so consumers can
+    index without existence checks.
     """
     if source is not None:
         if isinstance(source, ArtifactStore):
@@ -75,6 +77,7 @@ def stats(
         "warmup": None,
         "cluster": None,
         "monitor": None,
+        "telemetry": telemetry_snapshot(),
     }
     if store is not None:
         snapshot["store"] = {

@@ -61,6 +61,7 @@ from repro.engine.codecs import (
     codec_for_value,
     mmap_codec_variant,
 )
+from repro.telemetry.trace import span
 from repro.utils.io import to_jsonable
 from repro.utils.logging import get_logger
 
@@ -425,7 +426,11 @@ class ArtifactStore:
                 value = self._mapped_get(kind, key, name, tier, codec)
                 if value is not None:
                     return value
-            payload = tier.get(kind, name)
+            with span("store.get", metric="store", label=f"{tier.name}.get",
+                      tier=tier.name, kind=kind) as tier_span:
+                payload = tier.get(kind, name)
+                tier_span.set(hit=payload is not None,
+                              bytes=len(payload) if payload is not None else 0)
             if payload is None:
                 continue
             try:
@@ -492,17 +497,25 @@ class ArtifactStore:
         self.stat(kind).puts += 1
         if self.tiers:
             payload = codec.encode(value)
+            name = key + codec.suffix
             for tier in self.tiers:
                 if self._replicator is not None and tier.remote_capable:
-                    self._replicator.submit(tier, kind, key + codec.suffix, payload)
+                    # Async path: the enqueue is free; the wall time shows up
+                    # in the ``store.replicate`` span around flush().
+                    self._replicator.submit(tier, kind, name, payload)
                 else:
-                    tier.put(kind, key + codec.suffix, payload)
+                    with span("store.put", metric="store", label=f"{tier.name}.put",
+                              tier=tier.name, kind=kind, bytes=len(payload)):
+                        tier.put(kind, name, payload)
 
     def flush(self, timeout: float | None = None) -> bool:
         """Barrier for async replication; a no-op ``True`` when synchronous."""
         if self._replicator is None:
             return True
-        return self._replicator.flush(timeout)
+        with span("store.replicate", metric="store", label="replicate") as flush_span:
+            flushed = self._replicator.flush(timeout)
+            flush_span.set(ok=flushed)
+        return flushed
 
     def close(self, timeout: float | None = 10.0) -> None:
         """Drain and stop the async replication thread (no-op when synchronous).

@@ -55,6 +55,7 @@ from repro.tasks.datasets import DatasetSplits, train_val_test_split
 from repro.tasks.lexicons import build_task_lexicons
 from repro.tasks.ner import NERTaskConfig, generate_ner_dataset
 from repro.tasks.sentiment import SENTIMENT_TASKS, generate_sentiment_dataset
+from repro.telemetry.trace import span
 from repro.utils.logging import get_logger
 
 logger = get_logger(__name__)
@@ -401,21 +402,23 @@ class InstabilityPipeline:
         )
         pair = self.store.get_embedding_pair("embedding_pair", key)
         if pair is None:
-            model_a = self._make_algorithm(algorithm, dim, seed)
-            model_b = self._make_algorithm(algorithm, dim, seed)
-            emb_a = model_a.fit(self.corpus_pair.base, vocab=self.vocab)
-            emb_b = model_b.fit(self.corpus_pair.drifted, vocab=self.vocab)
-            if self.config.align:
-                # The Procrustes rotation solve dispatches through the kernel
-                # policy (exact for the default/auto policies at embedding
-                # scale; seeded Halko under svd="randomized"), which is
-                # already part of the embedding key above.
-                emb_b = align_pair(
-                    emb_a, emb_b, policy=self.config.resolved_kernel_policy()
-                )
-            pair = (emb_a, emb_b)
-            self.embedding_train_count += 1
-            self.store.put_embedding_pair("embedding_pair", key, pair)
+            with span("pipeline.train", metric="phase", label="train",
+                      algorithm=algorithm, dim=int(dim), seed=int(seed)):
+                model_a = self._make_algorithm(algorithm, dim, seed)
+                model_b = self._make_algorithm(algorithm, dim, seed)
+                emb_a = model_a.fit(self.corpus_pair.base, vocab=self.vocab)
+                emb_b = model_b.fit(self.corpus_pair.drifted, vocab=self.vocab)
+                if self.config.align:
+                    # The Procrustes rotation solve dispatches through the kernel
+                    # policy (exact for the default/auto policies at embedding
+                    # scale; seeded Halko under svd="randomized"), which is
+                    # already part of the embedding key above.
+                    emb_b = align_pair(
+                        emb_a, emb_b, policy=self.config.resolved_kernel_policy()
+                    )
+                pair = (emb_a, emb_b)
+                self.embedding_train_count += 1
+                self.store.put_embedding_pair("embedding_pair", key, pair)
             logger.debug("trained %s pair dim=%d seed=%d", algorithm, dim, seed)
         return pair
 
@@ -432,10 +435,12 @@ class InstabilityPipeline:
         pair = self.store.get_embedding_pair("quantized_pair", key)
         if pair is None:
             emb_a, emb_b = self.embedding_pair(algorithm, dim, seed)
-            pair = compress_pair(
-                emb_a, emb_b, precision, share_threshold=self.config.share_clip_threshold
-            )
-            self.store.put_embedding_pair("quantized_pair", key, pair)
+            with span("pipeline.quantize", metric="phase", label="quantize",
+                      algorithm=algorithm, dim=int(dim), precision=int(precision)):
+                pair = compress_pair(
+                    emb_a, emb_b, precision, share_threshold=self.config.share_clip_threshold
+                )
+                self.store.put_embedding_pair("quantized_pair", key, pair)
         return pair
 
     def anchors(self, algorithm: str, seed: int) -> tuple[Embedding, Embedding]:
@@ -469,12 +474,16 @@ class InstabilityPipeline:
         arrays = self.store.get_arrays("decomposition", key)
         if arrays is None:
             anchor_a, anchor_b = self.anchors(algorithm, seed)
-            ra, rb = Embedding.aligned_pair(anchor_a, anchor_b, top_k=self.config.measure_top_k)
-            factors = anchor_factors(
-                ra.vectors, rb.vectors, alpha=self.config.eis_alpha,
-                words=tuple(ra.vocab.words), policy=policy,
-                rank=self.config.anchor_rank,
-            )
+            with span("pipeline.anchor_svd", metric="phase", label="anchor_svd",
+                      algorithm=algorithm, seed=int(seed)):
+                ra, rb = Embedding.aligned_pair(
+                    anchor_a, anchor_b, top_k=self.config.measure_top_k
+                )
+                factors = anchor_factors(
+                    ra.vectors, rb.vectors, alpha=self.config.eis_alpha,
+                    words=tuple(ra.vocab.words), policy=policy,
+                    rank=self.config.anchor_rank,
+                )
             payload = {
                 "P": factors.P, "Ra": factors.Ra,
                 "P_t": factors.P_t, "Ra_t": factors.Ra_t,
@@ -575,12 +584,15 @@ class InstabilityPipeline:
             name: measure for name, measure in suite.items()
             if measures is None or name in measures
         }
-        batch = compute_measure_batch(
-            selected, emb_a, emb_b, top_k=self.config.measure_top_k, policy=policy,
-            cache=cache,
-        )
-        out = batch.values
-        self.store.put_json("measures", key, out)
+        with span("pipeline.measures", metric="phase", label="measures",
+                  algorithm=algorithm, dim=int(dim), precision=int(precision),
+                  seed=int(seed)):
+            batch = compute_measure_batch(
+                selected, emb_a, emb_b, top_k=self.config.measure_top_k, policy=policy,
+                cache=cache,
+            )
+            out = batch.values
+            self.store.put_json("measures", key, out)
         return out
 
     # -- fast (quantized-first) measures ----------------------------------------
@@ -620,15 +632,17 @@ class InstabilityPipeline:
         arrays = self.store.get_arrays("fast_pair", key)
         if arrays is None:
             emb_a, emb_b = self.compressed_pair(algorithm, dim, precision, seed)
-            arrays = build_fast_pair(
-                emb_a, emb_b,
-                top_k=self.config.measure_top_k,
-                bits=self.config.fast_bits,
-                share_threshold=self.config.share_clip_threshold,
-                knn_k=self.config.knn_k,
-                knn_num_queries=self.config.knn_num_queries,
-            )
-            self.store.put_arrays("fast_pair", key, arrays)
+            with span("pipeline.fast_pair", metric="phase", label="fast_pair",
+                      algorithm=algorithm, dim=int(dim), precision=int(precision)):
+                arrays = build_fast_pair(
+                    emb_a, emb_b,
+                    top_k=self.config.measure_top_k,
+                    bits=self.config.fast_bits,
+                    share_threshold=self.config.share_clip_threshold,
+                    knn_k=self.config.knn_k,
+                    knn_num_queries=self.config.knn_num_queries,
+                )
+                self.store.put_arrays("fast_pair", key, arrays)
         return arrays
 
     def fast_measures_key(
@@ -681,16 +695,18 @@ class InstabilityPipeline:
         factors = None
         if selected is None or "eis" in selected:
             factors = self.anchor_decomposition(algorithm, seed)
-        values, bounds = evaluate_fast(
-            data,
-            measures=selected,
-            factors=factors,
-            alpha=self.config.eis_alpha,
-            knn_k=self.config.knn_k,
-            knn_num_queries=self.config.knn_num_queries,
-        )
-        out = {"values": values, "bounds": bounds}
-        self.store.put_json("fast_measures", key, out)
+        with span("pipeline.fast_measures", metric="phase", label="fast_measures",
+                  algorithm=algorithm, dim=int(dim), precision=int(precision)):
+            values, bounds = evaluate_fast(
+                data,
+                measures=selected,
+                factors=factors,
+                alpha=self.config.eis_alpha,
+                knn_k=self.config.knn_k,
+                knn_num_queries=self.config.knn_num_queries,
+            )
+            out = {"values": values, "bounds": bounds}
+            self.store.put_json("fast_measures", key, out)
         return out
 
     # -- downstream models ----------------------------------------------------------
@@ -735,7 +751,9 @@ class InstabilityPipeline:
             model = CNNClassifier(embedding, num_classes=2, config=cfg)
         else:
             raise ValueError(f"unknown classifier type {model_type!r}")
-        model.fit(splits.train, splits.val)
+        with span("pipeline.downstream_train", metric="phase", label="downstream",
+                  task=task, model=model_type, seed=int(seed)):
+            model.fit(splits.train, splits.val)
         self.downstream_train_count += 1
         return model
 
@@ -761,7 +779,9 @@ class InstabilityPipeline:
             use_crf=use_crf,
             config=cfg,
         )
-        tagger.fit(splits.train, splits.val)
+        with span("pipeline.downstream_train", metric="phase", label="downstream",
+                  task=NER_TASK_NAME, model="bilstm", seed=int(seed)):
+            tagger.fit(splits.train, splits.val)
         self.downstream_train_count += 1
         return tagger
 

@@ -28,9 +28,11 @@ order) unless ``sync=True`` pins them inline for deterministic tests.
 from __future__ import annotations
 
 import dataclasses
+import json
 import math
 import queue
 import threading
+import urllib.request
 from collections import deque
 from collections.abc import Mapping
 from typing import TYPE_CHECKING
@@ -88,6 +90,12 @@ class MonitorConfig:
     #: Run retrains inline on the ingesting thread (deterministic tests).
     sync: bool = False
     corpus_name: str = "monitor"
+    #: POST each ``drift_alert`` event to this URL as JSON (``None`` = off).
+    webhook_url: str | None = None
+    #: Delivery retries after the first attempt (bounded backoff between).
+    webhook_retries: int = 2
+    #: Per-attempt socket timeout in seconds.
+    webhook_timeout: float = 5.0
 
     def __post_init__(self) -> None:
         if self.snapshot_every_batches < 1:
@@ -99,6 +107,10 @@ class MonitorConfig:
         for name, bound in dict(self.thresholds).items():
             if not isinstance(bound, (int, float)) or math.isnan(float(bound)):
                 raise ValueError(f"threshold {name!r} must be a number, got {bound!r}")
+        if self.webhook_retries < 0:
+            raise ValueError("webhook_retries must be >= 0")
+        if self.webhook_timeout <= 0:
+            raise ValueError("webhook_timeout must be > 0")
 
 
 class InstabilityMonitor:
@@ -144,6 +156,8 @@ class InstabilityMonitor:
             "reports_warm": 0,
             "drift_alerts": 0,
             "local_embedding_trainings": 0,
+            "webhook_delivered": 0,
+            "webhook_failed": 0,
         }
         self._closed = threading.Event()
         self._queue: "queue.Queue[tuple | None]" = queue.Queue()
@@ -409,17 +423,60 @@ class InstabilityMonitor:
         if report.alerts:
             with self._lock:
                 self._counters["drift_alerts"] += len(report.alerts)
-            self.events.emit(
-                "drift_alert",
-                base_version=report.base_version,
-                version=report.version,
-                snapshot_pair=list(report.snapshot_pair),
-                alerts=[dict(a) for a in report.alerts],
-            )
+            alert_payload = {
+                "base_version": report.base_version,
+                "version": report.version,
+                "snapshot_pair": list(report.snapshot_pair),
+                "alerts": [dict(a) for a in report.alerts],
+            }
+            self.events.emit("drift_alert", **alert_payload)
             logger.warning(
                 "drift alert v%d -> v%d: %s",
                 report.base_version, report.version, report.alerts,
             )
+            self._deliver_webhook(dict(alert_payload, event="drift_alert"))
+
+    def _deliver_webhook(self, payload: dict) -> None:
+        """POST one drift alert to the configured webhook, bounded retries.
+
+        Runs on the retrain worker thread (or inline in ``sync`` mode) --
+        never on a request path.  A 2xx answer counts as delivered; anything
+        else retries ``webhook_retries`` times with a short backoff, then
+        counts as failed.  Delivery failures never fail the retrain.
+        """
+        url = self.config.webhook_url
+        if not url:
+            return
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        outcome = "no attempt"
+        for attempt in range(self.config.webhook_retries + 1):
+            if attempt and self._closed.wait(0.2 * attempt):
+                break
+            try:
+                status = self._webhook_post(url, body)
+            except Exception as error:
+                outcome = f"{type(error).__name__}: {error}"
+                continue
+            if 200 <= status < 300:
+                with self._lock:
+                    self._counters["webhook_delivered"] += 1
+                return
+            outcome = f"HTTP {status}"
+        with self._lock:
+            self._counters["webhook_failed"] += 1
+        logger.warning("drift-alert webhook %s failed: %s", url, outcome)
+
+    def _webhook_post(self, url: str, body: bytes) -> int:
+        """One POST attempt; overridable in tests.  Returns the HTTP status."""
+        request = urllib.request.Request(
+            url, data=body, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(  # noqa: S310 - operator-supplied URL
+            request, timeout=self.config.webhook_timeout
+        ) as response:
+            response.read()
+            return int(response.status)
 
     # -- cadence -------------------------------------------------------------------
 
@@ -461,6 +518,7 @@ class InstabilityMonitor:
             "ingest": self.ingestor.stats(),
             "counters": self.counters(),
             "thresholds": dict(self.drift.thresholds),
+            "webhook": self.config.webhook_url,
             "distributed": self.config.distributed,
             "cadence_seconds": self.config.cadence_seconds,
             "snapshot_every_batches": self.config.snapshot_every_batches,

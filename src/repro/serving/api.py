@@ -3,7 +3,14 @@
 Endpoints (GET query parameters and/or a JSON request body; body wins):
 
 * ``GET /healthz`` -- liveness + the served grid configuration.
-* ``GET /metrics`` -- engine + serving counters (see ``repro.engine.stats``).
+* ``GET /metrics`` -- engine + serving counters (see ``repro.engine.stats``)
+  plus latency histograms (``telemetry``); ``?format=prometheus`` renders
+  the same snapshot as Prometheus text exposition for scraping.
+* ``GET /trace/recent``, ``GET /trace/<id>`` -- the distributed-tracing
+  ring (see :mod:`repro.telemetry`): recent/slow trace summaries, and one
+  trace's spans as NDJSON.  Every request opens a root span; inbound
+  ``X-Trace-Id`` (or ``X-Request-Id``) joins the caller's trace, and the
+  id is echoed back as ``X-Trace-Id`` on every response.
 * ``GET|POST /measure?algorithm=cbow&dim=16&precision=4&seed=0`` -- the
   pairwise stability measures of one grid cell.  ``fast=true`` serves the
   quantized-first approximation with per-measure error bounds, escalating
@@ -80,6 +87,8 @@ import re
 import signal
 import sys
 import threading
+import time
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Awaitable, Callable
@@ -89,6 +98,8 @@ from repro.corpus.synthetic import SyntheticCorpusConfig
 from repro.engine.store import ArtifactStore
 from repro.linalg import KERNEL_DTYPES, SVD_METHODS, configure_default_policy
 from repro.serving.service import ServiceConfig, StabilityService
+from repro.telemetry.metrics import REGISTRY, render_prometheus
+from repro.telemetry.trace import TRACE_HEADER, bind, context_from_headers
 from repro.utils.logging import configure_logging, get_logger
 
 logger = get_logger(__name__)
@@ -113,6 +124,13 @@ _MAX_ARTIFACT_BYTES = 1 << 28
 _ARTIFACT_PATH = re.compile(
     r"^/artifacts/([A-Za-z0-9_\-]{1,64})/([A-Za-z0-9_\-]{1,128}\.(?:json|npz))$"
 )
+#: Trace id of the request being dispatched -- echoed as ``X-Trace-Id`` on
+#: every response written for it (including untraced/NullTrace requests,
+#: whose id still lets a client correlate logs) -- and the last status
+#: written, read by the access log after the handler returns.  Both are
+#: per-task, so concurrent connections never see each other's values.
+_RESPONSE_TRACE: ContextVar[str | None] = ContextVar("repro_api_trace", default=None)
+_LAST_STATUS: ContextVar[int] = ContextVar("repro_api_status", default=200)
 
 
 class APIError(Exception):
@@ -147,6 +165,16 @@ class _JSONResponse:
 
     status: int
     payload: dict | None
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class _RawResponse:
+    """A handler result carrying a non-JSON body (Prometheus text, NDJSON)."""
+
+    status: int
+    body: bytes
+    content_type: str
     headers: dict[str, str] = field(default_factory=dict)
 
 
@@ -335,6 +363,7 @@ class StabilityAPIServer:
         keepalive_timeout: float = 30.0,
         read_timeout: float | None = 60.0,
         max_connections: int | None = 128,
+        access_log: bool = False,
     ) -> None:
         self.service = service
         self.host = host
@@ -343,6 +372,8 @@ class StabilityAPIServer:
         self.keepalive_timeout = keepalive_timeout
         self.read_timeout = read_timeout
         self.max_connections = max_connections
+        #: One structured JSON line per request on stdout (silent by default).
+        self.access_log = access_log
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task] = set()
         self._routes: dict[str, Callable[[_Request], Awaitable[dict]]] = {
@@ -461,7 +492,75 @@ class StabilityAPIServer:
         *,
         keep_alive: bool = False,
     ) -> None:
+        """Trace, time, and access-log one request around the real dispatch.
+
+        Every request gets a root span in the service's trace ring (inbound
+        ``X-Trace-Id``/``X-Request-Id`` joins the caller's trace) and a
+        sample in the per-endpoint request-latency histogram; the trace id
+        is echoed on the response.  The trace stays open for the request's
+        full duration -- for a distributed ``/grid`` that is the whole
+        stream, so worker spans arriving mid-run stitch into it.
+        """
+        trace_id, parent_id = context_from_headers(request.headers)
+        started = time.perf_counter()
+        _LAST_STATUS.set(200)
+        with self.service.traces.request(
+            f"{request.method} {request.path}",
+            trace_id=trace_id, parent_id=parent_id,
+            method=request.method, path=request.path,
+        ) as trace:
+            _RESPONSE_TRACE.set(trace.trace_id)
+            try:
+                await self._dispatch_inner(
+                    request, reader, writer, keep_alive=keep_alive
+                )
+            finally:
+                _RESPONSE_TRACE.set(None)
+                duration_ms = (time.perf_counter() - started) * 1e3
+                REGISTRY.observe("request", self._route_label(request.path), duration_ms)
+                if self.access_log:
+                    self._log_access(request, trace, duration_ms)
+
+    def _route_label(self, path: str) -> str:
+        """A bounded-cardinality histogram label for one request path."""
+        if path.startswith("/artifacts"):
+            return "/artifacts"
+        if path.startswith("/trace"):
+            return "/trace"
+        if path in self._routes or path in ("/grid", "/monitor/events"):
+            return path
+        return "other"
+
+    def _log_access(self, request: _Request, trace, duration_ms: float) -> None:
+        entry = {
+            "ts": round(time.time(), 3),
+            "method": request.method,
+            "path": request.path,
+            "status": _LAST_STATUS.get(),
+            "duration_ms": round(duration_ms, 3),
+            "trace_id": trace.trace_id,
+        }
+        # Serving-path flags annotated onto the root span (coalesced with
+        # another identical request, served from the quantized fast path,
+        # escalated to exact) surface in the log line when set.
+        attrs = getattr(trace.root, "attrs", None) or {}
+        for flag in ("coalesced", "fast", "escalated", "error"):
+            if flag in attrs:
+                entry[flag] = attrs[flag]
+        print(json.dumps(entry, sort_keys=True), flush=True)
+
+    async def _dispatch_inner(
+        self,
+        request: _Request,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        keep_alive: bool = False,
+    ) -> None:
         close = not keep_alive
+        if request.path == "/trace/recent" or request.path.startswith("/trace/"):
+            await self._handle_trace(request, writer, close=close)
+            return
         if request.path.startswith("/artifacts/"):
             await self._handle_artifacts(request, writer, close=close)
             return
@@ -484,7 +583,8 @@ class StabilityAPIServer:
                 writer, 404,
                 {"error": f"unknown path {request.path!r}",
                  "paths": sorted(
-                     [*self._routes, "/artifacts", "/grid", "/monitor/events"]
+                     [*self._routes, "/artifacts", "/grid", "/monitor/events",
+                      "/trace/recent"]
                  )},
                 close=close,
             )
@@ -514,7 +614,12 @@ class StabilityAPIServer:
                 writer, 500, {"error": f"{type(error).__name__}: {error}"}, close=close
             )
         else:
-            if isinstance(payload, _JSONResponse):
+            if isinstance(payload, _RawResponse):
+                self._write_response(
+                    writer, payload.status, payload.body, payload.content_type,
+                    close=close, extra_headers=payload.headers or None,
+                )
+            elif isinstance(payload, _JSONResponse):
                 if payload.payload is None:
                     self._write_response(
                         writer, payload.status, b"", "application/json",
@@ -555,8 +660,13 @@ class StabilityAPIServer:
         include_body: bool = True,
         extra_headers: dict[str, str] | None = None,
     ) -> None:
+        _LAST_STATUS.set(status)
+        headers = dict(extra_headers or {})
+        trace_id = _RESPONSE_TRACE.get()
+        if trace_id and TRACE_HEADER not in headers:
+            headers[TRACE_HEADER] = trace_id
         extras = "".join(
-            f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+            f"{name}: {value}\r\n" for name, value in headers.items()
         )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
@@ -577,7 +687,7 @@ class StabilityAPIServer:
         """
         loop = asyncio.get_running_loop()
         return await asyncio.wait_for(
-            loop.run_in_executor(self.service.executor, fn, *args),
+            loop.run_in_executor(self.service.executor, bind(fn), *args),
             self.request_timeout,
         )
 
@@ -768,8 +878,65 @@ class StabilityAPIServer:
     async def _handle_healthz(self, request: _Request) -> dict:
         return self.service.healthz()
 
-    async def _handle_metrics(self, request: _Request) -> dict:
+    async def _handle_metrics(self, request: _Request) -> dict | _RawResponse:
+        fmt = str(request.params.get("format", "json")).lower()
+        if fmt in ("prometheus", "openmetrics", "text"):
+            text = render_prometheus(self.service.metrics())
+            return _RawResponse(
+                200, text.encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        if fmt != "json":
+            raise APIError(
+                400, f"unknown metrics format {fmt!r} (json or prometheus)"
+            )
         return self.service.metrics()
+
+    # -- /trace: the distributed-tracing ring -------------------------------------
+
+    async def _handle_trace(
+        self, request: _Request, writer: asyncio.StreamWriter, *, close: bool
+    ) -> None:
+        """Serve the trace ring: summaries, or one trace's spans as NDJSON."""
+        if request.method != "GET":
+            self._write_json(
+                writer, 405, {"error": "trace endpoints are read-only; use GET"},
+                close=close,
+            )
+            await writer.drain()
+            return
+        buffer = self.service.traces
+        if request.path == "/trace/recent":
+            try:
+                limit = _int_param(request.params, "limit", 50) or 50
+            except APIError as error:
+                self._write_json(
+                    writer, error.status, {"error": str(error)}, close=close
+                )
+                await writer.drain()
+                return
+            self._write_json(
+                writer, 200,
+                {"traces": buffer.recent(limit), "counters": buffer.counters()},
+                close=close,
+            )
+            await writer.drain()
+            return
+        trace_id = unquote(request.path[len("/trace/"):])
+        rows = buffer.get(trace_id) if trace_id else None
+        if rows is None:
+            self._write_json(
+                writer, 404, {"error": f"no retained trace {trace_id!r}"},
+                close=close,
+            )
+        else:
+            body = "".join(
+                json.dumps(row, sort_keys=True) + "\n" for row in rows
+            ).encode("utf-8")
+            self._write_response(
+                writer, 200, body, "application/x-ndjson", close=close
+            )
+        await writer.drain()
 
     async def _handle_measure(self, request: _Request) -> _JSONResponse:
         params = request.params
@@ -788,20 +955,20 @@ class StabilityAPIServer:
         # revalidation can 304 before any embedding trains or measure runs.
         etag = await loop.run_in_executor(
             None,
-            lambda: self.service.measure_etag(
+            bind(lambda: self.service.measure_etag(
                 str(algorithm), dim, precision, seed,
                 measures=measures, fast=fast, fast_tolerance=tolerance,
-            ),
+            )),
         )
         headers = {"ETag": f'"{etag}"'}
         if _etag_matches(request.headers.get("if-none-match"), etag):
             return _JSONResponse(304, None, headers)
         payload = await loop.run_in_executor(
             None,
-            lambda: self.service.measure(
+            bind(lambda: self.service.measure(
                 str(algorithm), dim, precision, seed,
                 measures=measures, fast=fast, fast_tolerance=tolerance,
-            ),
+            )),
         )
         return _JSONResponse(200, payload, headers)
 
@@ -816,14 +983,14 @@ class StabilityAPIServer:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
             None,
-            lambda: self.service.select(
+            bind(lambda: self.service.select(
                 budget,
                 criterion=criterion,
                 algorithm=str(algorithm) if algorithm else None,
                 seed=seed,
                 dimensions=dimensions,
                 precisions=precisions,
-            ),
+            )),
         )
 
     # -- /cluster: the coordinator's worker-facing API ---------------------------
@@ -857,6 +1024,9 @@ class StabilityAPIServer:
         stats = params.get("stats")
         if stats is not None and not isinstance(stats, dict):
             raise APIError(400, "parameter 'stats' must be an object")
+        spans = params.get("spans")
+        if spans is not None and not isinstance(spans, list):
+            raise APIError(400, "parameter 'spans' must be a list of span rows")
         error = params.get("error")
         worker = self._cluster_str(params, "worker")
         lease_id = self._cluster_str(params, "lease_id")
@@ -869,7 +1039,7 @@ class StabilityAPIServer:
         return await self._offload(
             lambda: self.service.coordinator.complete(
                 worker, lease_id, run_id, group_index,
-                rows=rows, stats=stats,
+                rows=rows, stats=stats, spans=spans,
                 error=str(error) if error is not None else None,
             )
         )
@@ -964,12 +1134,7 @@ class StabilityAPIServer:
             await writer.drain()
             return
 
-        writer.write(
-            b"HTTP/1.1 200 OK\r\n"
-            b"Content-Type: application/x-ndjson\r\n"
-            b"Transfer-Encoding: chunked\r\n"
-            b"Connection: close\r\n\r\n"
-        )
+        self._write_stream_head(writer)
         await writer.drain()
 
         loop = asyncio.get_running_loop()
@@ -1072,12 +1237,7 @@ class StabilityAPIServer:
             await writer.drain()
             return
 
-        writer.write(
-            b"HTTP/1.1 200 OK\r\n"
-            b"Content-Type: application/x-ndjson\r\n"
-            b"Transfer-Encoding: chunked\r\n"
-            b"Connection: close\r\n\r\n"
-        )
+        self._write_stream_head(writer)
         await writer.drain()
 
         loop = asyncio.get_running_loop()
@@ -1119,7 +1279,11 @@ class StabilityAPIServer:
             except RuntimeError:  # pragma: no cover - loop already closed
                 pass
 
-        thread = threading.Thread(target=produce, name="grid-stream", daemon=True)
+        # bind(): the producer thread must see this request's trace context
+        # so a distributed run's create_run captures it into the lease.
+        thread = threading.Thread(
+            target=bind(produce), name="grid-stream", daemon=True
+        )
         thread.start()
         # Abandoned-stream detection: /grid connections are Connection:close,
         # so the client sends nothing after its request -- a readable EOF
@@ -1154,6 +1318,20 @@ class StabilityAPIServer:
         finally:
             if not watchdog.done():
                 watchdog.cancel()
+
+    @staticmethod
+    def _write_stream_head(writer: asyncio.StreamWriter) -> None:
+        """The committed 200 head of a chunked NDJSON stream."""
+        _LAST_STATUS.set(200)
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+        )
+        trace_id = _RESPONSE_TRACE.get()
+        if trace_id:
+            head += f"{TRACE_HEADER}: {trace_id}\r\n"
+        writer.write((head + "Connection: close\r\n\r\n").encode("latin1"))
 
     @staticmethod
     def _write_chunk(writer: asyncio.StreamWriter, text: str) -> None:
@@ -1206,6 +1384,7 @@ async def _serve(args: argparse.Namespace) -> int:
             max_concurrency=args.max_concurrency, grid_workers=args.workers,
             lease_ttl=args.lease_ttl, run_gc_age=args.run_gc_age,
             worker_ttl=args.worker_ttl,
+            trace_sample=args.trace_sample, trace_slow_ms=args.slow_ms,
         ),
     )
     if args.resume_runs:
@@ -1233,6 +1412,7 @@ async def _serve(args: argparse.Namespace) -> int:
                 cadence_seconds=args.monitor_cadence,
                 distributed=args.monitor_distributed,
                 thresholds=thresholds,
+                webhook_url=args.monitor_webhook,
             )
         )
         mode = "distributed" if args.monitor_distributed else "local"
@@ -1240,6 +1420,7 @@ async def _serve(args: argparse.Namespace) -> int:
     server = StabilityAPIServer(
         service, host=args.host, port=args.port,
         request_timeout=args.request_timeout if args.request_timeout > 0 else None,
+        access_log=args.access_log,
     )
     await server.start()
     print(f"repro-serve listening on http://{server.host}:{server.port}", flush=True)
@@ -1375,7 +1556,29 @@ def main(argv: list[str] | None = None) -> int:
         help="drift-alert threshold, e.g. 'eis=0.15' or 'disagreement=0.2' "
              "(repeatable; no thresholds = observe without alerting)",
     )
+    parser.add_argument(
+        "--monitor-webhook", default=None, metavar="URL",
+        help="POST each monitor drift alert to this URL as JSON "
+             "(bounded retry; delivery outcomes in /monitor/status)",
+    )
+    parser.add_argument(
+        "--trace-sample", type=float, default=1.0,
+        help="fraction of requests traced into the /trace ring "
+             "(0 disables tracing; histograms still populate)",
+    )
+    parser.add_argument(
+        "--slow-ms", type=float, default=500.0,
+        help="always retain traces whose request took at least this many "
+             "milliseconds, even when sampled out (0 disables the slow ring)",
+    )
+    parser.add_argument(
+        "--access-log", action="store_true",
+        help="print one structured JSON line per request to stdout "
+             "(method, path, status, duration_ms, trace id, serving flags)",
+    )
     args = parser.parse_args(argv)
+    if args.monitor_webhook and not (args.monitor or args.monitor_distributed):
+        parser.error("--monitor-webhook requires --monitor")
     if args.store_shards is not None and args.cache_dir is None:
         parser.error("--store-shards requires --cache-dir (it shards the local store)")
     if args.store_mmap and not (args.cache_dir or args.store_url or args.store_replicas):

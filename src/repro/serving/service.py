@@ -56,6 +56,7 @@ from repro.selection.criteria import (
     SelectionCriterion,
     measure_criterion,
 )
+from repro.telemetry.trace import TraceBuffer, annotate, bind, remote_context, span
 from repro.utils.logging import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -100,12 +101,29 @@ class ServiceConfig:
     #: stays at or below this tolerance; otherwise the request escalates to
     #: the exact float64 path.  Per-request override via ``tolerance=``.
     fast_tolerance: float = 0.05
+    #: Probability a request is traced into the bounded trace ring
+    #: (``repro-serve --trace-sample``).  With ``trace_sample=0`` and
+    #: ``trace_slow_ms=0`` tracing is fully disabled: no spans are recorded.
+    trace_sample: float = 1.0
+    #: Latency threshold (ms) above which a trace is always collected and
+    #: retained in the slow ring regardless of sampling
+    #: (``repro-serve --slow-ms``); 0 disables the slow keep-policy.
+    trace_slow_ms: float = 500.0
+    #: Finished traces retained in the recent ring (the slow ring keeps a
+    #: quarter of this, at least one).
+    trace_capacity: int = 256
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
             raise ValueError(f"max_concurrency must be >= 1, got {self.max_concurrency}")
         if not self.fast_tolerance > 0:
             raise ValueError(f"fast_tolerance must be positive, got {self.fast_tolerance}")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ValueError(f"trace_sample must be in [0, 1], got {self.trace_sample}")
+        if self.trace_slow_ms < 0:
+            raise ValueError(f"trace_slow_ms must be >= 0, got {self.trace_slow_ms}")
+        if self.trace_capacity < 1:
+            raise ValueError(f"trace_capacity must be >= 1, got {self.trace_capacity}")
         if self.lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be positive, got {self.lease_ttl}")
         if self.run_gc_age < 0:
@@ -155,6 +173,14 @@ class StabilityService:
         #: the service's artifact store, so run checkpoints live next to the
         #: artifacts they describe -- a disk-backed store makes runs survive
         #: a coordinator restart (``repro-serve --resume-runs``).
+        #: Bounded ring of finished request traces (serving /trace/*); also
+        #: the stitch point for spans shipped back by cluster workers.
+        self.traces = TraceBuffer(
+            capacity=self.config.trace_capacity,
+            slow_capacity=max(1, self.config.trace_capacity // 4),
+            sample=self.config.trace_sample,
+            slow_ms=self.config.trace_slow_ms,
+        )
         self.coordinator = ClusterCoordinator(
             default_config=config_wire_payload(self.pipeline.config),
             lease_ttl=self.config.lease_ttl,
@@ -162,6 +188,7 @@ class StabilityService:
             run_gc_age=self.config.run_gc_age,
             worker_ttl=self.config.worker_ttl,
             speculation_factor=self.config.speculation_factor,
+            trace_sink=self.traces,
         )
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.max_concurrency, thread_name_prefix="stability"
@@ -246,13 +273,22 @@ class StabilityService:
 
     def _single_flight(self, key: str, fn: Callable[[], dict]) -> dict:
         """Run ``fn`` once per in-flight ``key``; identical requests share it."""
+        coalesced = False
         with self._lock:
             future = self._inflight.get(key)
             if future is not None:
                 self._counters["coalesced_total"] += 1
+                coalesced = True
             else:
-                future = self._executor.submit(self._run_tracked, key, fn)
+                # bind(): the leader's pipeline/store spans attach to the
+                # trace of the request that submitted the computation.
+                future = self._executor.submit(self._run_tracked, key, bind(fn))
                 self._inflight[key] = future
+        if coalesced:
+            annotate(coalesced=True)
+            with span("service.coalesce_wait", metric="phase", label="coalesce_wait",
+                      key=key):
+                return future.result()
         return future.result()
 
     def _run_tracked(self, key: str, fn: Callable[[], dict]) -> dict:
@@ -306,10 +342,16 @@ class StabilityService:
             )
 
             def compute_fast() -> dict:
-                with self._ancestry_lock(algorithm, seed):
+                lock = self._ancestry_lock(algorithm, seed)
+                with span("service.ancestry_wait", metric="phase",
+                          label="ancestry_wait", algorithm=algorithm, seed=seed):
+                    lock.acquire()
+                try:
                     return self.pipeline.compute_measures_fast(
                         algorithm, dim, precision, seed, measures=measures
                     )
+                finally:
+                    lock.release()
 
             result = self._single_flight(fast_key, compute_fast)
             values, error_bounds = result["values"], result["bounds"]
@@ -318,6 +360,7 @@ class StabilityService:
                 for name, bound in error_bounds.items()
             ):
                 self._count("fast_hits")
+                annotate(fast=True)
                 return {
                     "algorithm": algorithm,
                     "dim": dim,
@@ -333,16 +376,23 @@ class StabilityService:
                     "error_bounds": error_bounds,
                 }
             self._count("fast_escalations")
+            annotate(escalated=True)
 
         def compute() -> dict:
             # Ancestry-aware batching: requests sharing the (algorithm, seed)
             # anchor pair serialise here, so the anchor decomposition and the
             # measure suite are built once and every follower hits the cache.
-            with self._ancestry_lock(algorithm, seed):
+            lock = self._ancestry_lock(algorithm, seed)
+            with span("service.ancestry_wait", metric="phase",
+                      label="ancestry_wait", algorithm=algorithm, seed=seed):
+                lock.acquire()
+            try:
                 values = self.pipeline.compute_measures(
                     algorithm, dim, precision, seed,
                     measures=measures, cache=self.decomposition_cache,
                 )
+            finally:
+                lock.release()
             return values
 
         values = self._single_flight(key, compute)
@@ -553,7 +603,9 @@ class StabilityService:
                 precisions=precisions, seeds=seeds,
                 with_measures=with_measures, model_type=model_type,
             )
-            run_id = self.coordinator.create_run(plan, config_payload)
+            run_id = self.coordinator.create_run(
+                plan, config_payload, trace=remote_context()
+            )
             return _CancellableStream(
                 self._stream_cluster(run_id),
                 cancel=lambda: self._cancel_cluster_run(run_id),
@@ -680,6 +732,7 @@ class StabilityService:
             serving = dict(self._counters)
             serving["inflight_now"] = len(self._inflight)
         snapshot["serving"] = serving
+        snapshot["telemetry"]["traces"] = self.traces.counters()
         return snapshot
 
 

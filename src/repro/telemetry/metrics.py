@@ -1,0 +1,276 @@
+"""Fixed-bucket latency histograms and Prometheus text exposition.
+
+Histograms are the aggregate half of the telemetry subsystem: every
+``span(..., metric=...)`` observation lands in the process-wide
+:data:`REGISTRY` keyed by ``(metric, op)`` — e.g. ``("request",
+"/measure")``, ``("phase", "train")``, ``("store", "disk.get")`` — and
+is summarised as p50/p95/p99 in ``engine.stats()["telemetry"]`` and on
+``/metrics``.
+
+The bucket layout is fixed at construction so two histograms with the
+same layout merge by adding counts — workers can ship their histograms
+to a coordinator without any quantile sketch machinery.  Percentiles are
+estimated by linear interpolation inside the owning bucket, which bounds
+the error by the bucket width; the default layout spans 50µs to 60s with
+roughly 1-2-5 spacing.
+
+``render_prometheus`` flattens an ``engine.stats()`` snapshot (nested
+dicts of counters) plus the histogram registry into Prometheus text
+exposition format, with proper label escaping.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+
+# Upper bounds in milliseconds, 1-2-5 spaced from 50µs to 60s.  The final
+# implicit bucket is +Inf.
+DEFAULT_BUCKETS_MS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 30000.0, 60000.0,
+)
+
+
+class LatencyHistogram:
+    """A thread-safe fixed-bucket histogram of durations in milliseconds."""
+
+    __slots__ = ("buckets", "counts", "count", "sum_ms", "min_ms", "max_ms", "_lock")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS_MS):
+        if not buckets or list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError("bucket bounds must be strictly increasing and non-empty")
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)   # last slot is +Inf
+        self.count = 0
+        self.sum_ms = 0.0
+        self.min_ms = math.inf
+        self.max_ms = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, ms: float) -> None:
+        ms = float(ms)
+        index = bisect_left(self.buckets, ms)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.sum_ms += ms
+            if ms < self.min_ms:
+                self.min_ms = ms
+            if ms > self.max_ms:
+                self.max_ms = ms
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other`` into this histogram (layouts must match)."""
+        if other.buckets != self.buckets:
+            raise ValueError("cannot merge histograms with different bucket layouts")
+        with other._lock:
+            counts = list(other.counts)
+            count, sum_ms = other.count, other.sum_ms
+            min_ms, max_ms = other.min_ms, other.max_ms
+        with self._lock:
+            for i, c in enumerate(counts):
+                self.counts[i] += c
+            self.count += count
+            self.sum_ms += sum_ms
+            self.min_ms = min(self.min_ms, min_ms)
+            self.max_ms = max(self.max_ms, max_ms)
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) in milliseconds.
+
+        Linear interpolation inside the owning bucket; the estimate is
+        always within that bucket's bounds, and clamped to the observed
+        ``[min, max]`` range so tiny samples stay sane.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = q * self.count
+            cumulative = 0
+            for index, bucket_count in enumerate(self.counts):
+                previous = cumulative
+                cumulative += bucket_count
+                if cumulative >= rank and bucket_count:
+                    lo = self.buckets[index - 1] if index > 0 else 0.0
+                    hi = self.buckets[index] if index < len(self.buckets) else self.max_ms
+                    if hi < lo:   # +Inf bucket with max inside a lower range
+                        hi = lo
+                    fraction = (rank - previous) / bucket_count
+                    value = lo + (hi - lo) * fraction
+                    return min(max(value, self.min_ms), self.max_ms)
+            return self.max_ms
+
+    def summary(self) -> dict:
+        with self._lock:
+            count, sum_ms = self.count, self.sum_ms
+            min_ms = self.min_ms if count else 0.0
+            max_ms = self.max_ms if count else 0.0
+        return {
+            "count": count,
+            "sum_ms": round(sum_ms, 3),
+            "min_ms": round(min_ms, 3),
+            "max_ms": round(max_ms, 3),
+            "p50_ms": round(self.percentile(0.50), 3),
+            "p95_ms": round(self.percentile(0.95), 3),
+            "p99_ms": round(self.percentile(0.99), 3),
+        }
+
+    def to_dict(self) -> dict:
+        """Full mergeable state: bounds plus per-bucket counts."""
+        with self._lock:
+            return {
+                "buckets": list(self.buckets),
+                "counts": list(self.counts),
+                "count": self.count,
+                "sum_ms": self.sum_ms,
+            }
+
+    def cumulative(self) -> list[tuple[str, int]]:
+        """``(le, cumulative_count)`` pairs for Prometheus exposition."""
+        with self._lock:
+            counts = list(self.counts)
+        out, running = [], 0
+        for bound, bucket_count in zip(self.buckets, counts):
+            running += bucket_count
+            out.append((_format_float(bound), running))
+        out.append(("+Inf", running + counts[-1]))
+        return out
+
+
+class MetricsRegistry:
+    """Process-wide map of ``(metric, op)`` to :class:`LatencyHistogram`."""
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS_MS):
+        self._buckets = buckets
+        self._histograms: dict[tuple[str, str], LatencyHistogram] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, metric: str, op: str, ms: float) -> None:
+        key = (metric, op)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(key, LatencyHistogram(self._buckets))
+        histogram.observe(ms)
+
+    def get(self, metric: str, op: str) -> LatencyHistogram | None:
+        return self._histograms.get((metric, op))
+
+    def items(self) -> list[tuple[tuple[str, str], LatencyHistogram]]:
+        with self._lock:
+            return sorted(self._histograms.items())
+
+    def snapshot(self) -> dict:
+        """``{metric: {op: summary}}`` for ``stats()["telemetry"]``."""
+        out: dict[str, dict] = {}
+        for (metric, op), histogram in self.items():
+            out.setdefault(metric, {})[op] = histogram.summary()
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._histograms.clear()
+
+
+#: The process-wide default registry every ``span(metric=...)`` feeds.
+REGISTRY = MetricsRegistry()
+
+
+def telemetry_snapshot(registry: MetricsRegistry = None) -> dict:
+    """The ``telemetry`` section of ``engine.stats()``."""
+    return {"latency": (registry or REGISTRY).snapshot()}
+
+
+# --------------------------------------------------------------------------
+# Prometheus text exposition
+# --------------------------------------------------------------------------
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _sanitize_name(name: str) -> str:
+    clean = _NAME_SANITIZE.sub("_", name)
+    if not clean or clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_float(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _numeric(value) -> float | None:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if isinstance(value, float) and not math.isfinite(value):
+            return None
+        return float(value)
+    return None
+
+
+def _flatten(prefix: str, value, out: list[tuple[str, float]]) -> None:
+    number = _numeric(value)
+    if number is not None:
+        out.append((prefix, number))
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            _flatten(f"{prefix}_{_sanitize_name(str(key))}", item, out)
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            segment = str(index)
+            if isinstance(item, dict):
+                segment = _sanitize_name(str(item.get("name", index)))
+            _flatten(f"{prefix}_{segment}", item, out)
+    # strings / None / other leaves are not exposable as samples
+
+
+def render_prometheus(stats_snapshot: dict | None = None,
+                      registry: MetricsRegistry = None) -> str:
+    """Render histograms plus a counter snapshot as Prometheus text format.
+
+    ``stats_snapshot`` is an ``engine.stats()``-shaped nested dict; every
+    finite numeric leaf becomes a ``repro_<path>`` gauge (bools as 0/1,
+    list items keyed by their ``name`` field when present).  The latency
+    registry is exposed as a single ``repro_latency_ms`` histogram family
+    with ``kind``/``op`` labels.
+    """
+    registry = registry or REGISTRY
+    lines = [
+        "# HELP repro_latency_ms Latency histograms by kind (request/phase/store) and op.",
+        "# TYPE repro_latency_ms histogram",
+    ]
+    for (metric, op), histogram in registry.items():
+        labels = f'kind="{escape_label_value(metric)}",op="{escape_label_value(op)}"'
+        for le, cumulative_count in histogram.cumulative():
+            lines.append(f'repro_latency_ms_bucket{{{labels},le="{le}"}} {cumulative_count}')
+        summary = histogram.to_dict()
+        lines.append(f"repro_latency_ms_sum{{{labels}}} {_format_float(summary['sum_ms'])}")
+        lines.append(f"repro_latency_ms_count{{{labels}}} {summary['count']}")
+
+    samples: list[tuple[str, float]] = []
+    if stats_snapshot:
+        for section, value in stats_snapshot.items():
+            if section == "telemetry":
+                continue   # already exposed as the histogram family above
+            _flatten(f"repro_{_sanitize_name(str(section))}", value, samples)
+    seen: set[str] = set()
+    for name, value in samples:
+        if name in seen:
+            continue   # two paths sanitized to the same name: first wins
+        seen.add(name)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_float(value)}")
+    return "\n".join(lines) + "\n"

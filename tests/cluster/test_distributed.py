@@ -158,9 +158,11 @@ class ScriptedClient:
         self.heartbeats.append(lease_id)
         return {"status": "ok", "ttl": 0.15}
 
-    def complete(self, worker, lease_id, run_id, group_index, rows, stats=None, error=None):
+    def complete(self, worker, lease_id, run_id, group_index, rows,
+                 stats=None, error=None, spans=None):
         self.completions.append(
-            {"lease_id": lease_id, "rows": rows, "stats": stats, "error": error}
+            {"lease_id": lease_id, "rows": rows, "stats": stats,
+             "error": error, "spans": spans}
         )
         return {"status": "ok", "accepted": len(rows)}
 
@@ -259,7 +261,8 @@ class FlakySequenceClient:
     def heartbeat(self, worker, lease_id):
         return {"status": "ok", "ttl": 30.0}
 
-    def complete(self, worker, lease_id, run_id, group_index, rows, stats=None, error=None):
+    def complete(self, worker, lease_id, run_id, group_index, rows,
+                 stats=None, error=None, spans=None):
         return {"status": "ok", "accepted": len(rows)}
 
 

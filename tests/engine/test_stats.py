@@ -11,6 +11,8 @@ from repro.measures.base import DecompositionCache
 class TestStats:
     def test_empty_snapshot_has_all_keys(self):
         snapshot = stats()
+        telemetry = snapshot.pop("telemetry")
+        assert set(telemetry) == {"latency"}   # process-wide histograms, always present
         assert snapshot == {
             "store": {}, "pipeline": {}, "decomposition_caches": {}, "warmup": None,
             "cluster": None, "monitor": None,

@@ -1,0 +1,254 @@
+"""Histogram bucket/percentile math and Prometheus exposition validity."""
+
+import math
+import re
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS_MS,
+    LatencyHistogram,
+    MetricsRegistry,
+    escape_label_value,
+    render_prometheus,
+    telemetry_snapshot,
+)
+
+
+class TestBucketing:
+    def test_observation_lands_in_owning_bucket(self):
+        hist = LatencyHistogram(buckets=(1.0, 10.0, 100.0))
+        hist.observe(0.5)     # <= 1.0
+        hist.observe(1.0)     # boundary belongs to the 1.0 bucket (le semantics)
+        hist.observe(5.0)     # <= 10.0
+        hist.observe(250.0)   # +Inf
+        assert hist.counts == [2, 1, 0, 1]
+        assert hist.count == 4
+        assert hist.sum_ms == pytest.approx(256.5)
+
+    def test_bounds_must_be_increasing(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets=())
+
+    def test_min_max_track_observations(self):
+        hist = LatencyHistogram()
+        for ms in (3.0, 0.4, 72.0):
+            hist.observe(ms)
+        summary = hist.summary()
+        assert summary["min_ms"] == 0.4
+        assert summary["max_ms"] == 72.0
+
+    def test_empty_summary_is_all_zero(self):
+        summary = LatencyHistogram().summary()
+        assert summary == {
+            "count": 0, "sum_ms": 0.0, "min_ms": 0.0, "max_ms": 0.0,
+            "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+        }
+
+
+class TestPercentiles:
+    def test_uniform_distribution_quantiles_within_bucket_width(self):
+        # 1000 samples uniform over (0, 100]ms: every quantile estimate must
+        # sit inside the bucket owning the true quantile.
+        hist = LatencyHistogram()
+        for i in range(1, 1001):
+            hist.observe(i / 10.0)
+        for q, true_value in ((0.50, 50.0), (0.95, 95.0), (0.99, 99.0)):
+            estimate = hist.percentile(q)
+            # The true value's owning bucket is (25, 50] or (50, 100].
+            owning_hi = next(b for b in DEFAULT_BUCKETS_MS if b >= true_value)
+            owning_lo = max((b for b in DEFAULT_BUCKETS_MS if b < true_value), default=0.0)
+            assert owning_lo <= estimate <= owning_hi, (q, estimate)
+
+    def test_point_mass_is_exact(self):
+        hist = LatencyHistogram()
+        for _ in range(100):
+            hist.observe(7.0)
+        # All mass in one bucket and clamped to [min, max] = [7, 7].
+        assert hist.percentile(0.5) == 7.0
+        assert hist.percentile(0.99) == 7.0
+
+    def test_two_point_distribution_orders_quantiles(self):
+        hist = LatencyHistogram()
+        for _ in range(90):
+            hist.observe(1.0)        # 90% fast
+        for _ in range(10):
+            hist.observe(400.0)      # 10% slow
+        p50, p95, p99 = (hist.percentile(q) for q in (0.5, 0.95, 0.99))
+        assert p50 <= 1.0 + 1e-9
+        assert p95 > 100.0           # inside the slow bucket (250, 500]
+        assert p50 <= p95 <= p99 <= 400.0
+
+    def test_estimates_clamped_to_observed_range(self):
+        hist = LatencyHistogram()
+        hist.observe(3.0)
+        # One sample in bucket (2.5, 5]: interpolation alone would answer
+        # inside the bucket, the clamp pins it to the sample.
+        assert hist.percentile(0.5) == 3.0
+        assert hist.percentile(1.0) == 3.0
+
+    def test_invalid_quantile_rejected(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError):
+            hist.percentile(0.0)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_plus_inf_bucket_uses_observed_max(self):
+        hist = LatencyHistogram(buckets=(1.0,))
+        hist.observe(500.0)
+        hist.observe(900.0)
+        estimate = hist.percentile(0.99)
+        assert 1.0 <= estimate <= 900.0
+        assert math.isfinite(estimate)
+
+
+class TestMerge:
+    def test_merge_equals_union_of_observations(self):
+        a, b, union = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+        for ms in (0.2, 3.0, 40.0):
+            a.observe(ms)
+            union.observe(ms)
+        for ms in (7.0, 7.0, 900.0):
+            b.observe(ms)
+            union.observe(ms)
+        a.merge(b)
+        assert a.counts == union.counts
+        assert a.count == union.count
+        assert a.sum_ms == pytest.approx(union.sum_ms)
+        assert a.summary() == union.summary()
+
+    def test_layout_mismatch_rejected(self):
+        a = LatencyHistogram(buckets=(1.0, 2.0))
+        b = LatencyHistogram(buckets=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_concurrent_observations_none_lost(self):
+        hist = LatencyHistogram()
+        n, threads = 2000, 8
+
+        def work():
+            for i in range(n):
+                hist.observe(i % 50 + 0.1)
+
+        pool = [threading.Thread(target=work) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert hist.count == n * threads
+        assert sum(hist.counts) == n * threads
+
+
+class TestRegistry:
+    def test_snapshot_groups_by_metric_then_op(self):
+        registry = MetricsRegistry()
+        registry.observe("request", "/measure", 2.0)
+        registry.observe("request", "/grid", 20.0)
+        registry.observe("phase", "train", 200.0)
+        snapshot = registry.snapshot()
+        assert set(snapshot) == {"request", "phase"}
+        assert set(snapshot["request"]) == {"/measure", "/grid"}
+        assert snapshot["phase"]["train"]["count"] == 1
+
+    def test_telemetry_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.observe("store", "disk.get", 1.0)
+        snapshot = telemetry_snapshot(registry)
+        assert set(snapshot) == {"latency"}
+        assert snapshot["latency"]["store"]["disk.get"]["count"] == 1
+
+
+#: One Prometheus text-format sample line: name{labels} value
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+$"
+)
+
+
+def _parse_exposition(text: str) -> list[str]:
+    """Validate basic exposition rules; return the sample lines."""
+    assert text.endswith("\n"), "exposition must end with a newline"
+    samples = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert _SAMPLE.match(line), f"malformed sample line: {line!r}"
+        samples.append(line)
+    return samples
+
+
+class TestPrometheus:
+    def test_histogram_family_is_cumulative_and_complete(self):
+        registry = MetricsRegistry()
+        for ms in (0.2, 3.0, 3.0, 700.0):
+            registry.observe("request", "/measure", ms)
+        text = render_prometheus({}, registry)
+        samples = _parse_exposition(text)
+        buckets = [s for s in samples if s.startswith("repro_latency_ms_bucket")]
+        # One line per bound plus +Inf, cumulative counts non-decreasing.
+        assert len(buckets) == len(DEFAULT_BUCKETS_MS) + 1
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+        assert any('le="+Inf"' in line for line in buckets)
+        assert any(s.startswith("repro_latency_ms_sum") for s in samples)
+        count_line = next(s for s in samples if s.startswith("repro_latency_ms_count"))
+        assert count_line.endswith(" 4")
+
+    def test_stats_leaves_become_gauges(self):
+        text = render_prometheus(
+            {"serving": {"requests": 7, "warm": True},
+             "pipeline": {"trainings": 2}},
+            MetricsRegistry(),
+        )
+        samples = _parse_exposition(text)
+        assert "repro_serving_requests 7" in samples
+        assert "repro_serving_warm 1" in samples        # bools expose as 0/1
+        assert "repro_pipeline_trainings 2" in samples
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.observe("request", 'weird"op\\with\nnews', 1.0)
+        text = render_prometheus({}, registry)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        # No raw newline survives inside any label value.
+        for line in text.splitlines():
+            if "weird" in line:
+                assert _SAMPLE.match(line), line
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_non_finite_and_string_leaves_skipped(self):
+        text = render_prometheus(
+            {"engine": {"nan": float("nan"), "inf": float("inf"), "name": "x"}},
+            MetricsRegistry(),
+        )
+        assert "nan" not in text.replace("# HELP", "").replace("# TYPE", "")
+        assert "repro_engine_name" not in text
+
+    def test_duplicate_sanitized_paths_emit_one_sample(self):
+        text = render_prometheus(
+            {"a": {"b.c": 1, "b_c": 2}}, MetricsRegistry()
+        )
+        samples = _parse_exposition(text)
+        assert samples.count("repro_a_b_c 1") == 1
+        assert not any(s.startswith("repro_a_b_c 2") for s in samples)
+
+    def test_list_items_keyed_by_name(self):
+        text = render_prometheus(
+            {"store": {"tiers": [{"name": "disk", "gets": 3},
+                                 {"name": "remote", "gets": 5}]}},
+            MetricsRegistry(),
+        )
+        samples = _parse_exposition(text)
+        assert "repro_store_tiers_disk_gets 3" in samples
+        assert "repro_store_tiers_remote_gets 5" in samples
